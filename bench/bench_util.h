@@ -1,0 +1,99 @@
+// Shared helpers for the table/figure regeneration benches.
+//
+// Every bench accepts `--quick` (or env ECAD_BENCH_QUICK=1) to shrink search
+// budgets ~4x for smoke runs; default budgets are sized so the full suite
+// finishes on a laptop in tens of minutes while preserving the paper's
+// qualitative shapes.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/master.h"
+#include "core/report.h"
+#include "core/worker.h"
+#include "data/benchmarks.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace ecad::benchtool {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  const char* env = std::getenv("ECAD_BENCH_QUICK");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+/// Per-benchmark evaluation cost control: heavier datasets get fewer epochs
+/// and subsampled surrogates so search budgets stay tractable.
+struct DatasetBudget {
+  double sample_scale = 1.0;
+  std::size_t search_epochs = 25;  // epochs per candidate during search
+  std::size_t final_epochs = 40;   // epochs for the winner's final training
+};
+
+inline DatasetBudget dataset_budget(data::Benchmark benchmark) {
+  switch (benchmark) {
+    case data::Benchmark::CreditG: return {1.0, 30, 50};
+    case data::Benchmark::Phishing: return {1.0, 15, 30};
+    case data::Benchmark::Har: return {1.0, 10, 20};
+    case data::Benchmark::Bioresponse: return {0.6, 10, 25};
+    case data::Benchmark::Mnist: return {0.35, 8, 18};
+    case data::Benchmark::FashionMnist: return {0.35, 8, 18};
+  }
+  return {};
+}
+
+inline nn::TrainOptions train_options(std::size_t epochs) {
+  nn::TrainOptions options;
+  options.epochs = epochs;
+  options.early_stop_patience = 0;  // search-time training is short + fixed
+  return options;
+}
+
+/// Search space matched to the dataset scale: wide datasets cap hidden width
+/// so a single candidate evaluation stays sub-10s.
+inline evo::SearchSpace search_space(data::Benchmark benchmark, bool search_hardware) {
+  evo::SearchSpace space;
+  space.search_hardware = search_hardware;
+  switch (benchmark) {
+    case data::Benchmark::CreditG:
+      space.width_choices = {4, 8, 16, 32, 64, 128, 256, 512};
+      break;
+    case data::Benchmark::Phishing:
+      space.width_choices = {4, 8, 16, 32, 64, 128, 256};
+      break;
+    case data::Benchmark::Har:
+      space.width_choices = {8, 16, 32, 64, 128, 256};
+      break;
+    case data::Benchmark::Bioresponse:
+    case data::Benchmark::Mnist:
+    case data::Benchmark::FashionMnist:
+      space.width_choices = {8, 16, 32, 64, 128, 256};
+      space.max_hidden_layers = 3;
+      break;
+  }
+  return space;
+}
+
+inline core::SearchRequest make_request(data::Benchmark benchmark, bool search_hardware,
+                                        const std::string& fitness, std::size_t evaluations,
+                                        std::uint64_t seed) {
+  core::SearchRequest request;
+  request.space = search_space(benchmark, search_hardware);
+  request.evolution.population_size = 10;
+  request.evolution.max_evaluations = evaluations;
+  request.fitness = fitness;
+  request.seed = seed;
+  return request;
+}
+
+inline std::string fmt_acc(double accuracy) { return util::format_fixed(accuracy, 4); }
+inline std::string fmt_sci(double value) { return util::format_scientific(value, 3); }
+
+}  // namespace ecad::benchtool

@@ -1,0 +1,95 @@
+// Figure 4: "Hardware efficiency results for a Stratix 10 2800 and Titan X
+// searching over the MNIST dataset" — plus the §IV power/Fmax statistics.
+//
+// Shapes to reproduce:
+//  * At near-identical top-accuracy throughput (paper: 796,611 vs 773,162
+//    outputs/s), the FPGA uses ~41.5% of its allocated logic while the GPU
+//    uses ~0.3% of the device.
+//  * Arria 10 physical sweep: power min/avg/max ~ 22.5 / 27 / 31.9 W,
+//    average achieved Fmax ~ 250 MHz.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "hwmodel/resource_model.h"
+
+int main(int argc, char** argv) {
+  using namespace ecad;
+  util::set_log_level(util::LogLevel::Warn);
+  const bool quick = benchtool::quick_mode(argc, argv);
+  const std::size_t evals = quick ? 12 : 20;
+
+  const auto budget = benchtool::dataset_budget(data::Benchmark::Mnist);
+  const data::TrainTestSplit split =
+      data::load_benchmark_split(data::Benchmark::Mnist, budget.sample_scale, 91);
+  const nn::TrainOptions train = benchtool::train_options(budget.search_epochs);
+
+  core::Master master;
+
+  std::printf("searching mnist on Stratix 10 2800 (4x DDR)...\n");
+  const core::FpgaHardwareDatabaseWorker fpga(split, train, 81, hw::stratix10_2800(4), 256);
+  const auto fpga_outcome = master.search(
+      fpga, benchtool::make_request(data::Benchmark::Mnist, true, "accuracy_x_throughput",
+                                    evals, 19));
+  core::write_history(fpga_outcome.history, "fig4_s10_mnist.csv");
+
+  std::printf("searching mnist on Titan X...\n");
+  const core::GpuSimulationWorker gpu(split, train, 81, hw::titan_x(), 512);
+  const auto gpu_outcome = master.search(
+      gpu, benchtool::make_request(data::Benchmark::Mnist, false, "accuracy_x_throughput",
+                                   evals, 19));
+  core::write_history(gpu_outcome.history, "fig4_titanx_mnist.csv");
+
+  const evo::Candidate& fpga_top = core::best_by_accuracy(fpga_outcome.history);
+  const evo::Candidate& gpu_top = core::best_by_accuracy(gpu_outcome.history);
+
+  util::TextTable table({"Device", "Top Acc", "Outputs/s", "Efficiency", "paper eff"});
+  table.add_row({"Stratix 10 2800", benchtool::fmt_acc(fpga_top.result.accuracy),
+                 benchtool::fmt_sci(fpga_top.result.outputs_per_second),
+                 util::format_fixed(fpga_top.result.hw_efficiency, 4), "0.415"});
+  table.add_row({"Titan X", benchtool::fmt_acc(gpu_top.result.accuracy),
+                 benchtool::fmt_sci(gpu_top.result.outputs_per_second),
+                 util::format_fixed(gpu_top.result.hw_efficiency, 4), "0.003"});
+  std::printf("\n");
+  table.print(std::cout, "FIGURE 4: hardware efficiency at top accuracy, S10 vs Titan X");
+
+  // Efficiency statistics over the whole searched population.
+  auto eff_stats = [](const std::vector<evo::Candidate>& history) {
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& candidate : history) {
+      if (!candidate.result.feasible || candidate.result.hw_efficiency <= 0.0) continue;
+      lo = std::min(lo, candidate.result.hw_efficiency);
+      hi = std::max(hi, candidate.result.hw_efficiency);
+      sum += candidate.result.hw_efficiency;
+      ++n;
+    }
+    return std::tuple<double, double, double>(lo, n ? sum / static_cast<double>(n) : 0.0, hi);
+  };
+  const auto [flo, favg, fhi] = eff_stats(fpga_outcome.history);
+  const auto [glo, gavg, ghi] = eff_stats(gpu_outcome.history);
+  std::printf("\nefficiency across searched candidates:\n");
+  std::printf("  S10     min/avg/max = %.4f / %.4f / %.4f\n", flo, favg, fhi);
+  std::printf("  Titan X min/avg/max = %.4f / %.4f / %.4f\n", glo, gavg, ghi);
+
+  // §IV physical statistics for Arria 10 compiles (no training involved).
+  const hw::FpgaDevice a10 = hw::arria10_gx1150(1);
+  const auto grids = hw::enumerate_grids(hw::GridBounds{}, a10);
+  double pmin = 1e9, pmax = 0.0, psum = 0.0, fsum = 0.0;
+  std::size_t n = 0;
+  for (const auto& grid : grids) {
+    const auto physical = hw::estimate_physical(grid, a10);
+    if (!physical.fits) continue;
+    pmin = std::min(pmin, physical.power_watts);
+    pmax = std::max(pmax, physical.power_watts);
+    psum += physical.power_watts;
+    fsum += physical.fmax_mhz;
+    ++n;
+  }
+  std::printf("\nArria 10 physical sweep over %zu feasible grids:\n", n);
+  std::printf("  power  min/avg/max = %.1f / %.1f / %.1f W   (paper: 22.5 / 27 / 31.9 W)\n",
+              pmin, psum / static_cast<double>(n), pmax);
+  std::printf("  fmax   avg = %.0f MHz                        (paper: ~250 MHz)\n",
+              fsum / static_cast<double>(n));
+  return 0;
+}

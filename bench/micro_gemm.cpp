@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks for the GEMM kernels backing MLP training
+// (the dominant cost of every ECAD candidate evaluation, paper Table III).
+#include <benchmark/benchmark.h>
+
+#include "linalg/gemm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ecad;
+
+linalg::Matrix make(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return linalg::Matrix::random_uniform(rows, cols, rng);
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_naive(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
+  linalg::Matrix c(n, n);
+  util::ThreadPool pool;
+  for (auto _ : state) {
+    linalg::gemm_parallel(a, b, c, pool);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
+}
+BENCHMARK(BM_GemmParallel)->Arg(256)->Arg(512);
+
+// MLP-shaped GEMM (tall-skinny): batch x features -> batch x neurons.
+void BM_GemmMlpShape(benchmark::State& state) {
+  const std::size_t batch = 32;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto width = static_cast<std::size_t>(state.range(1));
+  const linalg::Matrix a = make(batch, k, 1), b = make(k, width, 2);
+  linalg::Matrix c(batch, width);
+  for (auto _ : state) {
+    linalg::gemm_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(linalg::gemm_flops(batch, k, width)));
+}
+BENCHMARK(BM_GemmMlpShape)->Args({784, 128})->Args({561, 64})->Args({1776, 128});
+
+void BM_GemmTransposedA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_at(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_GemmTransposedA)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_bt(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_GemmTransposedB)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

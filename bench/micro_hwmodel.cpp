@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks for the analytical workers: the paper's
+// hardware-database worker exists precisely because model evaluation is
+// orders of magnitude cheaper than synthesis — these benches quantify the
+// cost of one candidate assessment.
+#include <benchmark/benchmark.h>
+
+#include "evo/cache.h"
+#include "evo/genome.h"
+#include "hwmodel/fpga_model.h"
+#include "hwmodel/gpu_model.h"
+#include "hwmodel/resource_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ecad;
+
+nn::MlpSpec mnist_like() {
+  nn::MlpSpec spec;
+  spec.input_dim = 784;
+  spec.output_dim = 10;
+  spec.hidden = {256, 128};
+  return spec;
+}
+
+void BM_FpgaModelEval(benchmark::State& state) {
+  const nn::MlpSpec spec = mnist_like();
+  const hw::FpgaDevice device = hw::stratix10_2800(4);
+  const hw::GridConfig grid{16, 16, 8, 8, 8};
+  for (auto _ : state) {
+    auto report = hw::evaluate_fpga(spec, 256, grid, device);
+    benchmark::DoNotOptimize(report.outputs_per_second);
+  }
+}
+BENCHMARK(BM_FpgaModelEval);
+
+void BM_GpuModelEval(benchmark::State& state) {
+  const nn::MlpSpec spec = mnist_like();
+  const hw::GpuDevice device = hw::titan_x();
+  for (auto _ : state) {
+    auto report = hw::evaluate_gpu(spec, 512, device);
+    benchmark::DoNotOptimize(report.outputs_per_second);
+  }
+}
+BENCHMARK(BM_GpuModelEval);
+
+void BM_PhysicalModelEval(benchmark::State& state) {
+  const hw::FpgaDevice device = hw::arria10_gx1150(1);
+  const hw::GridConfig grid{16, 8, 8, 8, 4};
+  for (auto _ : state) {
+    auto report = hw::estimate_physical(grid, device);
+    benchmark::DoNotOptimize(report.power_watts);
+  }
+}
+BENCHMARK(BM_PhysicalModelEval);
+
+void BM_GenomeMutation(benchmark::State& state) {
+  evo::SearchSpace space;
+  util::Rng rng(5);
+  evo::Genome genome = evo::random_genome(space, rng);
+  for (auto _ : state) {
+    genome = evo::mutate(genome, space, rng);
+    benchmark::DoNotOptimize(genome.grid.rows);
+  }
+}
+BENCHMARK(BM_GenomeMutation);
+
+void BM_GenomeKey(benchmark::State& state) {
+  evo::SearchSpace space;
+  util::Rng rng(5);
+  const evo::Genome genome = evo::random_genome(space, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(genome.key());
+  }
+}
+BENCHMARK(BM_GenomeKey);
+
+void BM_CacheLookup(benchmark::State& state) {
+  evo::EvalCache cache;
+  evo::SearchSpace space;
+  util::Rng rng(5);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const evo::Genome genome = evo::random_genome(space, rng);
+    keys.push_back(genome.key());
+    cache.store(keys.back(), evo::EvalResult{});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_GridEnumeration(benchmark::State& state) {
+  const hw::FpgaDevice device = hw::arria10_gx1150(1);
+  for (auto _ : state) {
+    auto grids = hw::enumerate_grids(hw::GridBounds{}, device);
+    benchmark::DoNotOptimize(grids.size());
+  }
+}
+BENCHMARK(BM_GridEnumeration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Table I: "Top 10-fold Accuracy (Acc) for All Datasets Compared to Previous
+// Works" — credit-g, har, phishing, bioresponse.
+//
+// Protocol: an ECAD accuracy search picks the best NNA on a holdout split,
+// then the winner and every baseline classifier are scored with the OpenML
+// 10-fold stratified protocol.  The "paper" columns are the published
+// numbers for side-by-side comparison; the paper's qualitative claims to
+// check are (a) ECAD-MLP > default MLP everywhere and (b) ECAD-MLP beats
+// *all* published methods on credit-g and phishing.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "baselines/decision_tree.h"
+#include "baselines/knn.h"
+#include "baselines/linear_svc.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/naive_bayes.h"
+#include "baselines/random_forest.h"
+#include "bench_util.h"
+#include "nn/evaluate.h"
+
+namespace {
+
+using namespace ecad;
+
+// The fixed "sklearn MLPClassifier default"-style baseline: one hidden layer
+// of 100 ReLU units, adam, no architecture search.
+double default_mlp_10fold(const data::Dataset& pool, std::size_t epochs, util::Rng& rng) {
+  nn::MlpSpec spec;
+  spec.input_dim = pool.num_features();
+  spec.output_dim = pool.num_classes;
+  spec.hidden = {100};
+  return nn::kfold_evaluate(spec, pool, 10, benchtool::train_options(epochs), rng).mean_accuracy;
+}
+
+struct BaselineScore {
+  std::string name;
+  double accuracy = 0.0;
+};
+
+// Best classical baseline over the suite the paper's tables reference.
+BaselineScore best_baseline_10fold(const data::Dataset& pool, util::Rng& rng) {
+  using Factory = std::function<std::unique_ptr<baselines::Classifier>()>;
+  const std::vector<std::pair<std::string, Factory>> suite = {
+      {"DecisionTree",
+       [&pool] {
+         baselines::DecisionTreeOptions options;
+         options.max_depth = 12;
+         // Wide datasets (bioresponse: 1776 features) subsample split
+         // candidates to keep the 10-fold sweep tractable on one core.
+         if (pool.num_features() > 400) {
+           options.max_features = static_cast<std::size_t>(
+               std::sqrt(static_cast<double>(pool.num_features()))) * 4;
+         }
+         return std::make_unique<baselines::DecisionTree>(options);
+       }},
+      {"RandomForest(ranger)",
+       [] {
+         baselines::RandomForestOptions options;
+         options.num_trees = 25;
+         options.tree.max_depth = 12;
+         return std::make_unique<baselines::RandomForest>(options);
+       }},
+      {"SVC(linear)", [] { return std::make_unique<baselines::LinearSvc>(); }},
+      {"LogisticRegression", [] { return std::make_unique<baselines::LogisticRegression>(); }},
+      {"GaussianNB", [] { return std::make_unique<baselines::GaussianNaiveBayes>(); }},
+      {"kNN", [] { return std::make_unique<baselines::Knn>(); }},
+  };
+  BaselineScore best;
+  for (const auto& [name, factory] : suite) {
+    const double accuracy = baselines::kfold_accuracy(factory, pool, 10, rng);
+    std::printf("    baseline %-22s 10-fold acc %.4f\n", name.c_str(), accuracy);
+    if (accuracy > best.accuracy) best = {name, accuracy};
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecad;
+  util::set_log_level(util::LogLevel::Warn);
+  const bool quick = benchtool::quick_mode(argc, argv);
+
+  util::TextTable table({"Dataset", "Top Acc (Any)", "Top Method", "Top Acc (MLP)", "ECAD MLP",
+                         "paper Any", "paper MLP", "paper ECAD"});
+
+  const data::Benchmark datasets[] = {data::Benchmark::CreditG, data::Benchmark::Har,
+                                      data::Benchmark::Phishing, data::Benchmark::Bioresponse};
+  for (data::Benchmark benchmark : datasets) {
+    const auto& info = data::benchmark_info(benchmark);
+    const auto budget = benchtool::dataset_budget(benchmark);
+    std::printf("== %s ==\n", info.name.c_str());
+
+    // 1. ECAD accuracy search on a holdout split of the surrogate pool.
+    const data::TrainTestSplit split =
+        data::load_benchmark_split(benchmark, budget.sample_scale, /*seed=*/11);
+    core::AccuracyWorker worker(split, benchtool::train_options(budget.search_epochs), 99);
+    core::Master master;
+    const auto request = benchtool::make_request(benchmark, /*search_hardware=*/false,
+                                                 "accuracy", quick ? 12 : 24, 5);
+    const auto outcome = master.search(worker, request);
+    const evo::Candidate& winner = core::best_by_accuracy(outcome.history);
+    std::printf("  search: %zu models, winner %s (holdout acc %.4f)\n",
+                outcome.stats.models_evaluated, winner.genome.key().c_str(),
+                winner.result.accuracy);
+
+    // 2. 10-fold evaluation of the winner (full-size pool, longer training).
+    const data::Dataset pool = data::load_benchmark(benchmark, /*sample_scale=*/1.0, 11);
+    util::Rng rng(17);
+    const nn::MlpSpec winning_spec =
+        winner.genome.nna.to_mlp_spec(pool.num_features(), pool.num_classes);
+    const auto ecad_kfold = nn::kfold_evaluate(winning_spec, pool, 10,
+                                               benchtool::train_options(budget.final_epochs), rng);
+
+    // 3. Baselines under the same protocol.
+    const double mlp_default = default_mlp_10fold(pool, budget.final_epochs, rng);
+    const BaselineScore top = best_baseline_10fold(pool, rng);
+    const double top_any = std::max({top.accuracy, mlp_default, ecad_kfold.mean_accuracy});
+    const std::string top_method =
+        ecad_kfold.mean_accuracy >= top.accuracy ? "ECAD MLP (ours)" : top.name;
+
+    table.add_row({info.name, benchtool::fmt_acc(top_any), top_method,
+                   benchtool::fmt_acc(mlp_default), benchtool::fmt_acc(ecad_kfold.mean_accuracy),
+                   benchtool::fmt_acc(info.paper.top_acc_any),
+                   benchtool::fmt_acc(info.paper.top_acc_mlp),
+                   benchtool::fmt_acc(info.paper.ecad_mlp)});
+  }
+
+  std::printf("\n");
+  table.print(std::cout, "TABLE I: Top 10-fold Accuracy (measured vs paper)");
+  std::printf("\nNote: 'Top Acc (MLP)' is the fixed default-MLPClassifier baseline;\n"
+              "'Top Acc (Any)' is the best of all methods in this repo.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Accuracy-only neural architecture search (the Table I/II protocol): evolve
+// MLP topologies for the phishing benchmark and print the hall of fame.
+//
+// Usage: accuracy_nas [benchmark-name] [evaluations]
+#include <cstdio>
+
+#include "core/master.h"
+#include "core/report.h"
+#include "core/worker.h"
+#include "data/benchmarks.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace ecad;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const std::string name = argc > 1 ? argv[1] : "phishing";
+  const std::size_t evaluations = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+  const data::Benchmark benchmark = data::benchmark_from_name(name);
+
+  const data::TrainTestSplit split = data::load_benchmark_split(benchmark);
+  std::printf("searching %s: %zu train / %zu test, %zu features, %zu classes\n", name.c_str(),
+              split.train.num_samples(), split.test.num_samples(), split.train.num_features(),
+              split.train.num_classes);
+
+  nn::TrainOptions train;
+  train.epochs = 20;
+  const core::AccuracyWorker worker(split, train, /*seed=*/1234);
+
+  core::SearchRequest request;
+  request.space.search_hardware = false;  // NNA traits only
+  request.evolution.population_size = 10;
+  request.evolution.max_evaluations = evaluations;
+  request.fitness = "accuracy";
+  request.seed = 42;
+
+  core::Master master;
+  const auto outcome = master.search(worker, request);
+
+  std::printf("\nevaluated %zu models in %.1fs (avg %.2fs/model, %zu duplicates skipped)\n",
+              outcome.stats.models_evaluated, outcome.stats.wall_seconds,
+              outcome.stats.avg_eval_seconds, outcome.stats.duplicates_skipped);
+  std::printf("\nhall of fame (final population):\n");
+  const std::size_t show = std::min<std::size_t>(5, outcome.population.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& candidate = outcome.population[i];
+    std::printf("  %zu. acc=%.4f params=%-8.0f %s\n", i + 1, candidate.result.accuracy,
+                candidate.result.parameters, candidate.genome.key().c_str());
+  }
+  core::write_history(outcome.history, "accuracy_nas_history.csv");
+  std::printf("\nfull history written to accuracy_nas_history.csv\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Hardware design-space explorer: sweep systolic-grid configurations for a
+// fixed MLP and report performance + synthesis estimates on Arria 10 and
+// Stratix 10 — the hardware-database and physical workers in isolation.
+//
+// Usage: hardware_explorer [batch]
+#include <cstdio>
+#include <iostream>
+
+#include "hwmodel/fpga_model.h"
+#include "hwmodel/gpu_model.h"
+#include "hwmodel/resource_model.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ecad;
+  const std::size_t batch = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 256;
+
+  // An MNIST-like MLP.
+  nn::MlpSpec spec;
+  spec.input_dim = 784;
+  spec.output_dim = 10;
+  spec.hidden = {256, 128};
+  std::printf("network: %s   batch=%zu   %.1f kFLOP/sample\n\n", spec.to_string().c_str(), batch,
+              static_cast<double>(spec.flops_per_sample()) / 1e3);
+
+  for (const hw::FpgaDevice& device : {hw::arria10_gx1150(1), hw::stratix10_2800(4)}) {
+    util::TextTable table({"Grid", "DSP", "Outputs/s", "Latency (us)", "Eff %", "BW-bound",
+                           "Fmax MHz", "Power W", "ALM %"});
+    const hw::GridConfig grids[] = {
+        {4, 4, 4, 2, 2}, {8, 8, 4, 4, 4},  {8, 8, 8, 4, 4},
+        {16, 8, 8, 8, 4}, {16, 16, 4, 8, 8}, {16, 16, 8, 8, 8}, {32, 16, 8, 16, 8},
+    };
+    for (const auto& grid : grids) {
+      if (!grid.fits(device)) continue;
+      const auto perf = hw::evaluate_fpga(spec, batch, grid, device);
+      const auto physical = hw::estimate_physical(grid, device);
+      table.add_row({grid.to_string(), std::to_string(grid.dsp_usage()),
+                     util::format_scientific(perf.outputs_per_second),
+                     util::format_fixed(perf.latency_seconds * 1e6, 1),
+                     util::format_fixed(100.0 * perf.efficiency, 1),
+                     perf.any_bandwidth_bound ? "yes" : "no",
+                     util::format_fixed(physical.fmax_mhz, 0),
+                     util::format_fixed(physical.power_watts, 1),
+                     util::format_fixed(100.0 * physical.alm_fraction, 1)});
+    }
+    table.print(std::cout, device.name + " (" +
+                               util::format_fixed(device.ddr.total_bandwidth_gbs(), 1) +
+                               " GB/s DDR)");
+    std::printf("\n");
+  }
+
+  // GPU reference points for the same network.
+  util::TextTable gpu_table({"Device", "Outputs/s", "Efficiency %", "Peak TFLOP/s"});
+  for (const hw::GpuDevice& device : {hw::quadro_m5000(), hw::titan_x(), hw::radeon_vii()}) {
+    const auto perf = hw::evaluate_gpu(spec, 512, device);
+    gpu_table.add_row({device.name, util::format_scientific(perf.outputs_per_second),
+                       util::format_fixed(100.0 * perf.efficiency, 2),
+                       util::format_fixed(device.peak_tflops, 1)});
+  }
+  gpu_table.print(std::cout, "GPU simulation workers (batch 512)");
+  return 0;
+}

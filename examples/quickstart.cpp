@@ -1,0 +1,63 @@
+// Quickstart: train one MLP on the credit-g benchmark surrogate, then ask
+// the hardware-database model how the same network performs on an Arria 10
+// overlay.  This is the smallest end-to-end tour of the ECAD public API.
+#include <cstdio>
+
+#include "data/benchmarks.h"
+#include "hwmodel/fpga_model.h"
+#include "hwmodel/resource_model.h"
+#include "nn/evaluate.h"
+#include "nn/trainer.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace ecad;
+
+  // 1. Load a dataset (synthetic surrogate of OpenML credit-g; swap in
+  //    data::load_csv("yours.csv") for real data).
+  data::TrainTestSplit split = data::load_benchmark_split(data::Benchmark::CreditG);
+  std::printf("dataset: %s  train=%zu test=%zu features=%zu classes=%zu\n",
+              split.train.name.c_str(), split.train.num_samples(), split.test.num_samples(),
+              split.train.num_features(), split.train.num_classes);
+
+  // 2. Describe and train an MLP.
+  nn::MlpSpec spec;
+  spec.input_dim = split.train.num_features();
+  spec.output_dim = split.train.num_classes;
+  spec.hidden = {64, 32};
+  spec.activation = nn::Activation::ReLU;
+
+  util::Rng rng(42);
+  nn::Mlp mlp(spec, rng);
+  nn::TrainOptions options;
+  options.epochs = 30;
+
+  util::Stopwatch watch;
+  nn::TrainResult trained = nn::train(mlp, split.train, &split.test, options, rng);
+  const double accuracy = nn::evaluate_accuracy(mlp, split.test);
+  std::printf("trained %s in %.2fs (%zu epochs): test accuracy %.4f\n",
+              spec.to_string().c_str(), watch.elapsed_seconds(), trained.epochs_run, accuracy);
+
+  // 3. Ask the hardware-database worker how this network maps to an FPGA.
+  const hw::FpgaDevice device = hw::arria10_gx1150(/*ddr_banks=*/1);
+  const hw::GridConfig grid{.rows = 8, .cols = 8, .vec_width = 8,
+                            .interleave_m = 4, .interleave_n = 4};
+  const hw::FpgaPerfReport perf = hw::evaluate_fpga(spec, /*batch=*/256, grid, device);
+  std::printf("\n%s @ %.0f MHz, grid %s\n", device.name.c_str(), device.clock_mhz,
+              grid.to_string().c_str());
+  std::printf("  potential: %8.1f GFLOP/s\n", perf.potential_gflops);
+  std::printf("  effective: %8.1f GFLOP/s (efficiency %.1f%%)\n", perf.effective_gflops,
+              100.0 * perf.efficiency);
+  std::printf("  throughput: %.3g outputs/s   latency: %.3g s   bandwidth-bound: %s\n",
+              perf.outputs_per_second, perf.latency_seconds,
+              perf.any_bandwidth_bound ? "yes" : "no");
+
+  // 4. Physical (synthesis) estimates for the same grid.
+  const hw::PhysicalReport physical = hw::estimate_physical(grid, device);
+  std::printf("  synthesis: %zu DSP (%.1f%%), %zu M20K (%.1f%%), %zu ALM (%.1f%%), "
+              "Fmax %.0f MHz, power %.1f W\n",
+              physical.dsp_used, 100.0 * physical.dsp_fraction, physical.m20k_used,
+              100.0 * physical.m20k_fraction, physical.alm_used, 100.0 * physical.alm_fraction,
+              physical.fmax_mhz, physical.power_watts);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "baselines/classifier.h"
+
+#include <functional>
+
+#include "data/preprocess.h"
+#include "data/splits.h"
+#include "nn/metrics.h"
+
+namespace ecad::baselines {
+
+double kfold_accuracy(const std::function<std::unique_ptr<Classifier>()>& factory,
+                      const data::Dataset& pool, std::size_t k, util::Rng& rng) {
+  const auto folds = data::stratified_kfold(pool, k, rng);
+  double total = 0.0;
+  for (const auto& fold : folds) {
+    data::TrainTestSplit split = data::materialize_fold(pool, fold);
+    data::standardize_together(split.train, {&split.test});
+    auto classifier = factory();
+    classifier->fit(split.train, rng);
+    total += nn::accuracy(classifier->predict(split.test.features), split.test.labels);
+  }
+  return folds.empty() ? 0.0 : total / static_cast<double>(folds.size());
+}
+
+double holdout_accuracy(Classifier& classifier, const data::TrainTestSplit& split,
+                        util::Rng& rng) {
+  classifier.fit(split.train, rng);
+  return nn::accuracy(classifier.predict(split.test.features), split.test.labels);
+}
+
+}  // namespace ecad::baselines

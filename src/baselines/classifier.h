@@ -1,0 +1,40 @@
+// Common interface for the classical baseline classifiers the paper's
+// Tables I/II compare against (sklearn's DecisionTreeClassifier, SVC,
+// MLPClassifier defaults, mlr's ranger random forest, ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace ecad::baselines {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fit on a dataset. Throws std::invalid_argument on degenerate input.
+  virtual void fit(const data::Dataset& train, util::Rng& rng) = 0;
+
+  /// Predict class ids for each row. Requires fit() first.
+  virtual std::vector<int> predict(const linalg::Matrix& features) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// 10-fold (or k-fold) cross-validated accuracy of a classifier factory.
+/// A fresh classifier is built per fold via `factory`.
+double kfold_accuracy(const std::function<std::unique_ptr<Classifier>()>& factory,
+                      const data::Dataset& pool, std::size_t k, util::Rng& rng);
+
+/// Train-once/test-once accuracy on a pre-split dataset.
+double holdout_accuracy(Classifier& classifier, const data::TrainTestSplit& split,
+                        util::Rng& rng);
+
+}  // namespace ecad::baselines

@@ -1,0 +1,170 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecad::baselines {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const data::Dataset& train, util::Rng& rng) {
+  if (train.num_samples() == 0) throw std::invalid_argument("DecisionTree: empty dataset");
+  nodes_.clear();
+  train_ = &train;
+  num_classes_ = train.num_classes;
+  std::vector<std::size_t> all(train.num_samples());
+  std::iota(all.begin(), all.end(), 0);
+  build(all, 0, rng);
+  train_ = nullptr;
+}
+
+int DecisionTree::build(const std::vector<std::size_t>& samples, std::size_t depth,
+                        util::Rng& rng) {
+  const data::Dataset& train = *train_;
+
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t s : samples) ++counts[static_cast<std::size_t>(train.labels[s])];
+  const int majority = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  const double node_gini = gini(counts, samples.size());
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_index)].label = majority;
+
+  const bool stop = depth >= options_.max_depth || samples.size() < options_.min_samples_split ||
+                    node_gini <= 1e-12;
+  if (stop) return node_index;
+
+  // Candidate features: all, or a random subset (random forest mode).
+  const std::size_t num_features = train.num_features();
+  std::vector<std::size_t> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t feature_count = num_features;
+  if (options_.max_features > 0 && options_.max_features < num_features) {
+    rng.shuffle(features);
+    feature_count = options_.max_features;
+  }
+
+  double best_score = node_gini;  // must strictly improve
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<float> values(samples.size());
+  for (std::size_t fi = 0; fi < feature_count; ++fi) {
+    const std::size_t feature = features[fi];
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      values[i] = train.features.at(samples[i], feature);
+    }
+    // Quantile-cut thresholds over a sorted copy.
+    std::vector<float> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front() == sorted.back()) continue;
+
+    const std::size_t cuts = std::min<std::size_t>(options_.max_thresholds, sorted.size() - 1);
+    float previous_threshold = std::numeric_limits<float>::quiet_NaN();
+    for (std::size_t cut = 1; cut <= cuts; ++cut) {
+      const std::size_t pos = cut * (sorted.size() - 1) / (cuts + 1) + 1;
+      const float threshold = 0.5f * (sorted[pos - 1] + sorted[pos]);
+      if (threshold == previous_threshold) continue;
+      previous_threshold = threshold;
+
+      std::vector<std::size_t> left_counts(num_classes_, 0), right_counts(num_classes_, 0);
+      std::size_t left_total = 0;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        const std::size_t label = static_cast<std::size_t>(train.labels[samples[i]]);
+        if (values[i] <= threshold) {
+          ++left_counts[label];
+          ++left_total;
+        } else {
+          ++right_counts[label];
+        }
+      }
+      const std::size_t right_total = samples.size() - left_total;
+      if (left_total < options_.min_samples_leaf || right_total < options_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (gini(left_counts, left_total) * static_cast<double>(left_total) +
+           gini(right_counts, right_total) * static_cast<double>(right_total)) /
+          static_cast<double>(samples.size());
+      if (weighted + 1e-12 < best_score) {
+        best_score = weighted;
+        best_feature = static_cast<int>(feature);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::size_t> left_samples, right_samples;
+  for (std::size_t s : samples) {
+    if (train.features.at(s, static_cast<std::size_t>(best_feature)) <= best_threshold) {
+      left_samples.push_back(s);
+    } else {
+      right_samples.push_back(s);
+    }
+  }
+  if (left_samples.empty() || right_samples.empty()) return node_index;
+
+  const int left = build(left_samples, depth + 1, rng);
+  const int right = build(right_samples, depth + 1, rng);
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+int DecisionTree::predict_one(std::span<const float> row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: predict before fit");
+  std::size_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.feature < 0) return node.label;
+    const float value = row[static_cast<std::size_t>(node.feature)];
+    index = static_cast<std::size_t>(value <= node.threshold ? node.left : node.right);
+  }
+}
+
+std::vector<int> DecisionTree::predict(const linalg::Matrix& features) const {
+  std::vector<int> out(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) out[r] = predict_one(features.row(r));
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth via iterative DFS over the index-linked nodes.
+  if (nodes_.empty()) return 0;
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (node.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(node.left), depth + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace ecad::baselines

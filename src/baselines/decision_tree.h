@@ -1,0 +1,57 @@
+// CART-style decision tree (Gini impurity, axis-aligned splits) — stands in
+// for sklearn's DecisionTreeClassifier in Table I.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "baselines/classifier.h"
+
+namespace ecad::baselines {
+
+struct DecisionTreeOptions {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 = all, otherwise a random subset of
+  /// this size (used by RandomForest for decorrelation).
+  std::size_t max_features = 0;
+  /// Candidate thresholds per feature (quantile cuts); bounds split search
+  /// cost on wide datasets like bioresponse (1776 features).
+  std::size_t max_thresholds = 16;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {}) : options_(options) {}
+
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "DecisionTreeClassifier"; }
+
+  /// Predict a single sample.
+  int predict_one(std::span<const float> row) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf when feature == -1.
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1;   // indices into nodes_
+    int right = -1;
+    int label = 0;   // majority label (leaves)
+  };
+
+  int build(const std::vector<std::size_t>& samples, std::size_t depth, util::Rng& rng);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  const data::Dataset* train_ = nullptr;  // valid only during fit()
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace ecad::baselines

@@ -1,0 +1,25 @@
+// k-nearest-neighbour classifier (exact, Euclidean).
+#pragma once
+
+#include "baselines/classifier.h"
+
+namespace ecad::baselines {
+
+struct KnnOptions {
+  std::size_t k = 5;
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnOptions options = {}) : options_(options) {}
+
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "KNeighborsClassifier"; }
+
+ private:
+  KnnOptions options_;
+  data::Dataset train_;
+};
+
+}  // namespace ecad::baselines

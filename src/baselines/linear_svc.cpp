@@ -1,0 +1,58 @@
+#include "baselines/linear_svc.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/gemm.h"
+#include "linalg/vector_ops.h"
+
+namespace ecad::baselines {
+
+void LinearSvc::fit(const data::Dataset& train, util::Rng& rng) {
+  if (train.num_samples() == 0) throw std::invalid_argument("LinearSvc: empty dataset");
+  const std::size_t d = train.num_features();
+  const std::size_t c = train.num_classes;
+  weights_.reshape_discard(d, c);
+  bias_.reshape_discard(1, c);
+
+  std::vector<std::size_t> order(train.num_samples());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos-style SGD: one sample at a time, per-machine hinge subgradient.
+  std::size_t step = 1;
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t index : order) {
+      const float lr =
+          static_cast<float>(options_.learning_rate / (1.0 + options_.l2 * static_cast<double>(step)));
+      const auto row = train.features.row(index);
+      for (std::size_t machine = 0; machine < c; ++machine) {
+        const float target =
+            train.labels[index] == static_cast<int>(machine) ? 1.0f : -1.0f;
+        float score = bias_.at(0, machine);
+        for (std::size_t f = 0; f < d; ++f) score += weights_.at(f, machine) * row[f];
+        // L2 shrink.
+        const float shrink = 1.0f - lr * static_cast<float>(options_.l2);
+        for (std::size_t f = 0; f < d; ++f) weights_.at(f, machine) *= shrink;
+        if (target * score < 1.0f) {  // margin violation -> hinge subgradient
+          for (std::size_t f = 0; f < d; ++f) weights_.at(f, machine) += lr * target * row[f];
+          bias_.at(0, machine) += lr * target;
+        }
+      }
+      ++step;
+    }
+  }
+}
+
+std::vector<int> LinearSvc::predict(const linalg::Matrix& features) const {
+  if (weights_.empty()) throw std::logic_error("LinearSvc: predict before fit");
+  linalg::Matrix scores;
+  linalg::affine(features, weights_, bias_, scores);
+  std::vector<int> out(scores.rows());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    out[r] = static_cast<int>(linalg::argmax(scores.row(r)));
+  }
+  return out;
+}
+
+}  // namespace ecad::baselines

@@ -1,0 +1,31 @@
+// Linear SVM with hinge loss, one-vs-rest for multiclass — stands in for
+// sklearn's SVC in Tables I/II (phishing, fashion-mnist top methods).
+#pragma once
+
+#include "baselines/classifier.h"
+#include "linalg/matrix.h"
+
+namespace ecad::baselines {
+
+struct LinearSvcOptions {
+  std::size_t epochs = 40;
+  double learning_rate = 0.05;
+  /// L2 regularization strength (lambda in the Pegasos formulation).
+  double l2 = 1e-4;
+};
+
+class LinearSvc final : public Classifier {
+ public:
+  explicit LinearSvc(LinearSvcOptions options = {}) : options_(options) {}
+
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "SVC(linear,ovr)"; }
+
+ private:
+  LinearSvcOptions options_;
+  linalg::Matrix weights_;  // d x c (one column per one-vs-rest machine)
+  linalg::Matrix bias_;     // 1 x c
+};
+
+}  // namespace ecad::baselines

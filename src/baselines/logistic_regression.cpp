@@ -1,0 +1,72 @@
+#include "baselines/logistic_regression.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/gemm.h"
+#include "linalg/vector_ops.h"
+#include "nn/activation.h"
+
+namespace ecad::baselines {
+
+void LogisticRegression::fit(const data::Dataset& train, util::Rng& rng) {
+  if (train.num_samples() == 0) throw std::invalid_argument("LogisticRegression: empty dataset");
+  const std::size_t d = train.num_features();
+  const std::size_t c = train.num_classes;
+  weights_.reshape_discard(d, c);
+  bias_.reshape_discard(1, c);
+
+  std::vector<std::size_t> order(train.num_samples());
+  std::iota(order.begin(), order.end(), 0);
+
+  linalg::Matrix batch_x, logits, proba, grad_w(d, c);
+  std::vector<int> batch_y;
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t begin = 0; begin < order.size(); begin += options_.batch_size) {
+      const std::size_t end = std::min(begin + options_.batch_size, order.size());
+      const std::size_t batch = end - begin;
+      batch_x.reshape_discard(batch, d);
+      batch_y.resize(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t src = order[begin + i];
+        std::copy(train.features.row(src).begin(), train.features.row(src).end(),
+                  batch_x.row(i).begin());
+        batch_y[i] = train.labels[src];
+      }
+      linalg::affine(batch_x, weights_, bias_, logits);
+      nn::softmax_rows(logits, proba);
+      // proba -= onehot; scaled by 1/batch.
+      const float inv = 1.0f / static_cast<float>(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        proba.at(i, static_cast<std::size_t>(batch_y[i])) -= 1.0f;
+      }
+      linalg::scale_inplace(proba.data(), inv);
+      linalg::gemm_at(batch_x, proba, grad_w);
+
+      const float lr = static_cast<float>(options_.learning_rate);
+      const float l2 = static_cast<float>(options_.l2);
+      for (std::size_t i = 0; i < weights_.size(); ++i) {
+        weights_.data()[i] -= lr * (grad_w.data()[i] + l2 * weights_.data()[i]);
+      }
+      for (std::size_t j = 0; j < c; ++j) {
+        float g = 0.0f;
+        for (std::size_t i = 0; i < batch; ++i) g += proba.at(i, j);
+        bias_.at(0, j) -= lr * g;
+      }
+    }
+  }
+}
+
+std::vector<int> LogisticRegression::predict(const linalg::Matrix& features) const {
+  if (weights_.empty()) throw std::logic_error("LogisticRegression: predict before fit");
+  linalg::Matrix logits;
+  linalg::affine(features, weights_, bias_, logits);
+  std::vector<int> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    out[r] = static_cast<int>(linalg::argmax(logits.row(r)));
+  }
+  return out;
+}
+
+}  // namespace ecad::baselines

@@ -1,0 +1,33 @@
+// Multinomial logistic regression trained with minibatch SGD — the linear
+// reference point among the baselines.
+#pragma once
+
+#include "baselines/classifier.h"
+#include "linalg/matrix.h"
+
+namespace ecad::baselines {
+
+struct LogisticRegressionOptions {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {}) : options_(options) {}
+
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  const linalg::Matrix& weights() const { return weights_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  linalg::Matrix weights_;  // d x c
+  linalg::Matrix bias_;     // 1 x c
+};
+
+}  // namespace ecad::baselines

@@ -1,0 +1,68 @@
+#include "baselines/naive_bayes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecad::baselines {
+
+void GaussianNaiveBayes::fit(const data::Dataset& train, util::Rng&) {
+  if (train.num_samples() == 0) throw std::invalid_argument("GaussianNB: empty dataset");
+  const std::size_t c = train.num_classes;
+  const std::size_t d = train.num_features();
+  mean_.reshape_discard(c, d);
+  variance_.reshape_discard(c, d);
+  log_prior_.assign(c, 0.0);
+
+  const auto counts = train.class_counts();
+  for (std::size_t r = 0; r < train.num_samples(); ++r) {
+    const std::size_t label = static_cast<std::size_t>(train.labels[r]);
+    for (std::size_t f = 0; f < d; ++f) mean_.at(label, f) += train.features.at(r, f);
+  }
+  for (std::size_t cls = 0; cls < c; ++cls) {
+    const float n = static_cast<float>(std::max<std::size_t>(1, counts[cls]));
+    for (std::size_t f = 0; f < d; ++f) mean_.at(cls, f) /= n;
+  }
+  for (std::size_t r = 0; r < train.num_samples(); ++r) {
+    const std::size_t label = static_cast<std::size_t>(train.labels[r]);
+    for (std::size_t f = 0; f < d; ++f) {
+      const float dv = train.features.at(r, f) - mean_.at(label, f);
+      variance_.at(label, f) += dv * dv;
+    }
+  }
+  for (std::size_t cls = 0; cls < c; ++cls) {
+    const float n = static_cast<float>(std::max<std::size_t>(1, counts[cls]));
+    for (std::size_t f = 0; f < d; ++f) {
+      variance_.at(cls, f) = std::max(variance_.at(cls, f) / n, 1e-6f);
+    }
+    log_prior_[cls] = std::log(
+        std::max(1e-12, static_cast<double>(counts[cls]) /
+                            static_cast<double>(train.num_samples())));
+  }
+}
+
+std::vector<int> GaussianNaiveBayes::predict(const linalg::Matrix& features) const {
+  if (mean_.empty()) throw std::logic_error("GaussianNB: predict before fit");
+  const std::size_t c = mean_.rows();
+  const std::size_t d = mean_.cols();
+  std::vector<int> out(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    int best_class = 0;
+    for (std::size_t cls = 0; cls < c; ++cls) {
+      double score = log_prior_[cls];
+      for (std::size_t f = 0; f < d; ++f) {
+        const double var = variance_.at(cls, f);
+        const double diff = features.at(r, f) - mean_.at(cls, f);
+        score += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_class = static_cast<int>(cls);
+      }
+    }
+    out[r] = best_class;
+  }
+  return out;
+}
+
+}  // namespace ecad::baselines

@@ -1,0 +1,21 @@
+// Gaussian naive Bayes: per-class feature means/variances + log priors.
+#pragma once
+
+#include "baselines/classifier.h"
+#include "linalg/matrix.h"
+
+namespace ecad::baselines {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "GaussianNB"; }
+
+ private:
+  linalg::Matrix mean_;      // c x d
+  linalg::Matrix variance_;  // c x d (floored)
+  std::vector<double> log_prior_;
+};
+
+}  // namespace ecad::baselines

@@ -1,0 +1,48 @@
+#include "baselines/random_forest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecad::baselines {
+
+void RandomForest::fit(const data::Dataset& train, util::Rng& rng) {
+  if (train.num_samples() == 0) throw std::invalid_argument("RandomForest: empty dataset");
+  if (options_.num_trees == 0) throw std::invalid_argument("RandomForest: need >= 1 tree");
+  num_classes_ = train.num_classes;
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  DecisionTreeOptions tree_options = options_.tree;
+  tree_options.max_features =
+      options_.max_features > 0
+          ? options_.max_features
+          : static_cast<std::size_t>(
+                std::max(1.0, std::sqrt(static_cast<double>(train.num_features()))));
+
+  const std::size_t bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(train.num_samples()) * options_.subsample));
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<std::size_t> bag(bag_size);
+    for (std::size_t& index : bag) index = rng.next_index(train.num_samples());
+    const data::Dataset sample = train.subset(bag);
+    DecisionTree tree(tree_options);
+    tree.fit(sample, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<int> RandomForest::predict(const linalg::Matrix& features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: predict before fit");
+  std::vector<int> out(features.rows());
+  std::vector<std::size_t> votes(num_classes_);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    std::fill(votes.begin(), votes.end(), 0);
+    for (const DecisionTree& tree : trees_) {
+      ++votes[static_cast<std::size_t>(tree.predict_one(features.row(r)))];
+    }
+    out[r] = static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+  }
+  return out;
+}
+
+}  // namespace ecad::baselines

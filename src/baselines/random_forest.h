@@ -1,0 +1,37 @@
+// Bagged random forest over CART trees — stands in for mlr.classif.ranger,
+// the "Top Method" for credit-g and bioresponse in Table I.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/decision_tree.h"
+
+namespace ecad::baselines {
+
+struct RandomForestOptions {
+  std::size_t num_trees = 50;
+  DecisionTreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  /// If 0, max_features defaults to sqrt(num_features) per tree.
+  std::size_t max_features = 0;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {}) : options_(options) {}
+
+  void fit(const data::Dataset& train, util::Rng& rng) override;
+  std::vector<int> predict(const linalg::Matrix& features) const override;
+  std::string name() const override { return "RandomForest(ranger)"; }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace ecad::baselines

@@ -1,0 +1,110 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::core {
+
+namespace {
+
+std::vector<std::size_t> to_sizes(const std::vector<long long>& values, const char* what) {
+  std::vector<std::size_t> out;
+  out.reserve(values.size());
+  for (long long v : values) {
+    if (v <= 0) throw std::invalid_argument(std::string(what) + ": values must be positive");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentSetup setup_from_config(const util::Config& config) {
+  const std::string benchmark_name = config.get("dataset", "benchmark");
+  const double sample_scale = config.get_double("dataset", "sample_scale", 1.0);
+
+  ExperimentSetup setup{.benchmark = data::benchmark_from_name(benchmark_name),
+                        .split = {},
+                        .request = {},
+                        .train_options = {},
+                        .hardware_target = "",
+                        .batch = 0,
+                        .ddr_banks = 1,
+                        .data_seed = 1};
+  setup.data_seed = static_cast<std::uint64_t>(config.get_int("dataset", "seed", 1));
+  setup.split = data::load_benchmark_split(setup.benchmark, sample_scale, setup.data_seed);
+
+  // NNA search space.
+  evo::SearchSpace& space = setup.request.space;
+  space.min_hidden_layers = static_cast<std::size_t>(config.get_int("nna", "min_layers", 1));
+  space.max_hidden_layers = static_cast<std::size_t>(config.get_int("nna", "max_layers", 4));
+  if (config.has("nna", "widths")) {
+    space.width_choices = to_sizes(config.get_int_list("nna", "widths", {}), "nna.widths");
+  }
+  space.allow_no_bias = config.get_bool("nna", "allow_no_bias", true);
+
+  // Hardware target.
+  setup.hardware_target = util::to_lower(config.get_string("hardware", "target", "accuracy"));
+  setup.ddr_banks = static_cast<std::size_t>(config.get_int("hardware", "ddr_banks", 1));
+  const bool is_fpga = setup.hardware_target == "arria10" || setup.hardware_target == "stratix10";
+  setup.batch =
+      static_cast<std::size_t>(config.get_int("hardware", "batch", is_fpga ? 256 : 512));
+  space.search_hardware = is_fpga;
+
+  // Trainer.
+  setup.train_options.epochs = static_cast<std::size_t>(config.get_int("train", "epochs", 20));
+  setup.train_options.batch_size =
+      static_cast<std::size_t>(config.get_int("train", "batch_size", 32));
+  setup.train_options.optimizer.learning_rate =
+      config.get_double("train", "learning_rate", 1e-3);
+
+  // Evolution.
+  setup.request.fitness = config.get_string("search", "fitness", "accuracy");
+  setup.request.evolution.population_size =
+      static_cast<std::size_t>(config.get_int("search", "population", 16));
+  setup.request.evolution.max_evaluations =
+      static_cast<std::size_t>(config.get_int("search", "evaluations", 60));
+  setup.request.seed = static_cast<std::uint64_t>(config.get_int("search", "seed", 7));
+  setup.request.threads = static_cast<std::size_t>(config.get_int("search", "threads", 0));
+  return setup;
+}
+
+std::unique_ptr<Worker> make_worker(const ExperimentSetup& setup) {
+  const std::uint64_t seed = setup.data_seed * 7919 + 13;
+  const std::string& target = setup.hardware_target;
+  if (target == "accuracy" || target.empty()) {
+    return std::make_unique<AccuracyWorker>(setup.split, setup.train_options, seed);
+  }
+  if (target == "arria10") {
+    return std::make_unique<FpgaHardwareDatabaseWorker>(
+        setup.split, setup.train_options, seed, hw::arria10_gx1150(setup.ddr_banks), setup.batch);
+  }
+  if (target == "stratix10") {
+    return std::make_unique<FpgaHardwareDatabaseWorker>(
+        setup.split, setup.train_options, seed, hw::stratix10_2800(setup.ddr_banks), setup.batch);
+  }
+  if (target == "m5000") {
+    return std::make_unique<GpuSimulationWorker>(setup.split, setup.train_options, seed,
+                                                 hw::quadro_m5000(), setup.batch);
+  }
+  if (target == "titanx") {
+    return std::make_unique<GpuSimulationWorker>(setup.split, setup.train_options, seed,
+                                                 hw::titan_x(), setup.batch);
+  }
+  if (target == "radeon7") {
+    return std::make_unique<GpuSimulationWorker>(setup.split, setup.train_options, seed,
+                                                 hw::radeon_vii(), setup.batch);
+  }
+  throw std::invalid_argument("make_worker: unknown hardware target '" + target + "'");
+}
+
+ExperimentOutcome run_experiment(const util::Config& config) {
+  ExperimentSetup setup = setup_from_config(config);
+  const std::unique_ptr<Worker> worker = make_worker(setup);
+  Master master;
+  ExperimentOutcome outcome{master.search(*worker, setup.request), worker->name()};
+  return outcome;
+}
+
+}  // namespace ecad::core

@@ -1,0 +1,54 @@
+// Config-file driven experiments: the paper's flow starts from "a
+// configuration file ... contain[ing] information on (a) the general NNA
+// structure ..., (b) Hardware target ..., (c) optimization targets" (§III).
+//
+// INI schema (all keys optional unless noted):
+//   [dataset]    benchmark = credit-g | har | phishing | bioresponse |
+//                            mnist | fashion-mnist            (required)
+//                sample_scale = 1.0         seed = 1
+//   [nna]        min_layers = 1             max_layers = 4
+//                widths = 4,8,...,512       allow_no_bias = true
+//   [hardware]   target = arria10 | stratix10 | m5000 | titanx | radeon7
+//                ddr_banks = 1              batch = 256
+//   [train]      epochs = 20  batch_size = 32  learning_rate = 1e-3
+//   [search]     fitness = accuracy_x_throughput
+//                population = 16  evaluations = 60  seed = 7  threads = 0
+#pragma once
+
+#include <string>
+
+#include "core/master.h"
+#include "data/benchmarks.h"
+#include "util/config.h"
+
+namespace ecad::core {
+
+struct ExperimentSetup {
+  data::Benchmark benchmark;
+  data::TrainTestSplit split;
+  SearchRequest request;
+  nn::TrainOptions train_options;
+  std::string hardware_target;  // normalized name
+  std::size_t batch = 256;
+  std::size_t ddr_banks = 1;
+  std::uint64_t data_seed = 1;
+};
+
+/// Parse + materialize an experiment from a config.  Throws
+/// std::invalid_argument / std::out_of_range on schema errors.
+ExperimentSetup setup_from_config(const util::Config& config);
+
+/// Build the worker named by `setup.hardware_target` ("accuracy" when the
+/// config requested no hardware).  The returned worker references
+/// `setup.split`; keep `setup` alive while using it.
+std::unique_ptr<Worker> make_worker(const ExperimentSetup& setup);
+
+struct ExperimentOutcome {
+  evo::EvolutionResult result;
+  std::string worker_name;
+};
+
+/// One-call runner: setup -> worker -> master search.
+ExperimentOutcome run_experiment(const util::Config& config);
+
+}  // namespace ecad::core

@@ -1,0 +1,31 @@
+#include "core/master.h"
+
+namespace ecad::core {
+
+evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
+  const auto& fitness = registry_.get(request.fitness);
+  evo::EvolutionEngine engine(
+      request.space, request.evolution,
+      [&worker](const evo::Genome& genome) { return worker.evaluate(genome); }, fitness);
+  util::Rng rng(request.seed);
+  util::ThreadPool pool(request.threads);
+  return engine.run(rng, pool);
+}
+
+std::vector<evo::Candidate> Master::pareto_candidates(const std::vector<evo::Candidate>& history,
+                                                      const std::vector<evo::Metric>& metrics) {
+  std::vector<evo::EvalResult> results;
+  results.reserve(history.size());
+  for (const auto& candidate : history) results.push_back(candidate.result);
+  std::vector<evo::Candidate> front;
+  for (std::size_t index : evo::pareto_front(results, metrics)) {
+    front.push_back(history[index]);
+  }
+  // Highest accuracy first — the order Table IV lists its two rows.
+  std::sort(front.begin(), front.end(), [](const evo::Candidate& a, const evo::Candidate& b) {
+    return a.result.accuracy > b.result.accuracy;
+  });
+  return front;
+}
+
+}  // namespace ecad::core

@@ -1,0 +1,46 @@
+// The ECAD Master process (paper §III-A): "The Master process orchestrates
+// the evaluation process by distributing the co-design population and by
+// evaluating the results. Result evaluation is done using user defined
+// fitness functions."
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/worker.h"
+#include "evo/engine.h"
+#include "evo/pareto.h"
+#include "util/thread_pool.h"
+
+namespace ecad::core {
+
+struct SearchRequest {
+  evo::SearchSpace space;
+  evo::EvolutionConfig evolution;
+  /// Name in the fitness registry ("accuracy", "accuracy_x_throughput", ...).
+  std::string fitness = "accuracy";
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+class Master {
+ public:
+  /// Custom fitness functions may be registered before running searches.
+  Master() : registry_(evo::FitnessRegistry::with_builtins()) {}
+
+  evo::FitnessRegistry& registry() { return registry_; }
+
+  /// Run one evolutionary search with `worker` as the evaluation backend.
+  /// Throws std::out_of_range for unknown fitness names.
+  evo::EvolutionResult search(const Worker& worker, const SearchRequest& request) const;
+
+  /// Pareto front of a search history over the given metrics (Table IV,
+  /// Figs. 2/4 post-processing).
+  static std::vector<evo::Candidate> pareto_candidates(
+      const std::vector<evo::Candidate>& history, const std::vector<evo::Metric>& metrics);
+
+ private:
+  evo::FitnessRegistry registry_;
+};
+
+}  // namespace ecad::core

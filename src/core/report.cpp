@@ -1,0 +1,61 @@
+#include "core/report.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::core {
+
+util::CsvTable history_to_csv(const std::vector<evo::Candidate>& history) {
+  util::CsvTable table;
+  table.header = {"genome",     "accuracy",   "outputs_per_s", "latency_s", "efficiency",
+                  "eff_gflops", "pot_gflops", "power_w",       "fmax_mhz",  "parameters",
+                  "fitness",    "feasible"};
+  for (const auto& candidate : history) {
+    const evo::EvalResult& r = candidate.result;
+    table.rows.push_back({candidate.genome.key(), util::format_fixed(r.accuracy, 4),
+                          util::format_scientific(r.outputs_per_second),
+                          util::format_scientific(r.latency_seconds),
+                          util::format_fixed(r.hw_efficiency, 4),
+                          util::format_fixed(r.effective_gflops, 2),
+                          util::format_fixed(r.potential_gflops, 2),
+                          util::format_fixed(r.power_watts, 2),
+                          util::format_fixed(r.fmax_mhz, 1),
+                          std::to_string(static_cast<long long>(r.parameters)),
+                          util::format_fixed(candidate.fitness, 5), r.feasible ? "1" : "0"});
+  }
+  return table;
+}
+
+void write_history(const std::vector<evo::Candidate>& history, const std::string& path) {
+  util::write_csv_file(path, history_to_csv(history));
+}
+
+const evo::Candidate& best_by_accuracy(const std::vector<evo::Candidate>& history) {
+  if (history.empty()) throw std::invalid_argument("best_by_accuracy: empty history");
+  const evo::Candidate* best = nullptr;
+  for (const auto& candidate : history) {
+    if (!candidate.result.feasible) continue;
+    if (best == nullptr || candidate.result.accuracy > best->result.accuracy) {
+      best = &candidate;
+    }
+  }
+  // All infeasible: fall back to the first entry rather than failing.
+  return best != nullptr ? *best : history.front();
+}
+
+const evo::Candidate& best_throughput_within(const std::vector<evo::Candidate>& history,
+                                             double accuracy_slack) {
+  const evo::Candidate& top = best_by_accuracy(history);
+  const double floor = top.result.accuracy - accuracy_slack;
+  const evo::Candidate* best = &top;
+  for (const auto& candidate : history) {
+    if (!candidate.result.feasible || candidate.result.accuracy < floor) continue;
+    if (candidate.result.outputs_per_second > best->result.outputs_per_second) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecad::core

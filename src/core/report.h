@@ -1,0 +1,28 @@
+// Result emission: search histories to CSV (for re-plotting the paper's
+// figures) and summary rows for the bench tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evo/engine.h"
+#include "util/csv.h"
+
+namespace ecad::core {
+
+/// One row per evaluated candidate: genome, accuracy, throughput, latency,
+/// efficiency, power, parameters.
+util::CsvTable history_to_csv(const std::vector<evo::Candidate>& history);
+
+/// Write the history CSV next to a bench run.
+void write_history(const std::vector<evo::Candidate>& history, const std::string& path);
+
+/// The candidate with maximum accuracy.
+const evo::Candidate& best_by_accuracy(const std::vector<evo::Candidate>& history);
+
+/// The candidate with maximum throughput among those with accuracy within
+/// `accuracy_slack` of the best (Table IV's "second row" selection).
+const evo::Candidate& best_throughput_within(const std::vector<evo::Candidate>& history,
+                                             double accuracy_slack);
+
+}  // namespace ecad::core

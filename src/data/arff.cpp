@@ -1,0 +1,189 @@
+#include "data/arff.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::data {
+
+namespace {
+
+struct Attribute {
+  std::string name;
+  bool nominal = false;
+  std::map<std::string, int> values;  // nominal value -> id
+};
+
+// "@attribute class {good, bad}" or "@attribute a1 numeric"
+Attribute parse_attribute(std::string_view line, int line_number) {
+  Attribute attribute;
+  std::string_view rest = util::trim(line.substr(std::string_view("@attribute").size()));
+  if (rest.empty()) {
+    throw std::invalid_argument("arff: empty @attribute at line " + std::to_string(line_number));
+  }
+  // Name may be quoted.
+  std::size_t name_end;
+  if (rest.front() == '\'' || rest.front() == '"') {
+    const char quote = rest.front();
+    name_end = rest.find(quote, 1);
+    if (name_end == std::string_view::npos) {
+      throw std::invalid_argument("arff: unterminated attribute name at line " +
+                                  std::to_string(line_number));
+    }
+    attribute.name = std::string(rest.substr(1, name_end - 1));
+    ++name_end;
+  } else {
+    name_end = rest.find_first_of(" \t");
+    if (name_end == std::string_view::npos) {
+      throw std::invalid_argument("arff: attribute without type at line " +
+                                  std::to_string(line_number));
+    }
+    attribute.name = std::string(rest.substr(0, name_end));
+  }
+  std::string_view type = util::trim(rest.substr(name_end));
+  if (type.empty()) {
+    throw std::invalid_argument("arff: attribute without type at line " +
+                                std::to_string(line_number));
+  }
+  if (type.front() == '{') {
+    if (type.back() != '}') {
+      throw std::invalid_argument("arff: unterminated nominal spec at line " +
+                                  std::to_string(line_number));
+    }
+    attribute.nominal = true;
+    int id = 0;
+    for (const std::string& token : util::split(type.substr(1, type.size() - 2), ',')) {
+      std::string_view value = util::trim(token);
+      if (!value.empty() && (value.front() == '\'' || value.front() == '"') &&
+          value.size() >= 2 && value.back() == value.front()) {
+        value = value.substr(1, value.size() - 2);
+      }
+      attribute.values.emplace(std::string(value), id++);
+    }
+    if (attribute.values.empty()) {
+      throw std::invalid_argument("arff: empty nominal spec at line " +
+                                  std::to_string(line_number));
+    }
+    return attribute;
+  }
+  const std::string lower = util::to_lower(type);
+  if (lower != "numeric" && lower != "real" && lower != "integer") {
+    throw std::invalid_argument("arff: unsupported attribute type '" + std::string(type) +
+                                "' at line " + std::to_string(line_number));
+  }
+  return attribute;
+}
+
+}  // namespace
+
+Dataset parse_arff(const std::string& text, int label_column) {
+  std::istringstream stream(text);
+  std::string line;
+  std::vector<Attribute> attributes;
+  std::vector<std::vector<std::string>> rows;
+  bool in_data = false;
+  std::string relation = "arff";
+  int line_number = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view view = util::trim(line);
+    if (view.empty() || view.front() == '%') continue;
+    if (!in_data) {
+      const std::string lower = util::to_lower(view.substr(0, view.find_first_of(" \t")));
+      if (lower == "@relation") {
+        std::string_view rest = util::trim(view.substr(9));
+        if (!rest.empty()) relation = std::string(rest);
+      } else if (lower == "@attribute") {
+        attributes.push_back(parse_attribute(view, line_number));
+      } else if (lower == "@data") {
+        in_data = true;
+      } else {
+        throw std::invalid_argument("arff: unexpected header line " +
+                                    std::to_string(line_number));
+      }
+      continue;
+    }
+    std::vector<std::string> fields = util::split(view, ',');
+    if (fields.size() != attributes.size()) {
+      throw std::invalid_argument("arff: row width " + std::to_string(fields.size()) +
+                                  " != attribute count " + std::to_string(attributes.size()) +
+                                  " at line " + std::to_string(line_number));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (attributes.empty()) throw std::invalid_argument("arff: no attributes");
+
+  const std::size_t width = attributes.size();
+  const std::size_t label_idx =
+      label_column < 0 ? width - 1 : static_cast<std::size_t>(label_column);
+  if (label_idx >= width) throw std::invalid_argument("arff: label column out of range");
+
+  Dataset dataset;
+  dataset.name = relation;
+  dataset.features.reshape_discard(rows.size(), width - 1);
+  dataset.labels.reserve(rows.size());
+  std::map<std::string, int> fallback_labels;  // for numeric-typed class columns
+
+  auto cell_value = [](const Attribute& attribute, std::string_view token,
+                       int line_no) -> float {
+    std::string_view trimmed = util::trim(token);
+    if (trimmed == "?") return 0.0f;  // missing: impute zero
+    if (attribute.nominal) {
+      auto it = attribute.values.find(std::string(trimmed));
+      if (it == attribute.values.end()) {
+        throw std::invalid_argument("arff: unknown nominal value '" + std::string(trimmed) +
+                                    "' at data line " + std::to_string(line_no));
+      }
+      return static_cast<float>(it->second);
+    }
+    return static_cast<float>(util::parse_double(trimmed));
+  };
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::size_t out_col = 0;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (c == label_idx) continue;
+      dataset.features.at(r, out_col++) =
+          cell_value(attributes[c], rows[r][c], static_cast<int>(r));
+    }
+    const Attribute& label_attr = attributes[label_idx];
+    std::string_view token = util::trim(rows[r][label_idx]);
+    int label;
+    if (label_attr.nominal) {
+      auto it = label_attr.values.find(std::string(token));
+      if (it == label_attr.values.end()) {
+        throw std::invalid_argument("arff: unknown class value '" + std::string(token) + "'");
+      }
+      label = it->second;
+    } else {
+      auto [it, _] = fallback_labels.try_emplace(std::string(token),
+                                                 static_cast<int>(fallback_labels.size()));
+      label = it->second;
+    }
+    dataset.labels.push_back(label);
+  }
+
+  if (attributes[label_idx].nominal) {
+    dataset.num_classes = attributes[label_idx].values.size();
+  } else {
+    int max_label = -1;
+    for (int label : dataset.labels) max_label = std::max(max_label, label);
+    dataset.num_classes = static_cast<std::size_t>(max_label + 1);
+  }
+  dataset.validate();
+  return dataset;
+}
+
+Dataset load_arff(const std::string& path, int label_column) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_arff: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_arff(buffer.str(), label_column);
+}
+
+}  // namespace ecad::data

@@ -1,0 +1,22 @@
+// ARFF (Attribute-Relation File Format) reader.
+//
+// The paper's four tabular benchmarks come from OpenML, whose canonical
+// distribution format is ARFF.  This loader covers the subset those files
+// use: @relation, @attribute (numeric/real/integer + nominal), % comments,
+// comma-separated @data rows, and '?' missing values (imputed as 0).  The
+// class attribute (default: last) may be nominal or integer.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ecad::data {
+
+/// Parse ARFF text. Throws std::invalid_argument on malformed content.
+Dataset parse_arff(const std::string& text, int label_column = -1);
+
+/// Read an .arff file. Throws std::runtime_error on I/O failure.
+Dataset load_arff(const std::string& path, int label_column = -1);
+
+}  // namespace ecad::data

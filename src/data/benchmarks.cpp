@@ -1,0 +1,144 @@
+#include "data/benchmarks.h"
+
+#include <stdexcept>
+
+#include "data/preprocess.h"
+
+namespace ecad::data {
+
+namespace {
+
+// Paper numbers transcribed from Tables I, II and III.
+std::vector<BenchmarkInfo> build_infos() {
+  std::vector<BenchmarkInfo> infos;
+  infos.push_back({Benchmark::CreditG, "credit-g", 1000, 20, 2, false,
+                   {0.7860, "mlr.classif.ranger", 0.7470, 0.7880, 10480, 2.24, 23495.2}});
+  infos.push_back({Benchmark::Har, "har", 10299, 561, 6, false,
+                   {0.9957, "DecisionTreeClassifier", 0.1888, 0.9909, 3229, 10.20, 33069.4}});
+  infos.push_back({Benchmark::Phishing, "phishing", 11055, 30, 2, false,
+                   {0.9753, "SVC", 0.9733, 0.9756, 3534, 9.24, 32661.3}});
+  infos.push_back({Benchmark::Bioresponse, "bioresponse", 3751, 1776, 2, false,
+                   {0.8160, "mlr.classif.ranger", 0.5423, 0.8038, 5309, 5.89, 31285.0}});
+  infos.push_back({Benchmark::Mnist, "mnist", 70000, 784, 10, true,
+                   {0.9979, "Manual CNN", 0.9840, 0.9852, 553, 71.23, 39388.6}});
+  infos.push_back({Benchmark::FashionMnist, "fashion-mnist", 70000, 784, 10, true,
+                   {0.8970, "SVC", 0.8770, 0.8923, 481, 82.55, 39708.7}});
+  return infos;
+}
+
+const std::vector<BenchmarkInfo>& infos() {
+  static const std::vector<BenchmarkInfo> table = build_infos();
+  return table;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> order = {
+      Benchmark::CreditG, Benchmark::Har,   Benchmark::Phishing,
+      Benchmark::Bioresponse, Benchmark::Mnist, Benchmark::FashionMnist};
+  return order;
+}
+
+const BenchmarkInfo& benchmark_info(Benchmark benchmark) {
+  for (const auto& info : infos()) {
+    if (info.id == benchmark) return info;
+  }
+  throw std::logic_error("benchmark_info: unknown benchmark");
+}
+
+Benchmark benchmark_from_name(std::string_view name) {
+  for (const auto& info : infos()) {
+    if (info.name == name) return info.id;
+  }
+  throw std::invalid_argument("benchmark_from_name: unknown benchmark '" + std::string(name) +
+                              "'");
+}
+
+SyntheticSpec benchmark_spec(Benchmark benchmark, double sample_scale) {
+  SyntheticSpec spec;
+  const BenchmarkInfo& info = benchmark_info(benchmark);
+  spec.name = info.name;
+  spec.num_features = info.num_features;
+  spec.num_classes = info.num_classes;
+
+  // Per-dataset difficulty calibration.  `label_noise` pins the accuracy
+  // ceiling near the paper's reported top result; separation/clusters set
+  // how much capacity is needed to reach that ceiling.
+  switch (benchmark) {
+    case Benchmark::CreditG:
+      spec.num_samples = 1000;                 // full size
+      spec.latent_dim = 6;
+      spec.clusters_per_class = 2;
+      spec.cluster_separation = 3.0;
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.25;
+      spec.label_noise = 0.17;                 // ceiling ~0.80 (paper 0.788)
+      spec.class_priors = {0.7, 0.3};          // real credit-g is 700 good / 300 bad
+      break;
+    case Benchmark::Har:
+      spec.num_samples = 2060;                 // 1/5 of 10299
+      spec.latent_dim = 12;
+      spec.clusters_per_class = 2;
+      spec.cluster_separation = 5.2;
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.10;
+      spec.label_noise = 0.004;                // ceiling ~0.996 (paper 0.991)
+      break;
+    case Benchmark::Phishing:
+      spec.num_samples = 2211;                 // 1/5 of 11055
+      spec.latent_dim = 10;
+      spec.clusters_per_class = 3;
+      spec.cluster_separation = 3.8;
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.15;
+      spec.label_noise = 0.02;                 // ceiling ~0.98 (paper 0.9756)
+      break;
+    case Benchmark::Bioresponse:
+      spec.num_samples = 1250;                 // 1/3 of 3751
+      spec.latent_dim = 12;
+      spec.clusters_per_class = 2;
+      spec.cluster_separation = 3.6;
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.3;
+      spec.label_noise = 0.17;                 // ceiling ~0.83 (paper 0.8038)
+      break;
+    case Benchmark::Mnist:
+      spec.num_samples = 7000;                 // 1/10 of 70000
+      spec.latent_dim = 24;
+      spec.clusters_per_class = 2;
+      spec.cluster_separation = 5.5;
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.2;
+      spec.label_noise = 0.008;                // ceiling ~0.992 (paper 0.9852)
+      break;
+    case Benchmark::FashionMnist:
+      spec.num_samples = 7000;                 // 1/10 of 70000
+      spec.latent_dim = 20;
+      spec.clusters_per_class = 2;
+      spec.cluster_separation = 4.8;           // more class overlap than MNIST
+      spec.within_cluster_stddev = 1.0;
+      spec.feature_noise = 0.3;
+      spec.label_noise = 0.09;                 // ceiling ~0.91 (paper 0.8923)
+      break;
+  }
+  spec.num_samples = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(spec.num_samples) * sample_scale));
+  return spec;
+}
+
+Dataset load_benchmark(Benchmark benchmark, double sample_scale, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xecad0000ull ^ static_cast<std::uint64_t>(benchmark));
+  return generate_synthetic(benchmark_spec(benchmark, sample_scale), rng);
+}
+
+TrainTestSplit load_benchmark_split(Benchmark benchmark, double sample_scale, std::uint64_t seed,
+                                    double test_fraction) {
+  Dataset pool = load_benchmark(benchmark, sample_scale, seed);
+  util::Rng rng(seed ^ 0x5911ull);
+  TrainTestSplit split = stratified_split(pool, test_fraction, rng);
+  standardize_together(split.train, {&split.test});
+  return split;
+}
+
+}  // namespace ecad::data

@@ -1,0 +1,153 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::data {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.features.reshape_discard(indices.size(), features.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= num_samples()) throw std::out_of_range("Dataset::subset: index out of range");
+    std::copy(features.row(src).begin(), features.row(src).end(), out.features.row(i).begin());
+    out.labels.push_back(labels[src]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (int label : labels) {
+    if (label >= 0 && static_cast<std::size_t>(label) < num_classes) {
+      ++counts[static_cast<std::size_t>(label)];
+    }
+  }
+  return counts;
+}
+
+double Dataset::majority_fraction() const {
+  if (labels.empty()) return 0.0;
+  const auto counts = class_counts();
+  const std::size_t top = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(top) / static_cast<double>(labels.size());
+}
+
+void Dataset::validate() const {
+  if (features.rows() != labels.size()) {
+    throw std::invalid_argument("Dataset: feature rows != label count");
+  }
+  for (int label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::invalid_argument("Dataset: label out of range: " + std::to_string(label));
+    }
+  }
+}
+
+namespace {
+
+Dataset from_csv_table(const util::CsvTable& table, int label_column, const std::string& name) {
+  Dataset dataset;
+  dataset.name = name;
+  if (table.rows.empty()) return dataset;
+  const std::size_t width = table.rows[0].size();
+  if (width == 0) throw std::invalid_argument("Dataset: empty CSV rows");
+  const std::size_t label_idx =
+      label_column < 0 ? width - 1 : static_cast<std::size_t>(label_column);
+  if (label_idx >= width) throw std::invalid_argument("Dataset: label column out of range");
+
+  dataset.features.reshape_discard(table.rows.size(), width - 1);
+  dataset.labels.reserve(table.rows.size());
+
+  std::map<std::string, int> label_ids;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (row.size() != width) {
+      throw std::invalid_argument("Dataset: ragged CSV at row " + std::to_string(r));
+    }
+    std::size_t out_col = 0;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (c == label_idx) continue;
+      dataset.features.at(r, out_col++) = static_cast<float>(util::parse_double(row[c]));
+    }
+    const std::string& token = row[label_idx];
+    int label;
+    try {
+      label = static_cast<int>(util::parse_int(token));
+      if (label < 0) throw std::invalid_argument("negative");
+    } catch (const std::invalid_argument&) {
+      auto [it, _] = label_ids.try_emplace(token, static_cast<int>(label_ids.size()));
+      label = it->second;
+    }
+    dataset.labels.push_back(label);
+  }
+  int max_label = 0;
+  for (int label : dataset.labels) max_label = std::max(max_label, label);
+  dataset.num_classes = static_cast<std::size_t>(max_label) + 1;
+  dataset.validate();
+  return dataset;
+}
+
+}  // namespace
+
+Dataset load_csv(const std::string& path, bool has_header, int label_column) {
+  return from_csv_table(util::read_csv_file(path, has_header), label_column, path);
+}
+
+Dataset parse_csv_dataset(const std::string& text, bool has_header, int label_column) {
+  return from_csv_table(util::parse_csv(text, has_header), label_column, "csv");
+}
+
+util::CsvTable to_csv_table(const Dataset& dataset) {
+  util::CsvTable table;
+  table.header.reserve(dataset.num_features() + 1);
+  for (std::size_t c = 0; c < dataset.num_features(); ++c) {
+    table.header.push_back("f" + std::to_string(c));
+  }
+  table.header.push_back("label");
+  table.rows.reserve(dataset.num_samples());
+  for (std::size_t r = 0; r < dataset.num_samples(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(dataset.num_features() + 1);
+    for (std::size_t c = 0; c < dataset.num_features(); ++c) {
+      row.push_back(std::to_string(dataset.features.at(r, c)));
+    }
+    row.push_back(std::to_string(dataset.labels[r]));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void save_csv(const Dataset& dataset, const std::string& path) {
+  util::write_csv_file(path, to_csv_table(dataset));
+}
+
+Dataset concatenate(const Dataset& a, const Dataset& b) {
+  if (a.num_features() != b.num_features() || a.num_classes != b.num_classes) {
+    throw std::invalid_argument("concatenate: schema mismatch");
+  }
+  Dataset out;
+  out.name = a.name;
+  out.num_classes = a.num_classes;
+  out.features.reshape_discard(a.num_samples() + b.num_samples(), a.num_features());
+  out.labels.reserve(a.num_samples() + b.num_samples());
+  for (std::size_t r = 0; r < a.num_samples(); ++r) {
+    std::copy(a.features.row(r).begin(), a.features.row(r).end(), out.features.row(r).begin());
+    out.labels.push_back(a.labels[r]);
+  }
+  for (std::size_t r = 0; r < b.num_samples(); ++r) {
+    std::copy(b.features.row(r).begin(), b.features.row(r).end(),
+              out.features.row(a.num_samples() + r).begin());
+    out.labels.push_back(b.labels[r]);
+  }
+  return out;
+}
+
+}  // namespace ecad::data

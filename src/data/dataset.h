@@ -1,0 +1,55 @@
+// In-memory labeled dataset: the unit of work the ECAD flow consumes.
+//
+// Paper §III: "a dataset will be exported into a Comma Separated Value (CSV)
+// tabular data format".  `load_csv`/`save_csv` round-trip that format;
+// synthetic benchmark generators produce the same structure directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/csv.h"
+
+namespace ecad::data {
+
+struct Dataset {
+  std::string name;
+  linalg::Matrix features;  // num_samples x num_features
+  std::vector<int> labels;  // num_samples, values in [0, num_classes)
+  std::size_t num_classes = 0;
+
+  std::size_t num_samples() const { return labels.size(); }
+  std::size_t num_features() const { return features.cols(); }
+
+  /// Subset by row indices (copies).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+
+  /// Fraction of the most frequent class — accuracy of a majority classifier.
+  double majority_fraction() const;
+
+  /// Validate internal consistency; throws std::invalid_argument on violation
+  /// (label out of range, row-count mismatch).
+  void validate() const;
+};
+
+/// Load from CSV. The label column (default: last) must hold integral class
+/// ids or arbitrary strings; strings are enumerated in first-seen order.
+/// Throws std::runtime_error / std::invalid_argument.
+Dataset load_csv(const std::string& path, bool has_header = true, int label_column = -1);
+
+/// Parse from in-memory CSV text (same rules as load_csv).
+Dataset parse_csv_dataset(const std::string& text, bool has_header = true, int label_column = -1);
+
+/// Serialize to CSV (features then a final "label" column).
+util::CsvTable to_csv_table(const Dataset& dataset);
+void save_csv(const Dataset& dataset, const std::string& path);
+
+/// Concatenate two datasets with identical schema. Throws on mismatch.
+Dataset concatenate(const Dataset& a, const Dataset& b);
+
+}  // namespace ecad::data

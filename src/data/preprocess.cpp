@@ -1,0 +1,99 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecad::data {
+
+void Standardizer::fit(const linalg::Matrix& features) {
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+  mean_.assign(d, 0.0f);
+  stddev_.assign(d, 1.0f);
+  if (n == 0) return;
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = features.raw() + r * d;
+    for (std::size_t c = 0; c < d; ++c) {
+      sum[c] += row[c];
+      sum_sq[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double mean = sum[c] / static_cast<double>(n);
+    const double var = std::max(0.0, sum_sq[c] / static_cast<double>(n) - mean * mean);
+    mean_[c] = static_cast<float>(mean);
+    const double sd = std::sqrt(var);
+    stddev_[c] = sd < 1e-12 ? 1.0f : static_cast<float>(sd);
+  }
+}
+
+void Standardizer::transform(linalg::Matrix& features) const {
+  if (!fitted()) throw std::invalid_argument("Standardizer: transform before fit");
+  if (features.cols() != mean_.size()) {
+    throw std::invalid_argument("Standardizer: feature width mismatch");
+  }
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    float* row = features.raw() + r * features.cols();
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) / stddev_[c];
+    }
+  }
+}
+
+void MinMaxScaler::fit(const linalg::Matrix& features) {
+  const std::size_t d = features.cols();
+  min_.assign(d, 0.0f);
+  range_.assign(d, 1.0f);
+  if (features.rows() == 0) return;
+  std::vector<float> lo(d, std::numeric_limits<float>::max());
+  std::vector<float> hi(d, std::numeric_limits<float>::lowest());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const float* row = features.raw() + r * d;
+    for (std::size_t c = 0; c < d; ++c) {
+      lo[c] = std::min(lo[c], row[c]);
+      hi[c] = std::max(hi[c], row[c]);
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    min_[c] = lo[c];
+    const float range = hi[c] - lo[c];
+    range_[c] = range < 1e-12f ? 1.0f : range;
+  }
+}
+
+void MinMaxScaler::transform(linalg::Matrix& features) const {
+  if (!fitted()) throw std::invalid_argument("MinMaxScaler: transform before fit");
+  if (features.cols() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: feature width mismatch");
+  }
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    float* row = features.raw() + r * features.cols();
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      row[c] = (row[c] - min_[c]) / range_[c];
+    }
+  }
+}
+
+void standardize_together(Dataset& train, std::vector<Dataset*> others) {
+  Standardizer standardizer;
+  standardizer.fit(train.features);
+  standardizer.transform(train.features);
+  for (Dataset* other : others) {
+    if (other != nullptr) standardizer.transform(other->features);
+  }
+}
+
+linalg::Matrix one_hot(const std::vector<int>& labels, std::size_t num_classes) {
+  linalg::Matrix out(labels.size(), num_classes);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    const int label = labels[r];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::invalid_argument("one_hot: label out of range");
+    }
+    out.at(r, static_cast<std::size_t>(label)) = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace ecad::data

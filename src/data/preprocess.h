@@ -1,0 +1,49 @@
+// Feature preprocessing: fit-on-train / apply-anywhere transforms plus
+// one-hot label encoding for the cross-entropy trainer.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace ecad::data {
+
+/// Per-feature standardization (zero mean, unit variance).  Constant features
+/// get stddev clamped to 1 so they map to zero rather than NaN.
+class Standardizer {
+ public:
+  /// Fit on the given feature matrix.
+  void fit(const linalg::Matrix& features);
+
+  /// Apply in place. Throws std::invalid_argument if not fitted or width differs.
+  void transform(linalg::Matrix& features) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+/// Per-feature min-max scaling to [0, 1]. Constant features map to 0.
+class MinMaxScaler {
+ public:
+  void fit(const linalg::Matrix& features);
+  void transform(linalg::Matrix& features) const;
+  bool fitted() const { return !min_.empty(); }
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> range_;
+};
+
+/// Standardize `train` and apply the same transform to each extra split.
+void standardize_together(Dataset& train, std::vector<Dataset*> others);
+
+/// One-hot encode labels into an n x num_classes matrix of {0,1}.
+linalg::Matrix one_hot(const std::vector<int>& labels, std::size_t num_classes);
+
+}  // namespace ecad::data

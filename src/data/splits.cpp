@@ -1,0 +1,76 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecad::data {
+
+namespace {
+
+// Per-class shuffled index lists.
+std::vector<std::vector<std::size_t>> indices_by_class(const Dataset& dataset, util::Rng& rng) {
+  std::vector<std::vector<std::size_t>> buckets(dataset.num_classes);
+  for (std::size_t i = 0; i < dataset.num_samples(); ++i) {
+    buckets[static_cast<std::size_t>(dataset.labels[i])].push_back(i);
+  }
+  for (auto& bucket : buckets) rng.shuffle(bucket);
+  return buckets;
+}
+
+}  // namespace
+
+TrainTestSplit stratified_split(const Dataset& dataset, double test_fraction, util::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: test_fraction must be in (0,1)");
+  }
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& bucket : indices_by_class(dataset, rng)) {
+    const std::size_t test_count = static_cast<std::size_t>(
+        std::round(static_cast<double>(bucket.size()) * test_fraction));
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      (i < test_count ? test_idx : train_idx).push_back(bucket[i]);
+    }
+  }
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  TrainTestSplit split{dataset.subset(train_idx), dataset.subset(test_idx)};
+  split.train.name = dataset.name + "/train";
+  split.test.name = dataset.name + "/test";
+  return split;
+}
+
+std::vector<FoldIndices> stratified_kfold(const Dataset& dataset, std::size_t k, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_kfold: k must be >= 2");
+  if (k > dataset.num_samples()) {
+    throw std::invalid_argument("stratified_kfold: k exceeds sample count");
+  }
+  // Assign each sample a fold id, round-robin within its class bucket so every
+  // fold gets a near-equal share of every class.
+  std::vector<std::size_t> fold_of(dataset.num_samples(), 0);
+  std::size_t cursor = 0;
+  for (auto& bucket : indices_by_class(dataset, rng)) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      fold_of[bucket[i]] = cursor++ % k;
+    }
+  }
+  std::vector<FoldIndices> folds(k);
+  for (std::size_t i = 0; i < dataset.num_samples(); ++i) {
+    for (std::size_t f = 0; f < k; ++f) {
+      (f == fold_of[i] ? folds[f].test : folds[f].train).push_back(i);
+    }
+  }
+  for (auto& fold : folds) {
+    rng.shuffle(fold.train);
+    rng.shuffle(fold.test);
+  }
+  return folds;
+}
+
+TrainTestSplit materialize_fold(const Dataset& dataset, const FoldIndices& fold) {
+  TrainTestSplit split{dataset.subset(fold.train), dataset.subset(fold.test)};
+  split.train.name = dataset.name + "/fold-train";
+  split.test.name = dataset.name + "/fold-test";
+  return split;
+}
+
+}  // namespace ecad::data

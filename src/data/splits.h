@@ -1,0 +1,36 @@
+// Train/test splitting and k-fold cross-validation index generation.
+//
+// Table I uses "a 10-fold evaluation method [that] splits the data set into
+// 10-equal train/test folds and measures performance on each" — the OpenML
+// estimation procedure.  `stratified_kfold` reproduces that protocol.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace ecad::data {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+struct FoldIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffled stratified split; `test_fraction` in (0,1).
+TrainTestSplit stratified_split(const Dataset& dataset, double test_fraction, util::Rng& rng);
+
+/// k stratified folds over [0, num_samples). Every sample appears in exactly
+/// one test fold. Throws std::invalid_argument for k < 2 or k > samples.
+std::vector<FoldIndices> stratified_kfold(const Dataset& dataset, std::size_t k, util::Rng& rng);
+
+/// Materialize a fold into datasets.
+TrainTestSplit materialize_fold(const Dataset& dataset, const FoldIndices& fold);
+
+}  // namespace ecad::data

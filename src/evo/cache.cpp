@@ -1,0 +1,41 @@
+#include "evo/cache.h"
+
+namespace ecad::evo {
+
+std::optional<EvalResult> EvalCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvalCache::store(const std::string& key, const EvalResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = result;
+}
+
+bool EvalCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t EvalCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t EvalCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace ecad::evo

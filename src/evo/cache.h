@@ -1,0 +1,40 @@
+// Candidate evaluation cache.
+//
+// Paper Table III note: "potential NNA/HW candidates are first analyzed for
+// similarities to previous evaluations and duplicates are not evaluated
+// twice."  Keys are canonical genome strings; thread-safe because the master
+// evaluates offspring batches in parallel.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "evo/fitness.h"
+
+namespace ecad::evo {
+
+class EvalCache {
+ public:
+  /// Returns the cached result (and counts a hit), or nullopt (a miss).
+  std::optional<EvalResult> lookup(const std::string& key);
+
+  /// Insert/overwrite a result.
+  void store(const std::string& key, const EvalResult& result);
+
+  /// True if present, without counting a hit.
+  bool contains(const std::string& key) const;
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, EvalResult> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ecad::evo

@@ -1,0 +1,175 @@
+#include "evo/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace ecad::evo {
+
+EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config, Evaluator evaluate,
+                                 Fitness fitness)
+    : space_(std::move(space)),
+      config_(config),
+      evaluate_(std::move(evaluate)),
+      fitness_(std::move(fitness)) {
+  space_.validate();
+  if (config_.population_size < 2) {
+    throw std::invalid_argument("EvolutionEngine: population_size must be >= 2");
+  }
+  if (config_.max_evaluations < config_.population_size) {
+    throw std::invalid_argument("EvolutionEngine: budget smaller than the population");
+  }
+  if (config_.tournament_size == 0) {
+    throw std::invalid_argument("EvolutionEngine: tournament_size must be >= 1");
+  }
+}
+
+Candidate EvolutionEngine::evaluate_candidate(const Genome& genome) {
+  Candidate candidate;
+  candidate.genome = genome;
+  util::Stopwatch watch;
+  candidate.result = evaluate_(genome);
+  candidate.result.eval_seconds = watch.elapsed_seconds();
+  candidate.fitness = fitness_(candidate.result);
+  cache_.store(genome.key(), candidate.result);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.models_evaluated;
+    stats_.total_eval_seconds += candidate.result.eval_seconds;
+  }
+  return candidate;
+}
+
+std::size_t EvolutionEngine::tournament_best(const std::vector<Candidate>& population,
+                                             util::Rng& rng) const {
+  std::size_t best = rng.next_index(population.size());
+  for (std::size_t round = 1; round < config_.tournament_size; ++round) {
+    const std::size_t challenger = rng.next_index(population.size());
+    if (population[challenger].fitness > population[best].fitness) best = challenger;
+  }
+  return best;
+}
+
+std::size_t EvolutionEngine::tournament_worst(const std::vector<Candidate>& population,
+                                              util::Rng& rng) const {
+  std::size_t worst = rng.next_index(population.size());
+  for (std::size_t round = 1; round < config_.tournament_size; ++round) {
+    const std::size_t challenger = rng.next_index(population.size());
+    if (population[challenger].fitness < population[worst].fitness) worst = challenger;
+  }
+  return worst;
+}
+
+EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
+  util::Stopwatch wall;
+  EvolutionResult out;
+
+  // --- Initial population: unique random genomes, evaluated in parallel. ---
+  std::vector<Genome> seeds;
+  seeds.reserve(config_.population_size);
+  std::size_t attempts = 0;
+  while (seeds.size() < config_.population_size &&
+         attempts < config_.population_size * 50) {
+    Genome genome = random_genome(space_, rng);
+    ++attempts;
+    const std::string key = genome.key();
+    const bool duplicate =
+        std::any_of(seeds.begin(), seeds.end(),
+                    [&key](const Genome& g) { return g.key() == key; });
+    if (!duplicate) seeds.push_back(std::move(genome));
+  }
+
+  std::vector<Candidate> population(seeds.size());
+  pool.parallel_for(seeds.size(),
+                    [&](std::size_t i) { population[i] = evaluate_candidate(seeds[i]); });
+  out.history = population;
+
+  // --- Steady-state loop: batched offspring generation + evaluation. ---
+  const std::size_t batch =
+      config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
+
+  while (stats_.models_evaluated < config_.max_evaluations) {
+    const std::size_t remaining = config_.max_evaluations - stats_.models_evaluated;
+    const std::size_t this_batch = std::min(batch, remaining);
+
+    // Generate offspring serially (cheap; keeps RNG deterministic).
+    std::vector<Genome> offspring;
+    offspring.reserve(this_batch);
+    for (std::size_t i = 0; i < this_batch; ++i) {
+      Genome child;
+      bool fresh = false;
+      for (std::size_t attempt = 0; attempt < config_.dedup_attempts && !fresh; ++attempt) {
+        const Candidate& parent_a = population[tournament_best(population, rng)];
+        if (rng.next_bool(config_.crossover_probability)) {
+          const Candidate& parent_b = population[tournament_best(population, rng)];
+          child = crossover(parent_a.genome, parent_b.genome, space_, rng);
+        } else {
+          child = parent_a.genome;
+        }
+        // 1 + Poisson-ish extra mutations.
+        std::size_t mutations = 1;
+        double extra = config_.mutation_strength - 1.0;
+        while (extra > 0.0 && rng.next_bool(std::min(1.0, extra))) {
+          ++mutations;
+          extra -= 1.0;
+        }
+        child = mutate(child, space_, rng, mutations);
+        fresh = !cache_.contains(child.key());
+      }
+      if (!fresh) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.duplicates_skipped;
+        continue;  // all attempts hit known genomes; skip this slot
+      }
+      // Reserve the key so the same batch can't contain twins.
+      cache_.store(child.key(), EvalResult{});
+      offspring.push_back(std::move(child));
+    }
+    if (offspring.empty()) {
+      // Search space locally exhausted around the population; inject a
+      // random immigrant to keep progress.
+      Genome immigrant = random_genome(space_, rng);
+      if (cache_.contains(immigrant.key())) break;
+      offspring.push_back(std::move(immigrant));
+    }
+
+    std::vector<Candidate> evaluated(offspring.size());
+    pool.parallel_for(offspring.size(), [&](std::size_t i) {
+      evaluated[i] = evaluate_candidate(offspring[i]);
+    });
+
+    for (Candidate& candidate : evaluated) {
+      out.history.push_back(candidate);
+      const std::size_t victim = tournament_worst(population, rng);
+      if (candidate.fitness > population[victim].fitness) {
+        population[victim] = std::move(candidate);
+      }
+    }
+  }
+
+  std::sort(population.begin(), population.end(),
+            [](const Candidate& a, const Candidate& b) { return a.fitness > b.fitness; });
+  out.population = std::move(population);
+  out.best = out.history.front();
+  for (const Candidate& candidate : out.history) {
+    if (candidate.fitness > out.best.fitness) out.best = candidate;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wall_seconds = wall.elapsed_seconds();
+    stats_.avg_eval_seconds = stats_.models_evaluated == 0
+                                  ? 0.0
+                                  : stats_.total_eval_seconds /
+                                        static_cast<double>(stats_.models_evaluated);
+    out.stats = stats_;
+  }
+  util::Log(util::LogLevel::Info, "evo")
+      << "search done: " << out.stats.models_evaluated << " models, best fitness "
+      << out.best.fitness << " (" << out.best.genome.key() << ")";
+  return out;
+}
+
+}  // namespace ecad::evo

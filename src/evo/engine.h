@@ -1,0 +1,85 @@
+// Steady-state evolutionary engine (paper §III-A, based on Goldberg & Deb's
+// steady-state model [16]): tournament parent selection, crossover+mutation,
+// reverse-tournament replacement, no generational barrier.  Offspring are
+// evaluated in parallel batches by the Master's thread pool and deduplicated
+// through the EvalCache.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "evo/cache.h"
+#include "evo/fitness.h"
+#include "evo/genome.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ecad::evo {
+
+struct EvolutionConfig {
+  std::size_t population_size = 16;
+  /// Total unique-candidate evaluation budget (including the initial
+  /// population).
+  std::size_t max_evaluations = 100;
+  std::size_t tournament_size = 3;
+  double crossover_probability = 0.6;
+  /// Expected point mutations per offspring (at least one is applied).
+  double mutation_strength = 1.5;
+  /// Attempts to generate a not-yet-evaluated offspring before accepting a
+  /// duplicate's cached result.
+  std::size_t dedup_attempts = 12;
+  /// Offspring evaluated concurrently per steady-state step (0 = pool size).
+  std::size_t batch_size = 0;
+};
+
+struct Candidate {
+  Genome genome;
+  EvalResult result;
+  double fitness = 0.0;
+};
+
+struct RunStats {
+  std::size_t models_evaluated = 0;   // unique evaluations performed
+  std::size_t duplicates_skipped = 0; // offspring served from the cache
+  double total_eval_seconds = 0.0;    // summed worker time (Table III "Total")
+  double avg_eval_seconds = 0.0;      // per-model mean (Table III "AVG")
+  double wall_seconds = 0.0;          // end-to-end search wall clock
+};
+
+struct EvolutionResult {
+  std::vector<Candidate> population;  // final population, best first
+  std::vector<Candidate> history;     // every unique evaluated candidate
+  Candidate best;
+  RunStats stats;
+};
+
+class EvolutionEngine {
+ public:
+  /// `evaluate` is the worker dispatch: genome -> measured result.  It is
+  /// called from pool threads and must be thread-safe.
+  using Evaluator = std::function<EvalResult(const Genome&)>;
+  /// Scalar fitness, bigger = fitter (see FitnessRegistry).
+  using Fitness = std::function<double(const EvalResult&)>;
+
+  EvolutionEngine(SearchSpace space, EvolutionConfig config, Evaluator evaluate, Fitness fitness);
+
+  /// Run the full search. Deterministic in `rng` for a serial pool (1 thread).
+  EvolutionResult run(util::Rng& rng, util::ThreadPool& pool);
+
+  const EvalCache& cache() const { return cache_; }
+
+ private:
+  Candidate evaluate_candidate(const Genome& genome);
+  std::size_t tournament_best(const std::vector<Candidate>& population, util::Rng& rng) const;
+  std::size_t tournament_worst(const std::vector<Candidate>& population, util::Rng& rng) const;
+
+  SearchSpace space_;
+  EvolutionConfig config_;
+  Evaluator evaluate_;
+  Fitness fitness_;
+  EvalCache cache_;
+  std::mutex stats_mutex_;
+  RunStats stats_;
+};
+
+}  // namespace ecad::evo

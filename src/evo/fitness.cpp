@@ -1,0 +1,104 @@
+#include "evo/fitness.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::evo {
+
+std::string_view to_string(Metric metric) {
+  switch (metric) {
+    case Metric::Accuracy: return "accuracy";
+    case Metric::Throughput: return "throughput";
+    case Metric::Latency: return "latency";
+    case Metric::Efficiency: return "efficiency";
+    case Metric::EffectiveGflops: return "effective_gflops";
+    case Metric::Power: return "power";
+    case Metric::Parameters: return "parameters";
+  }
+  return "?";
+}
+
+Metric metric_from_name(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "accuracy") return Metric::Accuracy;
+  if (lower == "throughput" || lower == "outputs_per_second") return Metric::Throughput;
+  if (lower == "latency") return Metric::Latency;
+  if (lower == "efficiency") return Metric::Efficiency;
+  if (lower == "effective_gflops") return Metric::EffectiveGflops;
+  if (lower == "power") return Metric::Power;
+  if (lower == "parameters" || lower == "params") return Metric::Parameters;
+  throw std::invalid_argument("metric_from_name: unknown metric '" + std::string(name) + "'");
+}
+
+double metric_value(const EvalResult& result, Metric metric) {
+  switch (metric) {
+    case Metric::Accuracy: return result.accuracy;
+    case Metric::Throughput: return result.outputs_per_second;
+    case Metric::Latency: return result.latency_seconds;
+    case Metric::Efficiency: return result.hw_efficiency;
+    case Metric::EffectiveGflops: return result.effective_gflops;
+    case Metric::Power: return result.power_watts;
+    case Metric::Parameters: return result.parameters;
+  }
+  return 0.0;
+}
+
+double scalarize(const EvalResult& result, const std::vector<Objective>& objectives) {
+  if (!result.feasible) return -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const Objective& objective : objectives) {
+    double value = metric_value(result, objective.metric);
+    if (objective.log_scale) value = std::log10(std::max(value, 1e-12));
+    total += objective.weight * (objective.maximize ? value : -value);
+  }
+  return total;
+}
+
+void FitnessRegistry::register_fn(std::string name, Fn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+bool FitnessRegistry::has(std::string_view name) const { return fns_.find(name) != fns_.end(); }
+
+const FitnessRegistry::Fn& FitnessRegistry::get(std::string_view name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    throw std::out_of_range("FitnessRegistry: unknown fitness '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> FitnessRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, _] : fns_) out.push_back(name);
+  return out;
+}
+
+FitnessRegistry FitnessRegistry::with_builtins() {
+  FitnessRegistry registry;
+  registry.register_fn("accuracy", [](const EvalResult& r) {
+    return scalarize(r, {{Metric::Accuracy, 1.0, true, false}});
+  });
+  registry.register_fn("throughput", [](const EvalResult& r) {
+    return scalarize(r, {{Metric::Throughput, 1.0, true, true}});
+  });
+  // The paper's joint objective: accuracy dominates, throughput breaks ties
+  // across iso-accuracy designs (log-scaled so 10x throughput ~ 0.05 acc).
+  registry.register_fn("accuracy_x_throughput", [](const EvalResult& r) {
+    return scalarize(r, {{Metric::Accuracy, 1.0, true, false},
+                         {Metric::Throughput, 0.05, true, true}});
+  });
+  registry.register_fn("efficiency", [](const EvalResult& r) {
+    return scalarize(r, {{Metric::Efficiency, 1.0, true, false}});
+  });
+  registry.register_fn("low_latency", [](const EvalResult& r) {
+    return scalarize(r, {{Metric::Latency, 1.0, false, true}});
+  });
+  return registry;
+}
+
+}  // namespace ecad::evo

@@ -1,0 +1,87 @@
+// Fitness: metric extraction, objective weighting, and the user-extensible
+// fitness-function registry.
+//
+// Paper §III-A: "Each candidate ... is evaluated according to configurable
+// and potentially multiple criteria, for example accuracy alone or accuracy
+// vs throughput. ... Simple evaluation functions can be specified in the
+// configuration file and more complex ones are written in code and added by
+// registering them with the framework."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecad::evo {
+
+/// Everything a worker measures about one candidate.  Fields irrelevant to a
+/// given worker stay at their defaults (e.g. GPU runs leave FPGA fields 0).
+struct EvalResult {
+  double accuracy = 0.0;
+  double outputs_per_second = 0.0;
+  double latency_seconds = 0.0;
+  double potential_gflops = 0.0;
+  double effective_gflops = 0.0;
+  double hw_efficiency = 0.0;     // effective / potential
+  double power_watts = 0.0;
+  double fmax_mhz = 0.0;
+  double parameters = 0.0;        // trainable parameter count
+  double flops_per_sample = 0.0;
+  double eval_seconds = 0.0;      // wall-clock cost of this evaluation
+  bool feasible = true;           // false: config does not fit the device
+};
+
+enum class Metric {
+  Accuracy,
+  Throughput,      // outputs per second
+  Latency,         // seconds (lower is better)
+  Efficiency,      // hw efficiency
+  EffectiveGflops,
+  Power,           // watts (lower is better)
+  Parameters,      // count (lower is better)
+};
+
+std::string_view to_string(Metric metric);
+Metric metric_from_name(std::string_view name);
+
+/// Extract a metric value from a result.
+double metric_value(const EvalResult& result, Metric metric);
+
+/// One term of a scalarized fitness.
+struct Objective {
+  Metric metric = Metric::Accuracy;
+  double weight = 1.0;
+  bool maximize = true;
+  /// Compress many-orders-of-magnitude metrics (throughput) before weighting.
+  bool log_scale = false;
+};
+
+/// Weighted scalarization; infeasible candidates map to -infinity.
+double scalarize(const EvalResult& result, const std::vector<Objective>& objectives);
+
+/// Registry of named fitness functions (result -> scalar, bigger = fitter).
+class FitnessRegistry {
+ public:
+  using Fn = std::function<double(const EvalResult&)>;
+
+  /// Re-registering a name replaces the previous function.
+  void register_fn(std::string name, Fn fn);
+
+  bool has(std::string_view name) const;
+
+  /// Throws std::out_of_range for unknown names.
+  const Fn& get(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+
+  /// Registry preloaded with "accuracy", "throughput",
+  /// "accuracy_x_throughput", "efficiency", and "low_latency".
+  static FitnessRegistry with_builtins();
+
+ private:
+  std::map<std::string, Fn, std::less<>> fns_;
+};
+
+}  // namespace ecad::evo

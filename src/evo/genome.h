@@ -1,0 +1,73 @@
+// Co-design genome: NNA traits ⊕ hardware traits.
+//
+// Paper §III-A: "The parameters we considered during our searches included
+// number of layers, layer size, activation function, and bias" — plus the
+// §III-C grid variables (rows, columns, interleaving, vector width) for the
+// hardware half.  GPU-only searches freeze the hardware half ("GPUs
+// accelerate each solution in the same way", §IV-B).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hwmodel/grid.h"
+#include "nn/activation.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace ecad::evo {
+
+/// The evolvable NNA half.
+struct NnaTraits {
+  std::vector<std::size_t> hidden;  // hidden layer widths
+  nn::Activation activation = nn::Activation::ReLU;
+  bool use_bias = true;
+
+  /// Expand to a concrete MLP spec for a dataset schema.
+  nn::MlpSpec to_mlp_spec(std::size_t input_dim, std::size_t output_dim) const;
+
+  friend bool operator==(const NnaTraits&, const NnaTraits&) = default;
+};
+
+struct Genome {
+  NnaTraits nna;
+  hw::GridConfig grid;
+
+  /// Canonical key used for caching/dedup (paper Table III note: duplicates
+  /// "are not evaluated twice").
+  std::string key() const;
+
+  friend bool operator==(const Genome&, const Genome&) = default;
+};
+
+/// Bounds of the joint search space.
+struct SearchSpace {
+  std::size_t min_hidden_layers = 1;
+  std::size_t max_hidden_layers = 4;
+  std::vector<std::size_t> width_choices = {4, 8, 16, 32, 64, 128, 256, 512};
+  std::vector<nn::Activation> activations = {nn::Activation::ReLU, nn::Activation::Sigmoid,
+                                             nn::Activation::Tanh, nn::Activation::LeakyReLU,
+                                             nn::Activation::Elu};
+  bool allow_no_bias = true;
+  hw::GridBounds grid;
+  /// When false the hardware half is never mutated (GPU / accuracy-only runs).
+  bool search_hardware = true;
+
+  /// Throws std::invalid_argument for empty choice lists / inverted bounds.
+  void validate() const;
+};
+
+/// Uniformly random genome inside the space.
+Genome random_genome(const SearchSpace& space, util::Rng& rng);
+
+/// Apply `count` random point mutations (>=1).  Mutations always stay within
+/// the space's bounds.
+Genome mutate(const Genome& genome, const SearchSpace& space, util::Rng& rng,
+              std::size_t count = 1);
+
+/// Per-trait uniform crossover; hidden layers are spliced at random cut
+/// points so offspring depth can differ from both parents.
+Genome crossover(const Genome& a, const Genome& b, const SearchSpace& space, util::Rng& rng);
+
+}  // namespace ecad::evo

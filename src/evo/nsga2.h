@@ -1,0 +1,47 @@
+// NSGA-II style multi-objective selection: non-dominated sorting with
+// crowding-distance tie-breaks.
+//
+// The paper extracts Pareto frontiers from scalarized steady-state searches
+// (§III-B, Table IV); this module implements the standard generational
+// multi-objective alternative so users can search the frontier directly
+// rather than rely on a weighted scalarization.
+#pragma once
+
+#include "evo/engine.h"
+#include "evo/pareto.h"
+
+namespace ecad::evo {
+
+/// Crowding distance per candidate within one front (Deb et al. 2002):
+/// boundary points get +inf, interior points the normalized cuboid size.
+std::vector<double> crowding_distance(const std::vector<EvalResult>& results,
+                                      const std::vector<std::size_t>& front_members,
+                                      const std::vector<Metric>& metrics);
+
+/// Select `count` candidates by (rank, -crowding) — the NSGA-II environmental
+/// selection.  Returns indices into `candidates`, best first.
+std::vector<std::size_t> nsga2_select(const std::vector<Candidate>& candidates,
+                                      const std::vector<Metric>& metrics, std::size_t count);
+
+struct Nsga2Config {
+  std::size_t population_size = 16;
+  std::size_t generations = 8;
+  double crossover_probability = 0.8;
+  double mutation_strength = 1.5;
+};
+
+struct Nsga2Result {
+  std::vector<Candidate> front;    // final non-dominated set, accuracy-sorted
+  std::vector<Candidate> history;  // all unique evaluated candidates
+  RunStats stats;
+};
+
+/// Generational NSGA-II over the co-design space.  Objectives are metrics to
+/// *optimize jointly* (orientation follows pareto.h: latency/power/parameters
+/// minimize, the rest maximize).
+Nsga2Result nsga2_search(const SearchSpace& space, const Nsga2Config& config,
+                         const std::vector<Metric>& metrics,
+                         const EvolutionEngine::Evaluator& evaluate, util::Rng& rng,
+                         util::ThreadPool& pool);
+
+}  // namespace ecad::evo

@@ -1,0 +1,89 @@
+#include "evo/pareto.h"
+
+#include <limits>
+
+namespace ecad::evo {
+
+namespace {
+
+bool is_minimized(Metric metric) {
+  return metric == Metric::Latency || metric == Metric::Power || metric == Metric::Parameters;
+}
+
+// Value oriented so bigger is always better.
+double oriented(const EvalResult& result, Metric metric) {
+  const double value = metric_value(result, metric);
+  return is_minimized(metric) ? -value : value;
+}
+
+}  // namespace
+
+bool dominates(const EvalResult& a, const EvalResult& b, const std::vector<Metric>& metrics) {
+  if (!a.feasible) return false;
+  if (!b.feasible) return true;
+  bool strictly_better = false;
+  for (Metric metric : metrics) {
+    const double va = oriented(a, metric);
+    const double vb = oriented(b, metric);
+    if (va < vb) return false;
+    if (va > vb) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<EvalResult>& results,
+                                      const std::vector<Metric>& metrics) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].feasible) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (i != j && dominates(results[j], results[i], metrics)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> nondominated_rank(const std::vector<EvalResult>& results,
+                                           const std::vector<Metric>& metrics) {
+  const std::size_t n = results.size();
+  std::vector<std::size_t> rank(n, std::numeric_limits<std::size_t>::max());
+  std::vector<bool> assigned(n, false);
+  std::size_t assigned_count = 0;
+  std::size_t current = 0;
+  while (assigned_count < n) {
+    std::vector<std::size_t> this_front;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      bool dominated = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || assigned[j]) continue;
+        if (dominates(results[j], results[i], metrics)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) this_front.push_back(i);
+    }
+    if (this_front.empty()) {
+      // Remaining candidates are mutually non-comparable (e.g. infeasible);
+      // sweep them into the current front to guarantee termination.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) this_front.push_back(i);
+      }
+    }
+    for (std::size_t index : this_front) {
+      rank[index] = current;
+      assigned[index] = true;
+      ++assigned_count;
+    }
+    ++current;
+  }
+  return rank;
+}
+
+}  // namespace ecad::evo

@@ -1,0 +1,29 @@
+// Pareto-frontier extraction over evaluation results.
+//
+// Paper §III-B: "the Pareto frontiers that result after parsing the
+// evolutionary design space define what the optimal solution is" — Table IV
+// reports two frontier points per dataset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "evo/fitness.h"
+
+namespace ecad::evo {
+
+/// True when `a` dominates `b`: >= on every metric (respecting direction)
+/// and strictly better on at least one.  Latency/power/parameters minimize;
+/// everything else maximizes.
+bool dominates(const EvalResult& a, const EvalResult& b, const std::vector<Metric>& metrics);
+
+/// Indices of the non-dominated subset, in input order.
+std::vector<std::size_t> pareto_front(const std::vector<EvalResult>& results,
+                                      const std::vector<Metric>& metrics);
+
+/// Non-dominated sort: front 0 is the Pareto set, front 1 is the Pareto set
+/// after removing front 0, and so on.  Returns per-candidate front index.
+std::vector<std::size_t> nondominated_rank(const std::vector<EvalResult>& results,
+                                           const std::vector<Metric>& metrics);
+
+}  // namespace ecad::evo

@@ -1,0 +1,37 @@
+// Alternative search strategies: random search and stochastic hill climbing.
+//
+// The paper's related work (§II) surveys NAS strategies — "random search,
+// evolutionary algorithms, Reinforcement Learning, Bayesian optimization" —
+// and cites evidence that EAs beat random search [4].  These baselines share
+// the engine's Evaluator/Fitness contract so the ablation bench can compare
+// them on identical budgets (bench/ablation_search_strategies).
+#pragma once
+
+#include "evo/engine.h"
+
+namespace ecad::evo {
+
+/// Uniform random sampling (with dedup) under the same evaluation budget.
+EvolutionResult random_search(const SearchSpace& space, std::size_t max_evaluations,
+                              const EvolutionEngine::Evaluator& evaluate,
+                              const EvolutionEngine::Fitness& fitness, util::Rng& rng,
+                              util::ThreadPool& pool);
+
+struct HillClimbConfig {
+  std::size_t max_evaluations = 100;
+  /// Neighbours proposed per step; the best replaces the incumbent if it
+  /// improves.
+  std::size_t neighbours_per_step = 4;
+  /// Point mutations per neighbour.
+  std::size_t mutation_count = 1;
+  /// Consecutive non-improving steps before a random restart.
+  std::size_t restart_patience = 5;
+};
+
+/// Stochastic hill climbing with random restarts.
+EvolutionResult hill_climb(const SearchSpace& space, const HillClimbConfig& config,
+                           const EvolutionEngine::Evaluator& evaluate,
+                           const EvolutionEngine::Fitness& fitness, util::Rng& rng,
+                           util::ThreadPool& pool);
+
+}  // namespace ecad::evo

@@ -1,0 +1,60 @@
+#include "hwmodel/device.h"
+
+namespace ecad::hw {
+
+FpgaDevice arria10_gx1150(std::size_t ddr_banks) {
+  FpgaDevice device;
+  device.name = "Arria 10 GX 1150";
+  device.dsp_count = 1518;
+  device.m20k_count = 2713;
+  device.alm_count = 427200;
+  device.clock_mhz = 250.0;  // "250 MHz was, on average, the frequency the
+                             //  OpenCL design achieved" (§IV)
+  device.ddr.banks = ddr_banks;
+  device.ddr.bandwidth_per_bank_gbs = 19.2;
+  return device;
+}
+
+FpgaDevice stratix10_2800(std::size_t ddr_banks) {
+  FpgaDevice device;
+  device.name = "Stratix 10 2800";
+  device.dsp_count = 5760;
+  device.m20k_count = 11721;
+  device.alm_count = 933120;
+  device.clock_mhz = 400.0;  // paper searched S10 at 400 MHz (4.6 TFLOP/s roofline)
+  device.ddr.banks = ddr_banks;
+  device.ddr.bandwidth_per_bank_gbs = 19.2;
+  return device;
+}
+
+GpuDevice quadro_m5000() {
+  GpuDevice device;
+  device.name = "Quadro M5000";
+  device.peak_tflops = 4.3;
+  device.bandwidth_gbs = 211.0;
+  device.sm_count = 16;
+  device.board_power_w = 150.0;
+  return device;
+}
+
+GpuDevice titan_x() {
+  GpuDevice device;
+  device.name = "Titan X";
+  device.peak_tflops = 12.0;
+  device.bandwidth_gbs = 480.0;
+  device.sm_count = 28;
+  device.board_power_w = 250.0;
+  return device;
+}
+
+GpuDevice radeon_vii() {
+  GpuDevice device;
+  device.name = "Radeon VII";
+  device.peak_tflops = 13.44;
+  device.bandwidth_gbs = 1000.0;
+  device.sm_count = 60;
+  device.board_power_w = 295.0;
+  return device;
+}
+
+}  // namespace ecad::hw

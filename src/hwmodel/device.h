@@ -1,0 +1,61 @@
+// Hardware device descriptors.
+//
+// Paper §III-C: the hardware-database worker's configuration "includes the
+// name of the FPGA, the relevant primitive logic details such as DSP and
+// SRAM count, target clock frequency, the type of global memory (DRAM) to be
+// used, and its speed and rate".  GPU descriptors capture the §IV simulation
+// workers (Quadro M5000, Titan X, Radeon VII).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ecad::hw {
+
+/// DDR memory subsystem: `banks` independent channels.
+struct DdrSpec {
+  std::size_t banks = 1;
+  double bandwidth_per_bank_gbs = 19.2;  // DDR4-2400 x64: paper's dev kit bank
+
+  double total_bandwidth_gbs() const { return static_cast<double>(banks) * bandwidth_per_bank_gbs; }
+  double total_bandwidth_bytes_per_s() const { return total_bandwidth_gbs() * 1e9; }
+};
+
+struct FpgaDevice {
+  std::string name;
+  std::size_t dsp_count = 0;     // hardened FP32 MAC blocks
+  std::size_t m20k_count = 0;    // 20-kbit SRAM blocks
+  std::size_t alm_count = 0;     // adaptive logic modules
+  double clock_mhz = 250.0;      // achieved OpenCL overlay frequency
+  DdrSpec ddr;
+
+  double clock_hz() const { return clock_mhz * 1e6; }
+
+  /// Marketed roofline: every DSP does one FP32 MAC (2 FLOPs) per cycle.
+  /// Arria 10 GX 1150 @ 250 MHz -> 1518*2*250e6 = 759 GFLOP/s (paper §IV).
+  double peak_gflops() const {
+    return static_cast<double>(dsp_count) * 2.0 * clock_mhz / 1e3;
+  }
+};
+
+struct GpuDevice {
+  std::string name;
+  double peak_tflops = 0.0;        // FP32 marketed peak
+  double bandwidth_gbs = 0.0;      // global memory bandwidth
+  std::size_t sm_count = 0;        // streaming multiprocessors / CUs
+  double kernel_overhead_s = 80e-6;  // per-kernel dispatch cost (TF runtime)
+  double board_power_w = 150.0;
+
+  double peak_flops() const { return peak_tflops * 1e12; }
+};
+
+/// Paper presets (§IV). `ddr_banks` configures the FPGA memory subsystem
+/// (1, 2, or 4 banks — Fig. 3 sweeps this).
+FpgaDevice arria10_gx1150(std::size_t ddr_banks = 1);
+FpgaDevice stratix10_2800(std::size_t ddr_banks = 4);
+
+GpuDevice quadro_m5000();
+GpuDevice titan_x();
+GpuDevice radeon_vii();
+
+}  // namespace ecad::hw

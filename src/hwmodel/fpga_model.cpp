@@ -1,0 +1,75 @@
+#include "hwmodel/fpga_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecad::hw {
+
+FpgaPerfReport evaluate_fpga(const nn::MlpSpec& spec, std::size_t batch, const GridConfig& grid,
+                             const FpgaDevice& device, const FpgaModelOptions& options) {
+  return evaluate_fpga_gemms(mlp_to_gemms(spec, batch), grid, device, options);
+}
+
+FpgaPerfReport evaluate_fpga_gemms(const std::vector<GemmDims>& gemms, const GridConfig& grid,
+                                   const FpgaDevice& device, const FpgaModelOptions& options) {
+  grid.validate();
+  if (!grid.fits(device)) {
+    throw std::invalid_argument("evaluate_fpga: grid needs " + std::to_string(grid.dsp_usage()) +
+                                " DSPs, device has " + std::to_string(device.dsp_count));
+  }
+  if (gemms.empty()) throw std::invalid_argument("evaluate_fpga: no GEMMs");
+
+  FpgaPerfReport report;
+  report.potential_gflops = grid.potential_gflops(device);
+
+  const double clock_hz = device.clock_hz();
+  const double bandwidth =
+      device.ddr.total_bandwidth_bytes_per_s() * options.dram_efficiency;
+
+  double total_time = 0.0;
+  double total_real_flops = 0.0;
+  double latency = 0.0;
+
+  for (const GemmDims& gemm : gemms) {
+    FpgaLayerReport layer;
+    layer.dims = gemm;
+    layer.blocking = block_gemm(gemm, grid);
+
+    const double block_compute_s =
+        static_cast<double>(layer.blocking.cycles_per_block) / clock_hz;
+    const double block_memory_s =
+        static_cast<double>(layer.blocking.bytes_per_block) / bandwidth;
+
+    layer.bandwidth_need_gbs =
+        static_cast<double>(layer.blocking.bytes_per_block) / block_compute_s / 1e9;
+    layer.bandwidth_bound = block_memory_s > block_compute_s;
+
+    // Double buffering overlaps the next block's loads with the current
+    // block's compute, so the steady-state block time is the max of the two.
+    const double block_time = std::max(block_compute_s, block_memory_s);
+    const double blocks = static_cast<double>(layer.blocking.total_blocks);
+
+    layer.compute_seconds = block_compute_s * blocks;
+    layer.memory_seconds = block_memory_s * blocks;
+    // First block cannot overlap its own load (pipeline fill).
+    layer.time_seconds = block_time * blocks + block_memory_s + options.layer_overhead_seconds;
+
+    total_time += layer.time_seconds;
+    total_real_flops += static_cast<double>(gemm.flops());
+    // First result row of this layer: one block through the grid.
+    latency += block_compute_s + block_memory_s + options.layer_overhead_seconds;
+
+    report.any_bandwidth_bound = report.any_bandwidth_bound || layer.bandwidth_bound;
+    report.layers.push_back(layer);
+  }
+
+  report.total_time_seconds = total_time;
+  report.effective_gflops = total_real_flops / total_time / 1e9;
+  report.outputs_per_second = static_cast<double>(gemms.front().m) / total_time;
+  report.latency_seconds = latency;
+  report.efficiency =
+      report.potential_gflops <= 0.0 ? 0.0 : report.effective_gflops / report.potential_gflops;
+  return report;
+}
+
+}  // namespace ecad::hw

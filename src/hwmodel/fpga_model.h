@@ -1,0 +1,61 @@
+// Analytical FPGA performance model — the paper's *hardware database worker*.
+//
+// §III-C: "Our model returns values we deemed fundamental, including
+// potential and effective performance, total time, outputs per second, and
+// latency. ... we can calculate the baseline performance by determining how
+// many DSP blocks are doing work. ... Using the DRAM specs from the
+// configuration, we can determine the ratio of how much bandwidth is
+// available to how much we need. Cycles per block of data divided into the
+// size of a block in bytes are used to calculate bandwidth needs. ... the
+// grid configuration is used to break the ANN up into a series of blocked
+// matrix multiplications."
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/device.h"
+#include "hwmodel/gemm_blocking.h"
+#include "hwmodel/grid.h"
+#include "nn/mlp.h"
+
+namespace ecad::hw {
+
+struct FpgaLayerReport {
+  GemmDims dims;
+  Blocking blocking;
+  double compute_seconds = 0.0;   // grid-bound time for all blocks
+  double memory_seconds = 0.0;    // DRAM-bound time for all blocks
+  double time_seconds = 0.0;      // max of the two + fixed overheads
+  double bandwidth_need_gbs = 0.0;  // demand while computing one block
+  bool bandwidth_bound = false;
+};
+
+struct FpgaPerfReport {
+  double potential_gflops = 0.0;  // grid roofline (DSPs doing work x clock)
+  double effective_gflops = 0.0;  // real FLOPs / total time
+  double total_time_seconds = 0.0;  // one "run": batch enters DRAM -> results in DRAM
+  double outputs_per_second = 0.0;
+  double latency_seconds = 0.0;   // run start -> first result row in DRAM
+  double efficiency = 0.0;        // effective / potential (paper Fig. 3/4)
+  bool any_bandwidth_bound = false;
+  std::vector<FpgaLayerReport> layers;
+};
+
+struct FpgaModelOptions {
+  /// Per-kernel (per-layer) launch + pipeline drain overhead, seconds.
+  double layer_overhead_seconds = 2e-6;
+  /// Achievable fraction of theoretical DRAM bandwidth (row activation,
+  /// refresh, bus turnaround).
+  double dram_efficiency = 0.85;
+};
+
+/// Evaluate one NNA/HW co-design candidate.  Throws std::invalid_argument if
+/// the grid does not fit the device's DSP budget or dims are degenerate.
+FpgaPerfReport evaluate_fpga(const nn::MlpSpec& spec, std::size_t batch, const GridConfig& grid,
+                             const FpgaDevice& device, const FpgaModelOptions& options = {});
+
+/// Same evaluation from a pre-decomposed GEMM sequence.
+FpgaPerfReport evaluate_fpga_gemms(const std::vector<GemmDims>& gemms, const GridConfig& grid,
+                                   const FpgaDevice& device, const FpgaModelOptions& options = {});
+
+}  // namespace ecad::hw

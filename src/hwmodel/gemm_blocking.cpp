@@ -1,0 +1,47 @@
+#include "hwmodel/gemm_blocking.h"
+
+#include <stdexcept>
+
+namespace ecad::hw {
+
+std::vector<GemmDims> mlp_to_gemms(const nn::MlpSpec& spec, std::size_t batch) {
+  spec.validate();
+  if (batch == 0) throw std::invalid_argument("mlp_to_gemms: batch must be > 0");
+  const auto dims = spec.layer_dims();
+  std::vector<GemmDims> gemms;
+  gemms.reserve(dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    gemms.push_back({batch, dims[l], dims[l + 1]});
+  }
+  return gemms;
+}
+
+Blocking block_gemm(const GemmDims& gemm, const GridConfig& grid) {
+  grid.validate();
+  if (gemm.m == 0 || gemm.k == 0 || gemm.n == 0) {
+    throw std::invalid_argument("block_gemm: degenerate GEMM dims");
+  }
+  Blocking blocking;
+  const std::size_t bm = grid.block_m();
+  const std::size_t bn = grid.block_n();
+  blocking.blocks_m = (gemm.m + bm - 1) / bm;
+  blocking.blocks_n = (gemm.n + bn - 1) / bn;
+  blocking.total_blocks = blocking.blocks_m * blocking.blocks_n;
+
+  // K is processed vec_width elements per cycle per lane; the array retires
+  // one bm x bn block in (bm/rows)*(bn/cols)*(K/vec) = im*in*ceil(K/vec) cycles.
+  const std::size_t k_steps = (gemm.k + grid.vec_width - 1) / grid.vec_width;
+  blocking.cycles_per_block = grid.interleave_m * grid.interleave_n * k_steps;
+
+  // DRAM traffic per block: A-slab (bm x K) + B-slab (K x bn) + C writeback.
+  blocking.bytes_per_block = 4 * (bm * gemm.k + gemm.k * bn + bm * bn);
+
+  // Padding waste: edge blocks compute on zero-padded lanes.
+  const double real = static_cast<double>(gemm.flops());
+  const double padded = static_cast<double>(2 * blocking.blocks_m * bm * blocking.blocks_n * bn *
+                                            (k_steps * grid.vec_width));
+  blocking.utilization = padded == 0.0 ? 0.0 : real / padded;
+  return blocking;
+}
+
+}  // namespace ecad::hw

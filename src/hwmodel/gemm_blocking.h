@@ -1,0 +1,47 @@
+// MLP → blocked-GEMM decomposition (paper §III-D "MLP Mapping to Hardware").
+//
+// "GEMM nomenclature can be used to describe the three key dimensions that
+// make up the problem size for MLP layers. ... M is the number of inputs
+// that are processed at once (batch). ... N is the number of neurons that
+// also defines a subsequent layer k. Lastly, the size of the dataset defines
+// the first layer k."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hwmodel/grid.h"
+#include "nn/mlp.h"
+
+namespace ecad::hw {
+
+struct GemmDims {
+  std::size_t m = 0;  // batch
+  std::size_t k = 0;  // input width of the layer
+  std::size_t n = 0;  // neurons (output width)
+
+  std::size_t flops() const { return 2 * m * k * n; }
+  /// Bytes touched in DRAM assuming A streams in, B (weights) streams in,
+  /// C streams out, FP32.
+  std::size_t dram_bytes() const { return 4 * (m * k + k * n + m * n); }
+};
+
+/// The per-layer GEMM sequence of an MLP at a given batch size.
+std::vector<GemmDims> mlp_to_gemms(const nn::MlpSpec& spec, std::size_t batch);
+
+/// Blocking of one GEMM onto a grid.
+struct Blocking {
+  std::size_t blocks_m = 0;       // ceil(m / block_m)
+  std::size_t blocks_n = 0;       // ceil(n / block_n)
+  std::size_t total_blocks = 0;   // blocks_m * blocks_n
+  std::size_t cycles_per_block = 0;
+  std::size_t bytes_per_block = 0;
+  /// Fraction of computed MACs that are real work (1.0 = no padding waste).
+  double utilization = 1.0;
+};
+
+/// Decompose `gemm` onto `grid`. Edge blocks are padded to full block size,
+/// which is where shape-mismatch inefficiency comes from.
+Blocking block_gemm(const GemmDims& gemm, const GridConfig& grid);
+
+}  // namespace ecad::hw

@@ -1,0 +1,53 @@
+// GPU simulation-worker model.
+//
+// Paper §III-B/IV: GPU candidates run the same GEMM sequence on a *fixed*
+// architecture; profiling showed effective utilization far below peak for
+// MLP-sized GEMMs (0.3% on the MNIST winner) and throughput largely
+// insensitive to how neurons are distributed across layers.  The model
+// reproduces both effects from: (1) tile/wave quantization against the SM
+// count, (2) zero-padding of partial tiles, (3) a K-depth pipeline ramp, and
+// (4) per-kernel launch overhead of the runtime (TensorFlow traces).
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/device.h"
+#include "hwmodel/gemm_blocking.h"
+#include "nn/mlp.h"
+
+namespace ecad::hw {
+
+struct GpuLayerReport {
+  GemmDims dims;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double time_seconds = 0.0;  // max(compute, memory) + launch overhead
+  double occupancy = 0.0;     // wave-quantized SM fill fraction
+  bool bandwidth_bound = false;
+};
+
+struct GpuPerfReport {
+  double peak_gflops = 0.0;       // marketed device peak
+  double effective_gflops = 0.0;  // real FLOPs / total time
+  double total_time_seconds = 0.0;
+  double outputs_per_second = 0.0;
+  double latency_seconds = 0.0;   // == total time (results land after the run)
+  double efficiency = 0.0;        // effective / peak (paper Fig. 4)
+  std::vector<GpuLayerReport> layers;
+};
+
+struct GpuModelOptions {
+  /// cuBLAS-style output tile.
+  std::size_t tile_m = 64;
+  std::size_t tile_n = 64;
+  /// K-depth at which the MAC pipelines reach full rate.
+  double k_ramp = 192.0;
+};
+
+GpuPerfReport evaluate_gpu(const nn::MlpSpec& spec, std::size_t batch, const GpuDevice& device,
+                           const GpuModelOptions& options = {});
+
+GpuPerfReport evaluate_gpu_gemms(const std::vector<GemmDims>& gemms, const GpuDevice& device,
+                                 const GpuModelOptions& options = {});
+
+}  // namespace ecad::hw

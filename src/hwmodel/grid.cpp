@@ -1,0 +1,38 @@
+#include "hwmodel/grid.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ecad::hw {
+
+std::string GridConfig::to_string() const {
+  std::ostringstream out;
+  out << rows << 'x' << cols << 'x' << vec_width << " im" << interleave_m << " in"
+      << interleave_n;
+  return out.str();
+}
+
+void GridConfig::validate() const {
+  if (rows == 0 || cols == 0 || vec_width == 0 || interleave_m == 0 || interleave_n == 0) {
+    throw std::invalid_argument("GridConfig: all fields must be > 0");
+  }
+}
+
+std::vector<GridConfig> enumerate_grids(const GridBounds& bounds, const FpgaDevice& device) {
+  std::vector<GridConfig> grids;
+  for (std::size_t rows : bounds.row_choices) {
+    for (std::size_t cols : bounds.col_choices) {
+      for (std::size_t vec : bounds.vec_choices) {
+        for (std::size_t im : bounds.interleave_choices) {
+          for (std::size_t in : bounds.interleave_choices) {
+            GridConfig grid{rows, cols, vec, im, in};
+            if (grid.fits(device)) grids.push_back(grid);
+          }
+        }
+      }
+    }
+  }
+  return grids;
+}
+
+}  // namespace ecad::hw

@@ -1,0 +1,64 @@
+// Systolic-grid overlay configuration — the "HW traits" half of a genome.
+//
+// Paper §III-C: "the design we used is based on a 2D systolic array
+// architecture ... The variables are the number of rows and columns, double
+// buffer cache sizes for each dimension, called interleaving, and the vector
+// width of each processing element (PE)."
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hwmodel/device.h"
+
+namespace ecad::hw {
+
+struct GridConfig {
+  std::size_t rows = 8;          // PE rows (M dimension)
+  std::size_t cols = 8;          // PE columns (N dimension)
+  std::size_t vec_width = 8;     // MACs per PE per cycle (K dimension)
+  std::size_t interleave_m = 4;  // double-buffer depth along M, per PE row
+  std::size_t interleave_n = 4;  // double-buffer depth along N, per PE column
+
+  /// DSPs consumed: one FP32 MAC per lane.
+  std::size_t dsp_usage() const { return rows * cols * vec_width; }
+
+  /// C-block footprint computed per grid pass.
+  std::size_t block_m() const { return rows * interleave_m; }
+  std::size_t block_n() const { return cols * interleave_n; }
+
+  /// MACs retired per clock by the whole array.
+  std::size_t macs_per_cycle() const { return rows * cols * vec_width; }
+
+  /// Grid roofline on a device (GFLOP/s at the device clock), before
+  /// bandwidth derating — the paper's "potential performance".
+  double potential_gflops(const FpgaDevice& device) const {
+    return static_cast<double>(macs_per_cycle()) * 2.0 * device.clock_mhz / 1e3;
+  }
+
+  /// True when the configuration fits the device's DSP budget.
+  bool fits(const FpgaDevice& device) const { return dsp_usage() <= device.dsp_count; }
+
+  /// "8x8x8 im4 in4" style id, used by the candidate cache.
+  std::string to_string() const;
+
+  /// Throws std::invalid_argument for zero-sized fields.
+  void validate() const;
+
+  friend bool operator==(const GridConfig&, const GridConfig&) = default;
+};
+
+/// Bounds of the hardware search space (mutations stay inside these).
+struct GridBounds {
+  std::vector<std::size_t> row_choices = {2, 4, 8, 16, 32};
+  std::vector<std::size_t> col_choices = {2, 4, 8, 16, 32};
+  std::vector<std::size_t> vec_choices = {4, 8, 16};
+  std::vector<std::size_t> interleave_choices = {1, 2, 4, 8, 16, 32};
+};
+
+/// All in-bounds configurations that fit `device` (exhaustive enumeration,
+/// used by tests and the bandwidth-sweep bench).
+std::vector<GridConfig> enumerate_grids(const GridBounds& bounds, const FpgaDevice& device);
+
+}  // namespace ecad::hw

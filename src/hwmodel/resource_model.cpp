@@ -1,0 +1,79 @@
+#include "hwmodel/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecad::hw {
+
+namespace {
+
+// Small deterministic jitter in [-1, 1] from the grid shape, standing in for
+// placement/routing seed noise across Quartus compiles.
+double placement_jitter(const GridConfig& grid) {
+  std::size_t h = grid.rows * 0x9e3779b9u;
+  h ^= grid.cols * 0x85ebca6bu + (h << 6) + (h >> 2);
+  h ^= grid.vec_width * 0xc2b2ae35u + (h << 6) + (h >> 2);
+  h ^= grid.interleave_m * 0x27d4eb2fu + (h << 6) + (h >> 2);
+  h ^= grid.interleave_n * 0x165667b1u + (h << 6) + (h >> 2);
+  return static_cast<double>(h % 2001) / 1000.0 - 1.0;
+}
+
+}  // namespace
+
+PhysicalReport estimate_physical(const GridConfig& grid, const FpgaDevice& device,
+                                 const ResourceModelOptions& options) {
+  grid.validate();
+  PhysicalReport report;
+
+  report.dsp_used = grid.dsp_usage();
+
+  // M20K: double-buffered A caches (per PE row) and B caches (per PE column),
+  // each `cache_words` FP32 deep per interleave way, plus C accumulators.
+  const std::size_t m20k_bytes = 2560;  // 20 kbit
+  const std::size_t a_cache_bytes =
+      2 * grid.rows * grid.interleave_m * options.cache_words * grid.vec_width * 4;
+  const std::size_t b_cache_bytes =
+      2 * grid.cols * grid.interleave_n * options.cache_words * grid.vec_width * 4;
+  const std::size_t c_accum_bytes = grid.block_m() * grid.block_n() * 4;
+  report.m20k_used = options.bsp_m20ks +
+                     (a_cache_bytes + b_cache_bytes + c_accum_bytes + m20k_bytes - 1) / m20k_bytes;
+
+  // ALM: shell + per-PE control/steering logic + interleave addressing.
+  report.alm_used = options.bsp_alms +
+                    grid.rows * grid.cols *
+                        (options.alms_per_pe_base + options.alms_per_lane * grid.vec_width) +
+                    (grid.block_m() + grid.block_n()) * 25;
+
+  report.dsp_fraction = static_cast<double>(report.dsp_used) / static_cast<double>(device.dsp_count);
+  report.m20k_fraction =
+      static_cast<double>(report.m20k_used) / static_cast<double>(device.m20k_count);
+  report.alm_fraction =
+      static_cast<double>(report.alm_used) / static_cast<double>(device.alm_count);
+  report.fits =
+      report.dsp_fraction <= 1.0 && report.m20k_fraction <= 1.0 && report.alm_fraction <= 1.0;
+
+  // Fmax: congestion derating grows with logic utilization; ±12 MHz of
+  // placement jitter.  Calibrated so mid-size Arria 10 overlays average the
+  // paper's 250 MHz.
+  const bool is_stratix = device.name.find("Stratix") != std::string::npos;
+  const double base_fmax =
+      is_stratix ? options.base_fmax_mhz_stratix10 : options.base_fmax_mhz_arria10;
+  const double congestion = std::min(1.0, std::max({report.alm_fraction, report.dsp_fraction,
+                                                    report.m20k_fraction}));
+  double fmax = base_fmax * (1.0 - 0.22 * congestion * congestion - 0.12 * congestion) +
+                12.0 * placement_jitter(grid);
+  report.fmax_mhz = std::max(80.0, fmax);
+
+  // Power: static + DSP dynamic + fabric toggling (chip power, not board —
+  // the paper notes FPGA numbers are chip power).  Calibrated to the
+  // 22.5 / 27 / 31.9 W (min/avg/max) band reported for Arria 10.
+  const double clock_scale = device.clock_mhz / 250.0;
+  const double static_w = is_stratix ? 32.0 : 22.1;
+  const double dsp_w = 9.9 * report.dsp_fraction * clock_scale;
+  const double fabric_w = 4.4 * report.alm_fraction * clock_scale;
+  const double sram_w = 2.6 * report.m20k_fraction * clock_scale;
+  report.power_watts = static_w + dsp_w + fabric_w + sram_w + 0.35 * placement_jitter(grid);
+  return report;
+}
+
+}  // namespace ecad::hw

@@ -1,0 +1,48 @@
+// Physical worker: synthesis-level estimates — resource utilization, clock
+// frequency, and power.
+//
+// Paper §III-B: "the physical worker aims to provide the fitness of the
+// hardware design itself through metrics such as power, logic utilization,
+// and operation frequency. In the case of Intel FPGAs, the physical worker
+// responds with ALM, M20K, and DSP utilization, power estimations, and clock
+// frequency (Fmax)."  The model is calibrated to the paper's §IV report for
+// Arria 10 compiles: Fmax averaging 250 MHz and power in the 22.5-31.9 W
+// band with a 27 W mean.
+#pragma once
+
+#include "hwmodel/device.h"
+#include "hwmodel/grid.h"
+
+namespace ecad::hw {
+
+struct PhysicalReport {
+  std::size_t dsp_used = 0;
+  std::size_t m20k_used = 0;
+  std::size_t alm_used = 0;
+  double dsp_fraction = 0.0;
+  double m20k_fraction = 0.0;
+  double alm_fraction = 0.0;
+  double fmax_mhz = 0.0;
+  double power_watts = 0.0;
+  bool fits = false;  // all three resource budgets respected
+};
+
+struct ResourceModelOptions {
+  /// Static board support package (OpenCL shell) cost.
+  std::size_t bsp_alms = 60000;
+  std::size_t bsp_m20ks = 400;
+  /// Per-PE logic: control + accumulator + vector lane muxing.
+  std::size_t alms_per_pe_base = 350;
+  std::size_t alms_per_lane = 18;
+  /// Depth (in FP32 words) of each interleave cache line.
+  std::size_t cache_words = 256;
+  /// Fmax of a tiny kernel before congestion derating.
+  double base_fmax_mhz_arria10 = 290.0;
+  double base_fmax_mhz_stratix10 = 470.0;
+};
+
+/// Estimate synthesis results for `grid` on `device`.
+PhysicalReport estimate_physical(const GridConfig& grid, const FpgaDevice& device,
+                                 const ResourceModelOptions& options = {});
+
+}  // namespace ecad::hw

@@ -1,0 +1,157 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecad::linalg {
+
+namespace {
+
+void check_shapes(const Matrix& a, const Matrix& b, const Matrix& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("gemm: inner dimensions differ (" + std::to_string(a.cols()) +
+                                " vs " + std::to_string(b.rows()) + ")");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm: output shape mismatch");
+  }
+}
+
+constexpr std::size_t kDefaultBlock = 64;
+
+// Blocked kernel over a row range [row_begin, row_end) of A/C.
+void gemm_block_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t row_begin,
+                      std::size_t row_end, std::size_t block) {
+  const std::size_t k_total = a.cols();
+  const std::size_t n_total = b.cols();
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += block) {
+    const std::size_t i1 = std::min(i0 + block, row_end);
+    for (std::size_t k0 = 0; k0 < k_total; k0 += block) {
+      const std::size_t k1 = std::min(k0 + block, k_total);
+      for (std::size_t j0 = 0; j0 < n_total; j0 += block) {
+        const std::size_t j1 = std::min(j0 + block, n_total);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* a_row = a.raw() + i * k_total;
+          float* c_row = c.raw() + i * n_total;
+          for (std::size_t k = k0; k < k1; ++k) {
+            const float a_ik = a_row[k];
+            const float* b_row = b.raw() + k * n_total;
+            for (std::size_t j = j0; j < j1; ++j) {
+              c_row[j] += a_ik * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  check_shapes(a, b, c);
+  if (!accumulate) c.fill(0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = c.at(i, j);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate,
+                  std::size_t block) {
+  check_shapes(a, b, c);
+  if (block == 0) block = kDefaultBlock;
+  if (!accumulate) c.fill(0.0f);
+  gemm_block_range(a, b, c, 0, a.rows(), block);
+}
+
+void gemm_parallel(const Matrix& a, const Matrix& b, Matrix& c, util::ThreadPool& pool,
+                   bool accumulate) {
+  check_shapes(a, b, c);
+  if (!accumulate) c.fill(0.0f);
+  const std::size_t rows = a.rows();
+  const std::size_t shards = std::min(rows, pool.size() * 4);
+  if (shards <= 1) {
+    gemm_block_range(a, b, c, 0, rows, kDefaultBlock);
+    return;
+  }
+  const std::size_t chunk = (rows + shards - 1) / shards;
+  pool.parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(begin + chunk, rows);
+    if (begin < end) gemm_block_range(a, b, c, begin, end, kDefaultBlock);
+  });
+}
+
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  // a: m×k_out viewed transposed; result c: a.cols() × b.cols().
+  if (a.rows() != b.rows()) throw std::invalid_argument("gemm_at: row counts differ");
+  if (c.rows() != a.cols() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm_at: output shape mismatch");
+  }
+  if (!accumulate) c.fill(0.0f);
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.raw() + i * k;
+    const float* b_row = b.raw() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      float* c_row = c.raw() + p * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void gemm_bt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  // c: a.rows() × b.rows(); inner dim a.cols() == b.cols().
+  if (a.cols() != b.cols()) throw std::invalid_argument("gemm_bt: inner dimensions differ");
+  if (c.rows() != a.rows() || c.cols() != b.rows()) {
+    throw std::invalid_argument("gemm_bt: output shape mismatch");
+  }
+  if (!accumulate) c.fill(0.0f);
+  const std::size_t inner = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.raw() + i * inner;
+    float* c_row = c.raw() + i * b.rows();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.raw() + j * inner;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < inner; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_blocked(a, b, c);
+  return c;
+}
+
+void affine(const Matrix& x, const Matrix& w, const Matrix& bias, Matrix& y) {
+  if (y.rows() != x.rows() || y.cols() != w.cols()) {
+    y.reshape_discard(x.rows(), w.cols());
+  }
+  gemm_blocked(x, w, y);
+  if (bias.empty()) return;
+  if (bias.cols() != w.cols() || bias.rows() != 1) {
+    throw std::invalid_argument("affine: bias must be 1 x n");
+  }
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* row = y.raw() + i * y.cols();
+    const float* b = bias.raw();
+    for (std::size_t j = 0; j < y.cols(); ++j) row[j] += b[j];
+  }
+}
+
+std::size_t gemm_flops(std::size_t m, std::size_t k, std::size_t n) { return 2 * m * k * n; }
+
+}  // namespace ecad::linalg

@@ -1,0 +1,47 @@
+// General matrix multiplication kernels.
+//
+// "At the heart of MLP is a general matrix multiplication (GEMM)" (§I).
+// Three implementations share one contract (C = A·B, with optional
+// accumulate):
+//   * gemm_naive    — reference triple loop, used as the test oracle;
+//   * gemm_blocked  — cache-blocked ikj loop, default for training;
+//   * gemm_parallel — row-partitioned over a thread pool for large layers.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "util/thread_pool.h"
+
+namespace ecad::linalg {
+
+/// C (m×n) = A (m×k) · B (k×n).  If `accumulate` is true, adds into C.
+/// Dimension mismatches throw std::invalid_argument.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false);
+
+/// Cache-blocked GEMM. `block` is the tile edge (0 selects the default 64).
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false,
+                  std::size_t block = 0);
+
+/// Parallel blocked GEMM: splits rows of A across `pool`.
+void gemm_parallel(const Matrix& a, const Matrix& b, Matrix& c, util::ThreadPool& pool,
+                   bool accumulate = false);
+
+/// C (k×n) = Aᵀ (k×m) · B (m×n) without materializing Aᵀ.
+/// Used by backprop for weight gradients (dW = aᵀ·δ).
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false);
+
+/// C (m×k) = A (m×n) · Bᵀ (n×k) without materializing Bᵀ.
+/// Used by backprop for upstream deltas (δ_prev = δ·Wᵀ).
+void gemm_bt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false);
+
+/// Convenience allocating wrappers.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// y (m×n) = x (m×k) · w (k×n) + broadcast-row bias (1×n or empty).
+void affine(const Matrix& x, const Matrix& w, const Matrix& bias, Matrix& y);
+
+/// FLOP count of one GEMM (2·m·k·n), used by throughput accounting.
+std::size_t gemm_flops(std::size_t m, std::size_t k, std::size_t n);
+
+}  // namespace ecad::linalg

@@ -1,0 +1,77 @@
+// Dense row-major FP32 matrix.
+//
+// The paper's entire compute substrate is single-precision GEMM ("All data
+// is 32-bit floating-point", §III-C), so `Matrix` is float-valued; analytic
+// hardware models use double internally but never this type.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecad::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<float>> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  void fill(float value);
+
+  /// Resize, discarding contents (cells zeroed).
+  void reshape_discard(std::size_t rows, std::size_t cols);
+
+  /// Returns the transposed matrix.
+  Matrix transposed() const;
+
+  /// Elementwise comparison within `tolerance` (absolute).
+  bool approx_equal(const Matrix& other, float tolerance = 1e-5f) const;
+
+  /// Fill with uniform values in [lo, hi).
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, util::Rng& rng,
+                               float lo = -1.0f, float hi = 1.0f);
+
+  /// Fill with Gaussian values.
+  static Matrix random_gaussian(std::size_t rows, std::size_t cols, util::Rng& rng,
+                                float mean = 0.0f, float stddev = 1.0f);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ecad::linalg

@@ -1,0 +1,39 @@
+// Elementwise and reduction kernels shared by the NN and baseline libraries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ecad::linalg {
+
+/// out[i] += x[i]
+void add_inplace(std::span<float> out, std::span<const float> x);
+
+/// out[i] -= x[i]
+void sub_inplace(std::span<float> out, std::span<const float> x);
+
+/// out[i] *= s
+void scale_inplace(std::span<float> out, float s);
+
+/// out[i] += s * x[i]  (axpy)
+void axpy(std::span<float> out, float s, std::span<const float> x);
+
+/// Hadamard: out[i] *= x[i]
+void mul_inplace(std::span<float> out, std::span<const float> x);
+
+float dot(std::span<const float> a, std::span<const float> b);
+
+float sum(std::span<const float> x);
+
+float max_value(std::span<const float> x);
+
+/// Index of the maximum element (first occurrence). Empty input returns 0.
+std::size_t argmax(std::span<const float> x);
+
+/// Euclidean norm.
+float norm2(std::span<const float> x);
+
+/// Squared Euclidean distance between two equal-length vectors.
+float squared_distance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace ecad::linalg

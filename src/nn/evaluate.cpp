@@ -1,0 +1,39 @@
+#include "nn/evaluate.h"
+
+#include <cmath>
+
+#include "data/preprocess.h"
+
+namespace ecad::nn {
+
+KFoldResult kfold_evaluate(const MlpSpec& spec, const data::Dataset& pool, std::size_t k,
+                           const TrainOptions& options, util::Rng& rng) {
+  KFoldResult result;
+  const auto folds = data::stratified_kfold(pool, k, rng);
+  for (const auto& fold : folds) {
+    data::TrainTestSplit split = data::materialize_fold(pool, fold);
+    data::standardize_together(split.train, {&split.test});
+    Mlp mlp(spec, rng);
+    train(mlp, split.train, /*validation=*/nullptr, options, rng);
+    result.fold_accuracies.push_back(evaluate_accuracy(mlp, split.test));
+  }
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  const double n = static_cast<double>(result.fold_accuracies.size());
+  result.mean_accuracy = n == 0 ? 0.0 : sum / n;
+  double var = 0.0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy = n == 0 ? 0.0 : std::sqrt(var / n);
+  return result;
+}
+
+double holdout_evaluate(const MlpSpec& spec, const data::TrainTestSplit& split,
+                        const TrainOptions& options, util::Rng& rng) {
+  Mlp mlp(spec, rng);
+  train(mlp, split.train, /*validation=*/nullptr, options, rng);
+  return evaluate_accuracy(mlp, split.test);
+}
+
+}  // namespace ecad::nn

@@ -1,0 +1,28 @@
+// Protocol-level evaluators: the OpenML-style 10-fold protocol (Table I) and
+// the pre-split 1-fold protocol (Table II).
+#pragma once
+
+#include "data/benchmarks.h"
+#include "data/splits.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace ecad::nn {
+
+struct KFoldResult {
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+/// Train/evaluate `spec` across k stratified folds.  The input pool is
+/// standardized per fold (fit on the fold's train split only — no leakage).
+KFoldResult kfold_evaluate(const MlpSpec& spec, const data::Dataset& pool, std::size_t k,
+                           const TrainOptions& options, util::Rng& rng);
+
+/// Train once on `split.train` and report `split.test` accuracy.
+double holdout_evaluate(const MlpSpec& spec, const data::TrainTestSplit& split,
+                        const TrainOptions& options, util::Rng& rng);
+
+}  // namespace ecad::nn

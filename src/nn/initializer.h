@@ -1,0 +1,19 @@
+// Weight initialization schemes, selected per-activation (He for rectifiers,
+// Xavier/Glorot for saturating activations).
+#pragma once
+
+#include "linalg/matrix.h"
+#include "nn/activation.h"
+#include "util/rng.h"
+
+namespace ecad::nn {
+
+enum class InitScheme { Xavier, He, Uniform };
+
+/// The conventional scheme for a given activation.
+InitScheme default_init_for(Activation activation);
+
+/// Initialize a fan_in x fan_out weight matrix in place.
+void initialize_weights(linalg::Matrix& weights, InitScheme scheme, util::Rng& rng);
+
+}  // namespace ecad::nn

@@ -1,0 +1,73 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.h"
+
+namespace ecad::nn {
+
+namespace {
+void check_labels(const linalg::Matrix& logits, const std::vector<int>& labels) {
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument("cross_entropy: batch size mismatch");
+  }
+  for (int label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= logits.cols()) {
+      throw std::invalid_argument("cross_entropy: label out of range");
+    }
+  }
+}
+}  // namespace
+
+double cross_entropy_loss(const linalg::Matrix& logits, const std::vector<int>& labels) {
+  check_labels(logits, labels);
+  linalg::Matrix proba;
+  softmax_rows(logits, proba);
+  double total = 0.0;
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    const float p = proba.at(r, static_cast<std::size_t>(labels[r]));
+    total += -std::log(std::max(p, 1e-12f));
+  }
+  return total / static_cast<double>(std::max<std::size_t>(1, labels.size()));
+}
+
+double cross_entropy_loss_grad(const linalg::Matrix& logits, const std::vector<int>& labels,
+                               linalg::Matrix& grad) {
+  check_labels(logits, labels);
+  softmax_rows(logits, grad);  // grad = softmax(logits)
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(std::max<std::size_t>(1, labels.size()));
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    const std::size_t label = static_cast<std::size_t>(labels[r]);
+    total += -std::log(std::max(grad.at(r, label), 1e-12f));
+    grad.at(r, label) -= 1.0f;
+    for (std::size_t c = 0; c < grad.cols(); ++c) grad.at(r, c) *= inv_batch;
+  }
+  return total / static_cast<double>(std::max<std::size_t>(1, labels.size()));
+}
+
+double mse_loss(const linalg::Matrix& predictions, const linalg::Matrix& targets) {
+  if (predictions.rows() != targets.rows() || predictions.cols() != targets.cols()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions.data()[i] - targets.data()[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(std::max<std::size_t>(1, predictions.size()));
+}
+
+double mse_loss_grad(const linalg::Matrix& predictions, const linalg::Matrix& targets,
+                     linalg::Matrix& grad) {
+  const double loss = mse_loss(predictions, targets);
+  grad.reshape_discard(predictions.rows(), predictions.cols());
+  const float scale = 2.0f / static_cast<float>(std::max<std::size_t>(1, predictions.size()));
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    grad.data()[i] = scale * (predictions.data()[i] - targets.data()[i]);
+  }
+  return loss;
+}
+
+}  // namespace ecad::nn

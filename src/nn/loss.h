@@ -1,0 +1,26 @@
+// Training losses.  Classification uses softmax cross-entropy over logits;
+// MSE is provided for regression-style workloads and tests.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ecad::nn {
+
+/// Mean softmax cross-entropy of `logits` against integer labels.
+double cross_entropy_loss(const linalg::Matrix& logits, const std::vector<int>& labels);
+
+/// d(mean CE)/d(logits) = (softmax(logits) - onehot) / batch.
+/// Writes into `grad` (resized as needed) and returns the loss.
+double cross_entropy_loss_grad(const linalg::Matrix& logits, const std::vector<int>& labels,
+                               linalg::Matrix& grad);
+
+/// Mean squared error against a dense target matrix.
+double mse_loss(const linalg::Matrix& predictions, const linalg::Matrix& targets);
+
+/// d(mean MSE)/d(pred) = 2(pred - target)/N. Returns the loss.
+double mse_loss_grad(const linalg::Matrix& predictions, const linalg::Matrix& targets,
+                     linalg::Matrix& grad);
+
+}  // namespace ecad::nn

@@ -1,0 +1,72 @@
+#include "nn/metrics.h"
+
+#include <stdexcept>
+
+namespace ecad::nn {
+
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& predictions,
+                                          const std::vector<int>& labels,
+                                          std::size_t num_classes) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::size_t> matrix(num_classes * num_classes, 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const int truth = labels[i];
+    const int pred = predictions[i];
+    if (truth < 0 || static_cast<std::size_t>(truth) >= num_classes || pred < 0 ||
+        static_cast<std::size_t>(pred) >= num_classes) {
+      throw std::invalid_argument("confusion_matrix: label out of range");
+    }
+    ++matrix[static_cast<std::size_t>(truth) * num_classes + static_cast<std::size_t>(pred)];
+  }
+  return matrix;
+}
+
+std::vector<ClassMetrics> per_class_metrics(const std::vector<std::size_t>& confusion,
+                                            std::size_t num_classes) {
+  if (confusion.size() != num_classes * num_classes) {
+    throw std::invalid_argument("per_class_metrics: matrix size mismatch");
+  }
+  std::vector<ClassMetrics> out(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::size_t tp = confusion[c * num_classes + c];
+    std::size_t fp = 0, fn = 0;
+    for (std::size_t other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += confusion[other * num_classes + c];
+      fn += confusion[c * num_classes + other];
+    }
+    ClassMetrics& m = out[c];
+    m.precision = (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    m.recall = (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    m.f1 = (m.precision + m.recall) == 0.0
+               ? 0.0
+               : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return out;
+}
+
+double macro_f1(const std::vector<int>& predictions, const std::vector<int>& labels,
+                std::size_t num_classes) {
+  if (num_classes == 0) return 0.0;
+  const auto metrics = per_class_metrics(confusion_matrix(predictions, labels, num_classes),
+                                         num_classes);
+  double total = 0.0;
+  for (const auto& m : metrics) total += m.f1;
+  return total / static_cast<double>(num_classes);
+}
+
+}  // namespace ecad::nn

@@ -1,0 +1,31 @@
+// Classification metrics used by fitness evaluation and the result tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecad::nn {
+
+/// Fraction of matching labels. Empty input returns 0. Throws on size mismatch.
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels);
+
+/// num_classes x num_classes row-major confusion matrix; rows = truth.
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& predictions,
+                                          const std::vector<int>& labels,
+                                          std::size_t num_classes);
+
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Per-class precision/recall/F1 from a confusion matrix.
+std::vector<ClassMetrics> per_class_metrics(const std::vector<std::size_t>& confusion,
+                                            std::size_t num_classes);
+
+/// Unweighted mean of per-class F1.
+double macro_f1(const std::vector<int>& predictions, const std::vector<int>& labels,
+                std::size_t num_classes);
+
+}  // namespace ecad::nn

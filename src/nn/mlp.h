@@ -1,0 +1,93 @@
+// Multilayer perceptron: the NNA family the paper's co-design searches over.
+//
+// Topology is a chain of dense layers; hidden layers share one activation
+// (an evolvable trait), the output layer is linear (logits) and the trainer
+// pairs it with softmax cross-entropy — the same convention as sklearn's
+// MLPClassifier, the paper's baseline (Tables I/II).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "nn/activation.h"
+#include "util/rng.h"
+
+namespace ecad::nn {
+
+/// Structural description of an MLP — the "NNA traits" half of a genome.
+struct MlpSpec {
+  std::size_t input_dim = 0;
+  std::size_t output_dim = 0;          // number of classes (logit width)
+  std::vector<std::size_t> hidden;     // widths of hidden layers, may be empty
+  Activation activation = Activation::ReLU;
+  bool use_bias = true;
+
+  /// Full layer width sequence: input, hidden..., output.
+  std::vector<std::size_t> layer_dims() const;
+
+  /// Trainable parameter count.
+  std::size_t num_parameters() const;
+
+  /// FLOPs for a single-sample forward pass (2·k·n per GEMM, + n per bias).
+  std::size_t flops_per_sample() const;
+
+  /// Total neurons across hidden layers (paper Fig. 2 discussion correlates
+  /// neuron count with throughput).
+  std::size_t total_hidden_neurons() const;
+
+  /// Human-readable "784-256-128-10 relu bias" string.
+  std::string to_string() const;
+
+  /// Throws std::invalid_argument if dimensions are degenerate.
+  void validate() const;
+
+  friend bool operator==(const MlpSpec&, const MlpSpec&) = default;
+};
+
+/// A trainable MLP instance (weights + topology).
+class Mlp {
+ public:
+  /// Builds and initializes weights (He/Xavier per activation).
+  Mlp(MlpSpec spec, util::Rng& rng);
+
+  const MlpSpec& spec() const { return spec_; }
+  std::size_t num_layers() const { return weights_.size(); }
+
+  linalg::Matrix& weights(std::size_t layer) { return weights_[layer]; }
+  const linalg::Matrix& weights(std::size_t layer) const { return weights_[layer]; }
+  linalg::Matrix& bias(std::size_t layer) { return biases_[layer]; }
+  const linalg::Matrix& bias(std::size_t layer) const { return biases_[layer]; }
+
+  /// Forward pass: returns logits (batch x output_dim).
+  linalg::Matrix forward(const linalg::Matrix& input) const;
+
+  /// Class-probability output (softmax over logits).
+  linalg::Matrix predict_proba(const linalg::Matrix& input) const;
+
+  /// Hard class predictions.
+  std::vector<int> predict(const linalg::Matrix& input) const;
+
+  /// Forward caching pre-activations/activations for a following backward().
+  /// Returns logits. The caller owns the cache object.
+  struct ForwardCache {
+    std::vector<linalg::Matrix> pre;   // z_l per layer
+    std::vector<linalg::Matrix> post;  // a_l per layer (post[last] == logits)
+  };
+  linalg::Matrix forward_cached(const linalg::Matrix& input, ForwardCache& cache) const;
+
+  /// Backward pass from d(loss)/d(logits).  `input` must be the batch passed
+  /// to forward_cached.  Gradients are written into `grad_w`/`grad_b`
+  /// (resized as needed).
+  void backward(const linalg::Matrix& input, const ForwardCache& cache,
+                const linalg::Matrix& logit_grad, std::vector<linalg::Matrix>& grad_w,
+                std::vector<linalg::Matrix>& grad_b) const;
+
+ private:
+  MlpSpec spec_;
+  std::vector<linalg::Matrix> weights_;  // layer l: dims[l] x dims[l+1]
+  std::vector<linalg::Matrix> biases_;   // layer l: 1 x dims[l+1] (empty if !use_bias)
+};
+
+}  // namespace ecad::nn

@@ -1,0 +1,102 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecad::nn {
+
+namespace {
+constexpr const char* kMagic = "ecad-mlp-v1";
+
+void write_matrix(std::ostream& out, const linalg::Matrix& matrix) {
+  out << matrix.rows() << ' ' << matrix.cols();
+  for (float v : matrix.data()) out << ' ' << v;
+  out << '\n';
+}
+
+linalg::Matrix read_matrix(std::istream& in) {
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> rows >> cols)) throw std::invalid_argument("load_mlp: bad matrix header");
+  linalg::Matrix matrix(rows, cols);
+  for (float& v : matrix.data()) {
+    if (!(in >> v)) throw std::invalid_argument("load_mlp: truncated matrix data");
+  }
+  return matrix;
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& mlp, std::ostream& out) {
+  const MlpSpec& spec = mlp.spec();
+  out << kMagic << '\n';
+  out << spec.input_dim << ' ' << spec.output_dim << ' ' << spec.hidden.size();
+  for (std::size_t width : spec.hidden) out << ' ' << width;
+  out << '\n';
+  out << to_string(spec.activation) << ' ' << (spec.use_bias ? 1 : 0) << '\n';
+  out << std::setprecision(9);
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    write_matrix(out, mlp.weights(l));
+    if (spec.use_bias) write_matrix(out, mlp.bias(l));
+  }
+}
+
+void save_mlp_file(const Mlp& mlp, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_mlp_file: cannot open " + path);
+  save_mlp(mlp, file);
+  if (!file) throw std::runtime_error("save_mlp_file: write failed for " + path);
+}
+
+Mlp load_mlp(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    throw std::invalid_argument("load_mlp: bad magic (expected " + std::string(kMagic) + ")");
+  }
+  MlpSpec spec;
+  std::size_t hidden_count = 0;
+  if (!(in >> spec.input_dim >> spec.output_dim >> hidden_count)) {
+    throw std::invalid_argument("load_mlp: bad spec line");
+  }
+  spec.hidden.resize(hidden_count);
+  for (std::size_t& width : spec.hidden) {
+    if (!(in >> width)) throw std::invalid_argument("load_mlp: truncated hidden widths");
+  }
+  std::string activation_name;
+  int use_bias = 0;
+  if (!(in >> activation_name >> use_bias)) {
+    throw std::invalid_argument("load_mlp: bad activation line");
+  }
+  spec.activation = activation_from_name(activation_name);
+  spec.use_bias = use_bias != 0;
+  spec.validate();
+
+  util::Rng rng(0);  // weights are overwritten below
+  Mlp mlp(spec, rng);
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    linalg::Matrix weights = read_matrix(in);
+    if (weights.rows() != mlp.weights(l).rows() || weights.cols() != mlp.weights(l).cols()) {
+      throw std::invalid_argument("load_mlp: weight shape mismatch at layer " +
+                                  std::to_string(l));
+    }
+    mlp.weights(l) = std::move(weights);
+    if (spec.use_bias) {
+      linalg::Matrix bias = read_matrix(in);
+      if (bias.rows() != 1 || bias.cols() != mlp.bias(l).cols()) {
+        throw std::invalid_argument("load_mlp: bias shape mismatch at layer " +
+                                    std::to_string(l));
+      }
+      mlp.bias(l) = std::move(bias);
+    }
+  }
+  return mlp;
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_mlp_file: cannot open " + path);
+  return load_mlp(file);
+}
+
+}  // namespace ecad::nn

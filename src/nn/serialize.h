@@ -1,0 +1,22 @@
+// MLP model serialization: a versioned text format so co-design winners can
+// be exported from a search and reloaded for deployment or inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace ecad::nn {
+
+/// Serialize spec + weights. Format: header line, spec lines, then one line
+/// of whitespace-separated floats per weight/bias matrix (row-major).
+void save_mlp(const Mlp& mlp, std::ostream& out);
+void save_mlp_file(const Mlp& mlp, const std::string& path);
+
+/// Reload; throws std::invalid_argument on format errors,
+/// std::runtime_error on I/O failure.
+Mlp load_mlp(std::istream& in);
+Mlp load_mlp_file(const std::string& path);
+
+}  // namespace ecad::nn

@@ -1,0 +1,52 @@
+// Minibatch trainer: softmax cross-entropy + configurable optimizer with
+// optional validation-based early stopping.  This is the "Worker" compute
+// that dominates ECAD evaluation time (paper Table III).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace ecad::nn {
+
+struct TrainOptions {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  OptimizerOptions optimizer;
+
+  /// Stop after `patience` epochs without validation improvement; 0 disables.
+  std::size_t early_stop_patience = 5;
+  /// Minimum accuracy delta that counts as improvement.
+  double early_stop_min_delta = 1e-4;
+
+  bool shuffle_each_epoch = true;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double validation_accuracy = 0.0;  // NaN-free: 0 when no validation set
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_train_loss = 0.0;
+  double best_validation_accuracy = 0.0;
+  std::size_t epochs_run = 0;
+  bool early_stopped = false;
+};
+
+/// Train `mlp` in place.  `validation` (optional) drives early stopping.
+/// Throws std::invalid_argument on schema mismatch with the MLP spec.
+TrainResult train(Mlp& mlp, const data::Dataset& train_set, const data::Dataset* validation,
+                  const TrainOptions& options, util::Rng& rng);
+
+/// Convenience: accuracy of `mlp` on a dataset.
+double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset);
+
+}  // namespace ecad::nn

@@ -1,0 +1,153 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ecad::util {
+
+std::string Config::normalize(std::string_view name) { return to_lower(trim(name)); }
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#' || view.front() == ';') continue;
+    if (view.front() == '[') {
+      if (view.back() != ']') {
+        throw std::invalid_argument("Config: unterminated section at line " +
+                                    std::to_string(line_number));
+      }
+      section = normalize(view.substr(1, view.size() - 2));
+      continue;
+    }
+    std::size_t eq = view.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("Config: expected key=value at line " +
+                                  std::to_string(line_number));
+    }
+    std::string key = normalize(view.substr(0, eq));
+    if (key.empty()) {
+      throw std::invalid_argument("Config: empty key at line " + std::to_string(line_number));
+    }
+    std::string value(trim(view.substr(eq + 1)));
+    config.values_[section][key] = std::move(value);
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(std::string_view section, std::string_view key, std::string value) {
+  values_[normalize(section)][normalize(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  auto sit = values_.find(normalize(section));
+  if (sit == values_.end()) return false;
+  return sit->second.count(normalize(key)) > 0;
+}
+
+const std::string& Config::get(std::string_view section, std::string_view key) const {
+  auto sit = values_.find(normalize(section));
+  if (sit == values_.end()) {
+    throw std::out_of_range("Config: missing section '" + std::string(section) + "'");
+  }
+  auto kit = sit->second.find(normalize(key));
+  if (kit == sit->second.end()) {
+    throw std::out_of_range("Config: missing key '" + std::string(section) + "." +
+                            std::string(key) + "'");
+  }
+  return kit->second;
+}
+
+std::optional<std::string> Config::try_get(std::string_view section, std::string_view key) const {
+  if (!has(section, key)) return std::nullopt;
+  return get(section, key);
+}
+
+std::string Config::get_string(std::string_view section, std::string_view key,
+                               std::string default_value) const {
+  if (auto v = try_get(section, key)) return *v;
+  return default_value;
+}
+
+double Config::get_double(std::string_view section, std::string_view key,
+                          double default_value) const {
+  if (auto v = try_get(section, key)) return parse_double(*v);
+  return default_value;
+}
+
+long long Config::get_int(std::string_view section, std::string_view key,
+                          long long default_value) const {
+  if (auto v = try_get(section, key)) return parse_int(*v);
+  return default_value;
+}
+
+bool Config::get_bool(std::string_view section, std::string_view key, bool default_value) const {
+  if (auto v = try_get(section, key)) return parse_bool(*v);
+  return default_value;
+}
+
+std::vector<long long> Config::get_int_list(std::string_view section, std::string_view key,
+                                            std::vector<long long> default_value) const {
+  auto v = try_get(section, key);
+  if (!v) return default_value;
+  std::vector<long long> out;
+  for (const std::string& token : split(*v, ',')) {
+    std::string_view trimmed = trim(token);
+    if (trimmed.empty()) continue;
+    out.push_back(parse_int(trimmed));
+  }
+  return out;
+}
+
+std::vector<std::string> Config::keys(std::string_view section) const {
+  std::vector<std::string> out;
+  auto sit = values_.find(normalize(section));
+  if (sit == values_.end()) return out;
+  out.reserve(sit->second.size());
+  for (const auto& [key, _] : sit->second) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, _] : values_) out.push_back(name);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [section, kv] : values_) {
+    if (!section.empty()) {
+      out += '[';
+      out += section;
+      out += "]\n";
+    }
+    for (const auto& [key, value] : kv) {
+      out += key;
+      out += " = ";
+      out += value;
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ecad::util

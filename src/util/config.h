@@ -1,0 +1,63 @@
+// INI-style configuration files.
+//
+// The paper's flow is driven by "a configuration file ... containing
+// information on (a) the general NNA structure ... (b) Hardware target ...
+// (c) optimization targets" (§III).  This parser supports `[section]`
+// headers, `key = value` pairs, `#`/`;` comments, and typed accessors with
+// defaults.  Section+key lookups are case-insensitive.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecad::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from INI text. Throws std::invalid_argument on malformed lines.
+  static Config parse(const std::string& text);
+
+  /// Read and parse a file. Throws std::runtime_error / std::invalid_argument.
+  static Config from_file(const std::string& path);
+
+  void set(std::string_view section, std::string_view key, std::string value);
+
+  bool has(std::string_view section, std::string_view key) const;
+
+  /// Raw access; throws std::out_of_range when the key is missing.
+  const std::string& get(std::string_view section, std::string_view key) const;
+
+  std::optional<std::string> try_get(std::string_view section, std::string_view key) const;
+
+  // Typed accessors with defaults. Throw std::invalid_argument on bad values.
+  std::string get_string(std::string_view section, std::string_view key,
+                         std::string default_value) const;
+  double get_double(std::string_view section, std::string_view key, double default_value) const;
+  long long get_int(std::string_view section, std::string_view key, long long default_value) const;
+  bool get_bool(std::string_view section, std::string_view key, bool default_value) const;
+
+  /// Comma-separated list of integers, e.g. "layers = 128, 64, 10".
+  std::vector<long long> get_int_list(std::string_view section, std::string_view key,
+                                      std::vector<long long> default_value) const;
+
+  /// All keys present in a section (normalized lowercase), sorted.
+  std::vector<std::string> keys(std::string_view section) const;
+
+  /// All section names (normalized lowercase), sorted.
+  std::vector<std::string> sections() const;
+
+  /// Serialize back to INI text (sections sorted, keys sorted).
+  std::string to_string() const;
+
+ private:
+  static std::string normalize(std::string_view name);
+  // section -> key -> value
+  std::map<std::string, std::map<std::string, std::string>> values_;
+};
+
+}  // namespace ecad::util

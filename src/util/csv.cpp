@@ -1,0 +1,128 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecad::util {
+
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// line terminator. Handles RFC-4180 quoting.
+std::vector<std::string> parse_record(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++pos;
+    } else if (c == '\r') {
+      ++pos;
+      if (pos < text.size() && text[pos] == '\n') ++pos;
+      break;
+    } else if (c == '\n') {
+      ++pos;
+      break;
+    } else {
+      field.push_back(c);
+      ++pos;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    // Skip completely blank lines.
+    if (text[pos] == '\n') { ++pos; continue; }
+    if (text[pos] == '\r') { ++pos; continue; }
+    std::vector<std::string> record = parse_record(text, pos);
+    if (first && has_header) {
+      table.header = std::move(record);
+      first = false;
+      continue;
+    }
+    first = false;
+    table.rows.push_back(std::move(record));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str(), has_header);
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  if (!table.header.empty()) {
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_field(out, table.header[i]);
+    }
+    out.push_back('\n');
+  }
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_field(out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("write_csv_file: cannot open " + path);
+  file << to_csv(table);
+  if (!file) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+}  // namespace ecad::util

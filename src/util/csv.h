@@ -1,0 +1,33 @@
+// CSV reading/writing.  The ECAD flow ingests datasets "exported into a
+// Comma Separated Value (CSV) tabular data format" (paper §III) and emits
+// result tables as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecad::util {
+
+struct CsvTable {
+  std::vector<std::string> header;        // empty if has_header=false at parse
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_cols() const { return header.empty() ? (rows.empty() ? 0 : rows[0].size()) : header.size(); }
+};
+
+/// Parse CSV text.  Supports quoted fields with embedded commas/quotes
+/// (RFC-4180 double-quote escaping) and both \n and \r\n line endings.
+CsvTable parse_csv(const std::string& text, bool has_header);
+
+/// Read and parse a CSV file. Throws std::runtime_error on I/O failure.
+CsvTable read_csv_file(const std::string& path, bool has_header);
+
+/// Serialize with proper quoting.
+std::string to_csv(const CsvTable& table);
+
+/// Write to file. Throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace ecad::util

@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace ecad::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level: " + std::string(name));
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::ostream& out = (level >= LogLevel::Warn) ? std::cerr : std::clog;
+  out << '[' << to_string(level) << "] [" << component << "] " << message << '\n';
+}
+
+Log::~Log() { log_line(level_, component_, stream_.str()); }
+
+}  // namespace ecad::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger for the ECAD framework.
+//
+// Thread-safe: each emitted line is written under a single global mutex so
+// concurrent workers do not interleave partial lines.  The level is a global
+// process-wide setting; benchmarks lower it to `Warn` to keep table output
+// clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ecad::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "info", "debug", ... (case-insensitive). Throws std::invalid_argument.
+LogLevel parse_log_level(std::string_view name);
+std::string_view to_string(LogLevel level);
+
+/// Emit one formatted line: "[LEVEL] [component] message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style builder:  Log(LogLevel::Info, "evo") << "gen " << g;
+/// The line is emitted on destruction.
+class Log {
+ public:
+  Log(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log();
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ecad::util

@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace ecad::util {
+
+std::uint64_t Rng::next_index(std::uint64_t bound) {
+  assert(bound > 0);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::next_double() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::next_double(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::next_gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::next_bool(double probability_true) {
+  return next_double() < probability_true;
+}
+
+Rng Rng::split() {
+  // Two draws decorrelate the child from subsequent parent output.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0xa5a5a5a5a5a5a5a5ull);
+}
+
+}  // namespace ecad::util

@@ -1,0 +1,117 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecad::util {
+
+namespace {
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return lower;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) throw std::invalid_argument("parse_double: empty token");
+  // std::from_chars for double is not universally available; strtod on a copy.
+  std::string copy(token);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    throw std::invalid_argument("parse_double: invalid token '" + copy + "'");
+  }
+  return value;
+}
+
+long long parse_int(std::string_view token) {
+  token = trim(token);
+  long long value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    throw std::invalid_argument("parse_int: invalid token '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+bool parse_bool(std::string_view token) {
+  token = trim(token);
+  if (iequals(token, "true") || token == "1" || iequals(token, "yes") || iequals(token, "on")) {
+    return true;
+  }
+  if (iequals(token, "false") || token == "0" || iequals(token, "no") || iequals(token, "off")) {
+    return false;
+  }
+  throw std::invalid_argument("parse_bool: invalid token '" + std::string(token) + "'");
+}
+
+std::string format_scientific(double value, int significant_digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : "-inf";
+  int exponent = static_cast<int>(std::floor(std::log10(std::fabs(value))));
+  double mantissa = value / std::pow(10.0, exponent);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*fE%d",
+                std::max(0, significant_digits - 1), mantissa, exponent);
+  return buffer;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string join(const std::vector<std::string>& tokens, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += separator;
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace ecad::util

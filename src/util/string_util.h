@@ -1,0 +1,39 @@
+// Small string helpers shared across the framework (config parsing, CSV,
+// report formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecad::util {
+
+/// Remove leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse helpers that validate the *entire* token. Throw std::invalid_argument.
+double parse_double(std::string_view token);
+long long parse_int(std::string_view token);
+bool parse_bool(std::string_view token);
+
+/// Format a double in engineering style close to the paper's tables,
+/// e.g. 1.40E7 -> "1.40E7", 8190 -> "8.19E3".
+std::string format_scientific(double value, int significant_digits = 3);
+
+/// Fixed-precision formatting ("0.9852").
+std::string format_fixed(double value, int decimals);
+
+/// Join tokens with a separator.
+std::string join(const std::vector<std::string>& tokens, std::string_view separator);
+
+}  // namespace ecad::util

@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace ecad::util {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width " + std::to_string(row.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto pad = [](const std::string& text, std::size_t width) {
+    std::string cell = text;
+    cell.resize(width, ' ');
+    return cell;
+  };
+
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out += '\n';
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += " | ";
+      out += pad(row[c], widths[c]);
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 3);
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::print(std::ostream& out, const std::string& title) const {
+  out << render(title);
+}
+
+}  // namespace ecad::util

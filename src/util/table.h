@@ -1,0 +1,31 @@
+// Fixed-width ASCII table printer used by the bench harnesses so their
+// output visually matches the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecad::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Row width must equal the header width; throws std::invalid_argument.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with a title line, column rule, and padded cells.
+  std::string render(const std::string& title) const;
+
+  /// Convenience: render and stream to `out`.
+  void print(std::ostream& out, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecad::util

@@ -1,0 +1,98 @@
+#include "baselines/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "nn/metrics.h"
+
+namespace ecad::baselines {
+namespace {
+
+data::Dataset blobs(std::size_t n, double separation = 5.0, std::uint64_t seed = 3) {
+  data::SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 6;
+  spec.num_classes = 3;
+  spec.latent_dim = 4;
+  spec.clusters_per_class = 1;
+  spec.cluster_separation = separation;
+  util::Rng rng(seed);
+  return data::generate_synthetic(spec, rng);
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  const data::Dataset dataset = blobs(300);
+  DecisionTree tree;
+  util::Rng rng(1);
+  tree.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(tree.predict(dataset.features), dataset.labels), 0.95);
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, GeneralizesToHoldout) {
+  const data::Dataset pool = blobs(400);
+  util::Rng rng(2);
+  const data::TrainTestSplit split = data::stratified_split(pool, 0.25, rng);
+  DecisionTree tree;
+  tree.fit(split.train, rng);
+  EXPECT_GT(nn::accuracy(tree.predict(split.test.features), split.test.labels), 0.85);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  DecisionTreeOptions options;
+  options.max_depth = 2;
+  DecisionTree tree(options);
+  util::Rng rng(3);
+  tree.fit(blobs(200), rng);
+  EXPECT_LE(tree.depth(), 3u);  // depth counts nodes along the path
+}
+
+TEST(DecisionTree, StumpOnConstantLabelsIsSingleLeaf) {
+  data::Dataset dataset = blobs(50);
+  std::fill(dataset.labels.begin(), dataset.labels.end(), 1);
+  DecisionTree tree;
+  util::Rng rng(4);
+  tree.fit(dataset, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  for (int label : tree.predict(dataset.features)) EXPECT_EQ(label, 1);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  const DecisionTree tree;
+  EXPECT_THROW(tree.predict(linalg::Matrix(1, 2)), std::logic_error);
+}
+
+TEST(DecisionTree, EmptyDatasetThrows) {
+  data::Dataset empty;
+  empty.num_classes = 2;
+  DecisionTree tree;
+  util::Rng rng(5);
+  EXPECT_THROW(tree.fit(empty, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, MinSamplesLeafLimitsGrowth) {
+  DecisionTreeOptions coarse;
+  coarse.min_samples_leaf = 50;
+  DecisionTree coarse_tree(coarse);
+  DecisionTree fine_tree;
+  util::Rng rng(6);
+  const data::Dataset dataset = blobs(300);
+  coarse_tree.fit(dataset, rng);
+  fine_tree.fit(dataset, rng);
+  EXPECT_LT(coarse_tree.node_count(), fine_tree.node_count());
+}
+
+TEST(DecisionTree, RandomFeatureSubsetStillLearns) {
+  DecisionTreeOptions options;
+  options.max_features = 2;
+  DecisionTree tree(options);
+  util::Rng rng(7);
+  const data::Dataset dataset = blobs(300);
+  tree.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(tree.predict(dataset.features), dataset.labels), 0.8);
+}
+
+}  // namespace
+}  // namespace ecad::baselines

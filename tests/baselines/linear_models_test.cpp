@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "baselines/linear_svc.h"
+#include "baselines/logistic_regression.h"
+#include "data/preprocess.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "nn/metrics.h"
+
+namespace ecad::baselines {
+namespace {
+
+data::Dataset separable(std::size_t n, std::size_t classes = 2, std::uint64_t seed = 5) {
+  data::SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 6;
+  spec.num_classes = classes;
+  spec.latent_dim = 4;
+  spec.clusters_per_class = 1;  // single cluster -> linearly separable
+  spec.cluster_separation = 6.0;
+  util::Rng rng(seed);
+  data::Dataset dataset = data::generate_synthetic(spec, rng);
+  data::standardize_together(dataset, {});
+  return dataset;
+}
+
+TEST(LogisticRegression, LearnsBinarySeparable) {
+  const data::Dataset dataset = separable(300);
+  LogisticRegression model;
+  util::Rng rng(1);
+  model.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(model.predict(dataset.features), dataset.labels), 0.95);
+}
+
+TEST(LogisticRegression, LearnsMulticlass) {
+  const data::Dataset dataset = separable(400, 4, 7);
+  LogisticRegression model;
+  util::Rng rng(2);
+  model.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(model.predict(dataset.features), dataset.labels), 0.9);
+}
+
+TEST(LogisticRegression, PredictBeforeFitThrows) {
+  const LogisticRegression model;
+  EXPECT_THROW(model.predict(linalg::Matrix(1, 6)), std::logic_error);
+}
+
+TEST(LogisticRegression, EmptyDatasetThrows) {
+  data::Dataset empty;
+  empty.num_classes = 2;
+  LogisticRegression model;
+  util::Rng rng(3);
+  EXPECT_THROW(model.fit(empty, rng), std::invalid_argument);
+}
+
+TEST(LinearSvc, LearnsBinarySeparable) {
+  const data::Dataset dataset = separable(300, 2, 9);
+  LinearSvc model;
+  util::Rng rng(4);
+  model.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(model.predict(dataset.features), dataset.labels), 0.95);
+}
+
+TEST(LinearSvc, OneVsRestHandlesMulticlass) {
+  const data::Dataset dataset = separable(400, 3, 11);
+  LinearSvc model;
+  util::Rng rng(5);
+  model.fit(dataset, rng);
+  EXPECT_GT(nn::accuracy(model.predict(dataset.features), dataset.labels), 0.9);
+}
+
+TEST(LinearSvc, GeneralizesToHoldout) {
+  const data::Dataset pool = separable(400, 2, 13);
+  util::Rng rng(6);
+  data::TrainTestSplit split = data::stratified_split(pool, 0.3, rng);
+  LinearSvc model;
+  model.fit(split.train, rng);
+  EXPECT_GT(nn::accuracy(model.predict(split.test.features), split.test.labels), 0.9);
+}
+
+TEST(LinearSvc, PredictBeforeFitThrows) {
+  const LinearSvc model;
+  EXPECT_THROW(model.predict(linalg::Matrix(1, 6)), std::logic_error);
+}
+
+TEST(LinearModels, NamesAreDescriptive) {
+  EXPECT_EQ(LogisticRegression().name(), "LogisticRegression");
+  EXPECT_EQ(LinearSvc().name(), "SVC(linear,ovr)");
+}
+
+}  // namespace
+}  // namespace ecad::baselines

@@ -1,0 +1,80 @@
+#include "baselines/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "nn/metrics.h"
+
+namespace ecad::baselines {
+namespace {
+
+data::Dataset noisy_blobs(std::size_t n, std::uint64_t seed = 9) {
+  data::SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 8;
+  spec.num_classes = 2;
+  spec.latent_dim = 4;
+  spec.clusters_per_class = 2;
+  spec.cluster_separation = 3.0;
+  spec.label_noise = 0.05;
+  util::Rng rng(seed);
+  return data::generate_synthetic(spec, rng);
+}
+
+TEST(RandomForest, LearnsAndGeneralizes) {
+  const data::Dataset pool = noisy_blobs(400);
+  util::Rng rng(1);
+  const data::TrainTestSplit split = data::stratified_split(pool, 0.25, rng);
+  RandomForestOptions options;
+  options.num_trees = 15;
+  RandomForest forest(options);
+  forest.fit(split.train, rng);
+  EXPECT_EQ(forest.num_trees(), 15u);
+  EXPECT_GT(nn::accuracy(forest.predict(split.test.features), split.test.labels), 0.8);
+}
+
+TEST(RandomForest, EnsembleBeatsOrMatchesSmallEnsemble) {
+  const data::Dataset pool = noisy_blobs(400, 11);
+  util::Rng rng(2);
+  const data::TrainTestSplit split = data::stratified_split(pool, 0.3, rng);
+
+  RandomForestOptions small;
+  small.num_trees = 1;
+  RandomForest one_tree(small);
+  one_tree.fit(split.train, rng);
+  const double single = nn::accuracy(one_tree.predict(split.test.features), split.test.labels);
+
+  RandomForestOptions big;
+  big.num_trees = 20;
+  RandomForest many(big);
+  many.fit(split.train, rng);
+  const double ensemble = nn::accuracy(many.predict(split.test.features), split.test.labels);
+  EXPECT_GE(ensemble + 0.03, single);  // allow tiny regression, expect usually better
+}
+
+TEST(RandomForest, ZeroTreesThrows) {
+  RandomForestOptions options;
+  options.num_trees = 0;
+  RandomForest forest(options);
+  util::Rng rng(3);
+  EXPECT_THROW(forest.fit(noisy_blobs(50), rng), std::invalid_argument);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  const RandomForest forest;
+  EXPECT_THROW(forest.predict(linalg::Matrix(1, 8)), std::logic_error);
+}
+
+TEST(RandomForest, SubsampleFractionReducesBagSize) {
+  RandomForestOptions options;
+  options.num_trees = 3;
+  options.subsample = 0.1;
+  RandomForest forest(options);
+  util::Rng rng(4);
+  forest.fit(noisy_blobs(100), rng);  // just must not crash / must fit
+  EXPECT_EQ(forest.num_trees(), 3u);
+}
+
+}  // namespace
+}  // namespace ecad::baselines

@@ -1,0 +1,94 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::core {
+namespace {
+
+util::Config demo_config() {
+  return util::Config::parse(R"ini(
+[dataset]
+benchmark = credit-g
+sample_scale = 0.3
+seed = 2
+
+[nna]
+min_layers = 1
+max_layers = 2
+widths = 8, 16
+
+[hardware]
+target = arria10
+ddr_banks = 2
+batch = 128
+
+[train]
+epochs = 5
+
+[search]
+fitness = accuracy_x_throughput
+population = 4
+evaluations = 8
+seed = 9
+threads = 1
+)ini");
+}
+
+TEST(Experiment, SetupBindsAllSections) {
+  const ExperimentSetup setup = setup_from_config(demo_config());
+  EXPECT_EQ(setup.benchmark, data::Benchmark::CreditG);
+  EXPECT_EQ(setup.hardware_target, "arria10");
+  EXPECT_EQ(setup.ddr_banks, 2u);
+  EXPECT_EQ(setup.batch, 128u);
+  EXPECT_EQ(setup.train_options.epochs, 5u);
+  EXPECT_EQ(setup.request.evolution.population_size, 4u);
+  EXPECT_EQ(setup.request.evolution.max_evaluations, 8u);
+  EXPECT_EQ(setup.request.fitness, "accuracy_x_throughput");
+  EXPECT_EQ(setup.request.space.max_hidden_layers, 2u);
+  EXPECT_EQ(setup.request.space.width_choices, (std::vector<std::size_t>{8, 16}));
+  EXPECT_TRUE(setup.request.space.search_hardware);
+  EXPECT_GT(setup.split.train.num_samples(), 0u);
+}
+
+TEST(Experiment, MissingBenchmarkThrows) {
+  EXPECT_THROW(setup_from_config(util::Config::parse("[dataset]\nx = 1\n")), std::out_of_range);
+  EXPECT_THROW(setup_from_config(util::Config::parse("[dataset]\nbenchmark = bogus\n")),
+               std::invalid_argument);
+}
+
+TEST(Experiment, NegativeWidthThrows) {
+  util::Config config = demo_config();
+  config.set("nna", "widths", "8, -4");
+  EXPECT_THROW(setup_from_config(config), std::invalid_argument);
+}
+
+TEST(Experiment, WorkerFactoryCoversAllTargets) {
+  util::Config config = demo_config();
+  for (const char* target : {"accuracy", "arria10", "stratix10", "m5000", "titanx", "radeon7"}) {
+    config.set("hardware", "target", target);
+    const ExperimentSetup setup = setup_from_config(config);
+    const auto worker = make_worker(setup);
+    ASSERT_NE(worker, nullptr) << target;
+  }
+  config.set("hardware", "target", "tpu");
+  const ExperimentSetup setup = setup_from_config(config);
+  EXPECT_THROW(make_worker(setup), std::invalid_argument);
+}
+
+TEST(Experiment, GpuTargetsFreezeHardwareHalf) {
+  util::Config config = demo_config();
+  config.set("hardware", "target", "titanx");
+  const ExperimentSetup setup = setup_from_config(config);
+  EXPECT_FALSE(setup.request.space.search_hardware);
+}
+
+TEST(Experiment, EndToEndRunProducesCandidates) {
+  const ExperimentOutcome outcome = run_experiment(demo_config());
+  EXPECT_GE(outcome.result.stats.models_evaluated, 4u);
+  EXPECT_FALSE(outcome.result.history.empty());
+  EXPECT_GT(outcome.result.best.result.accuracy, 0.4);
+  EXPECT_NE(outcome.worker_name.find("hw-db"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecad::core

@@ -1,0 +1,81 @@
+#include "core/master.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::core {
+namespace {
+
+// Deterministic analytic worker (no training): lets master tests run fast.
+class AnalyticWorker final : public Worker {
+ public:
+  std::string name() const override { return "analytic"; }
+  evo::EvalResult evaluate(const evo::Genome& genome) const override {
+    evo::EvalResult result;
+    result.accuracy = 0.5 + 0.1 * static_cast<double>(genome.nna.hidden.size());
+    result.outputs_per_second = 1e6 / static_cast<double>(genome.grid.dsp_usage());
+    return result;
+  }
+};
+
+TEST(Master, RunsSearchWithNamedFitness) {
+  Master master;
+  const AnalyticWorker worker;
+  SearchRequest request;
+  request.evolution.population_size = 6;
+  request.evolution.max_evaluations = 24;
+  request.fitness = "accuracy";
+  request.threads = 1;
+  const auto result = master.search(worker, request);
+  EXPECT_GE(result.stats.models_evaluated, 6u);
+  // Accuracy grows with depth; the winner should use max layers (4).
+  EXPECT_EQ(result.best.genome.nna.hidden.size(), 4u);
+}
+
+TEST(Master, UnknownFitnessThrows) {
+  Master master;
+  const AnalyticWorker worker;
+  SearchRequest request;
+  request.fitness = "made_up_metric";
+  EXPECT_THROW(master.search(worker, request), std::out_of_range);
+}
+
+TEST(Master, CustomFitnessRegistration) {
+  Master master;
+  master.registry().register_fn("inverse_dsp", [](const evo::EvalResult& result) {
+    return result.outputs_per_second;  // analytic worker: smaller grid = higher
+  });
+  const AnalyticWorker worker;
+  SearchRequest request;
+  request.evolution.population_size = 6;
+  request.evolution.max_evaluations = 30;
+  request.fitness = "inverse_dsp";
+  request.threads = 1;
+  const auto result = master.search(worker, request);
+  // The best genome should use a small grid (dsp_usage near the minimum 16).
+  EXPECT_LE(result.best.genome.grid.dsp_usage(), 64u);
+}
+
+TEST(Master, ParetoCandidatesAreNonDominatedAndSorted) {
+  std::vector<evo::Candidate> history;
+  auto add = [&history](double accuracy, double throughput) {
+    evo::Candidate candidate;
+    candidate.result.accuracy = accuracy;
+    candidate.result.outputs_per_second = throughput;
+    history.push_back(candidate);
+  };
+  add(0.95, 1e5);
+  add(0.90, 1e6);
+  add(0.90, 5e5);  // dominated
+  add(0.85, 1e7);
+  add(0.70, 1e3);  // dominated
+
+  const auto front = Master::pareto_candidates(
+      history, {evo::Metric::Accuracy, evo::Metric::Throughput});
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].result.accuracy, 0.95);  // sorted by accuracy desc
+  EXPECT_DOUBLE_EQ(front[1].result.accuracy, 0.90);
+  EXPECT_DOUBLE_EQ(front[2].result.accuracy, 0.85);
+}
+
+}  // namespace
+}  // namespace ecad::core

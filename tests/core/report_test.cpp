@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ecad::core {
+namespace {
+
+evo::Candidate make_candidate(double accuracy, double throughput, bool feasible = true) {
+  evo::Candidate candidate;
+  candidate.genome.nna.hidden = {32};
+  candidate.result.accuracy = accuracy;
+  candidate.result.outputs_per_second = throughput;
+  candidate.result.feasible = feasible;
+  candidate.fitness = accuracy;
+  return candidate;
+}
+
+TEST(Report, HistoryCsvHasRowPerCandidate) {
+  const std::vector<evo::Candidate> history = {make_candidate(0.9, 1e6),
+                                               make_candidate(0.8, 2e6)};
+  const util::CsvTable table = history_to_csv(history);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.header.front(), "genome");
+  EXPECT_EQ(table.rows[0][1], "0.9000");
+}
+
+TEST(Report, WriteHistoryCreatesFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecad_history_test.csv").string();
+  write_history({make_candidate(0.7, 1e5)}, path);
+  const util::CsvTable loaded = util::read_csv_file(path, true);
+  EXPECT_EQ(loaded.num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, BestByAccuracySkipsInfeasible) {
+  const std::vector<evo::Candidate> history = {
+      make_candidate(0.99, 1e3, /*feasible=*/false), make_candidate(0.8, 1e6),
+      make_candidate(0.85, 1e5)};
+  EXPECT_DOUBLE_EQ(best_by_accuracy(history).result.accuracy, 0.85);
+}
+
+TEST(Report, BestByAccuracyEmptyThrows) {
+  EXPECT_THROW(best_by_accuracy({}), std::invalid_argument);
+}
+
+TEST(Report, BestThroughputWithinSlack) {
+  const std::vector<evo::Candidate> history = {
+      make_candidate(0.90, 1e5),   // top accuracy
+      make_candidate(0.895, 5e6),  // within 0.01 slack, fastest
+      make_candidate(0.80, 9e9),   // fast but too inaccurate
+  };
+  const evo::Candidate& pick = best_throughput_within(history, 0.01);
+  EXPECT_DOUBLE_EQ(pick.result.outputs_per_second, 5e6);
+}
+
+TEST(Report, BestThroughputFallsBackToTopAccuracy) {
+  const std::vector<evo::Candidate> history = {make_candidate(0.9, 1e5)};
+  EXPECT_DOUBLE_EQ(best_throughput_within(history, 0.01).result.accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace ecad::core

@@ -1,0 +1,105 @@
+#include "core/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+
+namespace ecad::core {
+namespace {
+
+class WorkerTest : public ::testing::Test {
+ protected:
+  WorkerTest()
+      : split_(data::load_benchmark_split(data::Benchmark::CreditG, 0.3, 5)) {
+    options_.epochs = 8;
+  }
+
+  evo::Genome small_genome() const {
+    evo::Genome genome;
+    genome.nna.hidden = {16};
+    genome.grid = {8, 8, 8, 4, 4};
+    return genome;
+  }
+
+  data::TrainTestSplit split_;
+  nn::TrainOptions options_;
+};
+
+TEST_F(WorkerTest, AccuracyWorkerTrainsAndScores) {
+  const AccuracyWorker worker(split_, options_, 3);
+  const evo::EvalResult result = worker.evaluate(small_genome());
+  EXPECT_GT(result.accuracy, 0.5);  // must beat coin flip on credit-g surrogate
+  EXPECT_LE(result.accuracy, 1.0);
+  EXPECT_GT(result.parameters, 0.0);
+  EXPECT_GT(result.flops_per_sample, 0.0);
+  EXPECT_TRUE(result.feasible);
+  // Accuracy worker does not model hardware.
+  EXPECT_DOUBLE_EQ(result.outputs_per_second, 0.0);
+}
+
+TEST_F(WorkerTest, AccuracyWorkerDeterministicPerGenome) {
+  const AccuracyWorker worker(split_, options_, 3);
+  const evo::EvalResult a = worker.evaluate(small_genome());
+  const evo::EvalResult b = worker.evaluate(small_genome());
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST_F(WorkerTest, FpgaWorkerFillsHardwareMetrics) {
+  const FpgaHardwareDatabaseWorker worker(split_, options_, 3, hw::arria10_gx1150(1), 256);
+  const evo::EvalResult result = worker.evaluate(small_genome());
+  EXPECT_GT(result.accuracy, 0.5);
+  EXPECT_GT(result.outputs_per_second, 0.0);
+  EXPECT_GT(result.latency_seconds, 0.0);
+  EXPECT_GT(result.potential_gflops, 0.0);
+  EXPECT_GT(result.hw_efficiency, 0.0);
+  EXPECT_GT(result.power_watts, 20.0);
+  EXPECT_GT(result.fmax_mhz, 100.0);
+}
+
+TEST_F(WorkerTest, FpgaWorkerRejectsOversizedGridWithoutTraining) {
+  const FpgaHardwareDatabaseWorker worker(split_, options_, 3, hw::arria10_gx1150(1), 256);
+  evo::Genome genome = small_genome();
+  genome.grid = {32, 32, 16, 4, 4};  // 16384 DSPs >> 1518
+  const evo::EvalResult result = worker.evaluate(genome);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);  // fail fast: no training happened
+}
+
+TEST_F(WorkerTest, GpuWorkerIgnoresHardwareTraits) {
+  const GpuSimulationWorker worker(split_, options_, 3, hw::titan_x(), 512);
+  evo::Genome a = small_genome();
+  evo::Genome b = small_genome();
+  b.grid = {16, 16, 4, 8, 8};  // different grid, same NNA
+  const evo::EvalResult ra = worker.evaluate(a);
+  const evo::EvalResult rb = worker.evaluate(b);
+  EXPECT_DOUBLE_EQ(ra.outputs_per_second, rb.outputs_per_second);
+}
+
+TEST_F(WorkerTest, GpuWorkerEfficiencyIsLowForSmallNets) {
+  const GpuSimulationWorker worker(split_, options_, 3, hw::titan_x(), 512);
+  const evo::EvalResult result = worker.evaluate(small_genome());
+  EXPECT_GT(result.hw_efficiency, 0.0);
+  EXPECT_LT(result.hw_efficiency, 0.05);  // paper: ~0.3% on MLP workloads
+}
+
+TEST_F(WorkerTest, PhysicalWorkerNeedsNoTraining) {
+  const PhysicalWorker worker(hw::arria10_gx1150(1));
+  const evo::EvalResult result = worker.evaluate(small_genome());
+  EXPECT_GT(result.power_watts, 20.0);
+  EXPECT_GT(result.fmax_mhz, 100.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+TEST_F(WorkerTest, WorkerNamesIdentifyBackend) {
+  EXPECT_EQ(AccuracyWorker(split_, options_, 1).name(), "accuracy");
+  EXPECT_NE(FpgaHardwareDatabaseWorker(split_, options_, 1, hw::arria10_gx1150()).name().find(
+                "hw-db"),
+            std::string::npos);
+  EXPECT_NE(GpuSimulationWorker(split_, options_, 1, hw::titan_x()).name().find("sim"),
+            std::string::npos);
+  EXPECT_NE(PhysicalWorker(hw::arria10_gx1150()).name().find("physical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecad::core

@@ -1,0 +1,89 @@
+#include "data/arff.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::data {
+namespace {
+
+constexpr const char* kCreditLike = R"arff(
+% OpenML-style sample
+@relation credit-sample
+@attribute duration numeric
+@attribute amount real
+@attribute 'employment years' integer
+@attribute class {good, bad}
+@data
+6, 1169.0, 5, good
+48, 5951.5, 3, bad
+12, 2096, 4, good
+)arff";
+
+TEST(Arff, ParsesNumericAndNominal) {
+  const Dataset dataset = parse_arff(kCreditLike);
+  EXPECT_EQ(dataset.name, "credit-sample");
+  EXPECT_EQ(dataset.num_samples(), 3u);
+  EXPECT_EQ(dataset.num_features(), 3u);
+  EXPECT_EQ(dataset.num_classes, 2u);
+  EXPECT_FLOAT_EQ(dataset.features.at(1, 1), 5951.5f);
+  EXPECT_EQ(dataset.labels, (std::vector<int>{0, 1, 0}));  // good=0, bad=1
+}
+
+TEST(Arff, QuotedAttributeNames) {
+  const Dataset dataset = parse_arff(kCreditLike);
+  EXPECT_FLOAT_EQ(dataset.features.at(0, 2), 5.0f);
+}
+
+TEST(Arff, CommentsAndBlankLinesIgnored) {
+  const Dataset dataset = parse_arff(
+      "@relation r\n\n% note\n@attribute x numeric\n@attribute c {a,b}\n@data\n\n1, a\n");
+  EXPECT_EQ(dataset.num_samples(), 1u);
+}
+
+TEST(Arff, NominalFeatureEncodedAsId) {
+  const Dataset dataset = parse_arff(
+      "@relation r\n@attribute color {red, green, blue}\n@attribute c {n, y}\n@data\n"
+      "green, y\nred, n\nblue, y\n");
+  EXPECT_FLOAT_EQ(dataset.features.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dataset.features.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dataset.features.at(2, 0), 2.0f);
+}
+
+TEST(Arff, MissingValuesImputedAsZero) {
+  const Dataset dataset =
+      parse_arff("@relation r\n@attribute x numeric\n@attribute c {a,b}\n@data\n?, b\n");
+  EXPECT_FLOAT_EQ(dataset.features.at(0, 0), 0.0f);
+  EXPECT_EQ(dataset.labels[0], 1);
+}
+
+TEST(Arff, CustomLabelColumn) {
+  const Dataset dataset = parse_arff(
+      "@relation r\n@attribute c {a,b}\n@attribute x numeric\n@data\nb, 3.5\n",
+      /*label_column=*/0);
+  EXPECT_EQ(dataset.labels[0], 1);
+  EXPECT_FLOAT_EQ(dataset.features.at(0, 0), 3.5f);
+}
+
+TEST(Arff, NumericClassColumnEnumerated) {
+  const Dataset dataset = parse_arff(
+      "@relation r\n@attribute x numeric\n@attribute y numeric\n@data\n1, 7\n2, 9\n3, 7\n");
+  EXPECT_EQ(dataset.num_classes, 2u);
+  EXPECT_EQ(dataset.labels, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Arff, MalformedInputThrows) {
+  EXPECT_THROW(parse_arff("@attribute x numeric\n@data\n1, 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_arff("@relation r\n@attribute x funky\n@data\n1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_arff("@relation r\n@attribute c {a\n@data\na\n"), std::invalid_argument);
+  EXPECT_THROW(parse_arff("@relation r\n@attribute x numeric\n@attribute c {a,b}\n@data\n1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_arff("@relation r\n@attribute c {a,b}\n@data\nz\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_arff(""), std::invalid_argument);
+}
+
+TEST(Arff, MissingFileThrows) {
+  EXPECT_THROW(load_arff("/definitely/not/here.arff"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecad::data

@@ -1,0 +1,97 @@
+#include "data/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::data {
+namespace {
+
+TEST(Benchmarks, AllSixPresent) {
+  EXPECT_EQ(all_benchmarks().size(), 6u);
+}
+
+TEST(Benchmarks, NamesRoundTrip) {
+  for (Benchmark benchmark : all_benchmarks()) {
+    const BenchmarkInfo& info = benchmark_info(benchmark);
+    EXPECT_EQ(benchmark_from_name(info.name), benchmark);
+  }
+  EXPECT_THROW(benchmark_from_name("cifar10"), std::invalid_argument);
+}
+
+TEST(Benchmarks, ShapesMatchRealDatasets) {
+  EXPECT_EQ(benchmark_info(Benchmark::CreditG).num_features, 20u);
+  EXPECT_EQ(benchmark_info(Benchmark::CreditG).num_classes, 2u);
+  EXPECT_EQ(benchmark_info(Benchmark::Har).num_features, 561u);
+  EXPECT_EQ(benchmark_info(Benchmark::Har).num_classes, 6u);
+  EXPECT_EQ(benchmark_info(Benchmark::Phishing).num_features, 30u);
+  EXPECT_EQ(benchmark_info(Benchmark::Bioresponse).num_features, 1776u);
+  EXPECT_EQ(benchmark_info(Benchmark::Mnist).num_features, 784u);
+  EXPECT_EQ(benchmark_info(Benchmark::Mnist).num_classes, 10u);
+  EXPECT_EQ(benchmark_info(Benchmark::FashionMnist).num_features, 784u);
+}
+
+TEST(Benchmarks, PaperRecordsTranscribed) {
+  // Spot-check Table I/II/III transcriptions.
+  EXPECT_DOUBLE_EQ(benchmark_info(Benchmark::CreditG).paper.ecad_mlp, 0.7880);
+  EXPECT_DOUBLE_EQ(benchmark_info(Benchmark::Phishing).paper.top_acc_any, 0.9753);
+  EXPECT_DOUBLE_EQ(benchmark_info(Benchmark::Mnist).paper.ecad_mlp, 0.9852);
+  EXPECT_EQ(benchmark_info(Benchmark::CreditG).paper.models_evaluated, 10480u);
+  EXPECT_DOUBLE_EQ(benchmark_info(Benchmark::FashionMnist).paper.avg_eval_seconds, 82.55);
+}
+
+TEST(Benchmarks, OnlyImageSetsArePresplit) {
+  EXPECT_TRUE(benchmark_info(Benchmark::Mnist).presplit);
+  EXPECT_TRUE(benchmark_info(Benchmark::FashionMnist).presplit);
+  EXPECT_FALSE(benchmark_info(Benchmark::CreditG).presplit);
+  EXPECT_FALSE(benchmark_info(Benchmark::Har).presplit);
+}
+
+TEST(Benchmarks, SpecShapesMatchInfo) {
+  for (Benchmark benchmark : all_benchmarks()) {
+    const auto spec = benchmark_spec(benchmark);
+    const auto& info = benchmark_info(benchmark);
+    EXPECT_EQ(spec.num_features, info.num_features) << info.name;
+    EXPECT_EQ(spec.num_classes, info.num_classes) << info.name;
+    EXPECT_GT(spec.num_samples, 100u) << info.name;
+  }
+}
+
+TEST(Benchmarks, SampleScaleScalesCardinality) {
+  const auto full = benchmark_spec(Benchmark::Har, 1.0);
+  const auto half = benchmark_spec(Benchmark::Har, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.num_samples),
+              static_cast<double>(full.num_samples) * 0.5, 1.0);
+}
+
+TEST(Benchmarks, LoadIsDeterministicPerSeed) {
+  const Dataset a = load_benchmark(Benchmark::CreditG, 1.0, 5);
+  const Dataset b = load_benchmark(Benchmark::CreditG, 1.0, 5);
+  const Dataset c = load_benchmark(Benchmark::CreditG, 1.0, 6);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_NE(a.features, c.features);
+}
+
+TEST(Benchmarks, DifferentBenchmarksUseDifferentStreams) {
+  const Dataset credit = load_benchmark(Benchmark::CreditG, 1.0, 5);
+  const Dataset phishing = load_benchmark(Benchmark::Phishing, 1.0, 5);
+  EXPECT_NE(credit.num_features(), phishing.num_features());
+}
+
+TEST(Benchmarks, SplitIsStandardized) {
+  const TrainTestSplit split = load_benchmark_split(Benchmark::CreditG, 1.0, 5);
+  // Train features should be ~zero-mean per column after standardization.
+  for (std::size_t c = 0; c < split.train.num_features(); ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < split.train.num_samples(); ++r) {
+      sum += split.train.features.at(r, c);
+    }
+    EXPECT_NEAR(sum / static_cast<double>(split.train.num_samples()), 0.0, 1e-3);
+  }
+}
+
+TEST(Benchmarks, CreditGIsImbalanced) {
+  const Dataset pool = load_benchmark(Benchmark::CreditG, 1.0, 5);
+  EXPECT_GT(pool.majority_fraction(), 0.55);  // 0.7/0.3 priors + label noise
+}
+
+}  // namespace
+}  // namespace ecad::data

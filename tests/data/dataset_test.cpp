@@ -1,0 +1,107 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::data {
+namespace {
+
+Dataset tiny() {
+  Dataset dataset;
+  dataset.name = "tiny";
+  dataset.num_classes = 2;
+  dataset.features = linalg::Matrix{{0.0f, 1.0f}, {2.0f, 3.0f}, {4.0f, 5.0f}};
+  dataset.labels = {0, 1, 0};
+  return dataset;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset dataset = tiny();
+  EXPECT_EQ(dataset.num_samples(), 3u);
+  EXPECT_EQ(dataset.num_features(), 2u);
+  dataset.validate();
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  const Dataset dataset = tiny();
+  const Dataset subset = dataset.subset({2, 0});
+  ASSERT_EQ(subset.num_samples(), 2u);
+  EXPECT_FLOAT_EQ(subset.features.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(subset.features.at(1, 1), 1.0f);
+  EXPECT_EQ(subset.labels, (std::vector<int>{0, 0}));
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  EXPECT_THROW(tiny().subset({5}), std::out_of_range);
+}
+
+TEST(Dataset, ClassCountsAndMajority) {
+  const Dataset dataset = tiny();
+  EXPECT_EQ(dataset.class_counts(), (std::vector<std::size_t>{2, 1}));
+  EXPECT_NEAR(dataset.majority_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Dataset, ValidateCatchesBadLabels) {
+  Dataset dataset = tiny();
+  dataset.labels[0] = 7;
+  EXPECT_THROW(dataset.validate(), std::invalid_argument);
+  dataset.labels[0] = -1;
+  EXPECT_THROW(dataset.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateCatchesRowMismatch) {
+  Dataset dataset = tiny();
+  dataset.labels.pop_back();
+  EXPECT_THROW(dataset.validate(), std::invalid_argument);
+}
+
+TEST(ParseCsvDataset, NumericLabels) {
+  const Dataset dataset = parse_csv_dataset("f0,f1,label\n0.5,1.5,0\n2.5,3.5,1\n");
+  EXPECT_EQ(dataset.num_samples(), 2u);
+  EXPECT_EQ(dataset.num_features(), 2u);
+  EXPECT_EQ(dataset.num_classes, 2u);
+  EXPECT_FLOAT_EQ(dataset.features.at(1, 0), 2.5f);
+  EXPECT_EQ(dataset.labels, (std::vector<int>{0, 1}));
+}
+
+TEST(ParseCsvDataset, StringLabelsEnumeratedInFirstSeenOrder) {
+  const Dataset dataset = parse_csv_dataset("a,b,cls\n1,2,good\n3,4,bad\n5,6,good\n");
+  EXPECT_EQ(dataset.labels, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(dataset.num_classes, 2u);
+}
+
+TEST(ParseCsvDataset, CustomLabelColumn) {
+  const Dataset dataset = parse_csv_dataset("y,f0\n1,0.5\n0,0.7\n", true, /*label_column=*/0);
+  EXPECT_EQ(dataset.labels, (std::vector<int>{1, 0}));
+  EXPECT_FLOAT_EQ(dataset.features.at(1, 0), 0.7f);
+}
+
+TEST(ParseCsvDataset, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv_dataset("a,b,l\n1,2,0\n1,0\n"), std::invalid_argument);
+}
+
+TEST(DatasetCsv, RoundTrip) {
+  const Dataset original = tiny();
+  const util::CsvTable table = to_csv_table(original);
+  const Dataset restored = parse_csv_dataset(util::to_csv(table));
+  EXPECT_EQ(restored.num_samples(), original.num_samples());
+  EXPECT_EQ(restored.labels, original.labels);
+  EXPECT_TRUE(restored.features.approx_equal(original.features, 1e-4f));
+}
+
+TEST(Concatenate, StacksRows) {
+  const Dataset a = tiny(), b = tiny();
+  const Dataset joined = concatenate(a, b);
+  EXPECT_EQ(joined.num_samples(), 6u);
+  EXPECT_EQ(joined.labels[3], a.labels[0]);
+  EXPECT_FLOAT_EQ(joined.features.at(5, 1), 5.0f);
+}
+
+TEST(Concatenate, SchemaMismatchThrows) {
+  Dataset a = tiny();
+  Dataset b = tiny();
+  b.num_classes = 3;
+  EXPECT_THROW(concatenate(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::data

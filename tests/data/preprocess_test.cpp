@@ -1,0 +1,102 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecad::data {
+namespace {
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  linalg::Matrix features{{1.0f, 10.0f}, {3.0f, 20.0f}, {5.0f, 30.0f}};
+  Standardizer standardizer;
+  standardizer.fit(features);
+  standardizer.transform(features);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) {
+      sum += features.at(r, c);
+      sum_sq += features.at(r, c) * features.at(r, c);
+    }
+    EXPECT_NEAR(sum / 3.0, 0.0, 1e-5);
+    EXPECT_NEAR(sum_sq / 3.0, 1.0, 1e-4);
+  }
+}
+
+TEST(Standardizer, ConstantFeatureMapsToZeroNotNaN) {
+  linalg::Matrix features{{7.0f}, {7.0f}, {7.0f}};
+  Standardizer standardizer;
+  standardizer.fit(features);
+  standardizer.transform(features);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(features.at(r, 0), 0.0f);
+    EXPECT_FALSE(std::isnan(features.at(r, 0)));
+  }
+}
+
+TEST(Standardizer, TransformBeforeFitThrows) {
+  linalg::Matrix features(1, 1);
+  const Standardizer standardizer;
+  EXPECT_THROW(standardizer.transform(features), std::invalid_argument);
+}
+
+TEST(Standardizer, WidthMismatchThrows) {
+  linalg::Matrix train(3, 2, 1.0f);
+  Standardizer standardizer;
+  standardizer.fit(train);
+  linalg::Matrix wrong(3, 5);
+  EXPECT_THROW(standardizer.transform(wrong), std::invalid_argument);
+}
+
+TEST(Standardizer, AppliesTrainStatisticsToTest) {
+  linalg::Matrix train{{0.0f}, {2.0f}};  // mean 1, std 1
+  Standardizer standardizer;
+  standardizer.fit(train);
+  linalg::Matrix test{{3.0f}};
+  standardizer.transform(test);
+  EXPECT_NEAR(test.at(0, 0), 2.0f, 1e-5);
+}
+
+TEST(MinMaxScaler, ScalesToUnitInterval) {
+  linalg::Matrix features{{0.0f}, {5.0f}, {10.0f}};
+  MinMaxScaler scaler;
+  scaler.fit(features);
+  scaler.transform(features);
+  EXPECT_FLOAT_EQ(features.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(features.at(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(features.at(2, 0), 1.0f);
+}
+
+TEST(MinMaxScaler, ConstantFeatureSafe) {
+  linalg::Matrix features{{4.0f}, {4.0f}};
+  MinMaxScaler scaler;
+  scaler.fit(features);
+  scaler.transform(features);
+  EXPECT_FLOAT_EQ(features.at(0, 0), 0.0f);
+}
+
+TEST(StandardizeTogether, SharedTransform) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = linalg::Matrix{{0.0f}, {2.0f}};
+  train.labels = {0, 1};
+  Dataset test = train;
+  test.features = linalg::Matrix{{1.0f}};
+  test.labels = {0};
+  standardize_together(train, {&test});
+  EXPECT_NEAR(test.features.at(0, 0), 0.0f, 1e-5);  // 1.0 is the train mean
+}
+
+TEST(OneHot, EncodesLabels) {
+  const linalg::Matrix encoded = one_hot({0, 2, 1}, 3);
+  EXPECT_TRUE(encoded.approx_equal(
+      linalg::Matrix{{1.0f, 0.0f, 0.0f}, {0.0f, 0.0f, 1.0f}, {0.0f, 1.0f, 0.0f}}));
+}
+
+TEST(OneHot, OutOfRangeLabelThrows) {
+  EXPECT_THROW(one_hot({3}, 3), std::invalid_argument);
+  EXPECT_THROW(one_hot({-1}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::data

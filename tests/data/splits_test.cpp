@@ -1,0 +1,110 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace ecad::data {
+namespace {
+
+Dataset make_pool(std::size_t n, std::uint64_t seed = 1) {
+  SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 4;
+  spec.num_classes = 3;
+  spec.latent_dim = 3;
+  util::Rng rng(seed);
+  return generate_synthetic(spec, rng);
+}
+
+TEST(StratifiedSplit, PartitionSizes) {
+  const Dataset pool = make_pool(200);
+  util::Rng rng(2);
+  const TrainTestSplit split = stratified_split(pool, 0.25, rng);
+  EXPECT_EQ(split.train.num_samples() + split.test.num_samples(), 200u);
+  EXPECT_NEAR(static_cast<double>(split.test.num_samples()), 50.0, 3.0);
+}
+
+TEST(StratifiedSplit, PreservesClassBalance) {
+  const Dataset pool = make_pool(300);
+  util::Rng rng(3);
+  const TrainTestSplit split = stratified_split(pool, 0.2, rng);
+  const auto pool_counts = pool.class_counts();
+  const auto test_counts = split.test.class_counts();
+  for (std::size_t c = 0; c < pool.num_classes; ++c) {
+    const double expected = static_cast<double>(pool_counts[c]) * 0.2;
+    EXPECT_NEAR(static_cast<double>(test_counts[c]), expected, 2.0);
+  }
+}
+
+TEST(StratifiedSplit, InvalidFractionThrows) {
+  const Dataset pool = make_pool(10);
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(pool, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(pool, 1.0, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, EverySampleInExactlyOneTestFold) {
+  const Dataset pool = make_pool(103);
+  util::Rng rng(5);
+  const auto folds = stratified_kfold(pool, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> test_count(103, 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 103u);
+    for (std::size_t index : fold.test) ++test_count[index];
+    // train and test are disjoint
+    std::set<std::size_t> train_set(fold.train.begin(), fold.train.end());
+    for (std::size_t index : fold.test) EXPECT_EQ(train_set.count(index), 0u);
+  }
+  for (int count : test_count) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFold, FoldSizesNearlyEqual) {
+  const Dataset pool = make_pool(100);
+  util::Rng rng(7);
+  const auto folds = stratified_kfold(pool, 10, rng);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.test.size(), 8u);
+    EXPECT_LE(fold.test.size(), 12u);
+  }
+}
+
+TEST(StratifiedKFold, StratificationHolds) {
+  const Dataset pool = make_pool(300);
+  util::Rng rng(9);
+  const auto folds = stratified_kfold(pool, 5, rng);
+  const auto pool_counts = pool.class_counts();
+  for (const auto& fold : folds) {
+    const Dataset test = pool.subset(fold.test);
+    const auto counts = test.class_counts();
+    for (std::size_t c = 0; c < pool.num_classes; ++c) {
+      const double expected = static_cast<double>(pool_counts[c]) / 5.0;
+      EXPECT_NEAR(static_cast<double>(counts[c]), expected, 2.0);
+    }
+  }
+}
+
+TEST(StratifiedKFold, DegenerateParamsThrow) {
+  const Dataset pool = make_pool(10);
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_kfold(pool, 1, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_kfold(pool, 11, rng), std::invalid_argument);
+}
+
+TEST(MaterializeFold, BuildsConsistentDatasets) {
+  const Dataset pool = make_pool(60);
+  util::Rng rng(11);
+  const auto folds = stratified_kfold(pool, 3, rng);
+  const TrainTestSplit split = materialize_fold(pool, folds[0]);
+  EXPECT_EQ(split.train.num_samples(), folds[0].train.size());
+  EXPECT_EQ(split.test.num_samples(), folds[0].test.size());
+  split.train.validate();
+  split.test.validate();
+}
+
+}  // namespace
+}  // namespace ecad::data

@@ -1,0 +1,130 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/logistic_regression.h"
+#include "data/preprocess.h"
+#include "data/splits.h"
+#include "nn/metrics.h"
+
+namespace ecad::data {
+namespace {
+
+TEST(Synthetic, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_samples = 150;
+  spec.num_features = 12;
+  spec.num_classes = 4;
+  spec.latent_dim = 5;
+  util::Rng rng(1);
+  const Dataset dataset = generate_synthetic(spec, rng);
+  EXPECT_EQ(dataset.num_samples(), 150u);
+  EXPECT_EQ(dataset.num_features(), 12u);
+  EXPECT_EQ(dataset.num_classes, 4u);
+  dataset.validate();
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.num_samples = 50;
+  util::Rng rng1(42), rng2(42);
+  const Dataset a = generate_synthetic(spec, rng1);
+  const Dataset b = generate_synthetic(spec, rng2);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features, b.features);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.num_samples = 50;
+  util::Rng rng1(1), rng2(2);
+  EXPECT_NE(generate_synthetic(spec, rng1).features, generate_synthetic(spec, rng2).features);
+}
+
+TEST(Synthetic, ClassPriorsRespected) {
+  SyntheticSpec spec;
+  spec.num_samples = 4000;
+  spec.class_priors = {0.7, 0.3};
+  spec.label_noise = 0.0;
+  util::Rng rng(3);
+  const Dataset dataset = generate_synthetic(spec, rng);
+  const auto counts = dataset.class_counts();
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 4000.0, 0.7, 0.03);
+}
+
+TEST(Synthetic, LabelNoiseCapsAccuracyCeiling) {
+  // With heavy label noise even a perfect classifier cannot exceed ~1-noise;
+  // check the majority of labels still follow the cluster structure.
+  SyntheticSpec easy;
+  easy.num_samples = 1000;
+  easy.cluster_separation = 6.0;
+  easy.label_noise = 0.3;
+  util::Rng rng(5);
+  const Dataset noisy = generate_synthetic(easy, rng);
+
+  easy.label_noise = 0.0;
+  util::Rng rng2(5);
+  const Dataset clean = generate_synthetic(easy, rng2);
+
+  // Train a linear model on the clean set; it should do far better on clean
+  // than on noisy labels (the flipped ones are unpredictable).
+  util::Rng train_rng(7);
+  TrainTestSplit clean_split = stratified_split(clean, 0.3, train_rng);
+  standardize_together(clean_split.train, {&clean_split.test});
+  baselines::LogisticRegression model;
+  model.fit(clean_split.train, train_rng);
+  const double clean_acc =
+      nn::accuracy(model.predict(clean_split.test.features), clean_split.test.labels);
+  EXPECT_GT(clean_acc, 0.9);
+
+  TrainTestSplit noisy_split = stratified_split(noisy, 0.3, train_rng);
+  standardize_together(noisy_split.train, {&noisy_split.test});
+  baselines::LogisticRegression noisy_model;
+  noisy_model.fit(noisy_split.train, train_rng);
+  const double noisy_acc =
+      nn::accuracy(noisy_model.predict(noisy_split.test.features), noisy_split.test.labels);
+  EXPECT_LT(noisy_acc, 0.85);  // ceiling ~1 - 0.3 + slack
+}
+
+TEST(Synthetic, SeparationControlsDifficulty) {
+  auto linear_accuracy = [](double separation) {
+    SyntheticSpec spec;
+    spec.num_samples = 600;
+    spec.cluster_separation = separation;
+    spec.clusters_per_class = 1;
+    util::Rng rng(11);
+    const Dataset dataset = generate_synthetic(spec, rng);
+    util::Rng split_rng(13);
+    TrainTestSplit split = stratified_split(dataset, 0.3, split_rng);
+    standardize_together(split.train, {&split.test});
+    baselines::LogisticRegression model;
+    model.fit(split.train, split_rng);
+    return nn::accuracy(model.predict(split.test.features), split.test.labels);
+  };
+  EXPECT_GT(linear_accuracy(6.0), linear_accuracy(0.5) + 0.1);
+}
+
+TEST(Synthetic, DegenerateSpecsThrow) {
+  util::Rng rng(1);
+  SyntheticSpec spec;
+  spec.num_classes = 1;
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+  spec = {};
+  spec.num_features = 0;
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+  spec = {};
+  spec.latent_dim = 0;
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+  spec = {};
+  spec.label_noise = 1.0;
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+  spec = {};
+  spec.class_priors = {1.0};  // wrong length for 2 classes
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+  spec = {};
+  spec.class_priors = {-1.0, 2.0};
+  EXPECT_THROW(generate_synthetic(spec, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::data

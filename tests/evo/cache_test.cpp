@@ -1,0 +1,68 @@
+#include "evo/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ecad::evo {
+namespace {
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache cache;
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  EvalResult result;
+  result.accuracy = 0.75;
+  cache.store("a", result);
+  const auto hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->accuracy, 0.75);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, ContainsDoesNotCountHits) {
+  EvalCache cache;
+  cache.store("k", EvalResult{});
+  EXPECT_TRUE(cache.contains("k"));
+  EXPECT_FALSE(cache.contains("other"));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(EvalCache, StoreOverwrites) {
+  EvalCache cache;
+  EvalResult first;
+  first.accuracy = 0.1;
+  cache.store("k", first);
+  EvalResult second;
+  second.accuracy = 0.9;
+  cache.store("k", second);
+  EXPECT_DOUBLE_EQ(cache.lookup("k")->accuracy, 0.9);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, ConcurrentAccessIsSafe) {
+  EvalCache cache;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "key" + std::to_string(i % 50);
+        EvalResult result;
+        result.accuracy = static_cast<double>(t);
+        cache.store(key, result);
+        cache.lookup(key);
+        cache.contains(key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), 50u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 2000u);  // 4 threads x 500 lookups
+}
+
+}  // namespace
+}  // namespace ecad::evo

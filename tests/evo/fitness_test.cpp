@@ -1,0 +1,115 @@
+#include "evo/fitness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecad::evo {
+namespace {
+
+EvalResult sample_result() {
+  EvalResult result;
+  result.accuracy = 0.9;
+  result.outputs_per_second = 1e6;
+  result.latency_seconds = 1e-4;
+  result.hw_efficiency = 0.4;
+  result.effective_gflops = 300.0;
+  result.power_watts = 27.0;
+  result.parameters = 5000.0;
+  return result;
+}
+
+TEST(Metric, NamesRoundTrip) {
+  for (Metric metric : {Metric::Accuracy, Metric::Throughput, Metric::Latency,
+                        Metric::Efficiency, Metric::EffectiveGflops, Metric::Power,
+                        Metric::Parameters}) {
+    EXPECT_EQ(metric_from_name(to_string(metric)), metric);
+  }
+  EXPECT_THROW(metric_from_name("speedup"), std::invalid_argument);
+}
+
+TEST(Metric, ValueExtraction) {
+  const EvalResult result = sample_result();
+  EXPECT_DOUBLE_EQ(metric_value(result, Metric::Accuracy), 0.9);
+  EXPECT_DOUBLE_EQ(metric_value(result, Metric::Throughput), 1e6);
+  EXPECT_DOUBLE_EQ(metric_value(result, Metric::Power), 27.0);
+  EXPECT_DOUBLE_EQ(metric_value(result, Metric::Parameters), 5000.0);
+}
+
+TEST(Scalarize, SingleObjective) {
+  EXPECT_DOUBLE_EQ(scalarize(sample_result(), {{Metric::Accuracy, 1.0, true, false}}), 0.9);
+}
+
+TEST(Scalarize, MinimizeNegates) {
+  EXPECT_DOUBLE_EQ(scalarize(sample_result(), {{Metric::Power, 1.0, false, false}}), -27.0);
+}
+
+TEST(Scalarize, LogScaleCompresses) {
+  const double value = scalarize(sample_result(), {{Metric::Throughput, 1.0, true, true}});
+  EXPECT_NEAR(value, 6.0, 1e-9);
+}
+
+TEST(Scalarize, WeightsCombine) {
+  const double value = scalarize(sample_result(), {{Metric::Accuracy, 1.0, true, false},
+                                                   {Metric::Throughput, 0.05, true, true}});
+  EXPECT_NEAR(value, 0.9 + 0.05 * 6.0, 1e-9);
+}
+
+TEST(Scalarize, InfeasibleIsNegativeInfinity) {
+  EvalResult result = sample_result();
+  result.feasible = false;
+  EXPECT_EQ(scalarize(result, {{Metric::Accuracy, 1.0, true, false}}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Registry, BuiltinsPresent) {
+  const FitnessRegistry registry = FitnessRegistry::with_builtins();
+  for (const char* name :
+       {"accuracy", "throughput", "accuracy_x_throughput", "efficiency", "low_latency"}) {
+    EXPECT_TRUE(registry.has(name)) << name;
+  }
+  EXPECT_FALSE(registry.has("nonexistent"));
+  EXPECT_THROW(registry.get("nonexistent"), std::out_of_range);
+}
+
+TEST(Registry, BuiltinAccuracyOrdersByAccuracy) {
+  const FitnessRegistry registry = FitnessRegistry::with_builtins();
+  EvalResult low = sample_result();
+  EvalResult high = sample_result();
+  high.accuracy = 0.95;
+  EXPECT_GT(registry.get("accuracy")(high), registry.get("accuracy")(low));
+}
+
+TEST(Registry, JointFitnessTradesThroughputForAccuracy) {
+  const FitnessRegistry registry = FitnessRegistry::with_builtins();
+  const auto& joint = registry.get("accuracy_x_throughput");
+  EvalResult accurate = sample_result();
+  EvalResult fast = sample_result();
+  fast.accuracy = 0.89;            // one point lower
+  fast.outputs_per_second = 1e8;   // but 100x faster
+  // 0.01 accuracy loss vs 2 decades * 0.05 = 0.1 gain -> fast wins.
+  EXPECT_GT(joint(fast), joint(accurate));
+
+  fast.outputs_per_second = 1.1e6;  // only marginally faster
+  EXPECT_LT(joint(fast), joint(accurate));
+}
+
+TEST(Registry, CustomRegistrationAndOverride) {
+  FitnessRegistry registry;
+  registry.register_fn("mine", [](const EvalResult& r) { return r.accuracy * 2.0; });
+  EXPECT_DOUBLE_EQ(registry.get("mine")(sample_result()), 1.8);
+  registry.register_fn("mine", [](const EvalResult&) { return 7.0; });
+  EXPECT_DOUBLE_EQ(registry.get("mine")(sample_result()), 7.0);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"mine"});
+}
+
+TEST(Registry, LowLatencyPrefersFasterResults) {
+  const FitnessRegistry registry = FitnessRegistry::with_builtins();
+  EvalResult slow = sample_result();
+  EvalResult fast = sample_result();
+  fast.latency_seconds = 1e-6;
+  EXPECT_GT(registry.get("low_latency")(fast), registry.get("low_latency")(slow));
+}
+
+}  // namespace
+}  // namespace ecad::evo

@@ -1,0 +1,135 @@
+#include "evo/nsga2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecad::evo {
+namespace {
+
+const std::vector<Metric> kMetrics = {Metric::Accuracy, Metric::Throughput};
+
+EvalResult point(double accuracy, double throughput) {
+  EvalResult result;
+  result.accuracy = accuracy;
+  result.outputs_per_second = throughput;
+  return result;
+}
+
+Candidate candidate(double accuracy, double throughput) {
+  Candidate c;
+  c.result = point(accuracy, throughput);
+  return c;
+}
+
+TEST(CrowdingDistance, BoundaryPointsAreInfinite) {
+  const std::vector<EvalResult> results = {point(0.9, 1e4), point(0.8, 1e5), point(0.7, 1e6)};
+  const std::vector<std::size_t> front = {0, 1, 2};
+  const auto distance = crowding_distance(results, front, kMetrics);
+  EXPECT_TRUE(std::isinf(distance[0]));
+  EXPECT_TRUE(std::isinf(distance[2]));
+  EXPECT_FALSE(std::isinf(distance[1]));
+  EXPECT_GT(distance[1], 0.0);
+}
+
+TEST(CrowdingDistance, TwoPointFrontAllInfinite) {
+  const std::vector<EvalResult> results = {point(0.9, 1e4), point(0.7, 1e6)};
+  const auto distance = crowding_distance(results, {0, 1}, kMetrics);
+  EXPECT_TRUE(std::isinf(distance[0]));
+  EXPECT_TRUE(std::isinf(distance[1]));
+}
+
+TEST(CrowdingDistance, SparsePointsScoreHigherThanCrowded) {
+  // Four interior points: one isolated, two adjacent.
+  const std::vector<EvalResult> results = {
+      point(0.90, 1e3), point(0.80, 2e3), point(0.79, 3e3), point(0.50, 9e3), point(0.30, 1e4)};
+  const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+  const auto distance = crowding_distance(results, front, kMetrics);
+  EXPECT_GT(distance[3], distance[1]);
+  EXPECT_GT(distance[3], distance[2]);
+}
+
+TEST(Nsga2Select, PrefersLowerRank) {
+  const std::vector<Candidate> candidates = {
+      candidate(0.9, 1e6),   // front 0
+      candidate(0.5, 1e3),   // dominated
+      candidate(0.8, 1e7),   // front 0
+  };
+  const auto selected = nsga2_select(candidates, kMetrics, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_TRUE((selected[0] == 0 && selected[1] == 2) ||
+              (selected[0] == 2 && selected[1] == 0));
+}
+
+TEST(Nsga2Select, PartialFrontUsesCrowding) {
+  // Five-point front; select 3 -> must include both extremes.
+  const std::vector<Candidate> candidates = {
+      candidate(0.90, 1e3), candidate(0.85, 2e3), candidate(0.84, 2.1e3),
+      candidate(0.83, 2.2e3), candidate(0.50, 1e6)};
+  const auto selected = nsga2_select(candidates, kMetrics, 3);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 0u), selected.end());
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 4u), selected.end());
+}
+
+// Analytic bi-objective landscape with a real trade-off: accuracy grows with
+// total neurons, throughput shrinks with them.
+EvalResult tradeoff(const Genome& genome) {
+  EvalResult result;
+  const double neurons = static_cast<double>(genome.nna.to_mlp_spec(10, 2).total_hidden_neurons());
+  result.accuracy = 1.0 - 1.0 / (1.0 + neurons / 64.0);
+  result.outputs_per_second = 1e7 / (1.0 + neurons);
+  return result;
+}
+
+TEST(Nsga2Search, FindsSpreadFrontier) {
+  Nsga2Config config;
+  config.population_size = 10;
+  config.generations = 5;
+  util::Rng rng(9);
+  util::ThreadPool pool(1);
+  const Nsga2Result result = nsga2_search(SearchSpace{}, config, kMetrics, tradeoff, rng, pool);
+
+  ASSERT_GE(result.front.size(), 3u);  // a trade-off curve, not a single point
+  // Front sorted by accuracy desc; throughput must then be ascending
+  // (otherwise a point would be dominated).
+  for (std::size_t i = 1; i < result.front.size(); ++i) {
+    EXPECT_GE(result.front[i - 1].result.accuracy, result.front[i].result.accuracy);
+    EXPECT_LE(result.front[i - 1].result.outputs_per_second,
+              result.front[i].result.outputs_per_second);
+  }
+  // Mutually non-dominated.
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    for (std::size_t j = 0; j < result.front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.front[j].result, result.front[i].result, kMetrics));
+    }
+  }
+}
+
+TEST(Nsga2Search, ValidatesConfig) {
+  util::Rng rng(1);
+  util::ThreadPool pool(1);
+  Nsga2Config bad;
+  bad.population_size = 1;
+  EXPECT_THROW(nsga2_search(SearchSpace{}, bad, kMetrics, tradeoff, rng, pool),
+               std::invalid_argument);
+  EXPECT_THROW(nsga2_search(SearchSpace{}, Nsga2Config{}, {}, tradeoff, rng, pool),
+               std::invalid_argument);
+}
+
+TEST(Nsga2Search, HistoryHasUniqueGenomes) {
+  Nsga2Config config;
+  config.population_size = 8;
+  config.generations = 4;
+  util::Rng rng(11);
+  util::ThreadPool pool(1);
+  const Nsga2Result result = nsga2_search(SearchSpace{}, config, kMetrics, tradeoff, rng, pool);
+  std::set<std::string> keys;
+  for (const auto& c : result.front) keys.insert(c.genome.key());
+  EXPECT_EQ(keys.size(), result.front.size());
+  EXPECT_EQ(result.stats.models_evaluated, result.history.size());
+}
+
+}  // namespace
+}  // namespace ecad::evo

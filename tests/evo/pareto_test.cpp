@@ -1,0 +1,103 @@
+#include "evo/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ecad::evo {
+namespace {
+
+EvalResult point(double accuracy, double throughput, double latency = 1e-4) {
+  EvalResult result;
+  result.accuracy = accuracy;
+  result.outputs_per_second = throughput;
+  result.latency_seconds = latency;
+  return result;
+}
+
+const std::vector<Metric> kAccThroughput = {Metric::Accuracy, Metric::Throughput};
+
+TEST(Dominates, StrictDominance) {
+  EXPECT_TRUE(dominates(point(0.9, 2e6), point(0.8, 1e6), kAccThroughput));
+  EXPECT_FALSE(dominates(point(0.8, 1e6), point(0.9, 2e6), kAccThroughput));
+}
+
+TEST(Dominates, IncomparablePointsDoNotDominate) {
+  EXPECT_FALSE(dominates(point(0.9, 1e6), point(0.8, 2e6), kAccThroughput));
+  EXPECT_FALSE(dominates(point(0.8, 2e6), point(0.9, 1e6), kAccThroughput));
+}
+
+TEST(Dominates, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(point(0.9, 1e6), point(0.9, 1e6), kAccThroughput));
+}
+
+TEST(Dominates, MinimizedMetricsOrientCorrectly) {
+  const std::vector<Metric> metrics = {Metric::Accuracy, Metric::Latency};
+  EXPECT_TRUE(dominates(point(0.9, 1e6, 1e-5), point(0.9, 1e6, 1e-3), metrics));
+  EXPECT_FALSE(dominates(point(0.9, 1e6, 1e-3), point(0.9, 1e6, 1e-5), metrics));
+}
+
+TEST(Dominates, FeasibleDominatesInfeasible) {
+  EvalResult infeasible = point(0.99, 1e9);
+  infeasible.feasible = false;
+  EXPECT_TRUE(dominates(point(0.1, 1.0), infeasible, kAccThroughput));
+  EXPECT_FALSE(dominates(infeasible, point(0.1, 1.0), kAccThroughput));
+}
+
+TEST(ParetoFront, ExtractsNonDominatedSet) {
+  const std::vector<EvalResult> results = {
+      point(0.95, 1e5),   // frontier: best accuracy
+      point(0.90, 1e6),   // frontier: trade-off
+      point(0.85, 1e7),   // frontier: best throughput
+      point(0.90, 5e5),   // dominated by index 1
+      point(0.80, 1e6),   // dominated by index 1
+  };
+  const auto front = pareto_front(results, kAccThroughput);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, SinglePointIsFrontier) {
+  const auto front = pareto_front({point(0.5, 1.0)}, kAccThroughput);
+  EXPECT_EQ(front, std::vector<std::size_t>{0});
+}
+
+TEST(ParetoFront, InfeasibleExcluded) {
+  EvalResult bad = point(0.99, 1e9);
+  bad.feasible = false;
+  const auto front = pareto_front({point(0.5, 1.0), bad}, kAccThroughput);
+  EXPECT_EQ(front, std::vector<std::size_t>{0});
+}
+
+TEST(ParetoFront, DuplicatesAllKept) {
+  const auto front = pareto_front({point(0.9, 1e6), point(0.9, 1e6)}, kAccThroughput);
+  EXPECT_EQ(front.size(), 2u);  // equal points do not dominate each other
+}
+
+TEST(NondominatedRank, LayersFormOnion) {
+  const std::vector<EvalResult> results = {
+      point(0.95, 1e6),  // front 0
+      point(0.90, 1e5),  // front 1 (dominated only by 0)
+      point(0.85, 1e4),  // front 2
+  };
+  const auto rank = nondominated_rank(results, kAccThroughput);
+  EXPECT_EQ(rank, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(NondominatedRank, IncomparablePointsShareFrontZero) {
+  const std::vector<EvalResult> results = {point(0.95, 1e4), point(0.85, 1e6)};
+  const auto rank = nondominated_rank(results, kAccThroughput);
+  EXPECT_EQ(rank, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(NondominatedRank, AssignsEveryCandidate) {
+  std::vector<EvalResult> results;
+  for (int i = 0; i < 20; ++i) {
+    results.push_back(point(0.5 + 0.02 * i, 1e6 / (i + 1)));
+  }
+  const auto rank = nondominated_rank(results, kAccThroughput);
+  EXPECT_EQ(rank.size(), 20u);
+  for (std::size_t r : rank) EXPECT_LT(r, 20u);
+}
+
+}  // namespace
+}  // namespace ecad::evo

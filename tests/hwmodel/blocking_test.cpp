@@ -1,0 +1,97 @@
+#include "hwmodel/gemm_blocking.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::hw {
+namespace {
+
+TEST(MlpToGemms, OneGemmPerLayerWithChainedDims) {
+  nn::MlpSpec spec;
+  spec.input_dim = 784;
+  spec.output_dim = 10;
+  spec.hidden = {128, 64};
+  const auto gemms = mlp_to_gemms(spec, 256);
+  ASSERT_EQ(gemms.size(), 3u);
+  // §III-D: M = batch; first-layer K = dataset width; N = neurons, and each
+  // layer's N becomes the next layer's K.
+  EXPECT_EQ(gemms[0].m, 256u);
+  EXPECT_EQ(gemms[0].k, 784u);
+  EXPECT_EQ(gemms[0].n, 128u);
+  EXPECT_EQ(gemms[1].k, 128u);
+  EXPECT_EQ(gemms[1].n, 64u);
+  EXPECT_EQ(gemms[2].k, 64u);
+  EXPECT_EQ(gemms[2].n, 10u);
+}
+
+TEST(MlpToGemms, ZeroBatchThrows) {
+  nn::MlpSpec spec;
+  spec.input_dim = 4;
+  spec.output_dim = 2;
+  EXPECT_THROW(mlp_to_gemms(spec, 0), std::invalid_argument);
+}
+
+TEST(GemmDims, FlopsAndBytes) {
+  const GemmDims gemm{2, 3, 4};
+  EXPECT_EQ(gemm.flops(), 48u);
+  EXPECT_EQ(gemm.dram_bytes(), 4u * (6u + 12u + 8u));
+}
+
+TEST(BlockGemm, ExactFitHasFullUtilization) {
+  const GridConfig grid{4, 4, 4, 2, 2};  // block 8x8
+  const GemmDims gemm{16, 32, 16};       // 2x2 blocks, K multiple of vec
+  const Blocking blocking = block_gemm(gemm, grid);
+  EXPECT_EQ(blocking.blocks_m, 2u);
+  EXPECT_EQ(blocking.blocks_n, 2u);
+  EXPECT_EQ(blocking.total_blocks, 4u);
+  EXPECT_DOUBLE_EQ(blocking.utilization, 1.0);
+}
+
+TEST(BlockGemm, PaddingReducesUtilization) {
+  const GridConfig grid{8, 8, 8, 4, 4};  // block 32x32
+  const GemmDims gemm{33, 64, 33};       // just over one block each way
+  const Blocking blocking = block_gemm(gemm, grid);
+  EXPECT_EQ(blocking.blocks_m, 2u);
+  EXPECT_EQ(blocking.blocks_n, 2u);
+  EXPECT_LT(blocking.utilization, 0.5);
+  EXPECT_GT(blocking.utilization, 0.2);
+}
+
+TEST(BlockGemm, CyclesPerBlockFormula) {
+  const GridConfig grid{4, 4, 8, 2, 3};
+  const GemmDims gemm{100, 64, 100};
+  const Blocking blocking = block_gemm(gemm, grid);
+  // im * in * ceil(K / vec) = 2 * 3 * 8 = 48
+  EXPECT_EQ(blocking.cycles_per_block, 48u);
+}
+
+TEST(BlockGemm, KNotMultipleOfVecRoundsUp) {
+  const GridConfig grid{2, 2, 8, 1, 1};
+  const GemmDims gemm{2, 20, 2};  // ceil(20/8) = 3
+  EXPECT_EQ(block_gemm(gemm, grid).cycles_per_block, 3u);
+}
+
+TEST(BlockGemm, BytesPerBlockCountsSlabsAndWriteback) {
+  const GridConfig grid{2, 2, 4, 2, 2};  // block 4x4
+  const GemmDims gemm{8, 16, 8};
+  const Blocking blocking = block_gemm(gemm, grid);
+  // 4 * (bm*K + K*bn + bm*bn) = 4 * (64 + 64 + 16)
+  EXPECT_EQ(blocking.bytes_per_block, 4u * 144u);
+}
+
+TEST(BlockGemm, SmallGemmOnBigGridWastesLanes) {
+  const GridConfig grid{32, 32, 8, 8, 8};  // block 256x256
+  const GemmDims gemm{16, 32, 4};          // tiny layer
+  const Blocking blocking = block_gemm(gemm, grid);
+  EXPECT_EQ(blocking.total_blocks, 1u);
+  EXPECT_LT(blocking.utilization, 0.01);  // the paper's shape-mismatch penalty
+}
+
+TEST(BlockGemm, DegenerateDimsThrow) {
+  const GridConfig grid{4, 4, 4, 1, 1};
+  EXPECT_THROW(block_gemm(GemmDims{0, 4, 4}, grid), std::invalid_argument);
+  EXPECT_THROW(block_gemm(GemmDims{4, 0, 4}, grid), std::invalid_argument);
+  EXPECT_THROW(block_gemm(GemmDims{4, 4, 0}, grid), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::hw

@@ -1,0 +1,58 @@
+#include "hwmodel/device.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::hw {
+namespace {
+
+TEST(DdrSpec, BandwidthAggregatesBanks) {
+  DdrSpec ddr{.banks = 4, .bandwidth_per_bank_gbs = 19.2};
+  EXPECT_DOUBLE_EQ(ddr.total_bandwidth_gbs(), 76.8);
+  EXPECT_DOUBLE_EQ(ddr.total_bandwidth_bytes_per_s(), 76.8e9);
+}
+
+TEST(Arria10, MatchesPaperConstants) {
+  const FpgaDevice device = arria10_gx1150(1);
+  EXPECT_EQ(device.dsp_count, 1518u);
+  EXPECT_DOUBLE_EQ(device.clock_mhz, 250.0);
+  // Paper §IV: "a peak throughput of 759 GFLOP/s FP32".
+  EXPECT_NEAR(device.peak_gflops(), 759.0, 1e-9);
+  // Paper: dev kit has a single DDR4 bank at 19.2 GB/s.
+  EXPECT_DOUBLE_EQ(device.ddr.total_bandwidth_gbs(), 19.2);
+}
+
+TEST(Arria10, BankConfigurationsFromPaper) {
+  // Paper §IV: "2 and 4 DDR banks providing 38.4 and 76.8 GB/s".
+  EXPECT_DOUBLE_EQ(arria10_gx1150(2).ddr.total_bandwidth_gbs(), 38.4);
+  EXPECT_DOUBLE_EQ(arria10_gx1150(4).ddr.total_bandwidth_gbs(), 76.8);
+}
+
+TEST(Stratix10, MatchesPaperConstants) {
+  const FpgaDevice device = stratix10_2800(4);
+  EXPECT_EQ(device.dsp_count, 5760u);
+  EXPECT_DOUBLE_EQ(device.clock_mhz, 400.0);
+  // Paper §IV-D: "scaling back the roofline to 4.6 available TFLOP/s".
+  EXPECT_NEAR(device.peak_gflops(), 4608.0, 1.0);
+  EXPECT_EQ(device.ddr.banks, 4u);  // "All Stratix 10 models were run with 4 banks"
+}
+
+TEST(Gpus, MatchPaperSpecs) {
+  EXPECT_DOUBLE_EQ(quadro_m5000().peak_tflops, 4.3);
+  EXPECT_DOUBLE_EQ(quadro_m5000().bandwidth_gbs, 211.0);
+  EXPECT_DOUBLE_EQ(titan_x().peak_tflops, 12.0);
+  EXPECT_DOUBLE_EQ(radeon_vii().peak_tflops, 13.44);
+  EXPECT_DOUBLE_EQ(radeon_vii().bandwidth_gbs, 1000.0);
+}
+
+TEST(Gpus, PeakFlopsConversion) {
+  EXPECT_DOUBLE_EQ(titan_x().peak_flops(), 12.0e12);
+}
+
+TEST(Devices, S10RooflineAboutSixAboveA10) {
+  // The paper motivates S10 as ~10x of A10 at full clock; at the searched
+  // 400 MHz it is ~6x of the 759 GFLOP/s A10 roofline.
+  EXPECT_NEAR(stratix10_2800().peak_gflops() / arria10_gx1150().peak_gflops(), 6.07, 0.1);
+}
+
+}  // namespace
+}  // namespace ecad::hw

@@ -1,0 +1,131 @@
+#include "hwmodel/fpga_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::hw {
+namespace {
+
+nn::MlpSpec mid_net() {
+  nn::MlpSpec spec;
+  spec.input_dim = 784;
+  spec.output_dim = 10;
+  spec.hidden = {256, 128};
+  return spec;
+}
+
+TEST(FpgaModel, PotentialEqualsGridRoofline) {
+  const GridConfig grid{8, 8, 8, 4, 4};
+  const auto report = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(1));
+  EXPECT_NEAR(report.potential_gflops, 256.0, 1e-9);
+}
+
+TEST(FpgaModel, EffectiveNeverExceedsPotential) {
+  const FpgaDevice device = arria10_gx1150(4);
+  for (const GridConfig& grid :
+       {GridConfig{4, 4, 4, 2, 2}, GridConfig{8, 8, 8, 4, 4}, GridConfig{16, 8, 8, 8, 8}}) {
+    const auto report = evaluate_fpga(mid_net(), 256, grid, device);
+    EXPECT_LE(report.effective_gflops, report.potential_gflops * (1.0 + 1e-9))
+        << grid.to_string();
+    EXPECT_GE(report.efficiency, 0.0);
+    EXPECT_LE(report.efficiency, 1.0 + 1e-9);
+  }
+}
+
+TEST(FpgaModel, InfeasibleGridThrows) {
+  const GridConfig too_big{32, 32, 16, 1, 1};
+  EXPECT_THROW(evaluate_fpga(mid_net(), 256, too_big, arria10_gx1150()), std::invalid_argument);
+}
+
+TEST(FpgaModel, EmptyGemmListThrows) {
+  EXPECT_THROW(evaluate_fpga_gemms({}, GridConfig{}, arria10_gx1150()), std::invalid_argument);
+}
+
+TEST(FpgaModel, MoreBandwidthNeverHurts) {
+  const GridConfig grid{16, 8, 8, 4, 4};
+  double previous = 0.0;
+  for (std::size_t banks : {1, 2, 4}) {
+    const auto report = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(banks));
+    EXPECT_GE(report.outputs_per_second, previous);
+    previous = report.outputs_per_second;
+  }
+}
+
+TEST(FpgaModel, BandwidthBoundGridScalesNearLinearly) {
+  // Wide grid with shallow interleave: every block is memory-dominated, so
+  // quadrupling banks should get close to 4x (paper Fig. 3 "mostly linear").
+  const GridConfig grid{16, 8, 8, 2, 2};
+  const auto one = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(1));
+  const auto four = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(4));
+  ASSERT_TRUE(one.any_bandwidth_bound);
+  EXPECT_GT(four.outputs_per_second / one.outputs_per_second, 2.5);
+}
+
+TEST(FpgaModel, ComputeBoundGridIgnoresExtraBanks) {
+  // Tiny grid with deep interleave: compute dominates; banks change little.
+  const GridConfig grid{2, 2, 4, 32, 32};
+  const auto one = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(1));
+  const auto four = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(4));
+  EXPECT_LT(four.outputs_per_second / one.outputs_per_second, 1.3);
+}
+
+TEST(FpgaModel, InterleavingImprovesBandwidthBoundThroughput) {
+  // Deeper interleave amortizes slab reloads (paper §III-C double buffering).
+  const auto shallow = evaluate_fpga(mid_net(), 256, GridConfig{8, 8, 8, 1, 1},
+                                     arria10_gx1150(1));
+  const auto deep = evaluate_fpga(mid_net(), 256, GridConfig{8, 8, 8, 8, 8},
+                                  arria10_gx1150(1));
+  EXPECT_GT(deep.outputs_per_second, shallow.outputs_per_second);
+}
+
+TEST(FpgaModel, LatencyBelowTotalTimeAndPositive) {
+  const auto report = evaluate_fpga(mid_net(), 256, GridConfig{8, 8, 8, 4, 4},
+                                    arria10_gx1150(1));
+  EXPECT_GT(report.latency_seconds, 0.0);
+  EXPECT_LE(report.latency_seconds, report.total_time_seconds);
+}
+
+TEST(FpgaModel, ThroughputScalesWithBatchWhenComputeAmortized) {
+  const GridConfig grid{8, 8, 8, 4, 4};
+  const auto small = evaluate_fpga(mid_net(), 32, grid, arria10_gx1150(4));
+  const auto big = evaluate_fpga(mid_net(), 512, grid, arria10_gx1150(4));
+  EXPECT_GT(big.outputs_per_second, small.outputs_per_second * 0.9);
+}
+
+TEST(FpgaModel, PerLayerReportsAreConsistent) {
+  const auto report = evaluate_fpga(mid_net(), 256, GridConfig{8, 8, 8, 4, 4},
+                                    arria10_gx1150(1));
+  ASSERT_EQ(report.layers.size(), 3u);
+  double total = 0.0;
+  for (const auto& layer : report.layers) {
+    EXPECT_GT(layer.time_seconds, 0.0);
+    EXPECT_GE(layer.time_seconds,
+              std::max(layer.compute_seconds, layer.memory_seconds) / layer.blocking.total_blocks);
+    total += layer.time_seconds;
+  }
+  EXPECT_NEAR(total, report.total_time_seconds, 1e-12);
+}
+
+TEST(FpgaModel, ShapeMismatchHurtsEfficiency) {
+  // A network whose layers are much narrower than the block size wastes
+  // lanes (paper Fig. 2a: neuron distribution greatly affects performance).
+  nn::MlpSpec narrow;
+  narrow.input_dim = 784;
+  narrow.output_dim = 10;
+  narrow.hidden = {8, 8};
+
+  const GridConfig grid{16, 16, 4, 8, 8};  // block 128x128
+  const auto narrow_report = evaluate_fpga(narrow, 256, grid, arria10_gx1150(4));
+  const auto wide_report = evaluate_fpga(mid_net(), 256, grid, arria10_gx1150(4));
+  EXPECT_LT(narrow_report.efficiency, wide_report.efficiency * 0.5);
+}
+
+TEST(FpgaModel, StratixOutperformsArriaOnBigNets) {
+  const GridConfig a10_grid{16, 8, 8, 4, 4};
+  const GridConfig s10_grid{16, 16, 8, 4, 4};
+  const auto a10 = evaluate_fpga(mid_net(), 256, a10_grid, arria10_gx1150(1));
+  const auto s10 = evaluate_fpga(mid_net(), 256, s10_grid, stratix10_2800(4));
+  EXPECT_GT(s10.outputs_per_second, a10.outputs_per_second);
+}
+
+}  // namespace
+}  // namespace ecad::hw

@@ -1,0 +1,110 @@
+#include "hwmodel/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::hw {
+namespace {
+
+nn::MlpSpec tiny_net() {
+  nn::MlpSpec spec;
+  spec.input_dim = 20;
+  spec.output_dim = 2;
+  spec.hidden = {32};
+  return spec;
+}
+
+nn::MlpSpec big_net() {
+  nn::MlpSpec spec;
+  spec.input_dim = 4096;
+  spec.output_dim = 4096;
+  spec.hidden = {4096, 4096};
+  return spec;
+}
+
+TEST(GpuModel, EfficiencyBounded) {
+  const auto report = evaluate_gpu(tiny_net(), 512, titan_x());
+  EXPECT_GT(report.efficiency, 0.0);
+  EXPECT_LE(report.efficiency, 1.0);
+  EXPECT_LE(report.effective_gflops, report.peak_gflops);
+}
+
+TEST(GpuModel, TinyMlpSeverelyUnderutilizes) {
+  // The paper's headline: 0.3% utilization on the MNIST winner.  Any small
+  // MLP must land far below 5% of a 12 TFLOP/s device.
+  const auto report = evaluate_gpu(tiny_net(), 512, titan_x());
+  EXPECT_LT(report.efficiency, 0.05);
+}
+
+TEST(GpuModel, HugeGemmsApproachPeak) {
+  const auto report = evaluate_gpu(big_net(), 4096, titan_x());
+  EXPECT_GT(report.efficiency, 0.3);
+}
+
+TEST(GpuModel, ThroughputInsensitiveToNeuronDistribution) {
+  // Paper Fig. 2b: "for GPU, there is roughly no relationship between the
+  // number of neurons and the throughput" — redistributing neurons across
+  // layers changes throughput far less than it changes FPGA mappings.
+  nn::MlpSpec balanced;
+  balanced.input_dim = 561;
+  balanced.output_dim = 6;
+  balanced.hidden = {64, 64};
+  nn::MlpSpec lopsided = balanced;
+  lopsided.hidden = {112, 16};
+
+  const auto a = evaluate_gpu(balanced, 512, quadro_m5000());
+  const auto b = evaluate_gpu(lopsided, 512, quadro_m5000());
+  const double ratio = a.outputs_per_second / b.outputs_per_second;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(GpuModel, LaunchOverheadDominatesSmallNets) {
+  // Halving an already-tiny net barely changes total time: launches dominate.
+  nn::MlpSpec tiny = tiny_net();
+  nn::MlpSpec tinier = tiny;
+  tinier.hidden = {16};
+  const auto a = evaluate_gpu(tiny, 512, titan_x());
+  const auto b = evaluate_gpu(tinier, 512, titan_x());
+  EXPECT_NEAR(a.total_time_seconds / b.total_time_seconds, 1.0, 0.15);
+}
+
+TEST(GpuModel, BiggerBatchRaisesThroughputOnSmallNets) {
+  const auto small_batch = evaluate_gpu(tiny_net(), 64, titan_x());
+  const auto big_batch = evaluate_gpu(tiny_net(), 2048, titan_x());
+  EXPECT_GT(big_batch.outputs_per_second, small_batch.outputs_per_second * 2.0);
+}
+
+TEST(GpuModel, FasterDeviceWinsOnComputeBoundWork) {
+  const auto m5000 = evaluate_gpu(big_net(), 2048, quadro_m5000());
+  const auto tx = evaluate_gpu(big_net(), 2048, titan_x());
+  EXPECT_GT(tx.outputs_per_second, m5000.outputs_per_second);
+}
+
+TEST(GpuModel, PerLayerTimesSumToTotal) {
+  const auto report = evaluate_gpu(tiny_net(), 512, titan_x());
+  ASSERT_EQ(report.layers.size(), 2u);
+  double total = 0.0;
+  for (const auto& layer : report.layers) total += layer.time_seconds;
+  EXPECT_NEAR(total, report.total_time_seconds, 1e-12);
+}
+
+TEST(GpuModel, OccupancyIsWaveQuantized) {
+  const auto report = evaluate_gpu(tiny_net(), 512, titan_x());
+  for (const auto& layer : report.layers) {
+    EXPECT_GT(layer.occupancy, 0.0);
+    EXPECT_LE(layer.occupancy, 1.0);
+  }
+}
+
+TEST(GpuModel, EmptyGemmsThrow) {
+  EXPECT_THROW(evaluate_gpu_gemms({}, titan_x()), std::invalid_argument);
+}
+
+TEST(GpuModel, ZeroPeakDeviceThrows) {
+  GpuDevice broken;
+  broken.peak_tflops = 0.0;
+  EXPECT_THROW(evaluate_gpu(tiny_net(), 64, broken), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::hw

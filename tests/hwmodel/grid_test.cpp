@@ -1,0 +1,78 @@
+#include "hwmodel/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::hw {
+namespace {
+
+TEST(GridConfig, DerivedQuantities) {
+  const GridConfig grid{8, 4, 8, 2, 3};
+  EXPECT_EQ(grid.dsp_usage(), 8u * 4u * 8u);
+  EXPECT_EQ(grid.block_m(), 16u);
+  EXPECT_EQ(grid.block_n(), 12u);
+  EXPECT_EQ(grid.macs_per_cycle(), 256u);
+}
+
+TEST(GridConfig, PotentialGflopsFormula) {
+  // 8x8x8 = 512 MACs/cycle = 1024 FLOP/cycle; at 250 MHz -> 256 GFLOP/s.
+  const GridConfig grid{8, 8, 8, 4, 4};
+  EXPECT_NEAR(grid.potential_gflops(arria10_gx1150()), 256.0, 1e-9);
+}
+
+TEST(GridConfig, FullDeviceGridHitsPaperRoofline) {
+  // A grid using all 1518 DSPs would hit the marketed 759 GFLOP/s; our
+  // discrete choices get close (1024 DSPs -> 512 GFLOP/s).
+  const FpgaDevice a10 = arria10_gx1150();
+  GridConfig grid{16, 16, 4, 1, 1};  // 1024 DSPs
+  EXPECT_TRUE(grid.fits(a10));
+  EXPECT_LT(grid.potential_gflops(a10), a10.peak_gflops());
+}
+
+TEST(GridConfig, FitsChecksDspBudget) {
+  const FpgaDevice a10 = arria10_gx1150();
+  EXPECT_TRUE((GridConfig{8, 8, 8, 1, 1}).fits(a10));     // 512 DSPs
+  EXPECT_FALSE((GridConfig{32, 32, 16, 1, 1}).fits(a10));  // 16384 DSPs
+  EXPECT_FALSE((GridConfig{16, 16, 8, 1, 1}).fits(a10));   // 2048 > 1518
+  EXPECT_TRUE((GridConfig{16, 16, 8, 1, 1}).fits(stratix10_2800()));
+}
+
+TEST(GridConfig, ToStringFormat) {
+  EXPECT_EQ((GridConfig{8, 4, 16, 2, 1}).to_string(), "8x4x16 im2 in1");
+}
+
+TEST(GridConfig, ValidateRejectsZeroFields) {
+  EXPECT_THROW((GridConfig{0, 4, 8, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((GridConfig{4, 0, 8, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((GridConfig{4, 4, 0, 1, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((GridConfig{4, 4, 8, 0, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW((GridConfig{4, 4, 8, 1, 0}).validate(), std::invalid_argument);
+  (GridConfig{4, 4, 8, 1, 1}).validate();  // must not throw
+}
+
+TEST(EnumerateGrids, AllResultsFitDevice) {
+  const FpgaDevice a10 = arria10_gx1150();
+  const auto grids = enumerate_grids(GridBounds{}, a10);
+  EXPECT_GT(grids.size(), 100u);
+  for (const auto& grid : grids) {
+    EXPECT_TRUE(grid.fits(a10)) << grid.to_string();
+  }
+}
+
+TEST(EnumerateGrids, LargerDeviceAdmitsMoreConfigs) {
+  const auto a10_grids = enumerate_grids(GridBounds{}, arria10_gx1150());
+  const auto s10_grids = enumerate_grids(GridBounds{}, stratix10_2800());
+  EXPECT_GT(s10_grids.size(), a10_grids.size());
+}
+
+TEST(EnumerateGrids, RespectsCustomBounds) {
+  GridBounds bounds;
+  bounds.row_choices = {2};
+  bounds.col_choices = {2};
+  bounds.vec_choices = {4};
+  bounds.interleave_choices = {1, 2};
+  const auto grids = enumerate_grids(bounds, arria10_gx1150());
+  EXPECT_EQ(grids.size(), 4u);  // 1*1*1*2*2
+}
+
+}  // namespace
+}  // namespace ecad::hw

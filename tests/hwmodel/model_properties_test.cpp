@@ -1,0 +1,139 @@
+// Property sweeps over the analytical models: invariants that must hold for
+// every (device, grid, network, batch) combination, checked with
+// parameterized gtest across a grid of configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hwmodel/fpga_model.h"
+#include "hwmodel/gpu_model.h"
+#include "hwmodel/resource_model.h"
+
+namespace ecad::hw {
+namespace {
+
+struct NetCase {
+  const char* name;
+  nn::MlpSpec spec;
+};
+
+std::vector<NetCase> nets() {
+  auto make = [](const char* name, std::size_t in, std::size_t out,
+                 std::vector<std::size_t> hidden) {
+    NetCase net;
+    net.name = name;
+    net.spec.input_dim = in;
+    net.spec.output_dim = out;
+    net.spec.hidden = std::move(hidden);
+    return net;
+  };
+  return {make("credit_small", 20, 2, {32}),
+          make("har_mid", 561, 6, {128, 64}),
+          make("mnist_wide", 784, 10, {512, 256}),
+          make("bio_deep", 1776, 2, {64, 64, 64}),
+          make("tiny", 4, 2, {4})};
+}
+
+class FpgaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+// param: (net index, grid index, batch)
+const GridConfig kGrids[] = {
+    {2, 2, 4, 1, 1}, {4, 4, 8, 2, 2}, {8, 8, 8, 4, 4}, {16, 8, 8, 8, 8}, {16, 16, 4, 8, 16}};
+
+TEST_P(FpgaPropertyTest, InvariantsHold) {
+  const auto [net_index, grid_index, batch] = GetParam();
+  const nn::MlpSpec spec = nets()[static_cast<std::size_t>(net_index)].spec;
+  const GridConfig& grid = kGrids[grid_index];
+  for (std::size_t banks : {1, 4}) {
+    const FpgaDevice device = arria10_gx1150(banks);
+    if (!grid.fits(device)) continue;
+    const FpgaPerfReport report = evaluate_fpga(spec, batch, grid, device);
+
+    // Efficiency and performance bounds.
+    EXPECT_GT(report.effective_gflops, 0.0);
+    EXPECT_LE(report.effective_gflops, report.potential_gflops * (1.0 + 1e-9));
+    EXPECT_GE(report.efficiency, 0.0);
+    EXPECT_LE(report.efficiency, 1.0 + 1e-9);
+    EXPECT_LE(report.potential_gflops, device.peak_gflops() + 1e-9);
+
+    // Timing sanity.
+    EXPECT_GT(report.total_time_seconds, 0.0);
+    EXPECT_GT(report.latency_seconds, 0.0);
+    EXPECT_LE(report.latency_seconds, report.total_time_seconds * (1.0 + 1e-9));
+    EXPECT_NEAR(report.outputs_per_second,
+                static_cast<double>(batch) / report.total_time_seconds,
+                report.outputs_per_second * 1e-9);
+
+    // Per-layer blocking covers the network exactly.
+    ASSERT_EQ(report.layers.size(), spec.hidden.size() + 1);
+    for (const auto& layer : report.layers) {
+      EXPECT_GE(layer.blocking.utilization, 0.0);
+      EXPECT_LE(layer.blocking.utilization, 1.0 + 1e-9);
+      EXPECT_GE(layer.blocking.total_blocks, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FpgaPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 5),
+                                            ::testing::Values(std::size_t{1}, std::size_t{64},
+                                                              std::size_t{256})),
+                         [](const auto& info) {
+                           return nets()[static_cast<std::size_t>(std::get<0>(info.param))].name +
+                                  std::string("_g") +
+                                  std::to_string(std::get<1>(info.param)) + "_b" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+class GpuPropertyTest : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(GpuPropertyTest, InvariantsHold) {
+  const auto [net_index, batch] = GetParam();
+  const nn::MlpSpec spec = nets()[static_cast<std::size_t>(net_index)].spec;
+  for (const GpuDevice& device : {quadro_m5000(), titan_x(), radeon_vii()}) {
+    const GpuPerfReport report = evaluate_gpu(spec, batch, device);
+    EXPECT_GT(report.effective_gflops, 0.0);
+    EXPECT_LE(report.effective_gflops, report.peak_gflops * (1.0 + 1e-9));
+    EXPECT_GE(report.efficiency, 0.0);
+    EXPECT_LE(report.efficiency, 1.0 + 1e-9);
+    EXPECT_GT(report.total_time_seconds, 0.0);
+    // Launch overhead floor: no run can beat layers x overhead.
+    EXPECT_GE(report.total_time_seconds,
+              static_cast<double>(report.layers.size()) * device.kernel_overhead_s * (1 - 1e-9));
+    for (const auto& layer : report.layers) {
+      EXPECT_GT(layer.occupancy, 0.0);
+      EXPECT_LE(layer.occupancy, 1.0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GpuPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(std::size_t{1}, std::size_t{512},
+                                                              std::size_t{4096})),
+                         [](const auto& info) {
+                           return nets()[static_cast<std::size_t>(std::get<0>(info.param))].name +
+                                  std::string("_b") + std::to_string(std::get<1>(info.param));
+                         });
+
+class PhysicalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhysicalPropertyTest, InvariantsHold) {
+  const GridConfig& grid = kGrids[GetParam()];
+  for (const FpgaDevice& device : {arria10_gx1150(1), stratix10_2800(4)}) {
+    const PhysicalReport report = estimate_physical(grid, device);
+    EXPECT_EQ(report.dsp_used, grid.dsp_usage());
+    EXPECT_GT(report.alm_used, 0u);
+    EXPECT_GT(report.m20k_used, 0u);
+    EXPECT_GT(report.fmax_mhz, 50.0);
+    EXPECT_LT(report.fmax_mhz, 600.0);
+    EXPECT_GT(report.power_watts, 15.0);
+    EXPECT_LT(report.power_watts, 60.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhysicalPropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace ecad::hw

@@ -1,0 +1,101 @@
+#include "hwmodel/resource_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/grid.h"
+
+namespace ecad::hw {
+namespace {
+
+TEST(ResourceModel, DspCountIsExact) {
+  const GridConfig grid{8, 4, 8, 2, 2};
+  const auto report = estimate_physical(grid, arria10_gx1150());
+  EXPECT_EQ(report.dsp_used, 256u);
+}
+
+TEST(ResourceModel, FractionsConsistentWithCounts) {
+  const FpgaDevice a10 = arria10_gx1150();
+  const auto report = estimate_physical(GridConfig{8, 8, 8, 4, 4}, a10);
+  EXPECT_NEAR(report.dsp_fraction,
+              static_cast<double>(report.dsp_used) / static_cast<double>(a10.dsp_count), 1e-12);
+  EXPECT_NEAR(report.alm_fraction,
+              static_cast<double>(report.alm_used) / static_cast<double>(a10.alm_count), 1e-12);
+  EXPECT_NEAR(report.m20k_fraction,
+              static_cast<double>(report.m20k_used) / static_cast<double>(a10.m20k_count),
+              1e-12);
+}
+
+TEST(ResourceModel, BiggerGridsUseMoreResources) {
+  const FpgaDevice a10 = arria10_gx1150();
+  const auto small = estimate_physical(GridConfig{2, 2, 4, 1, 1}, a10);
+  const auto large = estimate_physical(GridConfig{16, 8, 8, 8, 8}, a10);
+  EXPECT_LT(small.dsp_used, large.dsp_used);
+  EXPECT_LT(small.alm_used, large.alm_used);
+  EXPECT_LT(small.m20k_used, large.m20k_used);
+  EXPECT_LT(small.power_watts, large.power_watts);
+}
+
+TEST(ResourceModel, FitsFlagsOversizedGrids) {
+  const FpgaDevice a10 = arria10_gx1150();
+  EXPECT_TRUE(estimate_physical(GridConfig{8, 8, 8, 4, 4}, a10).fits);
+  EXPECT_FALSE(estimate_physical(GridConfig{32, 32, 16, 4, 4}, a10).fits);  // DSP blowout
+}
+
+TEST(ResourceModel, PowerBandMatchesPaper) {
+  // Paper §IV: Arria 10 compiles measured 22.5 W min, 27 W avg, 31.89 W max.
+  const FpgaDevice a10 = arria10_gx1150();
+  double pmin = 1e9, pmax = 0.0, psum = 0.0;
+  std::size_t n = 0;
+  for (const auto& grid : enumerate_grids(GridBounds{}, a10)) {
+    const auto report = estimate_physical(grid, a10);
+    if (!report.fits) continue;
+    pmin = std::min(pmin, report.power_watts);
+    pmax = std::max(pmax, report.power_watts);
+    psum += report.power_watts;
+    ++n;
+  }
+  ASSERT_GT(n, 100u);
+  EXPECT_NEAR(pmin, 22.5, 1.5);
+  EXPECT_NEAR(psum / static_cast<double>(n), 27.0, 1.5);
+  EXPECT_NEAR(pmax, 31.9, 2.0);
+}
+
+TEST(ResourceModel, FmaxAveragesNearPaper250) {
+  const FpgaDevice a10 = arria10_gx1150();
+  double fsum = 0.0;
+  std::size_t n = 0;
+  for (const auto& grid : enumerate_grids(GridBounds{}, a10)) {
+    const auto report = estimate_physical(grid, a10);
+    if (!report.fits) continue;
+    fsum += report.fmax_mhz;
+    ++n;
+  }
+  EXPECT_NEAR(fsum / static_cast<double>(n), 250.0, 15.0);
+}
+
+TEST(ResourceModel, CongestionDegradesFmax) {
+  const FpgaDevice a10 = arria10_gx1150();
+  const auto small = estimate_physical(GridConfig{2, 2, 4, 1, 1}, a10);
+  const auto large = estimate_physical(GridConfig{16, 8, 8, 16, 16}, a10);
+  EXPECT_GT(small.fmax_mhz, large.fmax_mhz);
+}
+
+TEST(ResourceModel, DeterministicPerGrid) {
+  const GridConfig grid{8, 8, 8, 4, 4};
+  const auto a = estimate_physical(grid, arria10_gx1150());
+  const auto b = estimate_physical(grid, arria10_gx1150());
+  EXPECT_DOUBLE_EQ(a.power_watts, b.power_watts);
+  EXPECT_DOUBLE_EQ(a.fmax_mhz, b.fmax_mhz);
+}
+
+TEST(ResourceModel, StratixRunsHotterAndFaster) {
+  const GridConfig grid{16, 16, 8, 4, 4};
+  const auto s10 = estimate_physical(grid, stratix10_2800());
+  const GridConfig a10_grid{16, 8, 8, 4, 4};
+  const auto a10 = estimate_physical(a10_grid, arria10_gx1150());
+  EXPECT_GT(s10.power_watts, a10.power_watts);
+  EXPECT_GT(s10.fmax_mhz, a10.fmax_mhz);
+}
+
+}  // namespace
+}  // namespace ecad::hw

@@ -1,0 +1,135 @@
+// Integration tests: the full ECAD flow — benchmark surrogate -> worker ->
+// steady-state search -> Pareto extraction — exercising the same paths the
+// paper's experiments use, at miniature budgets.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/master.h"
+#include "core/report.h"
+#include "core/worker.h"
+#include "data/benchmarks.h"
+#include "util/logging.h"
+
+namespace ecad {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+
+  static core::SearchRequest tiny_request(bool search_hardware, const std::string& fitness) {
+    core::SearchRequest request;
+    request.space.search_hardware = search_hardware;
+    request.space.width_choices = {8, 16, 32};
+    request.space.max_hidden_layers = 2;
+    request.evolution.population_size = 5;
+    request.evolution.max_evaluations = 15;
+    request.fitness = fitness;
+    request.threads = 1;
+    request.seed = 3;
+    return request;
+  }
+};
+
+TEST_F(EndToEndTest, AccuracySearchBeatsMajorityClass) {
+  const auto split = data::load_benchmark_split(data::Benchmark::CreditG, 0.5, 7);
+  nn::TrainOptions train;
+  train.epochs = 10;
+  const core::AccuracyWorker worker(split, train, 11);
+  core::Master master;
+  const auto outcome = master.search(worker, tiny_request(false, "accuracy"));
+  EXPECT_GT(outcome.best.result.accuracy, split.test.majority_fraction());
+}
+
+TEST_F(EndToEndTest, JointSearchProducesFeasibleFpgaDesigns) {
+  const auto split = data::load_benchmark_split(data::Benchmark::Phishing, 0.3, 9);
+  nn::TrainOptions train;
+  train.epochs = 6;
+  const core::FpgaHardwareDatabaseWorker worker(split, train, 13, hw::arria10_gx1150(1), 256);
+  core::Master master;
+  const auto outcome = master.search(worker, tiny_request(true, "accuracy_x_throughput"));
+
+  const auto& best = outcome.best;
+  EXPECT_TRUE(best.result.feasible);
+  EXPECT_GT(best.result.accuracy, 0.6);
+  EXPECT_GT(best.result.outputs_per_second, 0.0);
+  EXPECT_LE(best.result.hw_efficiency, 1.0);
+  EXPECT_TRUE(best.genome.grid.fits(hw::arria10_gx1150(1)));
+}
+
+TEST_F(EndToEndTest, FpgaEfficiencyExceedsGpuEfficiencyAtSimilarAccuracy) {
+  // The paper's Fig. 4 headline shape: FPGA ~41.5% vs GPU ~0.3%.
+  const auto split = data::load_benchmark_split(data::Benchmark::Phishing, 0.3, 21);
+  nn::TrainOptions train;
+  train.epochs = 6;
+  core::Master master;
+
+  const core::FpgaHardwareDatabaseWorker fpga(split, train, 23, hw::stratix10_2800(4), 256);
+  const auto fpga_outcome = master.search(fpga, tiny_request(true, "accuracy_x_throughput"));
+
+  const core::GpuSimulationWorker gpu(split, train, 23, hw::titan_x(), 512);
+  const auto gpu_outcome = master.search(gpu, tiny_request(false, "accuracy_x_throughput"));
+
+  const auto& fpga_best = core::best_by_accuracy(fpga_outcome.history);
+  const auto& gpu_best = core::best_by_accuracy(gpu_outcome.history);
+  EXPECT_GT(fpga_best.result.hw_efficiency, gpu_best.result.hw_efficiency * 3.0);
+}
+
+TEST_F(EndToEndTest, ThroughputSearchSacrificesLittleAccuracyForBigSpeedups) {
+  // Fig. 2a shape: within ~1 accuracy point there are configs spanning a
+  // wide throughput range; the report helper should find a faster config.
+  const auto split = data::load_benchmark_split(data::Benchmark::CreditG, 0.5, 31);
+  nn::TrainOptions train;
+  train.epochs = 8;
+  const core::FpgaHardwareDatabaseWorker worker(split, train, 33, hw::arria10_gx1150(1), 256);
+  core::Master master;
+  auto request = tiny_request(true, "accuracy_x_throughput");
+  request.evolution.max_evaluations = 25;
+  const auto outcome = master.search(worker, request);
+
+  const auto& top = core::best_by_accuracy(outcome.history);
+  const auto& fast = core::best_throughput_within(outcome.history, 0.02);
+  EXPECT_GE(fast.result.outputs_per_second, top.result.outputs_per_second);
+  EXPECT_GE(fast.result.accuracy, top.result.accuracy - 0.02);
+}
+
+TEST_F(EndToEndTest, ParetoFrontFromRealSearchIsMutuallyNonDominated) {
+  const auto split = data::load_benchmark_split(data::Benchmark::CreditG, 0.4, 41);
+  nn::TrainOptions train;
+  train.epochs = 6;
+  const core::FpgaHardwareDatabaseWorker worker(split, train, 43, hw::arria10_gx1150(1), 256);
+  core::Master master;
+  const auto outcome = master.search(worker, tiny_request(true, "accuracy_x_throughput"));
+
+  const std::vector<evo::Metric> metrics = {evo::Metric::Accuracy, evo::Metric::Throughput};
+  const auto front = core::Master::pareto_candidates(outcome.history, metrics);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(evo::dominates(front[j].result, front[i].result, metrics));
+    }
+  }
+}
+
+TEST_F(EndToEndTest, CacheStatisticsReported) {
+  const auto split = data::load_benchmark_split(data::Benchmark::CreditG, 0.3, 51);
+  nn::TrainOptions train;
+  train.epochs = 4;
+  const core::AccuracyWorker worker(split, train, 53);
+  core::Master master;
+  // Tiny space forces duplicate offspring -> duplicates_skipped should rise.
+  core::SearchRequest request = tiny_request(false, "accuracy");
+  request.space.width_choices = {8};
+  request.space.max_hidden_layers = 1;
+  request.space.activations = {nn::Activation::ReLU};
+  request.space.allow_no_bias = false;
+  request.evolution.max_evaluations = 6;
+  const auto outcome = master.search(worker, request);
+  // The space has exactly 1 NNA configuration; after evaluating it the
+  // engine can only skip duplicates or stop.
+  EXPECT_LE(outcome.stats.models_evaluated, 3u);
+}
+
+}  // namespace
+}  // namespace ecad

@@ -1,0 +1,110 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m.at(r, c), 1.5f);
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0f, 2.0f}, {3.0f}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData) {
+  Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  row[0] = 9.0f;
+  EXPECT_FLOAT_EQ(m(1, 0), 9.0f);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(0.0f);
+  for (float v : m.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Matrix, ReshapeDiscardZeroes) {
+  Matrix m(1, 1, 5.0f);
+  m.reshape_discard(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (float v : m.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m{{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(Matrix, DoubleTransposeIsIdentity) {
+  util::Rng rng(4);
+  const Matrix m = Matrix::random_uniform(5, 7, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, ApproxEqualTolerance) {
+  Matrix a{{1.0f}};
+  Matrix b{{1.0f + 5e-6f}};
+  EXPECT_TRUE(a.approx_equal(b, 1e-5f));
+  EXPECT_FALSE(a.approx_equal(b, 1e-7f));
+  EXPECT_FALSE(a.approx_equal(Matrix(1, 2)));
+}
+
+TEST(Matrix, RandomUniformWithinBounds) {
+  util::Rng rng(8);
+  const Matrix m = Matrix::random_uniform(10, 10, rng, -0.5f, 0.5f);
+  for (float v : m.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(Matrix, RandomGaussianRoughMoments) {
+  util::Rng rng(8);
+  const Matrix m = Matrix::random_gaussian(100, 100, rng, 2.0f, 0.5f);
+  double sum = 0.0;
+  for (float v : m.data()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 2.0, 0.05);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix eye = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(eye(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecad::linalg

@@ -1,0 +1,72 @@
+#include "nn/evaluate.h"
+
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::nn {
+namespace {
+
+data::Dataset easy_pool(std::size_t n = 200) {
+  data::SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 5;
+  spec.num_classes = 2;
+  spec.latent_dim = 3;
+  spec.clusters_per_class = 1;
+  spec.cluster_separation = 5.0;
+  util::Rng rng(15);
+  return data::generate_synthetic(spec, rng);
+}
+
+TEST(KFoldEvaluate, ProducesOneAccuracyPerFold) {
+  MlpSpec spec;
+  spec.input_dim = 5;
+  spec.output_dim = 2;
+  spec.hidden = {16};
+  TrainOptions options;
+  options.epochs = 30;
+  options.optimizer.learning_rate = 5e-3;
+  util::Rng rng(1);
+  const KFoldResult result = kfold_evaluate(spec, easy_pool(), 5, options, rng);
+  EXPECT_EQ(result.fold_accuracies.size(), 5u);
+  EXPECT_GT(result.mean_accuracy, 0.9);
+  EXPECT_GE(result.stddev_accuracy, 0.0);
+  for (double accuracy : result.fold_accuracies) {
+    EXPECT_GE(accuracy, 0.0);
+    EXPECT_LE(accuracy, 1.0);
+  }
+}
+
+TEST(KFoldEvaluate, MeanMatchesFolds) {
+  MlpSpec spec;
+  spec.input_dim = 5;
+  spec.output_dim = 2;
+  spec.hidden = {4};
+  TrainOptions options;
+  options.epochs = 5;
+  util::Rng rng(2);
+  const KFoldResult result = kfold_evaluate(spec, easy_pool(100), 4, options, rng);
+  double sum = 0.0;
+  for (double accuracy : result.fold_accuracies) sum += accuracy;
+  EXPECT_NEAR(result.mean_accuracy, sum / 4.0, 1e-12);
+}
+
+TEST(HoldoutEvaluate, TrainsAndScores) {
+  const data::Dataset pool = easy_pool();
+  util::Rng split_rng(3);
+  data::TrainTestSplit split = data::stratified_split(pool, 0.3, split_rng);
+  data::standardize_together(split.train, {&split.test});
+  MlpSpec spec;
+  spec.input_dim = 5;
+  spec.output_dim = 2;
+  spec.hidden = {16};
+  TrainOptions options;
+  options.epochs = 30;
+  options.optimizer.learning_rate = 5e-3;
+  util::Rng rng(4);
+  EXPECT_GT(holdout_evaluate(spec, split, options, rng), 0.9);
+}
+
+}  // namespace
+}  // namespace ecad::nn

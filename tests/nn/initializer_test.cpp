@@ -1,0 +1,59 @@
+#include "nn/initializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecad::nn {
+namespace {
+
+TEST(Initializer, DefaultSchemeFollowsActivation) {
+  EXPECT_EQ(default_init_for(Activation::ReLU), InitScheme::He);
+  EXPECT_EQ(default_init_for(Activation::LeakyReLU), InitScheme::He);
+  EXPECT_EQ(default_init_for(Activation::Elu), InitScheme::He);
+  EXPECT_EQ(default_init_for(Activation::Sigmoid), InitScheme::Xavier);
+  EXPECT_EQ(default_init_for(Activation::Tanh), InitScheme::Xavier);
+}
+
+TEST(Initializer, XavierStaysWithinLimit) {
+  linalg::Matrix w(64, 32);
+  util::Rng rng(1);
+  initialize_weights(w, InitScheme::Xavier, rng);
+  const double limit = std::sqrt(6.0 / (64.0 + 32.0));
+  for (float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Initializer, HeVarianceScalesWithFanIn) {
+  util::Rng rng(2);
+  linalg::Matrix w(400, 50);
+  initialize_weights(w, InitScheme::He, rng);
+  double sum_sq = 0.0;
+  for (float v : w.data()) sum_sq += static_cast<double>(v) * v;
+  const double variance = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(variance, 2.0 / 400.0, 2.0 / 400.0 * 0.2);
+}
+
+TEST(Initializer, UniformSmallRange) {
+  util::Rng rng(3);
+  linalg::Matrix w(10, 10);
+  initialize_weights(w, InitScheme::Uniform, rng);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -0.05f);
+    EXPECT_LE(v, 0.05f);
+  }
+}
+
+TEST(Initializer, NotAllZero) {
+  util::Rng rng(4);
+  linalg::Matrix w(8, 8);
+  initialize_weights(w, InitScheme::He, rng);
+  double sum_abs = 0.0;
+  for (float v : w.data()) sum_abs += std::fabs(v);
+  EXPECT_GT(sum_abs, 0.0);
+}
+
+}  // namespace
+}  // namespace ecad::nn

@@ -1,0 +1,98 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecad::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const linalg::Matrix logits(4, 3, 0.0f);
+  const double loss = cross_entropy_loss(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(loss, std::log(3.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionNearZero) {
+  linalg::Matrix logits(1, 2);
+  logits.at(0, 0) = 20.0f;
+  logits.at(0, 1) = -20.0f;
+  EXPECT_NEAR(cross_entropy_loss(logits, {0}), 0.0, 1e-5);
+  EXPECT_GT(cross_entropy_loss(logits, {1}), 10.0);
+}
+
+TEST(CrossEntropy, SizeAndRangeValidation) {
+  const linalg::Matrix logits(2, 3);
+  EXPECT_THROW(cross_entropy_loss(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy_loss(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy_loss(logits, {0, -1}), std::invalid_argument);
+}
+
+TEST(CrossEntropyGrad, MatchesFiniteDifference) {
+  util::Rng rng(5);
+  linalg::Matrix logits = linalg::Matrix::random_uniform(3, 4, rng, -2.0f, 2.0f);
+  const std::vector<int> labels = {1, 3, 0};
+  linalg::Matrix grad;
+  const double loss = cross_entropy_loss_grad(logits, labels, grad);
+  EXPECT_NEAR(loss, cross_entropy_loss(logits, labels), 1e-6);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits.data()[i];
+    logits.data()[i] = saved + eps;
+    const double up = cross_entropy_loss(logits, labels);
+    logits.data()[i] = saved - eps;
+    const double down = cross_entropy_loss(logits, labels);
+    logits.data()[i] = saved;
+    EXPECT_NEAR(grad.data()[i], (up - down) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(CrossEntropyGrad, RowsSumToZero) {
+  // softmax minus one-hot sums to zero across classes in every row.
+  util::Rng rng(7);
+  const linalg::Matrix logits = linalg::Matrix::random_uniform(5, 6, rng);
+  linalg::Matrix grad;
+  cross_entropy_loss_grad(logits, {0, 1, 2, 3, 4}, grad);
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < grad.cols(); ++c) total += grad.at(r, c);
+    EXPECT_NEAR(total, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Mse, ZeroForIdenticalInputs) {
+  const linalg::Matrix a{{1.0f, 2.0f}};
+  EXPECT_DOUBLE_EQ(mse_loss(a, a), 0.0);
+}
+
+TEST(Mse, KnownValue) {
+  const linalg::Matrix pred{{1.0f, 2.0f}};
+  const linalg::Matrix target{{0.0f, 4.0f}};
+  EXPECT_NEAR(mse_loss(pred, target), (1.0 + 4.0) / 2.0, 1e-6);
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  EXPECT_THROW(mse_loss(linalg::Matrix(1, 2), linalg::Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(MseGrad, MatchesFiniteDifference) {
+  util::Rng rng(9);
+  linalg::Matrix pred = linalg::Matrix::random_uniform(2, 3, rng);
+  const linalg::Matrix target = linalg::Matrix::random_uniform(2, 3, rng);
+  linalg::Matrix grad;
+  mse_loss_grad(pred, target, grad);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float saved = pred.data()[i];
+    pred.data()[i] = saved + eps;
+    const double up = mse_loss(pred, target);
+    pred.data()[i] = saved - eps;
+    const double down = mse_loss(pred, target);
+    pred.data()[i] = saved;
+    EXPECT_NEAR(grad.data()[i], (up - down) / (2.0 * eps), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace ecad::nn

@@ -1,0 +1,73 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::nn {
+namespace {
+
+TEST(Accuracy, Fraction) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy({2}, {2}), 1.0);
+}
+
+TEST(Accuracy, SizeMismatchThrows) {
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsTruthByPrediction) {
+  // truth:      0 0 1 1 1
+  // prediction: 0 1 1 1 0
+  const auto matrix = confusion_matrix({0, 1, 1, 1, 0}, {0, 0, 1, 1, 1}, 2);
+  EXPECT_EQ(matrix[0 * 2 + 0], 1u);  // truth 0 pred 0
+  EXPECT_EQ(matrix[0 * 2 + 1], 1u);  // truth 0 pred 1
+  EXPECT_EQ(matrix[1 * 2 + 0], 1u);  // truth 1 pred 0
+  EXPECT_EQ(matrix[1 * 2 + 1], 2u);  // truth 1 pred 1
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  EXPECT_THROW(confusion_matrix({5}, {0}, 2), std::invalid_argument);
+  EXPECT_THROW(confusion_matrix({0}, {-1}, 2), std::invalid_argument);
+}
+
+TEST(PerClassMetrics, PerfectPrediction) {
+  const auto matrix = confusion_matrix({0, 1, 2}, {0, 1, 2}, 3);
+  const auto metrics = per_class_metrics(matrix, 3);
+  for (const auto& m : metrics) {
+    EXPECT_DOUBLE_EQ(m.precision, 1.0);
+    EXPECT_DOUBLE_EQ(m.recall, 1.0);
+    EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  }
+}
+
+TEST(PerClassMetrics, KnownValues) {
+  // truth:      0 0 1 1 1 ; prediction: 0 1 1 1 0
+  const auto matrix = confusion_matrix({0, 1, 1, 1, 0}, {0, 0, 1, 1, 1}, 2);
+  const auto metrics = per_class_metrics(matrix, 2);
+  EXPECT_DOUBLE_EQ(metrics[0].precision, 0.5);  // tp=1, fp=1
+  EXPECT_DOUBLE_EQ(metrics[0].recall, 0.5);     // tp=1, fn=1
+  EXPECT_NEAR(metrics[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics[1].recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PerClassMetrics, AbsentClassYieldsZeroNotNaN) {
+  const auto matrix = confusion_matrix({0, 0}, {0, 0}, 2);
+  const auto metrics = per_class_metrics(matrix, 2);
+  EXPECT_DOUBLE_EQ(metrics[1].precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics[1].recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics[1].f1, 0.0);
+}
+
+TEST(MacroF1, AveragesPerClassF1) {
+  EXPECT_DOUBLE_EQ(macro_f1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(macro_f1({}, {}, 0), 0.0);
+}
+
+TEST(MacroF1, PenalizesMissedClass) {
+  const double f1 = macro_f1({0, 0, 0, 0}, {0, 0, 1, 1}, 2);
+  EXPECT_LT(f1, 0.5);
+  EXPECT_GT(f1, 0.0);
+}
+
+}  // namespace
+}  // namespace ecad::nn

@@ -1,0 +1,112 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ecad::nn {
+namespace {
+
+TEST(Optimizer, NamesRoundTrip) {
+  for (OptimizerKind kind : {OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adam}) {
+    EXPECT_EQ(optimizer_from_name(to_string(kind)), kind);
+  }
+  EXPECT_THROW(optimizer_from_name("lbfgs"), std::invalid_argument);
+}
+
+TEST(Sgd, SingleStepIsLrTimesGrad) {
+  OptimizerOptions options;
+  options.kind = OptimizerKind::Sgd;
+  options.learning_rate = 0.1;
+  auto optimizer = make_optimizer(options, 1);
+  std::vector<float> params{1.0f};
+  const std::vector<float> grads{2.0f};
+  optimizer->step(0, params, grads, /*decay=*/false);
+  EXPECT_NEAR(params[0], 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayAppliesOnlyWhenRequested) {
+  OptimizerOptions options;
+  options.kind = OptimizerKind::Sgd;
+  options.learning_rate = 0.1;
+  options.weight_decay = 1.0;
+  auto optimizer = make_optimizer(options, 2);
+  std::vector<float> decayed{1.0f}, undecayed{1.0f};
+  const std::vector<float> zero_grad{0.0f};
+  optimizer->step(0, decayed, zero_grad, true);
+  optimizer->step(1, undecayed, zero_grad, false);
+  EXPECT_LT(decayed[0], 1.0f);
+  EXPECT_FLOAT_EQ(undecayed[0], 1.0f);
+}
+
+// Every optimizer must minimize the convex quadratic f(x) = ||x - t||².
+class OptimizerConvergenceTest : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerConvergenceTest, MinimizesQuadratic) {
+  OptimizerOptions options;
+  options.kind = GetParam();
+  options.learning_rate = options.kind == OptimizerKind::Adam ? 0.05 : 0.1;
+  auto optimizer = make_optimizer(options, 1);
+
+  std::vector<float> x{5.0f, -3.0f};
+  const std::vector<float> target{1.0f, 2.0f};
+  for (int step = 0; step < 500; ++step) {
+    std::vector<float> grads(2);
+    for (int i = 0; i < 2; ++i) grads[static_cast<std::size_t>(i)] = 2.0f * (x[static_cast<std::size_t>(i)] - target[static_cast<std::size_t>(i)]);
+    optimizer->step(0, x, grads, false);
+    optimizer->advance();
+  }
+  EXPECT_NEAR(x[0], 1.0f, 0.05f);
+  EXPECT_NEAR(x[1], 2.0f, 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OptimizerConvergenceTest,
+                         ::testing::Values(OptimizerKind::Sgd, OptimizerKind::Momentum,
+                                           OptimizerKind::Adam),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(Momentum, AcceleratesInConsistentDirection) {
+  OptimizerOptions sgd_options;
+  sgd_options.kind = OptimizerKind::Sgd;
+  sgd_options.learning_rate = 0.01;
+  OptimizerOptions momentum_options = sgd_options;
+  momentum_options.kind = OptimizerKind::Momentum;
+  momentum_options.momentum = 0.9;
+
+  auto sgd = make_optimizer(sgd_options, 1);
+  auto momentum = make_optimizer(momentum_options, 1);
+  std::vector<float> x_sgd{0.0f}, x_momentum{0.0f};
+  const std::vector<float> grad{-1.0f};  // constant downhill
+  for (int i = 0; i < 20; ++i) {
+    sgd->step(0, x_sgd, grad, false);
+    momentum->step(0, x_momentum, grad, false);
+  }
+  EXPECT_GT(x_momentum[0], x_sgd[0] * 2.0f);
+}
+
+TEST(Adam, StepMagnitudeBoundedByLearningRate) {
+  OptimizerOptions options;
+  options.kind = OptimizerKind::Adam;
+  options.learning_rate = 0.001;
+  auto optimizer = make_optimizer(options, 1);
+  std::vector<float> x{0.0f};
+  // Huge gradient: Adam normalizes, so the first step ~ lr.
+  optimizer->step(0, x, std::vector<float>{1e6f}, false);
+  EXPECT_NEAR(std::fabs(x[0]), 0.001f, 2e-4f);
+}
+
+TEST(Adam, PerSlotStateIsIndependent) {
+  OptimizerOptions options;
+  options.kind = OptimizerKind::Adam;
+  options.learning_rate = 0.01;
+  auto optimizer = make_optimizer(options, 2);
+  std::vector<float> a{0.0f}, b{0.0f};
+  optimizer->step(0, a, std::vector<float>{1.0f}, false);
+  // Slot 1 never saw a gradient; its state must start fresh.
+  optimizer->step(1, b, std::vector<float>{1.0f}, false);
+  EXPECT_NEAR(a[0], b[0], 1e-6f);
+}
+
+}  // namespace
+}  // namespace ecad::nn

@@ -1,0 +1,87 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace ecad::nn {
+namespace {
+
+Mlp make_model(bool use_bias = true) {
+  MlpSpec spec;
+  spec.input_dim = 7;
+  spec.output_dim = 3;
+  spec.hidden = {12, 5};
+  spec.activation = Activation::Elu;
+  spec.use_bias = use_bias;
+  util::Rng rng(33);
+  return Mlp(spec, rng);
+}
+
+TEST(Serialize, RoundTripPreservesSpecAndWeights) {
+  const Mlp original = make_model();
+  std::stringstream stream;
+  save_mlp(original, stream);
+  const Mlp restored = load_mlp(stream);
+
+  EXPECT_EQ(restored.spec(), original.spec());
+  for (std::size_t l = 0; l < original.num_layers(); ++l) {
+    EXPECT_TRUE(restored.weights(l).approx_equal(original.weights(l), 1e-6f)) << "layer " << l;
+    EXPECT_TRUE(restored.bias(l).approx_equal(original.bias(l), 1e-6f)) << "layer " << l;
+  }
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  const Mlp original = make_model();
+  util::Rng rng(5);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(10, 7, rng);
+  std::stringstream stream;
+  save_mlp(original, stream);
+  const Mlp restored = load_mlp(stream);
+  EXPECT_TRUE(restored.forward(input).approx_equal(original.forward(input), 1e-4f));
+}
+
+TEST(Serialize, NoBiasModelsRoundTrip) {
+  const Mlp original = make_model(/*use_bias=*/false);
+  std::stringstream stream;
+  save_mlp(original, stream);
+  const Mlp restored = load_mlp(stream);
+  EXPECT_FALSE(restored.spec().use_bias);
+  util::Rng rng(6);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(4, 7, rng);
+  EXPECT_TRUE(restored.forward(input).approx_equal(original.forward(input), 1e-4f));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecad_mlp_test.txt").string();
+  const Mlp original = make_model();
+  save_mlp_file(original, path);
+  const Mlp restored = load_mlp_file(path);
+  EXPECT_EQ(restored.spec(), original.spec());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream stream("not-a-model 1 2 3");
+  EXPECT_THROW(load_mlp(stream), std::invalid_argument);
+}
+
+TEST(Serialize, TruncatedDataThrows) {
+  const Mlp original = make_model();
+  std::stringstream stream;
+  save_mlp(original, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_mlp(truncated), std::invalid_argument);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_mlp_file("/no/such/model.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecad::nn

@@ -1,0 +1,187 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+namespace ecad::nn {
+namespace {
+
+data::Dataset blobs(std::size_t n, std::uint64_t seed = 3) {
+  data::SyntheticSpec spec;
+  spec.num_samples = n;
+  spec.num_features = 6;
+  spec.num_classes = 3;
+  spec.latent_dim = 4;
+  spec.clusters_per_class = 1;
+  spec.cluster_separation = 5.0;
+  util::Rng rng(seed);
+  data::Dataset dataset = data::generate_synthetic(spec, rng);
+  data::standardize_together(dataset, {});
+  return dataset;
+}
+
+// XOR: not linearly separable — requires the hidden layer to work.
+data::Dataset xor_dataset() {
+  data::Dataset dataset;
+  dataset.name = "xor";
+  dataset.num_classes = 2;
+  dataset.features.reshape_discard(200, 2);
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(rng.next_double(-1.0, 1.0));
+    const float y = static_cast<float>(rng.next_double(-1.0, 1.0));
+    dataset.features.at(i, 0) = x;
+    dataset.features.at(i, 1) = y;
+    dataset.labels.push_back((x > 0.0f) != (y > 0.0f) ? 1 : 0);
+  }
+  return dataset;
+}
+
+TEST(Trainer, LearnsLinearlySeparableBlobs) {
+  const data::Dataset dataset = blobs(300);
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = {16};
+  util::Rng rng(1);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 30;
+  const TrainResult result = train(mlp, dataset, nullptr, options, rng);
+  EXPECT_GT(evaluate_accuracy(mlp, dataset), 0.95);
+  EXPECT_EQ(result.history.size(), result.epochs_run);
+  EXPECT_LT(result.history.back().train_loss, result.history.front().train_loss);
+}
+
+TEST(Trainer, LearnsXorWithHiddenLayer) {
+  const data::Dataset dataset = xor_dataset();
+  MlpSpec spec;
+  spec.input_dim = 2;
+  spec.output_dim = 2;
+  spec.hidden = {16};
+  util::Rng rng(2);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 120;
+  options.optimizer.learning_rate = 5e-3;
+  train(mlp, dataset, nullptr, options, rng);
+  EXPECT_GT(evaluate_accuracy(mlp, dataset), 0.9);
+}
+
+TEST(Trainer, LinearModelCannotLearnXor) {
+  const data::Dataset dataset = xor_dataset();
+  MlpSpec spec;
+  spec.input_dim = 2;
+  spec.output_dim = 2;  // no hidden layer: logistic regression
+  util::Rng rng(2);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 60;
+  train(mlp, dataset, nullptr, options, rng);
+  EXPECT_LT(evaluate_accuracy(mlp, dataset), 0.75);
+}
+
+TEST(Trainer, EarlyStoppingTriggersOnPlateau) {
+  // Train/validation must come from the same distribution: generate one pool
+  // and slice it.
+  const data::Dataset pool = blobs(300, 3);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < pool.num_samples(); ++i) {
+    (i < 200 ? train_idx : val_idx).push_back(i);
+  }
+  const data::Dataset train_set = pool.subset(train_idx);
+  const data::Dataset validation = pool.subset(val_idx);
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = {16};
+  util::Rng rng(5);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 200;  // far more than needed; patience should cut it
+  options.early_stop_patience = 3;
+  const TrainResult result = train(mlp, train_set, &validation, options, rng);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.epochs_run, 200u);
+  EXPECT_GT(result.best_validation_accuracy, 0.9);
+}
+
+TEST(Trainer, ZeroPatienceDisablesEarlyStopping) {
+  const data::Dataset train_set = blobs(100);
+  const data::Dataset validation = blobs(50, 8);
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = {8};
+  util::Rng rng(6);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 12;
+  options.early_stop_patience = 0;
+  const TrainResult result = train(mlp, train_set, &validation, options, rng);
+  EXPECT_FALSE(result.early_stopped);
+  EXPECT_EQ(result.epochs_run, 12u);
+}
+
+TEST(Trainer, ValidatesSchema) {
+  const data::Dataset dataset = blobs(50);
+  MlpSpec spec;
+  spec.input_dim = 99;  // wrong width
+  spec.output_dim = 3;
+  util::Rng rng(1);
+  Mlp mlp(spec, rng);
+  EXPECT_THROW(train(mlp, dataset, nullptr, TrainOptions{}, rng), std::invalid_argument);
+
+  MlpSpec narrow;
+  narrow.input_dim = 6;
+  narrow.output_dim = 2;  // fewer outputs than classes
+  Mlp narrow_mlp(narrow, rng);
+  EXPECT_THROW(train(narrow_mlp, dataset, nullptr, TrainOptions{}, rng), std::invalid_argument);
+
+  MlpSpec ok;
+  ok.input_dim = 6;
+  ok.output_dim = 3;
+  Mlp ok_mlp(ok, rng);
+  TrainOptions bad_batch;
+  bad_batch.batch_size = 0;
+  EXPECT_THROW(train(ok_mlp, dataset, nullptr, bad_batch, rng), std::invalid_argument);
+}
+
+TEST(Trainer, BatchLargerThanDatasetStillWorks) {
+  const data::Dataset dataset = blobs(20);
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = {8};
+  util::Rng rng(4);
+  Mlp mlp(spec, rng);
+  TrainOptions options;
+  options.epochs = 80;  // one gradient step per epoch at this batch size
+  options.batch_size = 512;
+  train(mlp, dataset, nullptr, options, rng);
+  EXPECT_GT(evaluate_accuracy(mlp, dataset), 0.8);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const data::Dataset dataset = blobs(100);
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = {8};
+  TrainOptions options;
+  options.epochs = 5;
+
+  util::Rng rng1(77), rng2(77);
+  Mlp a(spec, rng1), b(spec, rng2);
+  const TrainResult ra = train(a, dataset, nullptr, options, rng1);
+  const TrainResult rb = train(b, dataset, nullptr, options, rng2);
+  EXPECT_DOUBLE_EQ(ra.final_train_loss, rb.final_train_loss);
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    EXPECT_EQ(a.weights(l), b.weights(l));
+  }
+}
+
+}  // namespace
+}  // namespace ecad::nn

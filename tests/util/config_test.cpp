@@ -1,0 +1,88 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::util {
+namespace {
+
+constexpr const char* kSample = R"ini(
+# ECAD experiment configuration
+[Dataset]
+benchmark = credit-g
+sample_scale = 0.5
+
+[search]
+population = 16
+fitness = accuracy_x_throughput
+widths = 8, 16, 32
+deterministic = true
+)ini";
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const Config config = Config::parse(kSample);
+  EXPECT_EQ(config.get("dataset", "benchmark"), "credit-g");
+  EXPECT_EQ(config.get_int("search", "population", 0), 16);
+}
+
+TEST(Config, SectionAndKeyLookupIsCaseInsensitive) {
+  const Config config = Config::parse(kSample);
+  EXPECT_TRUE(config.has("DATASET", "BENCHMARK"));
+  EXPECT_EQ(config.get("DaTaSeT", "Benchmark"), "credit-g");
+}
+
+TEST(Config, TypedAccessorsWithDefaults) {
+  const Config config = Config::parse(kSample);
+  EXPECT_DOUBLE_EQ(config.get_double("dataset", "sample_scale", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(config.get_double("dataset", "missing", 2.5), 2.5);
+  EXPECT_TRUE(config.get_bool("search", "deterministic", false));
+  EXPECT_FALSE(config.get_bool("search", "absent", false));
+  EXPECT_EQ(config.get_string("search", "fitness", "x"), "accuracy_x_throughput");
+}
+
+TEST(Config, IntListParsing) {
+  const Config config = Config::parse(kSample);
+  EXPECT_EQ(config.get_int_list("search", "widths", {}),
+            (std::vector<long long>{8, 16, 32}));
+  EXPECT_EQ(config.get_int_list("search", "missing", {1}), (std::vector<long long>{1}));
+}
+
+TEST(Config, MissingKeyThrows) {
+  const Config config = Config::parse(kSample);
+  EXPECT_THROW(config.get("dataset", "nope"), std::out_of_range);
+  EXPECT_THROW(config.get("nosection", "x"), std::out_of_range);
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(Config::parse("[unterminated\nx = 1\n"), std::invalid_argument);
+  EXPECT_THROW(Config::parse("keywithoutvalue\n"), std::invalid_argument);
+  EXPECT_THROW(Config::parse("= value\n"), std::invalid_argument);
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const Config config = Config::parse("# comment\n; also comment\n\n[a]\nx = 1\n");
+  EXPECT_EQ(config.get_int("a", "x", 0), 1);
+}
+
+TEST(Config, SetAndRoundTrip) {
+  Config config;
+  config.set("hw", "target", "arria10");
+  config.set("hw", "banks", "4");
+  const Config reparsed = Config::parse(config.to_string());
+  EXPECT_EQ(reparsed.get("hw", "target"), "arria10");
+  EXPECT_EQ(reparsed.get_int("hw", "banks", 0), 4);
+}
+
+TEST(Config, KeysAndSectionsEnumerate) {
+  const Config config = Config::parse(kSample);
+  EXPECT_EQ(config.sections().size(), 2u);
+  EXPECT_EQ(config.keys("search").size(), 4u);
+  EXPECT_TRUE(config.keys("missing").empty());
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  const Config config = Config::parse("[a]\nexpr = m=k*n\n");
+  EXPECT_EQ(config.get("a", "expr"), "m=k*n");
+}
+
+}  // namespace
+}  // namespace ecad::util

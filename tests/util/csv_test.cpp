@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ecad::util {
+namespace {
+
+TEST(ParseCsv, SimpleWithHeader) {
+  const CsvTable table = parse_csv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ParseCsv, NoHeader) {
+  const CsvTable table = parse_csv("1,2\n", /*has_header=*/false);
+  EXPECT_TRUE(table.header.empty());
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.num_cols(), 2u);
+}
+
+TEST(ParseCsv, QuotedFieldsWithCommasAndQuotes) {
+  const CsvTable table = parse_csv("\"a,b\",\"say \"\"hi\"\"\"\nplain,2\n", false);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][1], "say \"hi\"");
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const CsvTable table = parse_csv("x,y\r\n1,2\r\n", true);
+  EXPECT_EQ(table.header[0], "x");
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(ParseCsv, SkipsBlankLines) {
+  const CsvTable table = parse_csv("a\n\n1\n\n2\n", true);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const CsvTable table = parse_csv("a,b\n1,2", true);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(ToCsv, RoundTripsQuoting) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows.push_back({"x,y", "said \"ok\""});
+  table.rows.push_back({"plain", "line\nbreak"});
+  const CsvTable reparsed = parse_csv(to_csv(table), true);
+  EXPECT_EQ(reparsed.header, table.header);
+  ASSERT_EQ(reparsed.num_rows(), 2u);
+  EXPECT_EQ(reparsed.rows[0][0], "x,y");
+  EXPECT_EQ(reparsed.rows[0][1], "said \"ok\"");
+  EXPECT_EQ(reparsed.rows[1][1], "line\nbreak");
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecad_csv_test.csv").string();
+  CsvTable table;
+  table.header = {"f0", "label"};
+  table.rows.push_back({"0.5", "1"});
+  write_csv_file(path, table);
+  const CsvTable loaded = read_csv_file(path, true);
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely/missing.csv", true), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecad::util

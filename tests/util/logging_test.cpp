@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Info); }
+};
+
+TEST_F(LoggingTest, LevelRoundTripsThroughNames) {
+  for (LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+TEST_F(LoggingTest, ParseIsCaseInsensitiveAndAcceptsAliases) {
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_THROW(parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, LevelOrderingSupportsFiltering) {
+  EXPECT_LT(LogLevel::Trace, LogLevel::Debug);
+  EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+  EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+  EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+  EXPECT_LT(LogLevel::Error, LogLevel::Off);
+}
+
+TEST_F(LoggingTest, StreamBuilderDoesNotCrashAtAnyLevel) {
+  set_log_level(LogLevel::Off);
+  Log(LogLevel::Info, "test") << "value " << 42 << ' ' << 1.5;
+  set_log_level(LogLevel::Trace);
+  Log(LogLevel::Trace, "test") << "trace line";
+}
+
+}  // namespace
+}  // namespace ecad::util

@@ -1,0 +1,132 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace ecad::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(Rng, NextIndexStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_index(10), 10u);
+  }
+  EXPECT_EQ(rng.next_index(1), 0u);
+}
+
+TEST(Rng, NextIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.next_double(-3.0, 4.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (parent() != child()) ++differing;
+  }
+  EXPECT_GT(differing, 8);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleHandlesDegenerateSizes) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace ecad::util

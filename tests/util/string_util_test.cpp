@@ -1,0 +1,88 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ecad::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim("nochange"), "nochange");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Hello", "hELLO"));
+  EXPECT_FALSE(iequals("hello", "helloo"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(ToLower, Lowers) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("credit-g", "credit"));
+  EXPECT_FALSE(starts_with("credit", "credit-g"));
+}
+
+TEST(ParseDouble, ParsesValidTokens) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -2e3 "), -2000.0);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_double(""), std::invalid_argument);
+}
+
+TEST(ParseInt, ParsesAndRejects) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_THROW(parse_int("4.5"), std::invalid_argument);
+  EXPECT_THROW(parse_int("x"), std::invalid_argument);
+}
+
+TEST(ParseBool, AcceptsCommonSpellings) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("Yes"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_THROW(parse_bool("maybe"), std::invalid_argument);
+}
+
+TEST(FormatScientific, PaperStyle) {
+  EXPECT_EQ(format_scientific(8190.0), "8.19E3");
+  EXPECT_EQ(format_scientific(1.40e7), "1.40E7");
+  EXPECT_EQ(format_scientific(0.0), "0");
+}
+
+TEST(FormatScientific, NegativeAndSmall) {
+  EXPECT_EQ(format_scientific(-2500.0), "-2.50E3");
+  EXPECT_EQ(format_scientific(0.0025), "2.50E-3");
+}
+
+TEST(FormatFixed, RoundsToDecimals) {
+  EXPECT_EQ(format_fixed(0.98765, 4), "0.9877");
+  EXPECT_EQ(format_fixed(27.0, 1), "27.0");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace ecad::util

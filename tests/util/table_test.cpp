@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ecad::util {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"Dataset", "Acc"});
+  table.add_row({"credit-g", "0.788"});
+  table.add_row({"har", "0.991"});
+  const std::string out = table.render("TITLE");
+  EXPECT_NE(out.find("TITLE"), std::string::npos);
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("credit-g"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsColumnsToWidestCell) {
+  TextTable table({"a", "b"});
+  table.add_row({"longvalue", "x"});
+  const std::string out = table.render("");
+  // Header cell 'a' must be padded to the width of "longvalue".
+  EXPECT_NE(out.find("a         |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyTitleOmitsTitleLine) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  const std::string out = table.render("");
+  EXPECT_EQ(out.find('\n'), out.find("x\n") + 1);
+}
+
+TEST(TextTable, PrintStreamsRenderedText) {
+  TextTable table({"x"});
+  table.add_row({"42"});
+  std::ostringstream out;
+  table.print(out, "t");
+  EXPECT_EQ(out.str(), table.render("t"));
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ecad::util

@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace ecad::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::logic_error("bad index");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ResultsPreserveValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace ecad::util
