@@ -132,7 +132,7 @@ int DecisionTree::build(const std::vector<std::size_t>& samples, std::size_t dep
   return node_index;
 }
 
-int DecisionTree::predict_one(std::span<const float> row) const {
+int DecisionTree::predict_one(ecad::span<const float> row) const {
   if (nodes_.empty()) throw std::logic_error("DecisionTree: predict before fit");
   std::size_t index = 0;
   for (;;) {

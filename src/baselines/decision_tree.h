@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstddef>
-#include <span>
+#include "util/span.h"
 #include <vector>
 
 #include "baselines/classifier.h"
@@ -31,7 +31,7 @@ class DecisionTree final : public Classifier {
   std::string name() const override { return "DecisionTreeClassifier"; }
 
   /// Predict a single sample.
-  int predict_one(std::span<const float> row) const;
+  int predict_one(ecad::span<const float> row) const;
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;

@@ -27,7 +27,10 @@ struct NnaTraits {
   /// Expand to a concrete MLP spec for a dataset schema.
   nn::MlpSpec to_mlp_spec(std::size_t input_dim, std::size_t output_dim) const;
 
-  friend bool operator==(const NnaTraits&, const NnaTraits&) = default;
+  friend bool operator==(const NnaTraits& a, const NnaTraits& b) {
+    return a.hidden == b.hidden && a.activation == b.activation && a.use_bias == b.use_bias;
+  }
+  friend bool operator!=(const NnaTraits& a, const NnaTraits& b) { return !(a == b); }
 };
 
 struct Genome {
@@ -38,7 +41,10 @@ struct Genome {
   /// "are not evaluated twice").
   std::string key() const;
 
-  friend bool operator==(const Genome&, const Genome&) = default;
+  friend bool operator==(const Genome& a, const Genome& b) {
+    return a.nna == b.nna && a.grid == b.grid;
+  }
+  friend bool operator!=(const Genome& a, const Genome& b) { return !(a == b); }
 };
 
 /// Bounds of the joint search space.

@@ -46,7 +46,11 @@ struct GridConfig {
   /// Throws std::invalid_argument for zero-sized fields.
   void validate() const;
 
-  friend bool operator==(const GridConfig&, const GridConfig&) = default;
+  friend bool operator==(const GridConfig& a, const GridConfig& b) {
+    return a.rows == b.rows && a.cols == b.cols && a.vec_width == b.vec_width &&
+           a.interleave_m == b.interleave_m && a.interleave_n == b.interleave_n;
+  }
+  friend bool operator!=(const GridConfig& a, const GridConfig& b) { return !(a == b); }
 };
 
 /// Bounds of the hardware search space (mutations stay inside these).

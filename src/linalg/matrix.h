@@ -7,7 +7,7 @@
 
 #include <cstddef>
 #include <initializer_list>
-#include <span>
+#include "util/span.h"
 #include <vector>
 
 #include "util/rng.h"
@@ -34,11 +34,11 @@ class Matrix {
   float& operator()(std::size_t r, std::size_t c) { return at(r, c); }
   float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
 
-  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
-  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+  ecad::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  ecad::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
 
-  std::span<float> data() { return data_; }
-  std::span<const float> data() const { return data_; }
+  ecad::span<float> data() { return data_; }
+  ecad::span<const float> data() const { return data_; }
   float* raw() { return data_.data(); }
   const float* raw() const { return data_.data(); }
 
@@ -67,6 +67,7 @@ class Matrix {
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
   }
+  friend bool operator!=(const Matrix& a, const Matrix& b) { return !(a == b); }
 
  private:
   std::size_t rows_ = 0;

@@ -5,51 +5,51 @@
 
 namespace ecad::linalg {
 
-void add_inplace(std::span<float> out, std::span<const float> x) {
+void add_inplace(ecad::span<float> out, ecad::span<const float> x) {
   assert(out.size() == x.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += x[i];
 }
 
-void sub_inplace(std::span<float> out, std::span<const float> x) {
+void sub_inplace(ecad::span<float> out, ecad::span<const float> x) {
   assert(out.size() == x.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] -= x[i];
 }
 
-void scale_inplace(std::span<float> out, float s) {
+void scale_inplace(ecad::span<float> out, float s) {
   for (float& v : out) v *= s;
 }
 
-void axpy(std::span<float> out, float s, std::span<const float> x) {
+void axpy(ecad::span<float> out, float s, ecad::span<const float> x) {
   assert(out.size() == x.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += s * x[i];
 }
 
-void mul_inplace(std::span<float> out, std::span<const float> x) {
+void mul_inplace(ecad::span<float> out, ecad::span<const float> x) {
   assert(out.size() == x.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] *= x[i];
 }
 
-float dot(std::span<const float> a, std::span<const float> b) {
+float dot(ecad::span<const float> a, ecad::span<const float> b) {
   assert(a.size() == b.size());
   float acc = 0.0f;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
-float sum(std::span<const float> x) {
+float sum(ecad::span<const float> x) {
   float acc = 0.0f;
   for (float v : x) acc += v;
   return acc;
 }
 
-float max_value(std::span<const float> x) {
+float max_value(ecad::span<const float> x) {
   assert(!x.empty());
   float best = x[0];
   for (float v : x) best = std::max(best, v);
   return best;
 }
 
-std::size_t argmax(std::span<const float> x) {
+std::size_t argmax(ecad::span<const float> x) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < x.size(); ++i) {
     if (x[i] > x[best]) best = i;
@@ -57,9 +57,9 @@ std::size_t argmax(std::span<const float> x) {
   return best;
 }
 
-float norm2(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+float norm2(ecad::span<const float> x) { return std::sqrt(dot(x, x)); }
 
-float squared_distance(std::span<const float> a, std::span<const float> b) {
+float squared_distance(ecad::span<const float> a, ecad::span<const float> b) {
   assert(a.size() == b.size());
   float acc = 0.0f;
   for (std::size_t i = 0; i < a.size(); ++i) {

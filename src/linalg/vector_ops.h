@@ -2,38 +2,38 @@
 #pragma once
 
 #include <cstddef>
-#include <span>
+#include "util/span.h"
 
 namespace ecad::linalg {
 
 /// out[i] += x[i]
-void add_inplace(std::span<float> out, std::span<const float> x);
+void add_inplace(ecad::span<float> out, ecad::span<const float> x);
 
 /// out[i] -= x[i]
-void sub_inplace(std::span<float> out, std::span<const float> x);
+void sub_inplace(ecad::span<float> out, ecad::span<const float> x);
 
 /// out[i] *= s
-void scale_inplace(std::span<float> out, float s);
+void scale_inplace(ecad::span<float> out, float s);
 
 /// out[i] += s * x[i]  (axpy)
-void axpy(std::span<float> out, float s, std::span<const float> x);
+void axpy(ecad::span<float> out, float s, ecad::span<const float> x);
 
 /// Hadamard: out[i] *= x[i]
-void mul_inplace(std::span<float> out, std::span<const float> x);
+void mul_inplace(ecad::span<float> out, ecad::span<const float> x);
 
-float dot(std::span<const float> a, std::span<const float> b);
+float dot(ecad::span<const float> a, ecad::span<const float> b);
 
-float sum(std::span<const float> x);
+float sum(ecad::span<const float> x);
 
-float max_value(std::span<const float> x);
+float max_value(ecad::span<const float> x);
 
 /// Index of the maximum element (first occurrence). Empty input returns 0.
-std::size_t argmax(std::span<const float> x);
+std::size_t argmax(ecad::span<const float> x);
 
 /// Euclidean norm.
-float norm2(std::span<const float> x);
+float norm2(ecad::span<const float> x);
 
 /// Squared Euclidean distance between two equal-length vectors.
-float squared_distance(std::span<const float> a, std::span<const float> b);
+float squared_distance(ecad::span<const float> a, ecad::span<const float> b);
 
 }  // namespace ecad::linalg

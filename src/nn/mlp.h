@@ -43,7 +43,12 @@ struct MlpSpec {
   /// Throws std::invalid_argument if dimensions are degenerate.
   void validate() const;
 
-  friend bool operator==(const MlpSpec&, const MlpSpec&) = default;
+  friend bool operator==(const MlpSpec& a, const MlpSpec& b) {
+    return a.input_dim == b.input_dim && a.output_dim == b.output_dim &&
+           a.hidden == b.hidden && a.activation == b.activation &&
+           a.use_bias == b.use_bias;
+  }
+  friend bool operator!=(const MlpSpec& a, const MlpSpec& b) { return !(a == b); }
 };
 
 /// A trainable MLP instance (weights + topology).

@@ -32,7 +32,7 @@ class SgdOptimizer final : public Optimizer {
  public:
   explicit SgdOptimizer(const OptimizerOptions& options) : options_(options) {}
 
-  void step(std::size_t, std::span<float> params, std::span<const float> grads,
+  void step(std::size_t, ecad::span<float> params, ecad::span<const float> grads,
             bool decay) override {
     const float lr = static_cast<float>(options_.learning_rate);
     const float wd = decay ? static_cast<float>(options_.weight_decay) : 0.0f;
@@ -50,7 +50,7 @@ class MomentumOptimizer final : public Optimizer {
   MomentumOptimizer(const OptimizerOptions& options, std::size_t num_slots)
       : options_(options), velocity_(num_slots) {}
 
-  void step(std::size_t slot, std::span<float> params, std::span<const float> grads,
+  void step(std::size_t slot, ecad::span<float> params, ecad::span<const float> grads,
             bool decay) override {
     auto& v = velocity_.at(slot);
     if (v.size() != params.size()) v.assign(params.size(), 0.0f);
@@ -74,7 +74,7 @@ class AdamOptimizer final : public Optimizer {
   AdamOptimizer(const OptimizerOptions& options, std::size_t num_slots)
       : options_(options), m_(num_slots), v_(num_slots) {}
 
-  void step(std::size_t slot, std::span<float> params, std::span<const float> grads,
+  void step(std::size_t slot, ecad::span<float> params, ecad::span<const float> grads,
             bool decay) override {
     auto& m = m_.at(slot);
     auto& v = v_.at(slot);

@@ -7,7 +7,7 @@
 
 #include <cstddef>
 #include <memory>
-#include <span>
+#include "util/span.h"
 #include <string_view>
 #include <vector>
 
@@ -34,7 +34,7 @@ class Optimizer {
 
   /// Apply one update to parameter slot `slot`.  `decay` toggles weight decay
   /// (off for bias slots).
-  virtual void step(std::size_t slot, std::span<float> params, std::span<const float> grads,
+  virtual void step(std::size_t slot, ecad::span<float> params, ecad::span<const float> grads,
                     bool decay) = 0;
 
   /// Advance the global step counter (per minibatch, for Adam bias correction).

@@ -1,0 +1,74 @@
+// Minimal C++17 stand-in for std::span<T> (C++20).
+//
+// The build targets C++17, so the handful of call sites that want a
+// non-owning view over contiguous floats use ecad::span instead. Only the
+// operations the codebase actually needs are provided: construction from
+// pointer+size / vector / array, element access, iteration, and size
+// queries. Swap for std::span wholesale once the toolchain baseline moves
+// to C++20.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace ecad {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using size_type = std::size_t;
+  using iterator = T*;
+
+  constexpr span() noexcept = default;
+  constexpr span(T* data, size_type size) noexcept : data_(data), size_(size) {}
+
+  template <typename U, typename A,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr span(std::vector<U, A>& v) noexcept : data_(v.data()), size_(v.size()) {}
+
+  template <typename U, typename A,
+            typename = std::enable_if_t<std::is_convertible_v<const U (*)[], T (*)[]>>>
+  constexpr span(const std::vector<U, A>& v) noexcept : data_(v.data()), size_(v.size()) {}
+
+  // Like std::span, refuse a temporary vector when the element type is
+  // mutable (the view could dangle past the full expression); spans of
+  // const elements may view temporaries, matching C++20's borrowed-range
+  // carve-out for const element types.
+  template <typename U, typename A, typename V = T,
+            typename = std::enable_if_t<!std::is_const_v<V>>>
+  span(const std::vector<U, A>&&) = delete;
+
+  template <std::size_t N>
+  constexpr span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  // span<T> -> span<const T>
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr span(const span<U>& other) noexcept : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_type size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T& operator[](size_type i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr iterator begin() const noexcept { return data_; }
+  constexpr iterator end() const noexcept { return data_ + size_; }
+
+  constexpr span subspan(size_type offset, size_type count) const {
+    return span(data_ + offset, count);
+  }
+  constexpr span first(size_type count) const { return span(data_, count); }
+  constexpr span last(size_type count) const { return span(data_ + (size_ - count), count); }
+
+ private:
+  T* data_ = nullptr;
+  size_type size_ = 0;
+};
+
+}  // namespace ecad

@@ -8,13 +8,30 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  num_threads_ = num_threads;
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed std::thread spawn must not leak the already-running workers:
+    // an unjoined std::thread terminates the process on destruction.
+    shutdown();
+    throw;
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  // shutdown_mutex_ serializes the whole stop-notify-join sequence, so
+  // concurrent shutdown() calls on a live pool cannot double-join or
+  // observe a half-cleared workers_. It cannot (and does not claim to)
+  // protect against racing the destructor itself — keeping the pool alive
+  // across the call is the caller's job, as for any member function.
+  // Must not be called from a worker thread (self-join).
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -23,6 +40,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -43,18 +61,27 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
   if (count == 0) return;
   std::vector<std::future<void>> futures;
   futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  // If a submit throws (pool shut down concurrently), we must still wait for
+  // the tasks already enqueued: they hold a reference to `fn`, which dies
+  // when this frame unwinds.
+  std::exception_ptr submit_error;
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+  } catch (...) {
+    submit_error = std::current_exception();
   }
-  std::exception_ptr first_error;
+  std::exception_ptr first_task_error;
   for (auto& f : futures) {
     try {
       f.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!first_task_error) first_task_error = std::current_exception();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_task_error) std::rethrow_exception(first_task_error);
+  if (submit_error) std::rethrow_exception(submit_error);
 }
 
 }  // namespace ecad::util

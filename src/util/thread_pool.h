@@ -23,9 +23,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  /// Number of worker threads the pool was built with. Stable for the
+  /// pool's whole lifetime (including after shutdown()), so it is safe to
+  /// read concurrently with shutdown.
+  std::size_t size() const { return num_threads_; }
+
+  /// Drain queued tasks, stop all workers, and join them. Idempotent, and
+  /// concurrent shutdown() calls on a live pool serialize safely; called
+  /// automatically by the destructor. As with any C++ object, callers must
+  /// not race shutdown() (or any member) with the pool's destruction —
+  /// lifetime is external synchronization. After shutdown() returns,
+  /// submit() throws std::runtime_error.
+  void shutdown();
 
   /// Enqueue a task; the returned future yields its result (or exception).
+  /// Throws std::runtime_error if the pool has been shut down.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -41,15 +53,21 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, count) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Always waits for every task it managed to enqueue — even when a task or
+  /// an enqueue throws — so `fn` is never referenced after return. Exceptions
+  /// from tasks are rethrown (the first one encountered, in index order); a
+  /// submit failure (pool shut down concurrently) is rethrown only if no task
+  /// failed first.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
 
+  std::size_t num_threads_ = 0;  // set once in the constructor, then immutable
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
+  std::mutex shutdown_mutex_;  // serializes shutdown(); guards workers_ join/clear
   std::condition_variable cv_;
   bool stopping_ = false;
 };

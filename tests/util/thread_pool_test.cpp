@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 namespace ecad::util {
 namespace {
@@ -55,6 +57,86 @@ TEST(ThreadPool, ParallelForRethrowsFirstError) {
                                    if (i == 3) throw std::logic_error("bad index");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstErrorInIndexOrder) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(16, [](std::size_t i) {
+      if (i == 2) throw std::logic_error("index 2");
+      if (i == 9) throw std::runtime_error("index 9");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "index 2");
+  }
+}
+
+TEST(ThreadPool, ParallelForCompletesAllTasksDespiteException) {
+  // The rethrow path must still wait for every index: tasks reference the
+  // caller's `fn`, so abandoning them would leave a dangling reference.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&completed](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("boom");
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+  EXPECT_EQ(pool.size(), 2u);  // size() reports configured width even after shutdown
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndPrecedesDestructor) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 7; });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a harmless no-op
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallsAreSafe) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 4; ++t) {
+      closers.emplace_back([&pool] { pool.shutdown(); });
+    }
+    for (auto& closer : closers) closer.join();
+    EXPECT_EQ(done.load(), 16);
+  }
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrowsWithoutRunningFn) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.parallel_for(8, [&calls](std::size_t) { calls.fetch_add(1); }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(ThreadPool, ResultsPreserveValues) {
