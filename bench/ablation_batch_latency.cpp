@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.h"
 #include "hwmodel/fpga_model.h"
 #include "hwmodel/gpu_model.h"
 #include "util/string_util.h"
@@ -43,6 +44,8 @@ int main(int, char**) {
   }
 
   table.print(std::cout, "ABLATION: batch size vs throughput/latency (har-like MLP)");
+  benchtool::emit_table_json(table, "ablation_batch_latency",
+                             "batch size vs throughput/latency (har-like MLP)");
   std::printf("\npaper shape check (III-D): the FPGA hits its throughput knee at a much\n"
               "smaller batch than the GPU and holds a large latency advantage.\n");
   return 0;

@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   table.print(std::cout, "ABLATION: search strategy comparison on credit-g co-design");
+  benchtool::emit_table_json(table, "ablation_search_strategies",
+                             "search strategy comparison on credit-g co-design");
   std::printf("\npaper shape check: the EA should match or beat random search at equal\n"
               "budget (paper cites Real et al. [4] for EA > RS in NAS).\n");
   return 0;

@@ -15,11 +15,30 @@
 #include "core/report.h"
 #include "core/worker.h"
 #include "data/benchmarks.h"
+#include "util/bench_json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
 namespace ecad::benchtool {
+
+/// Writes a BenchReport to BENCH_<name>.json (see util/bench_json.h for the
+/// schema and ECAD_BENCH_JSON_DIR) and logs the path. Failures warn instead
+/// of aborting so a read-only working directory never kills a bench run.
+inline void emit_report(const util::BenchReport& report) {
+  try {
+    const std::string path = report.write_file();
+    std::printf("wrote %s\n", path.c_str());
+  } catch (const std::exception& error) {
+    util::Log(util::LogLevel::Warn, "bench") << "JSON report not written: " << error.what();
+  }
+}
+
+/// Emits a rendered TextTable as BENCH_<name>.json (one entry per row).
+inline void emit_table_json(const util::TextTable& table, const std::string& bench,
+                            const std::string& title) {
+  emit_report(util::table_to_report(bench, title, table));
+}
 
 inline bool quick_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

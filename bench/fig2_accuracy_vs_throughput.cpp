@@ -37,7 +37,8 @@ Scatter run(const core::Worker& worker, bool search_hardware, std::size_t evals)
 }
 
 // Throughput spread among candidates within `band` accuracy of the top.
-void summarize(const char* device, const Scatter& scatter, double band) {
+void summarize(const char* device, const Scatter& scatter, double band,
+               util::BenchReport& report) {
   double lo = 0.0, hi = 0.0;
   for (const auto& candidate : scatter.history) {
     if (!candidate.result.feasible) continue;
@@ -49,6 +50,12 @@ void summarize(const char* device, const Scatter& scatter, double band) {
   std::printf("  %-12s top acc %.4f | iso-accuracy throughput %s .. %s (spread %.1fx)\n",
               device, scatter.top_accuracy, benchtool::fmt_sci(lo).c_str(),
               benchtool::fmt_sci(hi).c_str(), lo > 0 ? hi / lo : 0.0);
+  report.add_entry(device)
+      .label("device", device)
+      .metric("top_accuracy", scatter.top_accuracy)
+      .metric("iso_accuracy_throughput_lo", lo)
+      .metric("iso_accuracy_throughput_hi", hi)
+      .metric("iso_accuracy_spread", lo > 0 ? hi / lo : 0.0);
 }
 
 }  // namespace
@@ -64,17 +71,21 @@ int main(int argc, char** argv) {
       data::load_benchmark_split(data::Benchmark::Har, budget.sample_scale, 55);
   const nn::TrainOptions train = benchtool::train_options(budget.search_epochs);
 
+  util::BenchReport report("fig2_accuracy_vs_throughput");
+  report.set_metadata("title", "iso-accuracy throughput spread, FPGA vs GPU (har)");
+
   std::printf("Fig. 2a — Arria 10 (1x DDR), joint NNA+HW search on har\n");
   const core::FpgaHardwareDatabaseWorker fpga(split, train, 71, hw::arria10_gx1150(1), 256);
   const Scatter fpga_scatter = run(fpga, /*search_hardware=*/true, evals);
-  summarize("Arria 10", fpga_scatter, 0.01);
+  summarize("Arria 10", fpga_scatter, 0.01, report);
   core::write_history(fpga_scatter.history, "fig2a_arria10_har.csv");
 
   std::printf("Fig. 2b — Quadro M5000, NNA search on har (fixed hardware)\n");
   const core::GpuSimulationWorker gpu(split, train, 71, hw::quadro_m5000(), 512);
   const Scatter gpu_scatter = run(gpu, /*search_hardware=*/false, evals);
-  summarize("M5000", gpu_scatter, 0.01);
+  summarize("M5000", gpu_scatter, 0.01, report);
   core::write_history(gpu_scatter.history, "fig2b_m5000_har.csv");
+  benchtool::emit_report(report);
 
   // The paper's headline: FPGA iso-accuracy spread >> GPU spread.
   std::printf("\nscatter CSVs written: fig2a_arria10_har.csv, fig2b_m5000_har.csv\n");

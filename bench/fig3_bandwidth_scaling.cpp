@@ -54,6 +54,8 @@ int main(int, char**) {
   }
 
   table.print(std::cout, "FIGURE 3: credit-g FPGA throughput & efficiency vs DDR banks");
+  benchtool::emit_table_json(table, "fig3_bandwidth_scaling",
+                             "credit-g FPGA throughput & efficiency vs DDR banks");
 
   std::printf("\nScaling summary (outputs/s ratio, 4 banks vs 1 bank):\n");
   for (const auto& [grid, points] : results) {

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
                  util::format_fixed(gpu_top.result.hw_efficiency, 4), "0.003"});
   std::printf("\n");
   table.print(std::cout, "FIGURE 4: hardware efficiency at top accuracy, S10 vs Titan X");
+  benchtool::emit_table_json(table, "fig4_efficiency_scaling",
+                             "hardware efficiency at top accuracy, S10 vs Titan X");
 
   // Efficiency statistics over the whole searched population.
   auto eff_stats = [](const std::vector<evo::Candidate>& history) {

@@ -1,9 +1,27 @@
-// google-benchmark microbenchmarks for the GEMM kernels backing MLP training
-// (the dominant cost of every ECAD candidate evaluation, paper Table III).
-#include <benchmark/benchmark.h>
+// GEMM microbenchmark — the kernels backing MLP training, the dominant cost
+// of every ECAD candidate evaluation (paper Table III).
+//
+// Self-contained harness (no external benchmark dependency): each kernel ×
+// shape is spot-checked against the gemm_naive oracle, timed (best-of-N
+// with a minimum total measuring window), printed as a table, and emitted to
+// BENCH_micro_gemm.json via util::BenchReport so CI can archive the perf
+// trajectory. `--quick` (or ECAD_BENCH_QUICK=1) shrinks shapes and windows.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "linalg/gemm.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -15,84 +33,196 @@ linalg::Matrix make(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return linalg::Matrix::random_uniform(rows, cols, rng);
 }
 
-void BM_GemmNaive(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
-  linalg::Matrix c(n, n);
-  for (auto _ : state) {
-    linalg::gemm_naive(a, b, c);
-    benchmark::DoNotOptimize(c.raw());
+bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
+  const char* env = std::getenv("ECAD_BENCH_QUICK");
+  return env != nullptr && std::strcmp(env, "1") == 0;
 }
-BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_GemmBlocked(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
-  linalg::Matrix c(n, n);
-  for (auto _ : state) {
-    linalg::gemm_blocked(a, b, c);
-    benchmark::DoNotOptimize(c.raw());
+/// Best single-run seconds: warm up once, then repeat until `min_window`
+/// seconds have accumulated (at least 3, at most `max_reps` runs).
+double time_best(const std::function<void()>& fn, double min_window, int max_reps = 60) {
+  fn();  // warmup
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while ((total < min_window || reps < 3) && reps < max_reps) {
+    util::Stopwatch sw;
+    fn();
+    const double t = sw.elapsed_seconds();
+    best = std::min(best, t);
+    total += t;
+    ++reps;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
+  return best;
 }
-BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_GemmParallel(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
-  linalg::Matrix c(n, n);
-  util::ThreadPool pool;
-  for (auto _ : state) {
-    linalg::gemm_parallel(a, b, c, pool);
-    benchmark::DoNotOptimize(c.raw());
+struct Shape {
+  std::size_t m, k, n;
+  std::string str() const {
+    return std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(linalg::gemm_flops(n, n, n)));
-}
-BENCHMARK(BM_GemmParallel)->Arg(256)->Arg(512);
+  double flops() const { return static_cast<double>(linalg::gemm_flops(m, k, n)); }
+};
 
-// MLP-shaped GEMM (tall-skinny): batch x features -> batch x neurons.
-void BM_GemmMlpShape(benchmark::State& state) {
-  const std::size_t batch = 32;
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const auto width = static_cast<std::size_t>(state.range(1));
-  const linalg::Matrix a = make(batch, k, 1), b = make(k, width, 2);
-  linalg::Matrix c(batch, width);
-  for (auto _ : state) {
-    linalg::gemm_blocked(a, b, c);
-    benchmark::DoNotOptimize(c.raw());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(linalg::gemm_flops(batch, k, width)));
-}
-BENCHMARK(BM_GemmMlpShape)->Args({784, 128})->Args({561, 64})->Args({1776, 128});
+struct Row {
+  std::string kernel;
+  Shape shape;
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double vs_naive = 0.0;    // 0 when the naive baseline was not measured
+  double vs_blocked = 0.0;  // 0 when the legacy baseline was not measured
+};
 
-void BM_GemmTransposedA(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
-  linalg::Matrix c(n, n);
-  for (auto _ : state) {
-    linalg::gemm_at(a, b, c);
-    benchmark::DoNotOptimize(c.raw());
+void verify(const linalg::Matrix& actual, const linalg::Matrix& expected,
+            const std::string& what) {
+  if (!actual.approx_equal(expected, 1e-2f)) {
+    std::fprintf(stderr, "FATAL: %s diverges from the gemm_naive oracle\n", what.c_str());
+    std::exit(1);
   }
 }
-BENCHMARK(BM_GemmTransposedA)->Arg(128)->Arg(256);
-
-void BM_GemmTransposedB(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const linalg::Matrix a = make(n, n, 1), b = make(n, n, 2);
-  linalg::Matrix c(n, n);
-  for (auto _ : state) {
-    linalg::gemm_bt(a, b, c);
-    benchmark::DoNotOptimize(c.raw());
-  }
-}
-BENCHMARK(BM_GemmTransposedB)->Arg(128)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const double window = quick ? 0.1 : 0.35;
+
+  // The bench pins kernels explicitly; ignore any ambient ECAD_GEMM_KERNEL.
+  linalg::set_gemm_kernel(linalg::GemmKernel::Packed);
+
+  std::vector<Shape> squares;
+  for (std::size_t n : {64ul, 128ul, 256ul, 512ul, 1024ul}) {
+    if (quick && n > 256) continue;
+    squares.push_back({n, n, n});
+  }
+  // MLP-shaped products: batch × features -> batch × neurons.
+  std::vector<Shape> mlp_shapes = {{32, 784, 128}, {32, 561, 64}, {32, 1776, 128}};
+
+  std::vector<Row> rows;
+  util::ThreadPool pool2(2), pool4(4);
+
+  const auto run_shape = [&](const Shape& s, bool square) {
+    const linalg::Matrix a = make(s.m, s.k, 1), b = make(s.k, s.n, 2);
+    linalg::Matrix c(s.m, s.n), oracle(s.m, s.n);
+    linalg::gemm_naive(a, b, oracle);
+
+    const auto add_row = [&](const std::string& kernel, std::size_t threads, double seconds,
+                             double naive_s, double blocked_s) {
+      Row row;
+      row.kernel = kernel;
+      row.shape = s;
+      row.threads = threads;
+      row.seconds = seconds;
+      row.gflops = s.flops() / seconds / 1e9;
+      row.vs_naive = naive_s > 0.0 ? naive_s / seconds : 0.0;
+      row.vs_blocked = blocked_s > 0.0 ? blocked_s / seconds : 0.0;
+      rows.push_back(row);
+    };
+
+    const double naive_s = time_best([&] { linalg::gemm_naive(a, b, c); }, window, 12);
+    const double blocked_s =
+        time_best([&] { linalg::gemm_blocked(a, b, c, false, 64); }, window);
+    verify(c, oracle, "gemm_blocked(legacy) " + s.str());
+    const double packed_s = time_best([&] { linalg::gemm_blocked(a, b, c); }, window);
+    verify(c, oracle, "gemm_packed " + s.str());
+
+    add_row("naive", 1, naive_s, naive_s, blocked_s);
+    add_row("blocked_legacy", 1, blocked_s, naive_s, blocked_s);
+    add_row("packed", 1, packed_s, naive_s, blocked_s);
+
+    linalg::PackedB packed_b;
+    packed_b.pack(b);
+    const double prepacked_s =
+        time_best([&] { linalg::gemm_prepacked(a, packed_b, c); }, window);
+    verify(c, oracle, "gemm_prepacked " + s.str());
+    add_row("packed_prepacked", 1, prepacked_s, naive_s, blocked_s);
+
+    if (square && s.m >= 256) {
+      const double par2_s =
+          time_best([&] { linalg::gemm_parallel(a, b, c, pool2); }, window);
+      verify(c, oracle, "gemm_parallel(t2) " + s.str());
+      add_row("packed_parallel", 2, par2_s, naive_s, blocked_s);
+      const double par4_s =
+          time_best([&] { linalg::gemm_parallel(a, b, c, pool4); }, window);
+      verify(c, oracle, "gemm_parallel(t4) " + s.str());
+      add_row("packed_parallel", 4, par4_s, naive_s, blocked_s);
+    }
+
+    if (square) {
+      // Transposed products (backprop's dW = aᵀ·δ and δ·Wᵀ): packed strided
+      // packing vs the pre-packing reference loops.
+      linalg::Matrix ct(s.m, s.n);
+      linalg::set_gemm_kernel(linalg::GemmKernel::Blocked);
+      const double at_ref_s = time_best([&] { linalg::gemm_at(a, b, ct); }, window);
+      const double bt_ref_s = time_best([&] { linalg::gemm_bt(a, b, ct); }, window);
+      linalg::set_gemm_kernel(linalg::GemmKernel::Packed);
+      const double at_s = time_best([&] { linalg::gemm_at(a, b, ct); }, window);
+      const double bt_s = time_best([&] { linalg::gemm_bt(a, b, ct); }, window);
+      add_row("at_reference", 1, at_ref_s, 0.0, 0.0);
+      add_row("at_packed", 1, at_s, 0.0, at_ref_s);
+      add_row("bt_reference", 1, bt_ref_s, 0.0, 0.0);
+      add_row("bt_packed", 1, bt_s, 0.0, bt_ref_s);
+    }
+  };
+
+  for (const Shape& s : squares) run_shape(s, /*square=*/true);
+  for (const Shape& s : mlp_shapes) run_shape(s, /*square=*/false);
+
+  // ---- human-readable table -------------------------------------------------
+  util::TextTable table({"Kernel", "Shape (m=k=n or mxkxn)", "Threads", "GFLOP/s", "vs naive",
+                         "vs blocked"});
+  for (const Row& row : rows) {
+    table.add_row({row.kernel, row.shape.str(), std::to_string(row.threads),
+                   util::format_fixed(row.gflops, 2),
+                   row.vs_naive > 0.0 ? util::format_fixed(row.vs_naive, 2) + "x" : "-",
+                   row.vs_blocked > 0.0 ? util::format_fixed(row.vs_blocked, 2) + "x" : "-"});
+  }
+  table.print(std::cout, std::string("micro_gemm: GEMM kernel throughput") +
+                             (quick ? " (--quick)" : ""));
+
+  // ---- machine-readable report ---------------------------------------------
+  util::BenchReport report("micro_gemm");
+  report.set_metadata("quick", quick ? "1" : "0");
+  report.set_metadata("hardware_concurrency",
+                      std::to_string(std::thread::hardware_concurrency()));
+  for (const Row& row : rows) {
+    util::BenchEntry& entry =
+        report.add_entry(row.kernel + "/" + row.shape.str() + "/t" +
+                         std::to_string(row.threads));
+    entry.label("kernel", row.kernel)
+        .label("shape", row.shape.str())
+        .label("threads", std::to_string(row.threads));
+    entry.metric("m", static_cast<double>(row.shape.m))
+        .metric("k", static_cast<double>(row.shape.k))
+        .metric("n", static_cast<double>(row.shape.n))
+        .metric("best_seconds", row.seconds)
+        .metric("gflops", row.gflops);
+    if (row.vs_naive > 0.0) entry.metric("speedup_vs_naive", row.vs_naive);
+    if (row.vs_blocked > 0.0) entry.metric("speedup_vs_blocked", row.vs_blocked);
+  }
+  try {
+    const std::string path = report.write_file();
+    std::printf("\nwrote %s (%zu entries)\n", path.c_str(), report.num_entries());
+  } catch (const std::exception& error) {
+    // A read-only working directory shouldn't discard the measurements that
+    // were already printed above.
+    std::fprintf(stderr, "\nWARNING: JSON report not written: %s\n", error.what());
+  }
+
+  // Headline: the acceptance bar for the packed backend is >=3x the legacy
+  // blocked kernel at the square training sizes.
+  double worst = 1e300;
+  for (const Row& row : rows) {
+    if (row.kernel == "packed" && row.shape.m >= 256 && row.shape.m == row.shape.n) {
+      worst = std::min(worst, row.vs_blocked);
+    }
+  }
+  if (worst < 1e300) {
+    std::printf("packed vs legacy blocked (square >=256): worst %.2fx\n", worst);
+  }
+  return 0;
+}

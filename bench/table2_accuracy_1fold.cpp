@@ -84,5 +84,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   table.print(std::cout, "TABLE II: Top 1-fold Accuracy (measured vs paper)");
+  benchtool::emit_table_json(table, "table2_accuracy_1fold",
+                             "Top 1-fold Accuracy (measured vs paper)");
   return 0;
 }

@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   table.print(std::cout, "TABLE III: Top Accuracy Run Time Statistics (measured vs paper)");
+  benchtool::emit_table_json(table, "table3_runtime_stats",
+                             "Top Accuracy Run Time Statistics (measured vs paper)");
   std::printf("\nNote: budgets are ~100x smaller than the paper's runs; compare the\n"
               "per-dataset cost *ratios* (mnist avg / credit-g avg ~ 30x in the paper).\n");
   return 0;

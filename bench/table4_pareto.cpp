@@ -92,5 +92,7 @@ int main(int argc, char** argv) {
   table.print(std::cout,
               "TABLE IV: Best Pareto Frontier Results, Accuracy + Throughput "
               "(row 1: top accuracy, row 2: best throughput within 1.5 acc points)");
+  benchtool::emit_table_json(table, "table4_pareto",
+                             "Best Pareto Frontier Results, Accuracy + Throughput");
   return 0;
 }

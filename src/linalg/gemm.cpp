@@ -2,24 +2,40 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "linalg/gemm_packed.h"
 
 namespace ecad::linalg {
 
 namespace {
 
-void check_shapes(const Matrix& a, const Matrix& b, const Matrix& c) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("gemm: inner dimensions differ (" + std::to_string(a.cols()) +
-                                " vs " + std::to_string(b.rows()) + ")");
+using detail::MatView;
+
+// Shared shape validation so every entry point throws the same exception
+// type with the same message style: "<op>: inner dimensions differ (x vs y)"
+// or "<op>: output shape mismatch (rxc vs expected rxc)".
+void check_shapes(const char* op, std::size_t inner_a, std::size_t inner_b, std::size_t m,
+                  std::size_t n, const Matrix& c) {
+  if (inner_a != inner_b) {
+    throw std::invalid_argument(std::string(op) + ": inner dimensions differ (" +
+                                std::to_string(inner_a) + " vs " + std::to_string(inner_b) +
+                                ")");
   }
-  if (c.rows() != a.rows() || c.cols() != b.cols()) {
-    throw std::invalid_argument("gemm: output shape mismatch");
+  if (c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument(std::string(op) + ": output shape mismatch (" +
+                                std::to_string(c.rows()) + "x" + std::to_string(c.cols()) +
+                                " vs expected " + std::to_string(m) + "x" + std::to_string(n) +
+                                ")");
   }
 }
 
 constexpr std::size_t kDefaultBlock = 64;
 
-// Blocked kernel over a row range [row_begin, row_end) of A/C.
+// Legacy cache-blocked ikj kernel over rows [row_begin, row_end) of A/C.
+// Retained as the GemmKernel::Blocked backend and the bench's pre-packing
+// comparison baseline (gemm_blocked with an explicit `block` also lands
+// here, preserving the historical tile-edge semantics).
 void gemm_block_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t row_begin,
                       std::size_t row_end, std::size_t block) {
   const std::size_t k_total = a.cols();
@@ -46,10 +62,41 @@ void gemm_block_range(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r
   }
 }
 
+// Reference loops for the transposed products (Naive/Blocked backends).
+void gemm_at_reference(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.raw() + i * k;
+    const float* b_row = b.raw() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      float* c_row = c.raw() + p * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void gemm_bt_reference(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t inner = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.raw() + i * inner;
+    float* c_row = c.raw() + i * b.rows();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.raw() + j * inner;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < inner; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
 }  // namespace
 
 void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
-  check_shapes(a, b, c);
+  check_shapes("gemm", a.cols(), b.rows(), a.rows(), b.cols(), c);
   if (!accumulate) c.fill(0.0f);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < b.cols(); ++j) {
@@ -64,15 +111,34 @@ void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
 
 void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate,
                   std::size_t block) {
-  check_shapes(a, b, c);
-  if (block == 0) block = kDefaultBlock;
-  if (!accumulate) c.fill(0.0f);
-  gemm_block_range(a, b, c, 0, a.rows(), block);
+  check_shapes("gemm", a.cols(), b.rows(), a.rows(), b.cols(), c);
+  if (block != 0) {
+    // Explicit tile edge requests the legacy kernel with that block size.
+    if (!accumulate) c.fill(0.0f);
+    gemm_block_range(a, b, c, 0, a.rows(), block);
+    return;
+  }
+  switch (active_gemm_kernel()) {
+    case GemmKernel::Packed:
+      detail::gemm_packed(MatView::normal(a), MatView::normal(b), c, accumulate);
+      return;
+    case GemmKernel::Blocked:
+      if (!accumulate) c.fill(0.0f);
+      gemm_block_range(a, b, c, 0, a.rows(), kDefaultBlock);
+      return;
+    case GemmKernel::Naive:
+      gemm_naive(a, b, c, accumulate);
+      return;
+  }
 }
 
 void gemm_parallel(const Matrix& a, const Matrix& b, Matrix& c, util::ThreadPool& pool,
                    bool accumulate) {
-  check_shapes(a, b, c);
+  check_shapes("gemm", a.cols(), b.rows(), a.rows(), b.cols(), c);
+  if (active_gemm_kernel() == GemmKernel::Packed) {
+    detail::gemm_packed_parallel(MatView::normal(a), MatView::normal(b), c, pool, accumulate);
+    return;
+  }
   if (!accumulate) c.fill(0.0f);
   const std::size_t rows = a.rows();
   const std::size_t shards = std::min(rows, pool.size() * 4);
@@ -89,45 +155,27 @@ void gemm_parallel(const Matrix& a, const Matrix& b, Matrix& c, util::ThreadPool
 }
 
 void gemm_at(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
-  // a: m×k_out viewed transposed; result c: a.cols() × b.cols().
-  if (a.rows() != b.rows()) throw std::invalid_argument("gemm_at: row counts differ");
-  if (c.rows() != a.cols() || c.cols() != b.cols()) {
-    throw std::invalid_argument("gemm_at: output shape mismatch");
+  // Logical product: C (a.cols × b.cols) = aᵀ · b; the shared inner dim is
+  // the row count of both operands.
+  check_shapes("gemm_at", a.rows(), b.rows(), a.cols(), b.cols(), c);
+  if (active_gemm_kernel() == GemmKernel::Packed) {
+    detail::gemm_packed(MatView::transposed(a), MatView::normal(b), c, accumulate);
+    return;
   }
   if (!accumulate) c.fill(0.0f);
-  const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
-  const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a.raw() + i * k;
-    const float* b_row = b.raw() + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
-      float* c_row = c.raw() + p * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  }
+  gemm_at_reference(a, b, c);
 }
 
 void gemm_bt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
-  // c: a.rows() × b.rows(); inner dim a.cols() == b.cols().
-  if (a.cols() != b.cols()) throw std::invalid_argument("gemm_bt: inner dimensions differ");
-  if (c.rows() != a.rows() || c.cols() != b.rows()) {
-    throw std::invalid_argument("gemm_bt: output shape mismatch");
+  // Logical product: C (a.rows × b.rows) = a · bᵀ; the shared inner dim is
+  // the column count of both operands.
+  check_shapes("gemm_bt", a.cols(), b.cols(), a.rows(), b.rows(), c);
+  if (active_gemm_kernel() == GemmKernel::Packed) {
+    detail::gemm_packed(MatView::normal(a), MatView::transposed(b), c, accumulate);
+    return;
   }
   if (!accumulate) c.fill(0.0f);
-  const std::size_t inner = a.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* a_row = a.raw() + i * inner;
-    float* c_row = c.raw() + i * b.rows();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const float* b_row = b.raw() + j * inner;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < inner; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += acc;
-    }
-  }
+  gemm_bt_reference(a, b, c);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -136,20 +184,27 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void affine(const Matrix& x, const Matrix& w, const Matrix& bias, Matrix& y) {
-  if (y.rows() != x.rows() || y.cols() != w.cols()) {
-    y.reshape_discard(x.rows(), w.cols());
-  }
-  gemm_blocked(x, w, y);
+void add_bias_rows(Matrix& y, const Matrix& bias) {
   if (bias.empty()) return;
-  if (bias.cols() != w.cols() || bias.rows() != 1) {
-    throw std::invalid_argument("affine: bias must be 1 x n");
+  if (bias.cols() != y.cols() || bias.rows() != 1) {
+    throw std::invalid_argument("affine: bias must be 1 x n (got " +
+                                std::to_string(bias.rows()) + "x" +
+                                std::to_string(bias.cols()) + " for n=" +
+                                std::to_string(y.cols()) + ")");
   }
   for (std::size_t i = 0; i < y.rows(); ++i) {
     float* row = y.raw() + i * y.cols();
     const float* b = bias.raw();
     for (std::size_t j = 0; j < y.cols(); ++j) row[j] += b[j];
   }
+}
+
+void affine(const Matrix& x, const Matrix& w, const Matrix& bias, Matrix& y) {
+  if (y.rows() != x.rows() || y.cols() != w.cols()) {
+    y.reshape_discard(x.rows(), w.cols());
+  }
+  gemm_blocked(x, w, y);
+  add_bias_rows(y, bias);
 }
 
 std::size_t gemm_flops(std::size_t m, std::size_t k, std::size_t n) { return 2 * m * k * n; }

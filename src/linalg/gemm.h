@@ -1,15 +1,19 @@
-// General matrix multiplication kernels.
+// General matrix multiplication entry points.
 //
 // "At the heart of MLP is a general matrix multiplication (GEMM)" (§I).
-// Three implementations share one contract (C = A·B, with optional
-// accumulate):
+// All entry points share one contract (C = A·B, with optional accumulate)
+// and dispatch on the runtime-selected backend (see gemm_packed.h):
 //   * gemm_naive    — reference triple loop, used as the test oracle;
-//   * gemm_blocked  — cache-blocked ikj loop, default for training;
-//   * gemm_parallel — row-partitioned over a thread pool for large layers.
+//   * gemm_blocked  — default entry point; Packed backend unless an
+//                     explicit `block` requests the legacy ikj kernel;
+//   * gemm_parallel — row-partitioned over a thread pool for large layers;
+//   * gemm_at/bt    — transposed products via strided packing (no
+//                     materialized transpose).
 #pragma once
 
 #include <cstddef>
 
+#include "linalg/gemm_packed.h"
 #include "linalg/matrix.h"
 #include "util/thread_pool.h"
 
@@ -19,7 +23,9 @@ namespace ecad::linalg {
 /// Dimension mismatches throw std::invalid_argument.
 void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false);
 
-/// Cache-blocked GEMM. `block` is the tile edge (0 selects the default 64).
+/// Default GEMM entry point. `block == 0` dispatches to the active backend
+/// (Packed by default); a nonzero `block` forces the legacy cache-blocked
+/// ikj kernel with that tile edge (kept as the pre-packing baseline).
 void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate = false,
                   std::size_t block = 0);
 
@@ -40,6 +46,10 @@ Matrix matmul(const Matrix& a, const Matrix& b);
 
 /// y (m×n) = x (m×k) · w (k×n) + broadcast-row bias (1×n or empty).
 void affine(const Matrix& x, const Matrix& w, const Matrix& bias, Matrix& y);
+
+/// Adds a broadcast 1×n bias row to every row of y; empty bias is a no-op.
+/// Any other bias shape throws std::invalid_argument.
+void add_bias_rows(Matrix& y, const Matrix& bias);
 
 /// FLOP count of one GEMM (2·m·k·n), used by throughput accounting.
 std::size_t gemm_flops(std::size_t m, std::size_t k, std::size_t n);

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
@@ -60,7 +61,13 @@ void MlpSpec::validate() const {
   }
 }
 
-Mlp::Mlp(MlpSpec spec, util::Rng& rng) : spec_(std::move(spec)) {
+std::uint64_t Mlp::next_weights_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+Mlp::Mlp(MlpSpec spec, util::Rng& rng)
+    : spec_(std::move(spec)), weights_version_(next_weights_version()) {
   spec_.validate();
   const auto dims = spec_.layer_dims();
   const InitScheme scheme = default_init_for(spec_.activation);
@@ -79,7 +86,15 @@ linalg::Matrix Mlp::forward(const linalg::Matrix& input) const {
   return forward_cached(input, cache);
 }
 
-linalg::Matrix Mlp::forward_cached(const linalg::Matrix& input, ForwardCache& cache) const {
+namespace {
+
+bool packed_backend_active() {
+  return linalg::active_gemm_kernel() == linalg::GemmKernel::Packed;
+}
+
+}  // namespace
+
+const linalg::Matrix& Mlp::forward_cached(const linalg::Matrix& input, ForwardCache& cache) const {
   if (input.cols() != spec_.input_dim) {
     throw std::invalid_argument("Mlp::forward: input width " + std::to_string(input.cols()) +
                                 " != " + std::to_string(spec_.input_dim));
@@ -87,9 +102,24 @@ linalg::Matrix Mlp::forward_cached(const linalg::Matrix& input, ForwardCache& ca
   const std::size_t layers = weights_.size();
   cache.pre.resize(layers);
   cache.post.resize(layers);
+  const bool packed = packed_backend_active();
+  if (packed && cache.packed_w_version != weights_version_) {
+    cache.packed_w.resize(layers);
+    for (std::size_t l = 0; l < layers; ++l) cache.packed_w[l].pack(weights_[l]);
+    cache.packed_w_version = weights_version_;
+  }
   const linalg::Matrix* current = &input;
   for (std::size_t l = 0; l < layers; ++l) {
-    linalg::affine(*current, weights_[l], biases_[l], cache.pre[l]);
+    if (packed) {
+      linalg::Matrix& y = cache.pre[l];
+      if (y.rows() != current->rows() || y.cols() != weights_[l].cols()) {
+        y.reshape_discard(current->rows(), weights_[l].cols());
+      }
+      linalg::gemm_prepacked(*current, cache.packed_w[l], y);
+      linalg::add_bias_rows(y, biases_[l]);
+    } else {
+      linalg::affine(*current, weights_[l], biases_[l], cache.pre[l]);
+    }
     const bool is_output = (l + 1 == layers);
     if (is_output) {
       cache.post[l] = cache.pre[l];  // logits: linear output layer
@@ -117,13 +147,22 @@ std::vector<int> Mlp::predict(const linalg::Matrix& input) const {
   return out;
 }
 
-void Mlp::backward(const linalg::Matrix& input, const ForwardCache& cache,
+void Mlp::backward(const linalg::Matrix& input, ForwardCache& cache,
                    const linalg::Matrix& logit_grad, std::vector<linalg::Matrix>& grad_w,
                    std::vector<linalg::Matrix>& grad_b) const {
   const std::size_t layers = weights_.size();
   if (cache.pre.size() != layers) throw std::invalid_argument("Mlp::backward: stale cache");
   grad_w.resize(layers);
   grad_b.resize(layers);
+  const bool packed = packed_backend_active();
+  if (packed && layers > 1 && cache.packed_wt_version != weights_version_) {
+    // δ·Wᵀ panels for layers 1..L-1 (layer 0 never propagates further back).
+    cache.packed_wt.resize(layers);
+    for (std::size_t l = 1; l < layers; ++l) {
+      cache.packed_wt[l].pack(weights_[l], /*transpose=*/true);
+    }
+    cache.packed_wt_version = weights_version_;
+  }
 
   linalg::Matrix delta = logit_grad;  // gradient at current layer's pre-activation
   for (std::size_t l = layers; l-- > 0;) {
@@ -147,7 +186,11 @@ void Mlp::backward(const linalg::Matrix& input, const ForwardCache& cache,
     if (l == 0) break;
     // delta_prev = (delta · W_lᵀ) ⊙ f'(z_{l-1})
     linalg::Matrix next_delta(delta.rows(), weights_[l].rows());
-    linalg::gemm_bt(delta, weights_[l], next_delta);
+    if (packed) {
+      linalg::gemm_prepacked(delta, cache.packed_wt[l], next_delta);
+    } else {
+      linalg::gemm_bt(delta, weights_[l], next_delta);
+    }
     apply_activation_gradient(spec_.activation, cache.pre[l - 1], next_delta);
     delta = std::move(next_delta);
   }

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "linalg/gemm_packed.h"
 #include "linalg/matrix.h"
 #include "nn/activation.h"
 #include "util/rng.h"
@@ -60,8 +62,23 @@ class Mlp {
   const MlpSpec& spec() const { return spec_; }
   std::size_t num_layers() const { return weights_.size(); }
 
-  linalg::Matrix& weights(std::size_t layer) { return weights_[layer]; }
+  /// Mutable access bumps the weights version so caches of packed weight
+  /// panels (see ForwardCache) know to repack on the next pass. Callers that
+  /// retain the reference and mutate through it later must re-call weights()
+  /// before the next forward_cached() on a long-lived cache, or the cache
+  /// will serve panels packed from the pre-mutation values.
+  linalg::Matrix& weights(std::size_t layer) {
+    weights_version_ = next_weights_version();
+    return weights_[layer];
+  }
   const linalg::Matrix& weights(std::size_t layer) const { return weights_[layer]; }
+
+  /// Identifies the current weight values. Values are unique across all Mlp
+  /// instances in the process (drawn from one global counter), so a
+  /// ForwardCache can never mistake one model's packed panels for
+  /// another's; a copied Mlp intentionally shares its source's version
+  /// until either is mutated (their weights are identical).
+  std::uint64_t weights_version() const { return weights_version_; }
   linalg::Matrix& bias(std::size_t layer) { return biases_[layer]; }
   const linalg::Matrix& bias(std::size_t layer) const { return biases_[layer]; }
 
@@ -75,24 +92,39 @@ class Mlp {
   std::vector<int> predict(const linalg::Matrix& input) const;
 
   /// Forward caching pre-activations/activations for a following backward().
-  /// Returns logits. The caller owns the cache object.
+  /// Returns a reference to the logits held by the cache. The caller owns
+  /// the cache object; keeping one alive across minibatches reuses both the
+  /// activation buffers and the packed weight panels (the panels are only
+  /// repacked when the weights version changes, so evaluation loops pack
+  /// once and training repacks once per optimizer step — never reallocating).
   struct ForwardCache {
     std::vector<linalg::Matrix> pre;   // z_l per layer
     std::vector<linalg::Matrix> post;  // a_l per layer (post[last] == logits)
+    // Packed weight panels for the Packed GEMM backend: W per layer for the
+    // forward products, Wᵀ per layer for backprop's δ·Wᵀ. Versions track the
+    // Mlp::weights_version() they were packed at.
+    std::vector<linalg::PackedB> packed_w;
+    std::vector<linalg::PackedB> packed_wt;
+    std::uint64_t packed_w_version = 0;
+    std::uint64_t packed_wt_version = 0;
   };
-  linalg::Matrix forward_cached(const linalg::Matrix& input, ForwardCache& cache) const;
+  const linalg::Matrix& forward_cached(const linalg::Matrix& input, ForwardCache& cache) const;
 
   /// Backward pass from d(loss)/d(logits).  `input` must be the batch passed
   /// to forward_cached.  Gradients are written into `grad_w`/`grad_b`
-  /// (resized as needed).
-  void backward(const linalg::Matrix& input, const ForwardCache& cache,
+  /// (resized as needed).  `cache` is non-const so the backward pass can
+  /// reuse (and lazily refresh) the packed Wᵀ panels it stores.
+  void backward(const linalg::Matrix& input, ForwardCache& cache,
                 const linalg::Matrix& logit_grad, std::vector<linalg::Matrix>& grad_w,
                 std::vector<linalg::Matrix>& grad_b) const;
 
  private:
+  static std::uint64_t next_weights_version();
+
   MlpSpec spec_;
   std::vector<linalg::Matrix> weights_;  // layer l: dims[l] x dims[l+1]
   std::vector<linalg::Matrix> biases_;   // layer l: 1 x dims[l+1] (empty if !use_bias)
+  std::uint64_t weights_version_ = 0;    // set in ctor and by mutable weights()
 };
 
 }  // namespace ecad::nn

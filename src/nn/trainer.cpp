@@ -94,7 +94,9 @@ TrainResult train(Mlp& mlp, const data::Dataset& train_set, const data::Dataset*
     stats.train_loss = loss_batches == 0 ? 0.0 : loss_sum / static_cast<double>(loss_batches);
     stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(n);
     if (validation != nullptr && validation->num_samples() > 0) {
-      stats.validation_accuracy = evaluate_accuracy(mlp, *validation);
+      // Shares the training cache: the weight panels packed by the last
+      // minibatch are reused for the whole validation forward pass.
+      stats.validation_accuracy = evaluate_accuracy(mlp, *validation, cache);
     }
     result.history.push_back(stats);
     result.final_train_loss = stats.train_loss;
@@ -115,8 +117,18 @@ TrainResult train(Mlp& mlp, const data::Dataset& train_set, const data::Dataset*
 }
 
 double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset) {
+  Mlp::ForwardCache cache;
+  return evaluate_accuracy(mlp, dataset, cache);
+}
+
+double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset,
+                         Mlp::ForwardCache& cache) {
   if (dataset.num_samples() == 0) return 0.0;
-  const std::vector<int> predictions = mlp.predict(dataset.features);
+  const linalg::Matrix& logits = mlp.forward_cached(dataset.features, cache);
+  std::vector<int> predictions(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    predictions[r] = static_cast<int>(linalg::argmax(logits.row(r)));
+  }
   return accuracy(predictions, dataset.labels);
 }
 

@@ -49,4 +49,10 @@ TrainResult train(Mlp& mlp, const data::Dataset& train_set, const data::Dataset*
 /// Convenience: accuracy of `mlp` on a dataset.
 double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset);
 
+/// Same, but forwards through a caller-owned cache so repeated evaluations
+/// (per-epoch validation, batched inference) reuse activation buffers and
+/// packed weight panels instead of repacking per call.
+double evaluate_accuracy(const Mlp& mlp, const data::Dataset& dataset,
+                         Mlp::ForwardCache& cache);
+
 }  // namespace ecad::nn

@@ -1,0 +1,235 @@
+#include "util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace ecad::util {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < has_element_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::element_prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+    newline_indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  out_ << '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  out_ << '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  element_prefix();
+  out_ << '"' << escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  element_prefix();
+  out_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(double number) {
+  element_prefix();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", number);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  element_prefix();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  element_prefix();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  element_prefix();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport
+// ---------------------------------------------------------------------------
+
+BenchEntry& BenchEntry::label(const std::string& k, const std::string& v) {
+  labels.emplace_back(k, v);
+  return *this;
+}
+
+BenchEntry& BenchEntry::metric(const std::string& k, double v) {
+  metrics.emplace_back(k, v);
+  return *this;
+}
+
+BenchReport::BenchReport(std::string bench_name) : name_(std::move(bench_name)) {
+#if defined(__VERSION__)
+  set_metadata("compiler", __VERSION__);
+#endif
+#if defined(NDEBUG)
+  set_metadata("build", "release");
+#else
+  set_metadata("build", "debug");
+#endif
+}
+
+void BenchReport::set_metadata(const std::string& k, const std::string& v) {
+  for (auto& kv : metadata_) {
+    if (kv.first == k) {
+      kv.second = v;
+      return;
+    }
+  }
+  metadata_.emplace_back(k, v);
+}
+
+BenchEntry& BenchReport::add_entry(const std::string& name) {
+  entries_.emplace_back();
+  entries_.back().name = name;
+  return entries_.back();
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").value(name_);
+  json.key("schema_version").value(std::int64_t{1});
+  json.key("generated_unix").value(static_cast<std::int64_t>(std::time(nullptr)));
+  json.key("metadata").begin_object();
+  for (const auto& [k, v] : metadata_) json.key(k).value(v);
+  json.end_object();
+  json.key("entries").begin_array();
+  for (const auto& entry : entries_) {
+    json.begin_object();
+    json.key("name").value(entry.name);
+    json.key("labels").begin_object();
+    for (const auto& [k, v] : entry.labels) json.key(k).value(v);
+    json.end_object();
+    json.key("metrics").begin_object();
+    for (const auto& [k, v] : entry.metrics) json.key(k).value(v);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+std::string BenchReport::output_path() const {
+  const char* dir = std::getenv("ECAD_BENCH_JSON_DIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : ".";
+  if (base.back() != '/') base += '/';
+  return base + "BENCH_" + name_ + ".json";
+}
+
+std::string BenchReport::write_file() const {
+  const std::string path = output_path();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+  out << to_json();
+  return path;
+}
+
+BenchReport table_to_report(const std::string& bench_name, const std::string& title,
+                            const TextTable& table) {
+  BenchReport report(bench_name);
+  report.set_metadata("title", title);
+  const auto& header = table.header();
+  for (const auto& row : table.rows()) {
+    BenchEntry& entry = report.add_entry(row.empty() ? "" : row.front());
+    for (std::size_t c = 0; c < row.size() && c < header.size(); ++c) {
+      entry.label(header[c], row[c]);
+    }
+  }
+  return report;
+}
+
+}  // namespace ecad::util

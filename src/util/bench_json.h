@@ -1,0 +1,109 @@
+// Machine-readable benchmark reporting.
+//
+// Every bench target emits a `BENCH_<name>.json` file next to its human
+// tables so the repo accumulates a perf trajectory that CI can archive and
+// diff across commits. Schema (schema_version 1):
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "generated_unix": <seconds>,
+//     "metadata": { "<key>": "<string>", ... },
+//     "entries": [
+//       { "name": "<entry>",
+//         "labels":  { "<key>": "<string>", ... },
+//         "metrics": { "<key>": <number>, ... } },
+//       ...
+//     ]
+//   }
+//
+// `labels` carry identity (kernel, shape, dataset); `metrics` carry measured
+// numbers (gflops, seconds, speedups). The output directory defaults to the
+// working directory and is overridable via ECAD_BENCH_JSON_DIR.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecad::util {
+
+class TextTable;
+
+/// Minimal streaming JSON writer: tracks nesting and comma placement, and
+/// escapes strings per RFC 8259. Numbers are emitted with round-trip float
+/// precision; non-finite values degrade to null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+
+  static std::string escape(const std::string& text);
+
+ private:
+  void element_prefix();
+  void newline_indent();
+
+  std::ostream& out_;
+  std::vector<bool> has_element_;  // per nesting level
+  bool after_key_ = false;
+};
+
+/// One measured configuration within a bench run.
+struct BenchEntry {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchEntry& label(const std::string& k, const std::string& v);
+  BenchEntry& metric(const std::string& k, double v);
+};
+
+/// Collects entries for one bench target and writes `BENCH_<name>.json`.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void set_metadata(const std::string& k, const std::string& v);
+  BenchEntry& add_entry(const std::string& name);
+
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Serializes the whole report.
+  std::string to_json() const;
+
+  /// Resolves the output directory (ECAD_BENCH_JSON_DIR or `.`), writes
+  /// `BENCH_<name>.json`, and returns the path written. Throws
+  /// std::runtime_error when the file cannot be opened.
+  std::string write_file() const;
+
+  /// Path the report would be written to.
+  std::string output_path() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
+  std::vector<BenchEntry> entries_;
+};
+
+/// Converts a rendered TextTable into a BenchReport: one entry per row named
+/// after its first column, remaining columns attached as labels keyed by
+/// header. Lets the table/figure regeneration benches emit JSON alongside
+/// their ASCII output without restructuring.
+BenchReport table_to_report(const std::string& bench_name, const std::string& title,
+                            const TextTable& table);
+
+}  // namespace ecad::util

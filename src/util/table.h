@@ -17,6 +17,10 @@ class TextTable {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Raw cell access, used by the JSON bench reporter (bench_json.h).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Render with a title line, column rule, and padded cells.
   std::string render(const std::string& title) const;
 

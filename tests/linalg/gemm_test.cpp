@@ -129,6 +129,38 @@ TEST(Affine, WrongBiasShapeThrows) {
   const Matrix x(2, 2), w(2, 2);
   Matrix y;
   EXPECT_THROW(affine(x, w, Matrix(2, 2), y), std::invalid_argument);
+  EXPECT_THROW(affine(x, w, Matrix(1, 3), y), std::invalid_argument);
+}
+
+TEST(Affine, EmptyBiasOverwritesPreSizedOutput) {
+  // y already has the right shape and stale contents; affine must overwrite,
+  // not accumulate, with or without a bias.
+  const Matrix x{{1.0f, 0.0f}, {0.0f, 1.0f}};
+  const Matrix w{{2.0f, 3.0f}, {4.0f, 5.0f}};
+  Matrix y(2, 2, /*fill=*/100.0f);
+  affine(x, w, Matrix(), y);
+  EXPECT_TRUE(y.approx_equal(w));
+  y.fill(100.0f);
+  affine(x, w, Matrix{{1.0f, 1.0f}}, y);
+  EXPECT_TRUE(y.approx_equal(Matrix{{3.0f, 4.0f}, {5.0f, 6.0f}}));
+}
+
+TEST(Affine, ZeroRowEmptyMatrixCountsAsEmptyBias) {
+  // A default Matrix and a 0xN matrix are both empty(); neither may throw.
+  const Matrix x{{2.0f}}, w{{5.0f}};
+  Matrix y;
+  affine(x, w, Matrix(0, 1), y);
+  EXPECT_FLOAT_EQ(y(0, 0), 10.0f);
+}
+
+TEST(AddBiasRows, ValidatesShapeAndBroadcasts) {
+  Matrix y{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  add_bias_rows(y, Matrix{{10.0f, 20.0f}});
+  EXPECT_TRUE(y.approx_equal(Matrix{{11.0f, 22.0f}, {13.0f, 24.0f}}));
+  add_bias_rows(y, Matrix());  // empty bias: no-op
+  EXPECT_TRUE(y.approx_equal(Matrix{{11.0f, 22.0f}, {13.0f, 24.0f}}));
+  EXPECT_THROW(add_bias_rows(y, Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(add_bias_rows(y, Matrix(1, 3)), std::invalid_argument);
 }
 
 TEST(Matmul, AllocatesOutput) {

@@ -107,6 +107,68 @@ TEST(Mlp, DeterministicConstructionPerSeed) {
   }
 }
 
+TEST(Mlp, ForwardCachedReusesPackedPanelsAcrossCalls) {
+  util::Rng rng(21);
+  const Mlp mlp(small_spec(), rng);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(5, 4, rng);
+  Mlp::ForwardCache cache;
+  const linalg::Matrix first = mlp.forward_cached(input, cache);
+  const std::uint64_t packed_at = cache.packed_w_version;
+  EXPECT_EQ(packed_at, mlp.weights_version());
+  const linalg::Matrix second = mlp.forward_cached(input, cache);
+  EXPECT_EQ(cache.packed_w_version, packed_at);  // no repack while frozen
+  EXPECT_TRUE(second.approx_equal(first));
+  EXPECT_TRUE(second.approx_equal(mlp.forward(input), 1e-5f));
+}
+
+TEST(Mlp, WeightMutationInvalidatesPackedPanels) {
+  util::Rng rng(23);
+  Mlp mlp(small_spec(), rng);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(5, 4, rng);
+  Mlp::ForwardCache cache;
+  const linalg::Matrix before = mlp.forward_cached(input, cache);
+  const std::uint64_t version_before = mlp.weights_version();
+  mlp.weights(0).at(0, 0) += 0.5f;  // mutable access bumps the version
+  EXPECT_GT(mlp.weights_version(), version_before);
+  const linalg::Matrix after = mlp.forward_cached(input, cache);
+  // The cached panels must have been repacked with the new weights: the
+  // result matches a pack-free-from-scratch forward, not the stale one.
+  EXPECT_TRUE(after.approx_equal(mlp.forward(input), 1e-5f));
+  EXPECT_FALSE(after.approx_equal(before, 1e-7f));
+}
+
+TEST(Mlp, SharedCacheNeverServesAnotherModelsPanels) {
+  // Weight versions are globally unique, so reusing one ForwardCache across
+  // two models (same shapes, different weights) must repack, not alias.
+  util::Rng rng1(31), rng2(37);
+  const Mlp m1(small_spec(), rng1), m2(small_spec(), rng2);
+  util::Rng data_rng(41);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(5, 4, data_rng);
+  Mlp::ForwardCache cache;
+  const linalg::Matrix out1 = m1.forward_cached(input, cache);
+  const linalg::Matrix out2 = m2.forward_cached(input, cache);
+  EXPECT_TRUE(out2.approx_equal(m2.forward(input), 1e-5f));
+  EXPECT_FALSE(out2.approx_equal(out1, 1e-6f));
+  // Swinging back to the first model must repack again.
+  EXPECT_TRUE(m1.forward_cached(input, cache).approx_equal(out1, 1e-6f));
+}
+
+TEST(Mlp, ForwardAgreesAcrossGemmBackends) {
+  util::Rng rng(25);
+  const Mlp mlp(small_spec(), rng);
+  const linalg::Matrix input = linalg::Matrix::random_uniform(6, 4, rng);
+  const linalg::GemmKernel previous = linalg::active_gemm_kernel();
+  linalg::set_gemm_kernel(linalg::GemmKernel::Naive);
+  const linalg::Matrix oracle = mlp.forward(input);
+  for (const linalg::GemmKernel kernel :
+       {linalg::GemmKernel::Packed, linalg::GemmKernel::Blocked}) {
+    linalg::set_gemm_kernel(kernel);
+    EXPECT_TRUE(mlp.forward(input).approx_equal(oracle, 1e-4f))
+        << linalg::to_string(kernel);
+  }
+  linalg::set_gemm_kernel(previous);
+}
+
 // The critical correctness test: analytic backprop gradients must match
 // central finite differences of the loss for every parameter, across
 // activations and bias settings.

@@ -1,0 +1,101 @@
+#include "util/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace ecad::util {
+namespace {
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NestedStructureAndCommas) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name").value("x");
+  json.key("list").begin_array().value(std::int64_t{1}).value(std::int64_t{2}).end_array();
+  json.key("flag").value(true);
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n  \"name\": \"x\",\n  \"list\": [\n    1,\n    2\n  ],\n  \"flag\": true\n}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(1.5);
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_NE(out.str().find("1.5"), std::string::npos);
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+  EXPECT_EQ(out.str().find("inf"), std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+}
+
+TEST(BenchReport, SerializesEntriesWithLabelsAndMetrics) {
+  BenchReport report("unit");
+  report.set_metadata("title", "t");
+  report.add_entry("case/1").label("kernel", "packed").metric("gflops", 12.25);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"title\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"case/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"packed\""), std::string::npos);
+  EXPECT_NE(json.find("\"gflops\": 12.25"), std::string::npos);
+  EXPECT_EQ(report.num_entries(), 1u);
+}
+
+TEST(BenchReport, MetadataOverwritesByKey) {
+  BenchReport report("unit");
+  report.set_metadata("k", "v1");
+  report.set_metadata("k", "v2");
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.find("v1"), std::string::npos);
+  EXPECT_NE(json.find("\"k\": \"v2\""), std::string::npos);
+}
+
+TEST(BenchReport, WriteFileHonorsOutputDirEnv) {
+  ASSERT_EQ(setenv("ECAD_BENCH_JSON_DIR", "/tmp", 1), 0);
+  BenchReport report("bench_json_unit_test");
+  report.add_entry("e").metric("v", 1.0);
+  const std::string path = report.write_file();
+  unsetenv("ECAD_BENCH_JSON_DIR");
+  EXPECT_EQ(path, "/tmp/BENCH_bench_json_unit_test.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"bench\": \"bench_json_unit_test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TableToReport, RowsBecomeEntriesKeyedByHeader) {
+  TextTable table({"Dataset", "Acc", "Time"});
+  table.add_row({"credit-g", "0.76", "1.5"});
+  table.add_row({"har", "0.98", "9.0"});
+  const BenchReport report = table_to_report("t3", "runtime", table);
+  EXPECT_EQ(report.num_entries(), 2u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"name\": \"credit-g\""), std::string::npos);
+  EXPECT_NE(json.find("\"Acc\": \"0.98\""), std::string::npos);
+  EXPECT_NE(json.find("\"title\": \"runtime\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecad::util
