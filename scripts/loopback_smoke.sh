@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Loopback integration smoke for the distributed evaluation service
+# (ISSUE 3 acceptance): start two ecad_workerd daemons on 127.0.0.1,
+# run the same seeded search twice — once sharded across the daemons, once
+# with the in-process worker — and require byte-identical stdout.
+# Also verifies degradation: kill one daemon and re-run distributed; the
+# search must still complete and still match.
+#
+# Usage: scripts/loopback_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+WORKERD="$BUILD_DIR/tools/ecad_workerd"
+SEARCHD="$BUILD_DIR/tools/ecad_searchd"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Identical worker spec on every process — the determinism contract.
+WORKER_FLAGS=(--worker accuracy --data-seed 7 --data-samples 400 --train-epochs 3 --eval-seed 42)
+SEARCH_FLAGS=(--seed 11 --population 6 --evaluations 24 --batch 3 --threads 4 "${WORKER_FLAGS[@]}")
+
+start_worker() {
+  local out="$1"
+  "$WORKERD" --port 0 "${WORKER_FLAGS[@]}" >"$out" 2>"$out.err" &
+  PIDS+=($!)
+  for _ in $(seq 1 100); do
+    if grep -q LISTENING "$out" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: worker daemon did not come up"; cat "$out.err"; exit 1
+}
+
+echo "== starting two worker daemons on loopback"
+start_worker "$WORK/w1.out"
+start_worker "$WORK/w2.out"
+PORT1=$(awk '{print $2}' "$WORK/w1.out")
+PORT2=$(awk '{print $2}' "$WORK/w2.out")
+echo "   workers on :$PORT1 and :$PORT2"
+
+echo "== local (in-process) reference search"
+"$SEARCHD" "${SEARCH_FLAGS[@]}" >"$WORK/local.out"
+
+echo "== distributed search across both daemons"
+"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" >"$WORK/dist.out"
+
+if ! diff -u "$WORK/local.out" "$WORK/dist.out"; then
+  echo "FAIL: distributed search diverged from local evaluation"
+  exit 1
+fi
+echo "   OK: distributed == local, byte for byte ($(wc -l <"$WORK/local.out") lines)"
+
+echo "== degradation: kill worker 2, re-run distributed (worker 1 only survives)"
+kill "${PIDS[1]}" 2>/dev/null || true
+wait "${PIDS[1]}" 2>/dev/null || true
+"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
+  >"$WORK/degraded.out"
+if ! diff -u "$WORK/local.out" "$WORK/degraded.out"; then
+  echo "FAIL: degraded search diverged from local evaluation"
+  exit 1
+fi
+echo "   OK: search degraded to the surviving worker and still matches"
+
+echo "PASS: loopback smoke"

@@ -1,12 +1,25 @@
 #include "core/master.h"
 
+#include <stdexcept>
+
 namespace ecad::core {
 
 evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
   const auto& fitness = registry_.get(request.fitness);
+  // Annotate worker failures with the offending genome: the pool rethrows the
+  // first exception of a batch, but without the genome key a remote- or
+  // training-failure is undiagnosable ("which of the 64 candidates was it?").
   evo::EvolutionEngine engine(
       request.space, request.evolution,
-      [&worker](const evo::Genome& genome) { return worker.evaluate(genome); }, fitness);
+      [&worker](const evo::Genome& genome) {
+        try {
+          return worker.evaluate(genome);
+        } catch (const std::exception& e) {
+          throw std::runtime_error("worker '" + worker.name() + "' failed on genome " +
+                                   genome.key() + ": " + e.what());
+        }
+      },
+      fitness);
   util::Rng rng(request.seed);
   util::ThreadPool pool(request.threads);
   return engine.run(rng, pool);

@@ -85,13 +85,17 @@ inline std::size_t round_up(std::size_t value, std::size_t multiple) {
   return (value + multiple - 1) / multiple * multiple;
 }
 
-// Packs rows [pc, pc+kc) of logical B into kNR-column strips: strip j0 holds
-// columns [j0, j0+kNR) as kc contiguous rows of kNR floats, zero-padded past
-// b.cols. Output occupies kc * round_up(b.cols, kNR) floats.
-void pack_b_panel(const MatView& b, std::size_t pc, std::size_t kc, float* out) {
+// Packs column strips [j_begin, j_end) of rows [pc, pc+kc) of logical B into
+// the panel at `panel_out`: strip j0 holds columns [j0, j0+kNR) as kc
+// contiguous rows of kNR floats, zero-padded past b.cols, at panel offset
+// (j0/kNR)·kc·kNR.  `j_begin` must be kNR-aligned.  Strips are disjoint in
+// the output, so distinct ranges of one panel can be packed concurrently.
+void pack_b_panel_strips(const MatView& b, std::size_t pc, std::size_t kc, std::size_t j_begin,
+                         std::size_t j_end, float* panel_out) {
   const std::size_t n = b.cols;
-  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+  for (std::size_t j0 = j_begin; j0 < j_end; j0 += kNR) {
     const std::size_t jw = std::min(kNR, n - j0);
+    float* out = panel_out + (j0 / kNR) * kc * kNR;
     for (std::size_t p = 0; p < kc; ++p) {
       const float* src = b.data + (pc + p) * b.row_stride + j0 * b.col_stride;
       float* dst = out + p * kNR;
@@ -102,8 +106,13 @@ void pack_b_panel(const MatView& b, std::size_t pc, std::size_t kc, float* out) 
       }
       for (std::size_t j = jw; j < kNR; ++j) dst[j] = 0.0f;
     }
-    out += kc * kNR;
   }
+}
+
+/// Whole panel: rows [pc, pc+kc), all column strips.
+/// Output occupies kc * round_up(b.cols, kNR) floats.
+void pack_b_panel(const MatView& b, std::size_t pc, std::size_t kc, float* out) {
+  pack_b_panel_strips(b, pc, kc, 0, b.cols, out);
 }
 
 // Packs rows [ic, ic+mc) × cols [pc, pc+kc) of logical A into kMR-row strips:
@@ -252,12 +261,11 @@ void gemm_packed_parallel(const MatView& a, const MatView& b, Matrix& c,
     gemm_packed(a, b, c, accumulate);
     return;
   }
+  // Pack the shared B once up front (read-only for all shards), using the
+  // pool for the packing itself — serial packing here was the driver's
+  // remaining sequential phase.
   PackedB packed_b;
-  {
-    // Pack the shared B once up front (read-only for all shards). PackedB
-    // only has Matrix-based pack(), so go through the strided path directly.
-    packed_b.pack_view(b);
-  }
+  packed_b.pack_view_parallel(b, pool);
   const std::size_t rows_per_shard = round_up((m + shards - 1) / shards, kMR);
   pool.parallel_for(shards, [&](std::size_t s) {
     const std::size_t ic0 = s * rows_per_shard;
@@ -289,6 +297,36 @@ void PackedB::pack_view(const detail::MatView& b) {
     const std::size_t kc = std::min(detail::kKC, k_ - pc);
     detail::pack_b_panel(b, pc, kc, data_.data() + pc * padded_n_);
   }
+}
+
+void PackedB::pack_view_parallel(const detail::MatView& b, util::ThreadPool& pool) {
+  k_ = b.rows;
+  n_ = b.cols;
+  padded_n_ = (n_ + detail::kNR - 1) / detail::kNR * detail::kNR;
+  data_.resize(k_ * padded_n_);
+  if (k_ == 0 || n_ == 0) return;
+  const std::size_t panels = (k_ + detail::kKC - 1) / detail::kKC;
+  const std::size_t strips = padded_n_ / detail::kNR;
+  // Panels alone under-parallelize (512³ has only two), so also split each
+  // panel's strip range; ~4 tasks per thread balances the tail.
+  const std::size_t want_tasks = std::max(pool.size() * 4, panels);
+  std::size_t chunks_per_panel = std::max<std::size_t>(1, (want_tasks + panels - 1) / panels);
+  chunks_per_panel = std::min(chunks_per_panel, strips);
+  const std::size_t chunk_strips = (strips + chunks_per_panel - 1) / chunks_per_panel;
+  if (panels * chunks_per_panel <= 1) {
+    detail::pack_b_panel(b, 0, k_, data_.data());
+    return;
+  }
+  pool.parallel_for(panels * chunks_per_panel, [&](std::size_t task) {
+    const std::size_t panel = task / chunks_per_panel;
+    const std::size_t chunk = task % chunks_per_panel;
+    const std::size_t pc = panel * detail::kKC;
+    const std::size_t kc = std::min(detail::kKC, k_ - pc);
+    const std::size_t j_begin = chunk * chunk_strips * detail::kNR;
+    if (j_begin >= n_) return;
+    const std::size_t j_end = std::min(n_, j_begin + chunk_strips * detail::kNR);
+    detail::pack_b_panel_strips(b, pc, kc, j_begin, j_end, data_.data() + pc * padded_n_);
+  });
 }
 
 void gemm_prepacked(const Matrix& a, const PackedB& b, Matrix& c, bool accumulate) {

@@ -86,6 +86,12 @@ class PackedB {
   /// Packs an arbitrary strided view (used by the parallel driver).
   void pack_view(const detail::MatView& b);
 
+  /// Same layout, but the packing work itself fans out across `pool`:
+  /// (K-panel × column-strip-chunk) tasks write disjoint output regions.
+  /// The parallel GEMM driver packed B serially before sharding — at large
+  /// N that serial phase capped multi-thread scaling (Amdahl).
+  void pack_view_parallel(const detail::MatView& b, util::ThreadPool& pool);
+
   bool empty() const { return k_ == 0 || n_ == 0; }
   std::size_t rows() const { return k_; }  // logical k
   std::size_t cols() const { return n_; }  // logical n

@@ -1,0 +1,218 @@
+#include "net/remote_worker.h"
+
+#include <stdexcept>
+
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace ecad::net {
+
+namespace {
+
+/// The worker itself threw while evaluating — a property of the genome, not
+/// of the connection that carried it.
+class RemoteEvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void send_frame_on(Socket& socket, MsgType type, const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  socket.send_all(frame.data(), frame.size());
+}
+
+Frame recv_frame_on(Socket& socket, int timeout_ms) {
+  std::uint8_t header[kFrameHeaderBytes];
+  socket.recv_exact(header, sizeof(header), timeout_ms);
+  const FrameHeader decoded = decode_frame_header(header);
+  Frame frame;
+  frame.type = decoded.type;
+  frame.payload.resize(decoded.payload_size);
+  if (decoded.payload_size > 0) {
+    socket.recv_exact(frame.payload.data(), frame.payload.size(), timeout_ms);
+  }
+  return frame;
+}
+
+}  // namespace
+
+RemoteWorker::RemoteWorker(RemoteWorkerOptions options) : options_(std::move(options)) {
+  if (options_.endpoints.empty()) {
+    throw std::invalid_argument("RemoteWorker: endpoint list is empty");
+  }
+  states_.reserve(options_.endpoints.size());
+  for (const Endpoint& endpoint : options_.endpoints) {
+    EndpointState state;
+    state.endpoint = endpoint;
+    states_.push_back(std::move(state));
+  }
+}
+
+std::string RemoteWorker::name() const {
+  return "remote(" + std::to_string(options_.endpoints.size()) + " endpoints)";
+}
+
+bool RemoteWorker::checkout(Checkout& out) const {
+  const std::size_t count = states_.size();
+  const std::size_t start = round_robin_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t offset = 0; offset < count; ++offset) {
+    const std::size_t index = (start + offset) % count;
+    Endpoint endpoint;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EndpointState& state = states_[index];
+      if (Clock::now() < state.down_until) continue;
+      if (!state.idle.empty()) {
+        out.endpoint_index = index;
+        out.socket = std::move(state.idle.back());
+        state.idle.pop_back();
+        return true;
+      }
+      endpoint = state.endpoint;
+    }
+    // Connect + handshake outside the lock: a slow or dead endpoint must not
+    // stall the other evaluation threads.
+    try {
+      Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
+      WireWriter hello;
+      hello.put_string("ecad-master");
+      send_frame_on(socket, MsgType::Hello, hello.bytes());
+      const Frame ack = recv_frame_on(socket, options_.connect_timeout_ms);
+      if (ack.type != MsgType::HelloAck) {
+        throw NetError("handshake: expected HelloAck, got " + std::string(to_string(ack.type)));
+      }
+      out.endpoint_index = index;
+      out.socket = std::move(socket);
+      return true;
+    } catch (const NetError& e) {
+      util::Log(util::LogLevel::Debug, "net")
+          << "endpoint " << endpoint.to_string() << " unavailable: " << e.what();
+      penalize(index);
+    } catch (const WireError& e) {
+      util::Log(util::LogLevel::Warn, "net")
+          << "endpoint " << endpoint.to_string() << " protocol mismatch: " << e.what();
+      penalize(index);
+    }
+  }
+  return false;
+}
+
+void RemoteWorker::check_in(Checkout&& checkout) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  states_[checkout.endpoint_index].idle.push_back(std::move(checkout.socket));
+}
+
+void RemoteWorker::penalize(std::size_t endpoint_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EndpointState& state = states_[endpoint_index];
+  state.down_until = Clock::now() + std::chrono::milliseconds(options_.endpoint_cooldown_ms);
+  state.idle.clear();  // stale sockets to a failed daemon are worthless
+}
+
+evo::EvalResult RemoteWorker::exchange(Socket& socket, const evo::Genome& genome) const {
+  const std::uint64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  WireWriter request;
+  request.put_u64(request_id);
+  write_genome(request, genome);
+  send_frame_on(socket, MsgType::EvalRequest, request.bytes());
+
+  const Frame frame = recv_frame_on(socket, options_.request_timeout_ms);
+  if (frame.type != MsgType::EvalResponse) {
+    throw NetError("expected EvalResponse, got " + std::string(to_string(frame.type)));
+  }
+  WireReader reader(frame.payload);
+  const std::uint64_t response_id = reader.get_u64();
+  if (response_id != request_id) {
+    throw NetError("response id mismatch (" + std::to_string(response_id) + " != " +
+                   std::to_string(request_id) + ")");
+  }
+  const bool ok = reader.get_bool();
+  if (!ok) {
+    // The remote worker itself threw. Deterministic per genome — retrying on
+    // another endpoint would fail identically, so surface it to the Master.
+    const std::string message = reader.get_string();
+    reader.expect_end();
+    throw RemoteEvalError("remote evaluation failed: " + message);
+  }
+  const evo::EvalResult result = read_eval_result(reader);
+  reader.expect_end();
+  return result;
+}
+
+evo::EvalResult RemoteWorker::evaluate(const evo::Genome& genome) const {
+  const std::size_t attempts = options_.max_rounds * states_.size();
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    Checkout conn;
+    if (!checkout(conn)) break;  // every endpoint down or cooling off
+    try {
+      const evo::EvalResult result = exchange(conn.socket, genome);
+      remote_evaluations_.fetch_add(1, std::memory_order_relaxed);
+      check_in(std::move(conn));
+      return result;
+    } catch (const RemoteEvalError&) {
+      // The exchange itself completed — the connection is healthy, only the
+      // genome is poison. Return the socket for reuse and let the error
+      // surface to the Master.
+      check_in(std::move(conn));
+      throw;
+    } catch (const NetError& e) {
+      // Disconnect / timeout / protocol break mid-exchange: drop this
+      // connection, sideline the endpoint, move on to the next one.
+      util::Log(util::LogLevel::Warn, "net")
+          << "evaluation on " << states_[conn.endpoint_index].endpoint.to_string() << " failed ("
+          << e.what() << "); retrying elsewhere";
+      penalize(conn.endpoint_index);
+    } catch (const WireError& e) {
+      util::Log(util::LogLevel::Warn, "net")
+          << "malformed response from " << states_[conn.endpoint_index].endpoint.to_string()
+          << " (" << e.what() << "); retrying elsewhere";
+      penalize(conn.endpoint_index);
+    }
+  }
+  if (options_.fallback != nullptr) {
+    fallback_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    util::Log(util::LogLevel::Warn, "net")
+        << "no evaluation daemon reachable; falling back to local worker '"
+        << options_.fallback->name() << "'";
+    return options_.fallback->evaluate(genome);
+  }
+  throw NetError("RemoteWorker: no evaluation daemon reachable and no local fallback configured");
+}
+
+std::size_t RemoteWorker::ping_all() const {
+  std::size_t alive = 0;
+  for (std::size_t index = 0; index < states_.size(); ++index) {
+    Endpoint endpoint;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      endpoint = states_[index].endpoint;
+    }
+    try {
+      Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
+      send_frame_on(socket, MsgType::Ping, {});
+      const Frame frame = recv_frame_on(socket, options_.connect_timeout_ms);
+      if (frame.type == MsgType::Pong) ++alive;
+    } catch (const NetError&) {
+    } catch (const WireError&) {
+    }
+  }
+  return alive;
+}
+
+void RemoteWorker::shutdown_all() const {
+  for (std::size_t index = 0; index < states_.size(); ++index) {
+    Endpoint endpoint;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      endpoint = states_[index].endpoint;
+    }
+    try {
+      Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
+      send_frame_on(socket, MsgType::Shutdown, {});
+    } catch (const NetError&) {
+      // Already gone — that's what shutdown wanted anyway.
+    }
+  }
+}
+
+}  // namespace ecad::net

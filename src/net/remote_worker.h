@@ -1,0 +1,101 @@
+// RemoteWorker: a core::Worker whose evaluate() runs on remote ecad_workerd
+// daemons.  The Master stays oblivious — it dispatches genomes exactly as it
+// would to a local worker, and this class fans the concurrent requests out
+// across a pool of endpoints with per-request timeouts, retry-on-disconnect,
+// and (optionally) fallback to a local worker when nothing is reachable.
+//
+// Concurrency model: the Master's thread pool calls evaluate() from many
+// threads at once.  Each call checks a connection out of a shared idle pool
+// (round-robin over healthy endpoints, connecting lazily), speaks one
+// request/response exchange on it, and returns it for reuse.  A connection
+// therefore never multiplexes requests, which keeps failure handling local
+// to one evaluation.  Endpoints that fail enter a cooldown window so a dead
+// daemon costs one failed connect per window, not per genome.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/worker.h"
+#include "net/socket.h"
+
+namespace ecad::net {
+
+struct RemoteWorkerOptions {
+  std::vector<Endpoint> endpoints;
+  int connect_timeout_ms = 2000;
+  /// Deadline for one EvalResponse (covers remote training time).
+  int request_timeout_ms = 120000;
+  /// How long a failed endpoint sits out before being retried.
+  int endpoint_cooldown_ms = 1000;
+  /// Full passes over the endpoint list before giving up on the network.
+  std::size_t max_rounds = 2;
+  /// When no endpoint is reachable: evaluate locally on this worker instead
+  /// of failing the search. nullptr = throw NetError.
+  const core::Worker* fallback = nullptr;
+};
+
+class RemoteWorker final : public core::Worker {
+ public:
+  /// Throws std::invalid_argument when no endpoints are given.
+  explicit RemoteWorker(RemoteWorkerOptions options);
+
+  std::string name() const override;
+
+  /// Thread-safe; called concurrently by the Master's pool.  Network faults
+  /// rotate to the next endpoint; a *remote evaluation* error (the worker
+  /// threw on its machine) is not retried — it is deterministic — and
+  /// surfaces as std::runtime_error with the remote message.
+  evo::EvalResult evaluate(const evo::Genome& genome) const override;
+
+  /// Round-trip a Ping to every endpoint; number of live daemons.
+  std::size_t ping_all() const;
+
+  /// Ask every reachable daemon to exit (used by ecad_searchd --shutdown-workers).
+  void shutdown_all() const;
+
+  std::size_t remote_evaluations() const {
+    return remote_evaluations_.load(std::memory_order_relaxed);
+  }
+  std::size_t fallback_evaluations() const {
+    return fallback_evaluations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct EndpointState {
+    Endpoint endpoint;
+    Clock::time_point down_until{};       // cooldown gate
+    std::vector<Socket> idle;             // handshaken connections ready for reuse
+  };
+
+  struct Checkout {
+    std::size_t endpoint_index = 0;
+    Socket socket;
+  };
+
+  /// Next healthy endpoint in round-robin order with a ready or freshly
+  /// connected (and handshaken) socket; false when every endpoint is in
+  /// cooldown or unreachable right now.
+  bool checkout(Checkout& out) const;
+  void check_in(Checkout&& checkout) const;
+  void penalize(std::size_t endpoint_index) const;
+
+  /// One request/response exchange on a checked-out connection.
+  evo::EvalResult exchange(Socket& socket, const evo::Genome& genome) const;
+
+  RemoteWorkerOptions options_;
+  mutable std::mutex mutex_;             // guards endpoint states + idle pools
+  mutable std::vector<EndpointState> states_;
+  mutable std::atomic<std::uint64_t> next_request_id_{1};
+  mutable std::atomic<std::size_t> round_robin_{0};
+  mutable std::atomic<std::size_t> remote_evaluations_{0};
+  mutable std::atomic<std::size_t> fallback_evaluations_{0};
+};
+
+}  // namespace ecad::net

@@ -1,0 +1,313 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace ecad::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Remaining milliseconds before `deadline`; -1 for "no deadline", 0 when
+/// already past. Suitable for poll().
+int remaining_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// poll() one fd for `events`, retrying EINTR against the deadline.
+/// Returns false on timeout.
+bool poll_one(int fd, short events, bool has_deadline, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, remaining_ms(has_deadline, deadline));
+    if (rc > 0) return true;  // readable/writable or error condition to surface via recv/send
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    throw std::invalid_argument("parse_endpoint: expected host:port, got '" + text + "'");
+  }
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+    throw std::invalid_argument("parse_endpoint: bad port in '" + text + "'");
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::vector<Endpoint> parse_endpoint_list(const std::string& text) {
+  std::vector<Endpoint> endpoints;
+  for (const std::string& part : util::split(text, ',')) {
+    const std::string trimmed(util::trim(part));
+    if (trimmed.empty()) continue;
+    endpoints.push_back(parse_endpoint(trimmed));
+  }
+  return endpoints;
+}
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect(const Endpoint& endpoint, int timeout_ms) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* results = nullptr;
+  const std::string port_text = std::to_string(endpoint.port);
+  const int gai = ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(), &hints, &results);
+  if (gai != 0) {
+    throw NetError("resolve " + endpoint.to_string() + ": " + ::gai_strerror(gai));
+  }
+
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string last_error = "no addresses";
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_cloexec(fd);
+    // Nonblocking connect so the deadline applies to the handshake too.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      try {
+        if (!poll_one(fd, POLLOUT, has_deadline, deadline)) {
+          last_error = "connect timed out";
+          ::close(fd);
+          continue;
+        }
+      } catch (const NetError& e) {
+        last_error = e.what();
+        ::close(fd);
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      rc = so_error == 0 ? 0 : -1;
+      errno = so_error;
+    }
+    if (rc != 0) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; timeouts come from poll
+    Socket socket(fd);
+    socket.set_nodelay(true);
+    ::freeaddrinfo(results);
+    return socket;
+  }
+  ::freeaddrinfo(results);
+  throw NetError("connect " + endpoint.to_string() + ": " + last_error);
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* at = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::send(fd_, at, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_one(fd_, POLLOUT, /*has_deadline=*/false, Clock::time_point());
+        continue;
+      }
+      throw_errno("send");
+    }
+    at += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::recv_exact(void* data, std::size_t size, int timeout_ms) {
+  char* at = static_cast<char*>(data);
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (size > 0) {
+    if (!poll_one(fd_, POLLIN, has_deadline, deadline)) {
+      throw NetError("recv: timed out");
+    }
+    const ::ssize_t n = ::recv(fd_, at, size, 0);
+    if (n == 0) throw NetError("recv: peer closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("recv");
+    }
+    at += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t size, int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!poll_one(fd_, POLLIN, has_deadline, deadline)) return 0;
+    const ::ssize_t n = ::recv(fd_, data, size, 0);
+    if (n == 0) throw NetError("recv: peer closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::set_nodelay(bool enable) {
+  const int value = enable ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value));
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(const std::string& host, std::uint16_t port, int backlog) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* results = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int gai = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port_text.c_str(), &hints,
+                                &results);
+  if (gai != 0) {
+    throw NetError("resolve " + host + ": " + ::gai_strerror(gai));
+  }
+  std::string last_error = "no addresses";
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_cloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, backlog) != 0) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    fd_ = fd;
+    break;
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0) {
+    throw NetError("listen on " + host + ":" + port_text + ": " + last_error);
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!poll_one(fd_, POLLIN, has_deadline, deadline)) return std::nullopt;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      throw_errno("accept");
+    }
+    set_cloexec(fd);
+    Socket socket(fd);
+    socket.set_nodelay(true);
+    return socket;
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ecad::net

@@ -1,0 +1,112 @@
+// Thin POSIX TCP layer for the distributed evaluation service: RAII sockets,
+// a listener, and poll(2)-based timeouts.  No third-party dependencies — the
+// daemons must build anywhere the rest of the tree does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecad::net {
+
+/// Connection / syscall failures (includes timeouts and peer EOF).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// "host:port" pair for a remote evaluation daemon.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.host == b.host && a.port == b.port;
+  }
+};
+
+/// Parse "host:port" ("127.0.0.1:7001", "worker-3:9000").
+/// Throws std::invalid_argument on missing/unparsable ports.
+Endpoint parse_endpoint(const std::string& text);
+
+/// Comma-separated endpoint list; empty entries are skipped.
+std::vector<Endpoint> parse_endpoint_list(const std::string& text);
+
+/// Move-only RAII wrapper over a connected TCP socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Resolve `host` and connect with a deadline. Throws NetError.
+  static Socket connect(const Endpoint& endpoint, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write the whole buffer (handles partial writes and EINTR).
+  /// Throws NetError on failure, including a closed peer.
+  void send_all(const void* data, std::size_t size);
+
+  /// Read exactly `size` bytes within `timeout_ms` (a single deadline for the
+  /// whole read, enforced with poll). Throws NetError on timeout, EOF, or
+  /// socket errors. `timeout_ms < 0` blocks indefinitely.
+  void recv_exact(void* data, std::size_t size, int timeout_ms);
+
+  /// One nonblocking-ish read of up to `size` bytes: waits up to `timeout_ms`
+  /// for readability, then returns whatever recv() delivers (0 = timeout).
+  /// Throws NetError on EOF or socket errors.
+  std::size_t recv_some(void* data, std::size_t size, int timeout_ms);
+
+  void set_nodelay(bool enable);
+
+  /// shutdown(2) both directions — wakes a peer blocked in recv with EOF.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket; accept() with poll-based timeouts.
+class Listener {
+ public:
+  Listener() = default;
+  /// Bind + listen. `port == 0` picks an ephemeral port (see port()).
+  /// Throws NetError.
+  Listener(const std::string& host, std::uint16_t port, int backlog = 64);
+  ~Listener() { close(); }
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Actual bound port (resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection; nullopt on timeout.
+  /// Throws NetError on listener failure. `timeout_ms < 0` blocks.
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ecad::net

@@ -1,0 +1,344 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "nn/activation.h"
+
+namespace ecad::net {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::HelloAck: return "HelloAck";
+    case MsgType::EvalRequest: return "EvalRequest";
+    case MsgType::EvalResponse: return "EvalResponse";
+    case MsgType::Ping: return "Ping";
+    case MsgType::Pong: return "Pong";
+    case MsgType::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool known_msg_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
+         raw <= static_cast<std::uint16_t>(MsgType::Shutdown);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------------
+
+void WireWriter::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v));
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::put_f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t), "IEEE-754 double expected");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void WireWriter::put_string(const std::string& v) {
+  if (v.size() > kMaxStringBytes) {
+    throw WireError("wire: string of " + std::to_string(v.size()) + " bytes exceeds the limit");
+  }
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void WireWriter::put_size_vector(const std::vector<std::size_t>& v) {
+  if (v.size() > kMaxVectorElems) {
+    throw WireError("wire: vector of " + std::to_string(v.size()) + " elements exceeds the limit");
+  }
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  for (std::size_t value : v) put_u64(static_cast<std::uint64_t>(value));
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------------
+
+const std::uint8_t* WireReader::need(std::size_t count) {
+  if (count > size_ - pos_) {
+    throw WireError("wire: truncated payload (need " + std::to_string(count) + " bytes, have " +
+                    std::to_string(size_ - pos_) + ")");
+  }
+  const std::uint8_t* at = data_ + pos_;
+  pos_ += count;
+  return at;
+}
+
+std::uint8_t WireReader::get_u8() { return *need(1); }
+
+std::uint16_t WireReader::get_u16() {
+  const std::uint8_t* p = need(2);
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t WireReader::get_u32() {
+  const std::uint8_t* p = need(4);
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t WireReader::get_u64() {
+  const std::uint64_t lo = get_u32();
+  const std::uint64_t hi = get_u32();
+  return lo | (hi << 32);
+}
+
+double WireReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t size = get_u32();
+  if (size > kMaxStringBytes) {
+    throw WireError("wire: string length " + std::to_string(size) + " exceeds the limit");
+  }
+  const std::uint8_t* p = need(size);
+  return std::string(reinterpret_cast<const char*>(p), size);
+}
+
+std::vector<std::size_t> WireReader::get_size_vector() {
+  const std::uint32_t count = get_u32();
+  if (count > kMaxVectorElems) {
+    throw WireError("wire: vector length " + std::to_string(count) + " exceeds the limit");
+  }
+  if (static_cast<std::size_t>(count) * 8 > remaining()) {
+    throw WireError("wire: truncated vector");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(static_cast<std::size_t>(get_u64()));
+  return out;
+}
+
+void WireReader::expect_end() const {
+  if (pos_ != size_) {
+    throw WireError("wire: " + std::to_string(size_ - pos_) + " trailing bytes after payload");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Domain serializers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Activations travel as their canonical names, not enum ordinals, so the
+// wire stays valid if the enum is ever reordered.
+void put_activation(WireWriter& writer, nn::Activation activation) {
+  writer.put_string(std::string(nn::to_string(activation)));
+}
+
+nn::Activation get_activation(WireReader& reader) {
+  const std::string name = reader.get_string();
+  try {
+    return nn::activation_from_name(name);
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("wire: ") + e.what());
+  }
+}
+
+}  // namespace
+
+void write_genome(WireWriter& writer, const evo::Genome& genome) {
+  writer.put_size_vector(genome.nna.hidden);
+  put_activation(writer, genome.nna.activation);
+  writer.put_bool(genome.nna.use_bias);
+  writer.put_u64(genome.grid.rows);
+  writer.put_u64(genome.grid.cols);
+  writer.put_u64(genome.grid.vec_width);
+  writer.put_u64(genome.grid.interleave_m);
+  writer.put_u64(genome.grid.interleave_n);
+}
+
+evo::Genome read_genome(WireReader& reader) {
+  evo::Genome genome;
+  genome.nna.hidden = reader.get_size_vector();
+  genome.nna.activation = get_activation(reader);
+  genome.nna.use_bias = reader.get_bool();
+  genome.grid.rows = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.cols = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.vec_width = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.interleave_m = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.interleave_n = static_cast<std::size_t>(reader.get_u64());
+  return genome;
+}
+
+void write_eval_result(WireWriter& writer, const evo::EvalResult& result) {
+  writer.put_f64(result.accuracy);
+  writer.put_f64(result.outputs_per_second);
+  writer.put_f64(result.latency_seconds);
+  writer.put_f64(result.potential_gflops);
+  writer.put_f64(result.effective_gflops);
+  writer.put_f64(result.hw_efficiency);
+  writer.put_f64(result.power_watts);
+  writer.put_f64(result.fmax_mhz);
+  writer.put_f64(result.parameters);
+  writer.put_f64(result.flops_per_sample);
+  writer.put_f64(result.eval_seconds);
+  writer.put_bool(result.feasible);
+}
+
+evo::EvalResult read_eval_result(WireReader& reader) {
+  evo::EvalResult result;
+  result.accuracy = reader.get_f64();
+  result.outputs_per_second = reader.get_f64();
+  result.latency_seconds = reader.get_f64();
+  result.potential_gflops = reader.get_f64();
+  result.effective_gflops = reader.get_f64();
+  result.hw_efficiency = reader.get_f64();
+  result.power_watts = reader.get_f64();
+  result.fmax_mhz = reader.get_f64();
+  result.parameters = reader.get_f64();
+  result.flops_per_sample = reader.get_f64();
+  result.eval_seconds = reader.get_f64();
+  result.feasible = reader.get_bool();
+  return result;
+}
+
+void write_search_request(WireWriter& writer, const core::SearchRequest& request) {
+  const evo::SearchSpace& space = request.space;
+  writer.put_u64(space.min_hidden_layers);
+  writer.put_u64(space.max_hidden_layers);
+  writer.put_size_vector(space.width_choices);
+  if (space.activations.size() > kMaxVectorElems) {
+    throw WireError("wire: activation list exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(space.activations.size()));
+  for (nn::Activation activation : space.activations) put_activation(writer, activation);
+  writer.put_bool(space.allow_no_bias);
+  writer.put_size_vector(space.grid.row_choices);
+  writer.put_size_vector(space.grid.col_choices);
+  writer.put_size_vector(space.grid.vec_choices);
+  writer.put_size_vector(space.grid.interleave_choices);
+  writer.put_bool(space.search_hardware);
+
+  const evo::EvolutionConfig& evolution = request.evolution;
+  writer.put_u64(evolution.population_size);
+  writer.put_u64(evolution.max_evaluations);
+  writer.put_u64(evolution.tournament_size);
+  writer.put_f64(evolution.crossover_probability);
+  writer.put_f64(evolution.mutation_strength);
+  writer.put_u64(evolution.dedup_attempts);
+  writer.put_u64(evolution.batch_size);
+
+  writer.put_string(request.fitness);
+  writer.put_u64(request.seed);
+  writer.put_u64(request.threads);
+}
+
+core::SearchRequest read_search_request(WireReader& reader) {
+  core::SearchRequest request;
+  evo::SearchSpace& space = request.space;
+  space.min_hidden_layers = static_cast<std::size_t>(reader.get_u64());
+  space.max_hidden_layers = static_cast<std::size_t>(reader.get_u64());
+  space.width_choices = reader.get_size_vector();
+  const std::uint32_t activation_count = reader.get_u32();
+  if (activation_count > kMaxVectorElems) {
+    throw WireError("wire: activation list length exceeds the limit");
+  }
+  space.activations.clear();
+  space.activations.reserve(activation_count);
+  for (std::uint32_t i = 0; i < activation_count; ++i) {
+    space.activations.push_back(get_activation(reader));
+  }
+  space.allow_no_bias = reader.get_bool();
+  space.grid.row_choices = reader.get_size_vector();
+  space.grid.col_choices = reader.get_size_vector();
+  space.grid.vec_choices = reader.get_size_vector();
+  space.grid.interleave_choices = reader.get_size_vector();
+  space.search_hardware = reader.get_bool();
+
+  evo::EvolutionConfig& evolution = request.evolution;
+  evolution.population_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.max_evaluations = static_cast<std::size_t>(reader.get_u64());
+  evolution.tournament_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.crossover_probability = reader.get_f64();
+  evolution.mutation_strength = reader.get_f64();
+  evolution.dedup_attempts = static_cast<std::size_t>(reader.get_u64());
+  evolution.batch_size = static_cast<std::size_t>(reader.get_u64());
+
+  request.fitness = reader.get_string();
+  request.seed = reader.get_u64();
+  request.threads = static_cast<std::size_t>(reader.get_u64());
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    throw WireError("wire: payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the frame limit");
+  }
+  WireWriter header;
+  header.put_u32(kWireMagic);
+  header.put_u16(kProtocolVersion);
+  header.put_u16(static_cast<std::uint16_t>(type));
+  header.put_u32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> frame = header.take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* header) {
+  WireReader reader(header, kFrameHeaderBytes);
+  const std::uint32_t magic = reader.get_u32();
+  if (magic != kWireMagic) {
+    throw WireError("wire: bad frame magic (not an ECAD peer?)");
+  }
+  const std::uint16_t version = reader.get_u16();
+  if (version != kProtocolVersion) {
+    throw WireError("wire: protocol version " + std::to_string(version) + " (expected " +
+                    std::to_string(kProtocolVersion) + ")");
+  }
+  const std::uint16_t raw_type = reader.get_u16();
+  if (!known_msg_type(raw_type)) {
+    throw WireError("wire: unknown message type " + std::to_string(raw_type));
+  }
+  FrameHeader out;
+  out.type = static_cast<MsgType>(raw_type);
+  out.payload_size = reader.get_u32();
+  if (out.payload_size > kMaxPayloadBytes) {
+    throw WireError("wire: frame payload of " + std::to_string(out.payload_size) +
+                    " bytes exceeds the limit");
+  }
+  return out;
+}
+
+bool try_extract_frame(std::vector<std::uint8_t>& buffer, Frame& out) {
+  if (buffer.size() < kFrameHeaderBytes) return false;
+  const FrameHeader header = decode_frame_header(buffer.data());
+  const std::size_t total = kFrameHeaderBytes + header.payload_size;
+  if (buffer.size() < total) return false;
+  out.type = header.type;
+  out.payload.assign(buffer.begin() + kFrameHeaderBytes, buffer.begin() + total);
+  buffer.erase(buffer.begin(), buffer.begin() + total);
+  return true;
+}
+
+}  // namespace ecad::net

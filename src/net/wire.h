@@ -1,0 +1,149 @@
+// Wire protocol for the distributed evaluation service (paper §III: the
+// Master "distribut[es] the co-design population" to remote Workers).
+//
+// Framing: every message is a length-prefixed binary frame
+//
+//     u32  magic    0x45434144 ("ECAD", little-endian on the wire)
+//     u16  version  kProtocolVersion
+//     u16  type     MsgType
+//     u32  length   payload byte count (<= kMaxPayloadBytes)
+//     u8[] payload  type-specific body
+//
+// All integers are little-endian regardless of host order; doubles travel as
+// their IEEE-754 bit pattern in a u64, so every value — including NaNs and
+// signed zeros — round-trips bit-for-bit.  Decoding is fully bounds-checked:
+// truncated or oversized input throws WireError, never reads past the end.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/master.h"
+#include "evo/fitness.h"
+#include "evo/genome.h"
+
+namespace ecad::net {
+
+/// Malformed, truncated, or protocol-violating bytes.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encoded little-endian like every other integer, so the first four bytes
+/// of a frame on the wire literally read "ECAD" (0x45 'E' is the low byte).
+inline constexpr std::uint32_t kWireMagic = 0x44414345u;
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Genomes and results are tiny; anything near this limit is corruption.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+inline constexpr std::uint32_t kMaxStringBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxVectorElems = 1u << 20;
+
+enum class MsgType : std::uint16_t {
+  Hello = 1,         // client -> server: string client name
+  HelloAck = 2,      // server -> client: string worker name
+  EvalRequest = 3,   // u64 request id + Genome
+  EvalResponse = 4,  // u64 request id + u8 ok + (EvalResult | string error)
+  Ping = 5,          // empty
+  Pong = 6,          // empty
+  Shutdown = 7,      // client asks the daemon to exit its accept loop
+};
+
+const char* to_string(MsgType type);
+
+// ---------------------------------------------------------------------------
+// Primitive encode/decode
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern; exact for every double including NaN payloads.
+  void put_f64(double v);
+  /// u32 length + raw bytes. Throws WireError above kMaxStringBytes.
+  void put_string(const std::string& v);
+  void put_size_vector(const std::vector<std::size_t>& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  bool get_bool() { return get_u8() != 0; }
+  double get_f64();
+  std::string get_string();
+  std::vector<std::size_t> get_size_vector();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Throws WireError unless every byte has been consumed (catches payloads
+  /// with trailing garbage).
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* need(std::size_t count);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Domain serializers (round-trip exact)
+// ---------------------------------------------------------------------------
+
+void write_genome(WireWriter& writer, const evo::Genome& genome);
+evo::Genome read_genome(WireReader& reader);
+
+void write_eval_result(WireWriter& writer, const evo::EvalResult& result);
+evo::EvalResult read_eval_result(WireReader& reader);
+
+void write_search_request(WireWriter& writer, const core::SearchRequest& request);
+core::SearchRequest read_search_request(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  MsgType type = MsgType::Ping;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Header + payload as one contiguous buffer ready for send().
+std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint8_t>& payload);
+
+struct FrameHeader {
+  MsgType type = MsgType::Ping;
+  std::uint32_t payload_size = 0;
+};
+
+/// Validates magic, version, known type, and the payload size cap.
+/// `header` must point at kFrameHeaderBytes readable bytes.
+FrameHeader decode_frame_header(const std::uint8_t* header);
+
+/// Incremental frame assembly for the poll loop: when `buffer` holds at least
+/// one complete frame, pops it off the front and returns true.
+bool try_extract_frame(std::vector<std::uint8_t>& buffer, Frame& out);
+
+}  // namespace ecad::net

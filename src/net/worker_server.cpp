@@ -1,0 +1,194 @@
+#include "net/worker_server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "util/logging.h"
+
+namespace ecad::net {
+
+WorkerServer::WorkerServer(const core::Worker& worker, WorkerServerOptions options)
+    : worker_(worker), options_(std::move(options)) {}
+
+WorkerServer::~WorkerServer() { stop(); }
+
+void WorkerServer::start() {
+  if (pool_) return;  // already started
+  listener_ = Listener(options_.host, options_.port);
+  port_ = listener_.port();
+  pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { run_loop(); });
+  util::Log(util::LogLevel::Info, "net")
+      << "worker server '" << worker_.name() << "' listening on " << options_.host << ":" << port_
+      << " (" << pool_->size() << " eval threads)";
+}
+
+void WorkerServer::stop() {
+  // Full teardown must run even when the event loop already exited on its
+  // own (peer Shutdown frame, poll failure) — running_ being false only
+  // means the loop is done, not that the thread was joined or the pool
+  // drained; skipping the join here would std::terminate in ~WorkerServer.
+  running_.store(false, std::memory_order_release);
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (!pool_) return;  // never started, or a previous stop() finished
+  // Shut the sockets down *before* draining the pool: a task blocked in
+  // send_all() against a stalled peer is only unblocked by shutdown(2), so
+  // the reverse order could wait on it forever.
+  for (const auto& connection : connections_) {
+    connection->closed.store(true, std::memory_order_release);
+    connection->socket.shutdown_both();
+  }
+  pool_->shutdown();
+  pool_.reset();
+  connections_.clear();
+  listener_.close();
+  util::Log(util::LogLevel::Info, "net")
+      << "worker server on port " << port_ << " stopped after "
+      << requests_served_.load(std::memory_order_relaxed) << " evaluations";
+}
+
+void WorkerServer::send_frame(const std::shared_ptr<Connection>& connection, MsgType type,
+                              const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (connection->closed.load(std::memory_order_acquire)) return;
+  connection->socket.send_all(frame.data(), frame.size());
+}
+
+bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, Frame frame) {
+  switch (frame.type) {
+    case MsgType::Hello: {
+      WireReader reader(frame.payload);
+      const std::string client = reader.get_string();
+      reader.expect_end();
+      util::Log(util::LogLevel::Debug, "net") << "hello from '" << client << "'";
+      WireWriter ack;
+      ack.put_string(worker_.name());
+      send_frame(connection, MsgType::HelloAck, ack.bytes());
+      return true;
+    }
+    case MsgType::Ping:
+      send_frame(connection, MsgType::Pong, {});
+      return true;
+    case MsgType::Shutdown:
+      util::Log(util::LogLevel::Info, "net") << "shutdown requested by peer";
+      running_.store(false, std::memory_order_release);
+      return false;
+    case MsgType::EvalRequest: {
+      // Parse on the loop thread (cheap, and malformed frames drop the
+      // connection right here); evaluate + respond on the pool.
+      WireReader reader(frame.payload);
+      const std::uint64_t request_id = reader.get_u64();
+      evo::Genome genome = read_genome(reader);
+      reader.expect_end();
+      pool_->submit([this, connection, request_id, genome = std::move(genome)] {
+        WireWriter response;
+        response.put_u64(request_id);
+        try {
+          const evo::EvalResult result = worker_.evaluate(genome);
+          response.put_u8(1);
+          write_eval_result(response, result);
+        } catch (const std::exception& e) {
+          response = WireWriter();
+          response.put_u64(request_id);
+          response.put_u8(0);
+          response.put_string(e.what());
+        }
+        // Count before writing: a client that already holds the response must
+        // never observe a counter that excludes it.
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          send_frame(connection, MsgType::EvalResponse, response.bytes());
+        } catch (const NetError& e) {
+          // Master went away while we were computing; nothing to answer.
+          util::Log(util::LogLevel::Debug, "net") << "response dropped: " << e.what();
+        }
+      });
+      return true;
+    }
+    case MsgType::HelloAck:
+    case MsgType::Pong:
+    case MsgType::EvalResponse:
+      util::Log(util::LogLevel::Warn, "net")
+          << "unexpected " << to_string(frame.type) << " from client; dropping connection";
+      return false;
+  }
+  return false;
+}
+
+void WorkerServer::run_loop() {
+  std::vector<std::uint8_t> scratch(64 * 1024);
+  while (running_.load(std::memory_order_acquire)) {
+    // (Re)build the poll set: listener + every live connection.
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(connections_.size() + 1);
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& connection : connections_) {
+      pfds.push_back({connection->socket.fd(), POLLIN, 0});
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), options_.poll_interval_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      util::Log(util::LogLevel::Error, "net") << "poll failed; stopping server";
+      running_.store(false, std::memory_order_release);  // running() must not lie
+      break;
+    }
+    if (rc == 0) continue;
+
+    // The number of connections the poll set was built from; accepting below
+    // grows connections_, but those new entries have no pfds slot this round.
+    const std::size_t polled = connections_.size();
+
+    if (pfds[0].revents & POLLIN) {
+      try {
+        if (auto accepted = listener_.accept(0)) {
+          auto connection = std::make_shared<Connection>();
+          connection->socket = std::move(*accepted);
+          connections_.push_back(std::move(connection));
+        }
+      } catch (const NetError& e) {
+        util::Log(util::LogLevel::Warn, "net") << "accept failed: " << e.what();
+      }
+    }
+
+    std::vector<std::shared_ptr<Connection>> dead;
+    for (std::size_t i = 0; i < polled; ++i) {
+      const auto& connection = connections_[i];
+      const short revents = pfds[i + 1].revents;
+      if (revents == 0) continue;
+      bool keep = (revents & (POLLERR | POLLNVAL)) == 0;
+      if (keep && (revents & (POLLIN | POLLHUP))) {
+        try {
+          const std::size_t n =
+              connection->socket.recv_some(scratch.data(), scratch.size(), 0);
+          if (n > 0) {
+            connection->inbox.insert(connection->inbox.end(), scratch.begin(),
+                                     scratch.begin() + static_cast<std::ptrdiff_t>(n));
+            Frame frame;
+            while (keep && try_extract_frame(connection->inbox, frame)) {
+              keep = handle_frame(connection, std::move(frame));
+            }
+          }
+        } catch (const NetError&) {
+          keep = false;  // peer EOF or reset
+        } catch (const WireError& e) {
+          util::Log(util::LogLevel::Warn, "net")
+              << "protocol error: " << e.what() << "; dropping connection";
+          keep = false;
+        }
+      }
+      if (!keep) dead.push_back(connection);
+    }
+    for (const auto& connection : dead) {
+      connection->closed.store(true, std::memory_order_release);
+      connection->socket.shutdown_both();
+      connections_.erase(std::remove(connections_.begin(), connections_.end(), connection),
+                         connections_.end());
+    }
+  }
+}
+
+}  // namespace ecad::net

@@ -1,0 +1,88 @@
+// Evaluation daemon: wraps any core::Worker behind the wire protocol.
+//
+// Architecture (paper §III): remote Workers hold the expensive evaluation
+// machinery (training data, hardware models) and serve EvalRequest frames
+// from the Master.  One poll(2) event-loop thread owns the listener and all
+// connection reads; complete EvalRequest frames are dispatched to the
+// existing util::ThreadPool, so N in-flight requests — from one Master
+// connection or several — evaluate concurrently.  Responses are written from
+// pool threads under a per-connection mutex (frames stay whole on the wire).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/thread_pool.h"
+
+namespace ecad::net {
+
+struct WorkerServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral port; read the actual one back via port().
+  std::uint16_t port = 0;
+  /// Evaluation pool width; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Event-loop poll granularity (also bounds stop() latency).
+  int poll_interval_ms = 50;
+};
+
+class WorkerServer {
+ public:
+  /// `worker` must outlive the server and be thread-safe (the core::Worker
+  /// contract) — evaluations run concurrently on the pool.
+  WorkerServer(const core::Worker& worker, WorkerServerOptions options = {});
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// Bind + launch the event loop. Throws NetError if the port is taken.
+  void start();
+
+  /// Close the listener and all connections, join the loop, drain the pool.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Total EvalRequests evaluated (counted before the response is written,
+  /// so a client holding a response always sees itself included).
+  std::size_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::vector<std::uint8_t> inbox;  // partial-frame reassembly buffer
+    std::mutex write_mutex;           // serializes response frames
+    std::atomic<bool> closed{false};
+  };
+
+  void run_loop();
+  /// Returns false when the connection should be dropped.
+  bool handle_frame(const std::shared_ptr<Connection>& connection, Frame frame);
+  void send_frame(const std::shared_ptr<Connection>& connection, MsgType type,
+                  const std::vector<std::uint8_t>& payload);
+
+  const core::Worker& worker_;
+  WorkerServerOptions options_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread loop_thread_;
+  std::vector<std::shared_ptr<Connection>> connections_;  // owned by the loop thread
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> requests_served_{0};
+};
+
+}  // namespace ecad::net

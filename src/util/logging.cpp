@@ -1,24 +1,77 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cctype>
-#include <iostream>
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 
 namespace ecad::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::Info};
+
+struct EnvLevelInit {
+  EnvLevelInit() { refresh_log_level_from_env(); }
+};
+const EnvLevelInit g_env_level_init;
+
 std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
 }
+
+std::string& identity_slot() {
+  static std::string identity;
+  return identity;
+}
+
+// One write(2) per line so lines from separate processes sharing a terminal
+// or pipe never interleave mid-line (atomic up to PIPE_BUF). Short writes
+// (signals, full pipes) are resumed; EOF/errors are dropped — logging must
+// never throw.
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, data, size);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void refresh_log_level_from_env() {
+  const char* env = std::getenv("ECAD_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  try {
+    set_log_level(parse_log_level(env));
+  } catch (const std::invalid_argument&) {
+    // Keep the current level rather than aborting daemon startup on a typo;
+    // the variable is advisory.
+  }
+}
+
+void set_log_identity(std::string identity) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  identity_slot() = std::move(identity);
+}
+
+std::string log_identity() {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  return identity_slot();
+}
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -47,9 +100,24 @@ LogLevel parse_log_level(std::string_view name) {
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
+  std::string line;
+  line.reserve(16 + component.size() + message.size());
+  line += '[';
+  line += to_string(level);
+  line += "] ";
   std::lock_guard<std::mutex> lock(sink_mutex());
-  std::ostream& out = (level >= LogLevel::Warn) ? std::cerr : std::clog;
-  out << '[' << to_string(level) << "] [" << component << "] " << message << '\n';
+  const std::string& identity = identity_slot();
+  if (!identity.empty()) {
+    line += '[';
+    line += identity;
+    line += "] ";
+  }
+  line += '[';
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  write_all(STDERR_FILENO, line.data(), line.size());
 }
 
 Log::~Log() { log_line(level_, component_, stream_.str()); }

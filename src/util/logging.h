@@ -1,9 +1,12 @@
 // Minimal leveled logger for the ECAD framework.
 //
-// Thread-safe: each emitted line is written under a single global mutex so
-// concurrent workers do not interleave partial lines.  The level is a global
-// process-wide setting; benchmarks lower it to `Warn` to keep table output
-// clean.
+// Safe for concurrent writers — including writers in *different processes*
+// sharing one terminal or pipe (the distributed daemons): each line is
+// formatted into a single buffer and emitted with one write(2) call, so lines
+// never interleave mid-way as long as they stay under the kernel's atomic
+// pipe write size.  A process-wide mutex additionally serializes in-process
+// writers.  The level is a global process-wide setting; benchmarks lower it
+// to `Warn` to keep table output clean.
 #pragma once
 
 #include <sstream>
@@ -14,9 +17,22 @@ namespace ecad::util {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded.  The initial value
+/// is read from the ECAD_LOG_LEVEL environment variable ("trace" ... "off");
+/// unset or unparsable values leave the default (Info).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Re-read ECAD_LOG_LEVEL from the environment and apply it (no-op when the
+/// variable is unset or unparsable). Called once automatically at startup;
+/// exposed for tests and for daemons that adjust their environment.
+void refresh_log_level_from_env();
+
+/// Optional process identity prepended to every line (e.g. "workerd:7001").
+/// Daemons set this at startup so interleaved logs from several processes on
+/// one terminal stay attributable.  Empty (the default) adds nothing.
+void set_log_identity(std::string identity);
+std::string log_identity();
 
 /// Parse "info", "debug", ... (case-insensitive). Throws std::invalid_argument.
 LogLevel parse_log_level(std::string_view name);

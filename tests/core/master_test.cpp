@@ -31,6 +31,37 @@ TEST(Master, RunsSearchWithNamedFitness) {
   EXPECT_EQ(result.best.genome.nna.hidden.size(), 4u);
 }
 
+// Worker that fails on every genome — exercises error propagation.
+class ExplodingWorker final : public Worker {
+ public:
+  std::string name() const override { return "exploding"; }
+  evo::EvalResult evaluate(const evo::Genome& genome) const override {
+    throw std::domain_error("synthetic failure for " + std::to_string(genome.grid.rows) +
+                            " rows");
+  }
+};
+
+TEST(Master, WorkerFailureCarriesWorkerNameAndGenomeKey) {
+  Master master;
+  const ExplodingWorker worker;
+  SearchRequest request;
+  request.evolution.population_size = 4;
+  request.evolution.max_evaluations = 8;
+  request.threads = 2;
+  try {
+    master.search(worker, request);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    // The offending candidate is identifiable: worker name, genome key, and
+    // the original reason all survive the thread-pool rethrow.
+    EXPECT_NE(message.find("worker 'exploding' failed on genome "), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("h:"), std::string::npos) << message;  // genome key prefix
+    EXPECT_NE(message.find("synthetic failure"), std::string::npos) << message;
+  }
+}
+
 TEST(Master, UnknownFitnessThrows) {
   Master master;
   const AnalyticWorker worker;

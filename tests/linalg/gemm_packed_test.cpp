@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -168,6 +169,44 @@ TEST(GemmPacked, PrepackedShapeMismatchThrows) {
   EXPECT_THROW(gemm_prepacked(random(3, 5, 2), packed, c), std::invalid_argument);
   Matrix bad(3, 5);
   EXPECT_THROW(gemm_prepacked(random(3, 4, 2), packed, bad), std::invalid_argument);
+}
+
+TEST(GemmPacked, ParallelPackingIsBitIdenticalToSerial) {
+  // The parallel driver's B panels are packed across the pool; the layout
+  // must be byte-identical to the serial packer for every ragged shape and
+  // thread count (disjoint-region writes, no seams at chunk boundaries).
+  for (const auto& [m, k, n] : ragged_shapes()) {
+    (void)m;
+    const Matrix b = random(k, n, k * 977 + n);
+    PackedB serial;
+    serial.pack(b);
+    for (const std::size_t threads : {1u, 2u, 5u, 8u}) {
+      util::ThreadPool pool(threads);
+      PackedB parallel;
+      parallel.pack_view_parallel(detail::MatView::normal(b), pool);
+      ASSERT_EQ(parallel.rows(), serial.rows());
+      ASSERT_EQ(parallel.cols(), serial.cols());
+      const std::size_t padded_n = (n + detail::kNR - 1) / detail::kNR * detail::kNR;
+      EXPECT_EQ(std::memcmp(parallel.panel(0), serial.panel(0),
+                            k * padded_n * sizeof(float)),
+                0)
+          << "k=" << k << " n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GemmPacked, ParallelPackingHandlesTransposedViews) {
+  const Matrix b = random(129, 257, 4242);
+  PackedB serial;
+  serial.pack(b, /*transpose=*/true);
+  util::ThreadPool pool(4);
+  PackedB parallel;
+  parallel.pack_view_parallel(detail::MatView::transposed(b), pool);
+  const std::size_t k = b.cols(), n = b.rows();
+  ASSERT_EQ(parallel.rows(), k);
+  ASSERT_EQ(parallel.cols(), n);
+  const std::size_t padded_n = (n + detail::kNR - 1) / detail::kNR * detail::kNR;
+  EXPECT_EQ(std::memcmp(parallel.panel(0), serial.panel(0), k * padded_n * sizeof(float)), 0);
 }
 
 TEST(GemmKernelSelection, ParseRoundTrip) {

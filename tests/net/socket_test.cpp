@@ -1,0 +1,120 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace ecad::net {
+namespace {
+
+TEST(Endpoint, ParsesHostPort) {
+  const Endpoint a = parse_endpoint("127.0.0.1:7001");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7001);
+  EXPECT_EQ(a.to_string(), "127.0.0.1:7001");
+
+  const Endpoint b = parse_endpoint("worker-3.cluster:65535");
+  EXPECT_EQ(b.host, "worker-3.cluster");
+  EXPECT_EQ(b.port, 65535);
+}
+
+TEST(Endpoint, RejectsMalformedInput) {
+  EXPECT_THROW(parse_endpoint("nohost"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint(":7001"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:0"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:99999"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:7x"), std::invalid_argument);
+}
+
+TEST(Endpoint, ParsesListsSkippingEmpties) {
+  const auto list = parse_endpoint_list("127.0.0.1:1, 127.0.0.1:2 ,,127.0.0.1:3,");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].port, 1);
+  EXPECT_EQ(list[1].port, 2);
+  EXPECT_EQ(list[2].port, 3);
+  EXPECT_TRUE(parse_endpoint_list("").empty());
+  EXPECT_TRUE(parse_endpoint_list(" , ").empty());
+}
+
+TEST(SocketLoopback, EphemeralListenerAcceptsAndEchoes) {
+  Listener listener("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread client([port = listener.port()] {
+    Socket socket = Socket::connect({"127.0.0.1", port}, 2000);
+    const char message[] = "ping over loopback";
+    socket.send_all(message, sizeof(message));
+    char echo[sizeof(message)] = {};
+    socket.recv_exact(echo, sizeof(echo), 2000);
+    EXPECT_STREQ(echo, message);
+  });
+
+  auto accepted = listener.accept(2000);
+  ASSERT_TRUE(accepted.has_value());
+  char buffer[32] = {};
+  accepted->recv_exact(buffer, 19, 2000);
+  accepted->send_all(buffer, 19);
+  client.join();
+}
+
+TEST(SocketLoopback, AcceptTimesOutCleanly) {
+  Listener listener("127.0.0.1", 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(listener.accept(50).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 40);
+}
+
+TEST(SocketLoopback, RecvTimesOutWhenPeerIsSilent) {
+  Listener listener("127.0.0.1", 0);
+  Socket client = Socket::connect({"127.0.0.1", listener.port()}, 2000);
+  auto server_side = listener.accept(2000);
+  ASSERT_TRUE(server_side.has_value());
+  char byte = 0;
+  EXPECT_THROW(client.recv_exact(&byte, 1, 50), NetError);
+}
+
+TEST(SocketLoopback, PeerCloseSurfacesAsNetError) {
+  Listener listener("127.0.0.1", 0);
+  Socket client = Socket::connect({"127.0.0.1", listener.port()}, 2000);
+  {
+    auto server_side = listener.accept(2000);
+    ASSERT_TRUE(server_side.has_value());
+    // server_side destructs here -> FIN
+  }
+  char byte = 0;
+  EXPECT_THROW(client.recv_exact(&byte, 1, 2000), NetError);
+}
+
+TEST(SocketLoopback, ConnectToClosedPortFailsFast) {
+  std::uint16_t dead_port = 0;
+  {
+    Listener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }  // closed again: nothing listens there now
+  EXPECT_THROW(Socket::connect({"127.0.0.1", dead_port}, 500), NetError);
+}
+
+TEST(SocketLoopback, LargeTransfersSurvivePartialWrites) {
+  Listener listener("127.0.0.1", 0);
+  std::vector<char> blob(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<char>(i * 31);
+
+  std::thread client([port = listener.port(), &blob] {
+    Socket socket = Socket::connect({"127.0.0.1", port}, 2000);
+    socket.send_all(blob.data(), blob.size());
+  });
+
+  auto accepted = listener.accept(2000);
+  ASSERT_TRUE(accepted.has_value());
+  std::vector<char> received(blob.size());
+  accepted->recv_exact(received.data(), received.size(), 10000);
+  client.join();
+  EXPECT_EQ(std::memcmp(received.data(), blob.data(), blob.size()), 0);
+}
+
+}  // namespace
+}  // namespace ecad::net

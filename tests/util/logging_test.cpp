@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 namespace ecad::util {
 namespace {
 
@@ -42,6 +46,48 @@ TEST_F(LoggingTest, StreamBuilderDoesNotCrashAtAnyLevel) {
   Log(LogLevel::Info, "test") << "value " << 42 << ' ' << 1.5;
   set_log_level(LogLevel::Trace);
   Log(LogLevel::Trace, "test") << "trace line";
+}
+
+TEST_F(LoggingTest, EnvOverrideAppliesOnRefresh) {
+  ASSERT_EQ(setenv("ECAD_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Error);
+
+  // Unparsable values keep the current level instead of throwing.
+  ASSERT_EQ(setenv("ECAD_LOG_LEVEL", "shouting", 1), 0);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Error);
+
+  ASSERT_EQ(unsetenv("ECAD_LOG_LEVEL"), 0);
+  refresh_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::Error);  // unset = leave as-is
+}
+
+TEST_F(LoggingTest, IdentityRoundTripsAndPrefixesSafely) {
+  set_log_identity("workerd:7001");
+  EXPECT_EQ(log_identity(), "workerd:7001");
+  Log(LogLevel::Trace, "test") << "line with identity";  // below Info: dropped
+  set_log_identity("");
+  EXPECT_EQ(log_identity(), "");
+}
+
+TEST_F(LoggingTest, ConcurrentWritersDoNotRace) {
+  // Logs at an emitting level on purpose: the locked format-and-write path
+  // must run concurrently with identity mutation for TSan to see it (a
+  // filtered-out level would return before the sink mutex).
+  set_log_level(LogLevel::Error);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 10; ++i) {
+        set_log_identity(t % 2 == 0 ? "a" : "b");
+        Log(LogLevel::Error, "race") << "t" << t << " i" << i;
+        (void)log_identity();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  set_log_identity("");
 }
 
 }  // namespace

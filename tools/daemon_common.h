@@ -1,0 +1,153 @@
+// Shared plumbing for the ecad_workerd / ecad_searchd daemons: a tiny
+// --flag parser and worker construction from flags.
+//
+// Determinism contract: two processes built from the same binary that pass
+// the same worker flags construct bit-identical workers (same synthetic
+// dataset, same training schedule, same per-genome seeds), so a distributed
+// search reproduces the local one exactly — the property the CI loopback
+// smoke test asserts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/worker.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "hwmodel/device.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace ecad::tools {
+
+/// "--key value" and "--key=value" flags; "--flag" alone is "true".
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected positional argument '" + arg + "'");
+      }
+      arg.erase(0, 2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  bool get_flag(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Deterministic closed-form worker — no dataset, evaluations cost
+/// microseconds.  The CI smoke job uses it so the loopback test exercises
+/// the *network* subsystem, not MLP training time.
+class AnalyticWorker final : public core::Worker {
+ public:
+  std::string name() const override { return "analytic"; }
+
+  evo::EvalResult evaluate(const evo::Genome& genome) const override {
+    evo::EvalResult result;
+    double capacity = 0.0;
+    for (std::size_t width : genome.nna.hidden) capacity += static_cast<double>(width);
+    const double depth = static_cast<double>(genome.nna.hidden.size());
+    result.accuracy = 0.55 + 0.08 * depth + capacity / 8192.0 -
+                      (genome.nna.use_bias ? 0.0 : 0.01);
+    result.parameters = capacity * 10.0 + (genome.nna.use_bias ? depth : 0.0);
+    const double dsp = static_cast<double>(genome.grid.dsp_usage());
+    result.outputs_per_second = 5e7 / (64.0 + result.parameters) * (dsp / 512.0);
+    result.latency_seconds = 1.0 / result.outputs_per_second;
+    result.power_watts = 5.0 + dsp / 100.0;
+    result.fmax_mhz = 300.0 - dsp / 64.0;
+    result.feasible = dsp <= 8192.0;
+    return result;
+  }
+};
+
+struct WorkerConfig {
+  std::string kind = "analytic";  // analytic | accuracy | hwdb
+  std::uint64_t data_seed = 7;
+  std::size_t data_samples = 600;
+  std::size_t data_features = 16;
+  std::size_t data_classes = 3;
+  std::size_t train_epochs = 5;
+  std::uint64_t eval_seed = 42;
+};
+
+inline WorkerConfig worker_config_from_args(const ArgParser& args) {
+  WorkerConfig config;
+  config.kind = args.get("worker", config.kind);
+  config.data_seed = static_cast<std::uint64_t>(args.get_int("data-seed", 7));
+  config.data_samples = static_cast<std::size_t>(args.get_int("data-samples", 600));
+  config.data_features = static_cast<std::size_t>(args.get_int("data-features", 16));
+  config.data_classes = static_cast<std::size_t>(args.get_int("data-classes", 3));
+  config.train_epochs = static_cast<std::size_t>(args.get_int("train-epochs", 5));
+  config.eval_seed = static_cast<std::uint64_t>(args.get_int("eval-seed", 42));
+  return config;
+}
+
+/// A worker plus the storage (dataset split) it borrows.
+struct WorkerBundle {
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<core::Worker> worker;
+};
+
+inline WorkerBundle make_worker(const WorkerConfig& config) {
+  WorkerBundle bundle;
+  if (config.kind == "analytic") {
+    bundle.worker = std::make_unique<AnalyticWorker>();
+    return bundle;
+  }
+  if (config.kind != "accuracy" && config.kind != "hwdb") {
+    throw std::invalid_argument("unknown --worker '" + config.kind +
+                                "' (expected analytic|accuracy|hwdb)");
+  }
+  data::SyntheticSpec spec;
+  spec.num_samples = config.data_samples;
+  spec.num_features = config.data_features;
+  spec.num_classes = config.data_classes;
+  util::Rng rng(config.data_seed);
+  const data::Dataset dataset = data::generate_synthetic(spec, rng);
+  bundle.split = std::make_unique<data::TrainTestSplit>(
+      data::stratified_split(dataset, /*test_fraction=*/0.25, rng));
+  nn::TrainOptions options;
+  options.epochs = config.train_epochs;
+  if (config.kind == "accuracy") {
+    bundle.worker =
+        std::make_unique<core::AccuracyWorker>(*bundle.split, options, config.eval_seed);
+  } else {
+    bundle.worker = std::make_unique<core::FpgaHardwareDatabaseWorker>(
+        *bundle.split, options, config.eval_seed, hw::arria10_gx1150());
+  }
+  return bundle;
+}
+
+}  // namespace ecad::tools

@@ -1,0 +1,138 @@
+// ecad_searchd — search driver for the distributed evaluation service
+// (paper §III-A: the Master distributing the co-design population).
+//
+//   ecad_searchd --seed 3 --evaluations 48                  # local, in-process
+//   ecad_searchd --workers 127.0.0.1:7001,127.0.0.1:7002
+//                --seed 3 --evaluations 48                  # sharded across daemons
+//
+// Stdout is a deterministic record of the search (candidate keys + all
+// non-timing result fields at full double precision), so two runs with the
+// same seed — one local, one distributed — must produce byte-identical
+// output.  The CI loopback smoke job diffs exactly that.  Timing and
+// progress go to stderr via the logger.
+#include <cstdio>
+#include <iostream>
+
+#include "core/master.h"
+#include "daemon_common.h"
+#include "net/remote_worker.h"
+#include "util/logging.h"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: ecad_searchd [options]\n"
+      "  --workers LIST    comma-separated host:port endpoints; empty = evaluate locally\n"
+      "  --fallback-local  degrade to in-process evaluation if no daemon is reachable\n"
+      "  --ping            just probe --workers and print the live count\n"
+      "  --shutdown-workers  after the search (or alone), ask daemons to exit\n"
+      "  --seed N          search seed (default 1)\n"
+      "  --population N    population size (default 8)\n"
+      "  --evaluations N   unique-candidate budget (default 32)\n"
+      "  --batch N         offspring per steady-state step (default 4)\n"
+      "  --fitness NAME    fitness registry entry (default accuracy)\n"
+      "  --threads N       Master dispatch threads (default 2)\n"
+      "  --no-hw-search    freeze the hardware half of the genome\n"
+      "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
+      "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
+      "                    (must match the daemons' flags for bit-exact results)\n"
+      "  --log-level L     trace|debug|info|warn|error|off\n";
+}
+
+void print_result_fields(const ecad::evo::EvalResult& result) {
+  // Everything except eval_seconds, which measures wall clock and is the one
+  // legitimately nondeterministic field.
+  std::printf(
+      " accuracy=%.17g outputs_per_second=%.17g latency_seconds=%.17g"
+      " potential_gflops=%.17g effective_gflops=%.17g hw_efficiency=%.17g"
+      " power_watts=%.17g fmax_mhz=%.17g parameters=%.17g flops_per_sample=%.17g feasible=%d",
+      result.accuracy, result.outputs_per_second, result.latency_seconds,
+      result.potential_gflops, result.effective_gflops, result.hw_efficiency, result.power_watts,
+      result.fmax_mhz, result.parameters, result.flops_per_sample, result.feasible ? 1 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecad;
+  try {
+    const tools::ArgParser args(argc, argv);
+    if (args.get_flag("help")) {
+      print_usage();
+      return 0;
+    }
+    if (args.has("log-level")) {
+      util::set_log_level(util::parse_log_level(args.get("log-level", "info")));
+    }
+    util::set_log_identity("searchd");
+
+    const std::vector<net::Endpoint> endpoints =
+        net::parse_endpoint_list(args.get("workers", ""));
+
+    if (args.get_flag("ping")) {
+      net::RemoteWorkerOptions options;
+      options.endpoints = endpoints;
+      const net::RemoteWorker remote(options);
+      std::printf("ALIVE %zu/%zu\n", remote.ping_all(), endpoints.size());
+      return 0;
+    }
+
+    const tools::WorkerConfig worker_config = tools::worker_config_from_args(args);
+    const tools::WorkerBundle bundle = tools::make_worker(worker_config);
+
+    core::SearchRequest request;
+    request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    request.evolution.population_size = static_cast<std::size_t>(args.get_int("population", 8));
+    request.evolution.max_evaluations = static_cast<std::size_t>(args.get_int("evaluations", 32));
+    // Fixed batch size: with the default (0 = pool width) the search
+    // trajectory would depend on the local core count, breaking cross-run
+    // comparability.
+    request.evolution.batch_size = static_cast<std::size_t>(args.get_int("batch", 4));
+    request.fitness = args.get("fitness", "accuracy");
+    request.threads = static_cast<std::size_t>(args.get_int("threads", 2));
+    request.space.search_hardware = !args.get_flag("no-hw-search");
+
+    std::unique_ptr<net::RemoteWorker> remote;
+    const core::Worker* worker = bundle.worker.get();
+    if (!endpoints.empty()) {
+      net::RemoteWorkerOptions options;
+      options.endpoints = endpoints;
+      options.request_timeout_ms =
+          static_cast<int>(args.get_int("request-timeout-ms", 120000));
+      if (args.get_flag("fallback-local")) options.fallback = bundle.worker.get();
+      remote = std::make_unique<net::RemoteWorker>(std::move(options));
+      worker = remote.get();
+    }
+
+    core::Master master;
+    const evo::EvolutionResult result = master.search(*worker, request);
+
+    // Deterministic record: one line per unique evaluated candidate, in
+    // evaluation order, then the winner.
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+      const evo::Candidate& candidate = result.history[i];
+      std::printf("cand %zu %s fitness=%.17g", i, candidate.genome.key().c_str(),
+                  candidate.fitness);
+      print_result_fields(candidate.result);
+      std::printf("\n");
+    }
+    std::printf("best %s fitness=%.17g\n", result.best.genome.key().c_str(),
+                result.best.fitness);
+    std::printf("stats models=%zu duplicates=%zu\n", result.stats.models_evaluated,
+                result.stats.duplicates_skipped);
+
+    util::Log(util::LogLevel::Info, "searchd")
+        << "search finished in " << result.stats.wall_seconds << "s ("
+        << (remote ? "remote: " + std::to_string(remote->remote_evaluations()) + " remote, " +
+                         std::to_string(remote->fallback_evaluations()) + " fallback"
+                   : std::string("local evaluation"))
+        << ")";
+
+    if (remote && args.get_flag("shutdown-workers")) remote->shutdown_all();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ecad_searchd: " << e.what() << '\n';
+    return 1;
+  }
+}
