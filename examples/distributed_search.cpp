@@ -6,6 +6,11 @@
 // ephemeral ports stand in for remote machines — so the demo needs no
 // orchestration.  Swap the endpoints for real hosts running `ecad_workerd`
 // and nothing else changes.
+//
+// With wire protocol v2 the Master ships each generation as EvalBatchRequest
+// frames — one round-trip per worker per generation instead of one per
+// genome — and a background heartbeat pings sidelined endpoints so a
+// restarted daemon rejoins without waiting to be probed by an evaluation.
 #include <cstdio>
 
 #include "core/master.h"
@@ -57,10 +62,11 @@ int main() {
   const evo::EvolutionResult distributed = master.search(remote, request);
   const evo::EvolutionResult local = master.search(worker, request);
 
-  std::printf("distributed: best %s fitness %.6f (%zu models, %zu served remotely)\n",
+  std::printf("distributed: best %s fitness %.6f (%zu models, %zu served remotely in %zu batch frames)\n",
               distributed.best.genome.key().c_str(), distributed.best.fitness,
               distributed.stats.models_evaluated,
-              server_a.requests_served() + server_b.requests_served());
+              server_a.requests_served() + server_b.requests_served(),
+              remote.batches_dispatched());
   std::printf("local:       best %s fitness %.6f (%zu models)\n", local.best.genome.key().c_str(),
               local.best.fitness, local.stats.models_evaluated);
   const bool match = distributed.best.genome == local.best.genome &&

@@ -1,23 +1,37 @@
 #!/usr/bin/env bash
-# Loopback integration smoke for the distributed evaluation service
-# (ISSUE 3 acceptance): start two ecad_workerd daemons on 127.0.0.1,
-# run the same seeded search twice — once sharded across the daemons, once
-# with the in-process worker — and require byte-identical stdout.
-# Also verifies degradation: kill one daemon and re-run distributed; the
-# search must still complete and still match.
+# Loopback integration matrix for the distributed evaluation service
+# (ISSUE 4 acceptance): start ecad_workerd daemons on 127.0.0.1 and prove,
+# for one seeded search, that every wire configuration produces stdout
+# byte-identical to the in-process reference:
+#
+#   leg 1  batched (protocol v2, the default)     == local
+#   leg 2  unbatched (master pinned --max-protocol 1, per-genome frames)
+#   leg 3  v2 master against v1-pinned workers    (version negotiation)
+#   leg 4  degradation: one worker killed mid-fleet, search still matches
+#   leg 5  heartbeat rejoin: kill a worker mid-search, restart it, and
+#          require the master's log to show it rejoining via heartbeat ping
+#          (not via a failed evaluation), with output still matching local
 #
 # Usage: scripts/loopback_smoke.sh <build-dir>
+# Set SMOKE_LOG_DIR to keep daemon/search logs (CI uploads them on failure).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 WORKERD="$BUILD_DIR/tools/ecad_workerd"
 SEARCHD="$BUILD_DIR/tools/ecad_searchd"
-WORK="$(mktemp -d)"
+if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+  WORK="$SMOKE_LOG_DIR"
+  mkdir -p "$WORK"
+  KEEP_WORK=1
+else
+  WORK="$(mktemp -d)"
+  KEEP_WORK=0
+fi
 PIDS=()
 
 cleanup() {
   for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
-  rm -rf "$WORK"
+  [[ "$KEEP_WORK" == 1 ]] || rm -rf "$WORK"
 }
 trap cleanup EXIT
 
@@ -26,8 +40,8 @@ WORKER_FLAGS=(--worker accuracy --data-seed 7 --data-samples 400 --train-epochs 
 SEARCH_FLAGS=(--seed 11 --population 6 --evaluations 24 --batch 3 --threads 4 "${WORKER_FLAGS[@]}")
 
 start_worker() {
-  local out="$1"
-  "$WORKERD" --port 0 "${WORKER_FLAGS[@]}" >"$out" 2>"$out.err" &
+  local out="$1"; shift
+  "$WORKERD" --port 0 "$@" >"$out" 2>"$out.err" &
   PIDS+=($!)
   for _ in $(seq 1 100); do
     if grep -q LISTENING "$out" 2>/dev/null; then return 0; fi
@@ -36,34 +50,118 @@ start_worker() {
   echo "FAIL: worker daemon did not come up"; cat "$out.err"; exit 1
 }
 
+wait_for_port_free() {
+  # The restarted daemon needs the exact port back; SO_REUSEADDR makes this
+  # near-instant, the loop just absorbs scheduler noise.
+  local port="$1"
+  for _ in $(seq 1 50); do
+    if ! { exec 3<>"/dev/tcp/127.0.0.1/$port"; } 2>/dev/null; then return 0; fi
+    exec 3>&- || true
+    sleep 0.1
+  done
+  return 0
+}
+
+diff_or_die() {
+  local reference="$1" candidate="$2" what="$3"
+  if ! diff -u "$reference" "$candidate"; then
+    echo "FAIL: $what diverged from local evaluation"
+    exit 1
+  fi
+}
+
 echo "== starting two worker daemons on loopback"
-start_worker "$WORK/w1.out"
-start_worker "$WORK/w2.out"
+start_worker "$WORK/w1.out" "${WORKER_FLAGS[@]}"
+start_worker "$WORK/w2.out" "${WORKER_FLAGS[@]}"
 PORT1=$(awk '{print $2}' "$WORK/w1.out")
 PORT2=$(awk '{print $2}' "$WORK/w2.out")
 echo "   workers on :$PORT1 and :$PORT2"
 
 echo "== local (in-process) reference search"
-"$SEARCHD" "${SEARCH_FLAGS[@]}" >"$WORK/local.out"
+"$SEARCHD" "${SEARCH_FLAGS[@]}" >"$WORK/local.out" 2>"$WORK/local.err"
 
-echo "== distributed search across both daemons"
-"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" >"$WORK/dist.out"
+echo "== leg 1: batched distributed search (protocol v2) across both daemons"
+"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
+  >"$WORK/batched.out" 2>"$WORK/batched.err"
+diff_or_die "$WORK/local.out" "$WORK/batched.out" "batched search"
+# A nonzero frame count, so the leg fails if batching silently never engages.
+grep -Eq "in [1-9][0-9]* batch frames" "$WORK/batched.err" || {
+  echo "FAIL: batched leg did not report a nonzero batch-frame count"; exit 1; }
+echo "   OK: batched distributed == local, byte for byte ($(wc -l <"$WORK/local.out") lines)"
 
-if ! diff -u "$WORK/local.out" "$WORK/dist.out"; then
-  echo "FAIL: distributed search diverged from local evaluation"
-  exit 1
-fi
-echo "   OK: distributed == local, byte for byte ($(wc -l <"$WORK/local.out") lines)"
+echo "== leg 2: unbatched search (master pinned to wire protocol v1)"
+"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" --max-protocol 1 "${SEARCH_FLAGS[@]}" \
+  >"$WORK/unbatched.out" 2>"$WORK/unbatched.err"
+diff_or_die "$WORK/local.out" "$WORK/unbatched.out" "unbatched (v1-pinned) search"
+grep -q "0 batch frames" "$WORK/unbatched.err" || {
+  echo "FAIL: v1-pinned master still sent batch frames"; exit 1; }
+echo "   OK: unbatched (v1 wire) == batched == local"
 
-echo "== degradation: kill worker 2, re-run distributed (worker 1 only survives)"
+echo "== leg 3: v2 master against v1-pinned workers (version negotiation)"
+start_worker "$WORK/w3.out" --max-protocol 1 "${WORKER_FLAGS[@]}"
+PORT3=$(awk '{print $2}' "$WORK/w3.out")
+"$SEARCHD" --workers "127.0.0.1:$PORT3" "${SEARCH_FLAGS[@]}" \
+  >"$WORK/v1worker.out" 2>"$WORK/v1worker.err"
+diff_or_die "$WORK/local.out" "$WORK/v1worker.out" "v2-master/v1-worker search"
+grep -q "0 batch frames" "$WORK/v1worker.err" || {
+  echo "FAIL: master sent batch frames to a v1-pinned worker"; exit 1; }
+echo "   OK: negotiation degraded to per-genome frames, results still match"
+
+echo "== leg 4: degradation — kill worker 2, re-run distributed"
 kill "${PIDS[1]}" 2>/dev/null || true
 wait "${PIDS[1]}" 2>/dev/null || true
 "$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
-  >"$WORK/degraded.out"
-if ! diff -u "$WORK/local.out" "$WORK/degraded.out"; then
-  echo "FAIL: degraded search diverged from local evaluation"
-  exit 1
-fi
+  >"$WORK/degraded.out" 2>"$WORK/degraded.err"
+diff_or_die "$WORK/local.out" "$WORK/degraded.out" "degraded search"
 echo "   OK: search degraded to the surviving worker and still matches"
 
-echo "PASS: loopback smoke"
+echo "== leg 5: heartbeat rejoin — kill and restart a worker mid-search"
+# Slow (analytic) evaluations keep the search in flight long enough to
+# bounce a daemon under it.  --eval-delay-ms never changes results, so the
+# delay-free local reference below is still the byte-exact oracle.
+HB_WORKER_SPEC=(--worker analytic)
+HB_WORKER_FLAGS=(--eval-delay-ms 40 --threads 1 "${HB_WORKER_SPEC[@]}")
+HB_SEARCH_FLAGS=(--seed 19 --population 6 --evaluations 120 --batch 4 --threads 4
+                 --heartbeat-ms 100 "${HB_WORKER_SPEC[@]}")
+start_worker "$WORK/hb1.out" "${HB_WORKER_FLAGS[@]}"
+HB_PORT1=$(awk '{print $2}' "$WORK/hb1.out")
+start_worker "$WORK/hb2.out" "${HB_WORKER_FLAGS[@]}"
+HB_PORT2=$(awk '{print $2}' "$WORK/hb2.out")
+HB2_PID=${PIDS[-1]}
+
+"$SEARCHD" "${HB_SEARCH_FLAGS[@]}" >"$WORK/hb_local.out" 2>"$WORK/hb_local.err"
+
+"$SEARCHD" --workers "127.0.0.1:$HB_PORT1,127.0.0.1:$HB_PORT2" "${HB_SEARCH_FLAGS[@]}" \
+  >"$WORK/hb_dist.out" 2>"$WORK/hb_dist.err" &
+SEARCH_PID=$!
+PIDS+=($SEARCH_PID)
+
+sleep 0.8  # let the search spin up and shard a few batches
+echo "   killing worker on :$HB_PORT2 mid-search"
+kill "$HB2_PID" 2>/dev/null || true
+wait "$HB2_PID" 2>/dev/null || true
+sleep 0.8  # long enough for the master to sideline the endpoint
+echo "   restarting worker on :$HB_PORT2"
+wait_for_port_free "$HB_PORT2"
+"$WORKERD" --port "$HB_PORT2" "${HB_WORKER_FLAGS[@]}" >"$WORK/hb2b.out" 2>"$WORK/hb2b.err" &
+PIDS+=($!)
+
+if ! wait "$SEARCH_PID"; then
+  echo "FAIL: heartbeat-leg search exited nonzero"; cat "$WORK/hb_dist.err"; exit 1
+fi
+diff_or_die "$WORK/hb_local.out" "$WORK/hb_dist.out" "heartbeat-leg search"
+# The acceptance bar: the master's log must show the endpoint coming back
+# through the background ping, not through a failed evaluation probing it.
+if ! grep -q "rejoined the pool via heartbeat ping" "$WORK/hb_dist.err"; then
+  echo "FAIL: master log shows no heartbeat rejoin; searchd stderr follows"
+  cat "$WORK/hb_dist.err"
+  exit 1
+fi
+if ! grep -Eq "[1-9][0-9]* heartbeat rejoins" "$WORK/hb_dist.err"; then
+  echo "FAIL: searchd summary reports zero heartbeat rejoins"
+  cat "$WORK/hb_dist.err"
+  exit 1
+fi
+echo "   OK: worker rejoined via heartbeat ping and results still match"
+
+echo "PASS: loopback smoke matrix"

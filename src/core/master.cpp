@@ -6,18 +6,22 @@ namespace ecad::core {
 
 evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
   const auto& fitness = registry_.get(request.fitness);
-  // Annotate worker failures with the offending genome: the pool rethrows the
-  // first exception of a batch, but without the genome key a remote- or
-  // training-failure is undiagnosable ("which of the 64 candidates was it?").
+  // Generation-sized chunks flow through Worker::evaluate_batch, so remote
+  // backends amortize one network round-trip over the whole chunk.  Failed
+  // slots are annotated with the worker name + genome key: the engine throws
+  // the first one, and without the key a remote- or training-failure is
+  // undiagnosable ("which of the 64 candidates was it?").
   evo::EvolutionEngine engine(
       request.space, request.evolution,
-      [&worker](const evo::Genome& genome) {
-        try {
-          return worker.evaluate(genome);
-        } catch (const std::exception& e) {
-          throw std::runtime_error("worker '" + worker.name() + "' failed on genome " +
-                                   genome.key() + ": " + e.what());
+      [&worker](const std::vector<evo::Genome>& genomes, util::ThreadPool& pool) {
+        std::vector<evo::EvalOutcome> outcomes = worker.evaluate_batch(genomes, pool);
+        for (std::size_t i = 0; i < outcomes.size() && i < genomes.size(); ++i) {
+          if (!outcomes[i].ok) {
+            outcomes[i].error = "worker '" + worker.name() + "' failed on genome " +
+                                genomes[i].key() + ": " + outcomes[i].error;
+          }
         }
+        return outcomes;
       },
       fitness);
   util::Rng rng(request.seed);

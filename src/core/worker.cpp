@@ -2,7 +2,32 @@
 
 #include <functional>
 
+#include "util/stopwatch.h"
+
 namespace ecad::core {
+
+evo::EvalOutcome evaluate_outcome(const Worker& worker, const evo::Genome& genome) {
+  evo::EvalOutcome outcome;
+  util::Stopwatch watch;
+  try {
+    outcome.result = worker.evaluate(genome);
+    outcome.result.eval_seconds = watch.elapsed_seconds();
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.error = "unknown evaluation error";
+  }
+  return outcome;
+}
+
+std::vector<evo::EvalOutcome> Worker::evaluate_batch(const std::vector<evo::Genome>& genomes,
+                                                     util::ThreadPool& pool) const {
+  std::vector<evo::EvalOutcome> outcomes(genomes.size());
+  pool.parallel_for(genomes.size(),
+                    [&](std::size_t i) { outcomes[i] = evaluate_outcome(*this, genomes[i]); });
+  return outcomes;
+}
 
 namespace {
 

@@ -22,6 +22,7 @@
 #include "hwmodel/resource_model.h"
 #include "nn/trainer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ecad::core {
 
@@ -31,7 +32,21 @@ class Worker {
   virtual std::string name() const = 0;
   /// Evaluate one candidate. Must be thread-safe.
   virtual evo::EvalResult evaluate(const evo::Genome& genome) const = 0;
+
+  /// Evaluate a whole generation-sized chunk, one outcome slot per genome in
+  /// input order.  The default fans the items across `pool` via evaluate(),
+  /// catching each item's exception into its error slot (one poisoned genome
+  /// fails its slot, never the batch).  net::RemoteWorker overrides this to
+  /// ship the chunk across the wire in EvalBatchRequest frames.
+  virtual std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
+                                                       util::ThreadPool& pool) const;
 };
+
+/// Evaluate one genome into an outcome slot: result + wall-clock
+/// eval_seconds on success, the exception message in the error slot on
+/// failure.  Shared by the default batch fan-out and the WorkerServer's
+/// batch executor so the two layers' slot semantics cannot diverge.
+evo::EvalOutcome evaluate_outcome(const Worker& worker, const evo::Genome& genome);
 
 /// Accuracy-only worker: trains the candidate MLP on the split and measures
 /// test accuracy.  Used directly for Table I/II accuracy searches.

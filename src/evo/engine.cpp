@@ -8,8 +8,34 @@
 
 namespace ecad::evo {
 
+namespace {
+
+// Legacy per-genome evaluators become one-item-per-task batch evaluators.
+// No try/catch: parallel_for already rethrows the first exception in index
+// order, which is exactly the pre-batching contract.
+EvolutionEngine::BatchEvaluator wrap_per_genome(EvolutionEngine::Evaluator evaluate) {
+  return [evaluate = std::move(evaluate)](const std::vector<Genome>& genomes,
+                                          util::ThreadPool& pool) {
+    std::vector<EvalOutcome> outcomes(genomes.size());
+    pool.parallel_for(genomes.size(), [&](std::size_t i) {
+      util::Stopwatch watch;
+      outcomes[i].result = evaluate(genomes[i]);
+      outcomes[i].result.eval_seconds = watch.elapsed_seconds();
+      outcomes[i].ok = true;
+    });
+    return outcomes;
+  };
+}
+
+}  // namespace
+
 EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config, Evaluator evaluate,
                                  Fitness fitness)
+    : EvolutionEngine(std::move(space), config, wrap_per_genome(std::move(evaluate)),
+                      std::move(fitness)) {}
+
+EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config,
+                                 BatchEvaluator evaluate, Fitness fitness)
     : space_(std::move(space)),
       config_(config),
       evaluate_(std::move(evaluate)),
@@ -26,20 +52,33 @@ EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config, Eval
   }
 }
 
-Candidate EvolutionEngine::evaluate_candidate(const Genome& genome) {
-  Candidate candidate;
-  candidate.genome = genome;
-  util::Stopwatch watch;
-  candidate.result = evaluate_(genome);
-  candidate.result.eval_seconds = watch.elapsed_seconds();
-  candidate.fitness = fitness_(candidate.result);
-  cache_.store(genome.key(), candidate.result);
+std::vector<Candidate> EvolutionEngine::evaluate_generation(const std::vector<Genome>& genomes,
+                                                            util::ThreadPool& pool) {
+  std::vector<EvalOutcome> outcomes = evaluate_(genomes, pool);
+  if (outcomes.size() != genomes.size()) {
+    throw std::runtime_error("EvolutionEngine: batch evaluator returned " +
+                             std::to_string(outcomes.size()) + " outcomes for " +
+                             std::to_string(genomes.size()) + " genomes");
+  }
+  for (const EvalOutcome& outcome : outcomes) {
+    if (!outcome.ok) throw std::runtime_error(outcome.error);
+  }
+  std::vector<Candidate> candidates(genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    Candidate& candidate = candidates[i];
+    candidate.genome = genomes[i];
+    candidate.result = outcomes[i].result;
+    candidate.fitness = fitness_(candidate.result);
+    cache_.store(candidate.genome.key(), candidate.result);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.models_evaluated;
-    stats_.total_eval_seconds += candidate.result.eval_seconds;
+    stats_.models_evaluated += genomes.size();
+    for (const Candidate& candidate : candidates) {
+      stats_.total_eval_seconds += candidate.result.eval_seconds;
+    }
   }
-  return candidate;
+  return candidates;
 }
 
 std::size_t EvolutionEngine::tournament_best(const std::vector<Candidate>& population,
@@ -81,9 +120,7 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
     if (!duplicate) seeds.push_back(std::move(genome));
   }
 
-  std::vector<Candidate> population(seeds.size());
-  pool.parallel_for(seeds.size(),
-                    [&](std::size_t i) { population[i] = evaluate_candidate(seeds[i]); });
+  std::vector<Candidate> population = evaluate_generation(seeds, pool);
   out.history = population;
 
   // --- Steady-state loop: batched offspring generation + evaluation. ---
@@ -135,10 +172,7 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
       offspring.push_back(std::move(immigrant));
     }
 
-    std::vector<Candidate> evaluated(offspring.size());
-    pool.parallel_for(offspring.size(), [&](std::size_t i) {
-      evaluated[i] = evaluate_candidate(offspring[i]);
-    });
+    std::vector<Candidate> evaluated = evaluate_generation(offspring, pool);
 
     for (Candidate& candidate : evaluated) {
       out.history.push_back(candidate);

@@ -58,10 +58,22 @@ class EvolutionEngine {
   /// `evaluate` is the worker dispatch: genome -> measured result.  It is
   /// called from pool threads and must be thread-safe.
   using Evaluator = std::function<EvalResult(const Genome&)>;
+  /// Whole-generation dispatch: genomes -> one outcome slot per genome, in
+  /// input order.  Called from the engine's driving thread with the pool at
+  /// its disposal; the Master wires core::Worker::evaluate_batch in here so
+  /// remote backends amortize one network round-trip over the whole chunk.
+  /// May throw for batch-wide failures; per-item failures go in error slots.
+  using BatchEvaluator =
+      std::function<std::vector<EvalOutcome>(const std::vector<Genome>&, util::ThreadPool&)>;
   /// Scalar fitness, bigger = fitter (see FitnessRegistry).
   using Fitness = std::function<double(const EvalResult&)>;
 
+  /// Per-genome evaluator: wrapped into a BatchEvaluator that fans items
+  /// across the pool, preserving the pre-batching exception behavior (the
+  /// first item failure, in index order, propagates out of run()).
   EvolutionEngine(SearchSpace space, EvolutionConfig config, Evaluator evaluate, Fitness fitness);
+  EvolutionEngine(SearchSpace space, EvolutionConfig config, BatchEvaluator evaluate,
+                  Fitness fitness);
 
   /// Run the full search. Deterministic in `rng` for a serial pool (1 thread).
   EvolutionResult run(util::Rng& rng, util::ThreadPool& pool);
@@ -69,13 +81,17 @@ class EvolutionEngine {
   const EvalCache& cache() const { return cache_; }
 
  private:
-  Candidate evaluate_candidate(const Genome& genome);
+  /// One generation-sized chunk through the batch evaluator: candidates in
+  /// input order, results cached, stats updated.  The first failed slot (in
+  /// index order) throws std::runtime_error with the slot's error message.
+  std::vector<Candidate> evaluate_generation(const std::vector<Genome>& genomes,
+                                             util::ThreadPool& pool);
   std::size_t tournament_best(const std::vector<Candidate>& population, util::Rng& rng) const;
   std::size_t tournament_worst(const std::vector<Candidate>& population, util::Rng& rng) const;
 
   SearchSpace space_;
   EvolutionConfig config_;
-  Evaluator evaluate_;
+  BatchEvaluator evaluate_;
   Fitness fitness_;
   EvalCache cache_;
   std::mutex stats_mutex_;

@@ -33,6 +33,15 @@ struct EvalResult {
   bool feasible = true;           // false: config does not fit the device
 };
 
+/// Outcome slot for one candidate of a batched evaluation: either a result
+/// or the worker's error message.  Per-item slots keep one poisoned genome
+/// from failing the whole batch it travelled with.
+struct EvalOutcome {
+  EvalResult result;
+  bool ok = false;
+  std::string error;  // meaningful only when !ok
+};
+
 enum class Metric {
   Accuracy,
   Throughput,      // outputs per second

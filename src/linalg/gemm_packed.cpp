@@ -284,6 +284,12 @@ void gemm_packed_parallel(const MatView& a, const MatView& b, Matrix& c,
 // PackedB
 // ---------------------------------------------------------------------------
 
+void PackedB::ensure_storage(std::size_t floats) {
+  if (floats <= capacity_) return;  // reuse: repacking after updates is allocation-free
+  data_.reset(new float[floats]);  // default-init: no zero-fill, packing writes every element
+  capacity_ = floats;
+}
+
 void PackedB::pack(const Matrix& b, bool transpose) {
   pack_view(transpose ? detail::MatView::transposed(b) : detail::MatView::normal(b));
 }
@@ -292,10 +298,10 @@ void PackedB::pack_view(const detail::MatView& b) {
   k_ = b.rows;
   n_ = b.cols;
   padded_n_ = (n_ + detail::kNR - 1) / detail::kNR * detail::kNR;
-  data_.resize(k_ * padded_n_);
+  ensure_storage(k_ * padded_n_);
   for (std::size_t pc = 0; pc < k_; pc += detail::kKC) {
     const std::size_t kc = std::min(detail::kKC, k_ - pc);
-    detail::pack_b_panel(b, pc, kc, data_.data() + pc * padded_n_);
+    detail::pack_b_panel(b, pc, kc, data_.get() + pc * padded_n_);
   }
 }
 
@@ -303,7 +309,7 @@ void PackedB::pack_view_parallel(const detail::MatView& b, util::ThreadPool& poo
   k_ = b.rows;
   n_ = b.cols;
   padded_n_ = (n_ + detail::kNR - 1) / detail::kNR * detail::kNR;
-  data_.resize(k_ * padded_n_);
+  ensure_storage(k_ * padded_n_);
   if (k_ == 0 || n_ == 0) return;
   const std::size_t panels = (k_ + detail::kKC - 1) / detail::kKC;
   const std::size_t strips = padded_n_ / detail::kNR;
@@ -314,7 +320,7 @@ void PackedB::pack_view_parallel(const detail::MatView& b, util::ThreadPool& poo
   chunks_per_panel = std::min(chunks_per_panel, strips);
   const std::size_t chunk_strips = (strips + chunks_per_panel - 1) / chunks_per_panel;
   if (panels * chunks_per_panel <= 1) {
-    detail::pack_b_panel(b, 0, k_, data_.data());
+    detail::pack_b_panel(b, 0, k_, data_.get());
     return;
   }
   pool.parallel_for(panels * chunks_per_panel, [&](std::size_t task) {
@@ -325,7 +331,7 @@ void PackedB::pack_view_parallel(const detail::MatView& b, util::ThreadPool& poo
     const std::size_t j_begin = chunk * chunk_strips * detail::kNR;
     if (j_begin >= n_) return;
     const std::size_t j_end = std::min(n_, j_begin + chunk_strips * detail::kNR);
-    detail::pack_b_panel_strips(b, pc, kc, j_begin, j_end, data_.data() + pc * padded_n_);
+    detail::pack_b_panel_strips(b, pc, kc, j_begin, j_end, data_.get() + pc * padded_n_);
   });
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,14 @@ constexpr std::size_t kMC = 128;
 /// MLP layers exploit by reusing weight panels across minibatches.
 class PackedB {
  public:
+  PackedB() = default;
+  /// Move-only: the packed buffer is raw storage with no value semantics a
+  /// copy would preserve cheaply (MLP caches hold these in vectors).
+  PackedB(PackedB&&) noexcept = default;
+  PackedB& operator=(PackedB&&) noexcept = default;
+  PackedB(const PackedB&) = delete;
+  PackedB& operator=(const PackedB&) = delete;
+
   /// Packs logical B = `b` (or `bᵀ` when `transpose`). Reuses the existing
   /// buffer capacity, so repacking after a weight update does not allocate.
   void pack(const Matrix& b, bool transpose = false);
@@ -98,13 +107,21 @@ class PackedB {
 
   /// Start of the packed panel for rows [pc, pc+kc): strips of kNR columns,
   /// each kc×kNR, zero-padded past `cols()`.
-  const float* panel(std::size_t pc) const { return data_.data() + pc * padded_n_; }
+  const float* panel(std::size_t pc) const { return data_.get() + pc * padded_n_; }
 
  private:
+  /// Grow the buffer to at least `floats` WITHOUT value-initializing it.
+  /// vector::resize would memset the whole packed buffer serially on first
+  /// use (and every growth) even though packing overwrites every element —
+  /// padding included — which showed up as a serial phase ahead of
+  /// gemm_parallel's sharded packing.
+  void ensure_storage(std::size_t floats);
+
   std::size_t k_ = 0;
   std::size_t n_ = 0;
   std::size_t padded_n_ = 0;  // n rounded up to kNR
-  std::vector<float> data_;
+  std::unique_ptr<float[]> data_;  // uninitialized storage, capacity_ floats
+  std::size_t capacity_ = 0;
 };
 
 namespace detail {

@@ -1,9 +1,13 @@
 #include "net/remote_worker.h"
 
+#include <algorithm>
+#include <climits>
+#include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
-#include "net/wire.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace ecad::net {
 
@@ -34,22 +38,129 @@ Frame recv_frame_on(Socket& socket, int timeout_ms) {
   return frame;
 }
 
+/// Hello/HelloAck at `attempt_max`; returns the negotiated version.
+std::uint16_t handshake_on(Socket& socket, std::uint16_t attempt_max, int timeout_ms) {
+  WireWriter hello;
+  write_hello_payload(hello, "ecad-master", attempt_max);
+  send_frame_on(socket, MsgType::Hello, hello.bytes());
+  const Frame ack = recv_frame_on(socket, timeout_ms);
+  if (ack.type != MsgType::HelloAck) {
+    throw NetError("handshake: expected HelloAck, got " + std::string(to_string(ack.type)));
+  }
+  WireReader reader(ack.payload);
+  const HelloPayload payload = read_hello_payload(reader);
+  return std::min(attempt_max, payload.max_version);
+}
+
+/// A whole shard waits on one response frame; give it the per-item budget
+/// times the shard size (negative timeouts keep meaning "block forever").
+int batch_timeout_ms(int per_item_ms, std::size_t items) {
+  if (per_item_ms < 0) return -1;
+  const long long total =
+      static_cast<long long>(per_item_ms) * static_cast<long long>(std::max<std::size_t>(1, items));
+  return total > INT_MAX ? INT_MAX : static_cast<int>(total);
+}
+
 }  // namespace
 
 RemoteWorker::RemoteWorker(RemoteWorkerOptions options) : options_(std::move(options)) {
   if (options_.endpoints.empty()) {
     throw std::invalid_argument("RemoteWorker: endpoint list is empty");
   }
+  if (options_.max_protocol < kMinProtocolVersion) {
+    throw std::invalid_argument("RemoteWorker: max_protocol must be >= " +
+                                std::to_string(kMinProtocolVersion));
+  }
   states_.reserve(options_.endpoints.size());
   for (const Endpoint& endpoint : options_.endpoints) {
     EndpointState state;
     state.endpoint = endpoint;
+    state.max_version = std::min(options_.max_protocol, kProtocolVersion);
     states_.push_back(std::move(state));
   }
+  if (options_.heartbeat_interval_ms > 0) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+RemoteWorker::~RemoteWorker() {
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    stopping_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 }
 
 std::string RemoteWorker::name() const {
   return "remote(" + std::to_string(options_.endpoints.size()) + " endpoints)";
+}
+
+bool RemoteWorker::endpoint_available(const EndpointState& state, Clock::time_point now) const {
+  if (!state.down) return true;
+  // Without a heartbeat thread the fixed cooldown window is the only way
+  // back in; with one, only a successful ping revives the endpoint.
+  return options_.heartbeat_interval_ms <= 0 && now >= state.down_until;
+}
+
+bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection& out) const {
+  Endpoint endpoint;
+  std::uint16_t attempt = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EndpointState& state = states_[endpoint_index];
+    endpoint = state.endpoint;
+    attempt = std::min(state.max_version, options_.max_protocol);
+  }
+  for (;;) {
+    Socket socket;
+    try {
+      socket = Socket::connect(endpoint, options_.connect_timeout_ms);
+    } catch (const NetError& e) {
+      // TCP-level failure: the host is down or unreachable.  No downgrade
+      // retry — a v1 greeting cannot fix a refused connection, it would
+      // only double the connect timeout per checkout of a dead endpoint.
+      util::Log(util::LogLevel::Debug, "net")
+          << "endpoint " << endpoint.to_string() << " unavailable: " << e.what();
+      penalize(endpoint_index);
+      return false;
+    }
+    try {
+      const std::uint16_t negotiated =
+          handshake_on(socket, attempt, options_.connect_timeout_ms);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        EndpointState& state = states_[endpoint_index];
+        state.down = false;
+        state.max_version = negotiated;
+      }
+      out.socket = std::move(socket);
+      out.version = negotiated;
+      return true;
+    } catch (const NetError& e) {
+      // The connection came up but the handshake died — a peer so old it
+      // drops the v2 Hello (trailing-bytes error) closes before acking.
+      // Retry once with the exact v1 greeting.
+      if (attempt >= 2) {
+        util::Log(util::LogLevel::Debug, "net")
+            << "v" << attempt << " handshake with " << endpoint.to_string() << " failed ("
+            << e.what() << "); retrying as v1";
+        attempt = 1;
+        continue;
+      }
+      util::Log(util::LogLevel::Debug, "net")
+          << "endpoint " << endpoint.to_string() << " handshake failed: " << e.what();
+    } catch (const WireError& e) {
+      if (attempt >= 2) {
+        attempt = 1;
+        continue;
+      }
+      util::Log(util::LogLevel::Warn, "net")
+          << "endpoint " << endpoint.to_string() << " protocol mismatch: " << e.what();
+    }
+    penalize(endpoint_index);
+    return false;
+  }
 }
 
 bool RemoteWorker::checkout(Checkout& out) const {
@@ -57,56 +168,66 @@ bool RemoteWorker::checkout(Checkout& out) const {
   const std::size_t start = round_robin_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t offset = 0; offset < count; ++offset) {
     const std::size_t index = (start + offset) % count;
-    Endpoint endpoint;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       EndpointState& state = states_[index];
-      if (Clock::now() < state.down_until) continue;
+      if (!endpoint_available(state, Clock::now())) continue;
       if (!state.idle.empty()) {
         out.endpoint_index = index;
-        out.socket = std::move(state.idle.back());
+        out.connection = std::move(state.idle.back());
         state.idle.pop_back();
         return true;
       }
-      endpoint = state.endpoint;
     }
     // Connect + handshake outside the lock: a slow or dead endpoint must not
     // stall the other evaluation threads.
-    try {
-      Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
-      WireWriter hello;
-      hello.put_string("ecad-master");
-      send_frame_on(socket, MsgType::Hello, hello.bytes());
-      const Frame ack = recv_frame_on(socket, options_.connect_timeout_ms);
-      if (ack.type != MsgType::HelloAck) {
-        throw NetError("handshake: expected HelloAck, got " + std::string(to_string(ack.type)));
-      }
+    if (connect_endpoint(index, out.connection)) {
       out.endpoint_index = index;
-      out.socket = std::move(socket);
       return true;
-    } catch (const NetError& e) {
-      util::Log(util::LogLevel::Debug, "net")
-          << "endpoint " << endpoint.to_string() << " unavailable: " << e.what();
-      penalize(index);
-    } catch (const WireError& e) {
-      util::Log(util::LogLevel::Warn, "net")
-          << "endpoint " << endpoint.to_string() << " protocol mismatch: " << e.what();
-      penalize(index);
     }
+  }
+  return false;
+}
+
+bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EndpointState& state = states_[endpoint_index];
+    if (!endpoint_available(state, Clock::now())) return false;
+    if (!state.idle.empty()) {
+      out.endpoint_index = endpoint_index;
+      out.connection = std::move(state.idle.back());
+      state.idle.pop_back();
+      return true;
+    }
+  }
+  if (connect_endpoint(endpoint_index, out.connection)) {
+    out.endpoint_index = endpoint_index;
+    return true;
   }
   return false;
 }
 
 void RemoteWorker::check_in(Checkout&& checkout) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  states_[checkout.endpoint_index].idle.push_back(std::move(checkout.socket));
+  states_[checkout.endpoint_index].idle.push_back(std::move(checkout.connection));
 }
 
 void RemoteWorker::penalize(std::size_t endpoint_index) const {
   std::lock_guard<std::mutex> lock(mutex_);
   EndpointState& state = states_[endpoint_index];
+  state.down = true;
   state.down_until = Clock::now() + std::chrono::milliseconds(options_.endpoint_cooldown_ms);
   state.idle.clear();  // stale sockets to a failed daemon are worthless
+}
+
+void RemoteWorker::record_throughput(std::size_t endpoint_index, std::size_t items,
+                                     double seconds) const {
+  if (items == 0 || seconds <= 0.0) return;
+  const double observed = static_cast<double>(items) / seconds;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double& ips = states_[endpoint_index].throughput_ips;
+  ips = ips <= 0.0 ? observed : 0.7 * ips + 0.3 * observed;
 }
 
 evo::EvalResult RemoteWorker::exchange(Socket& socket, const evo::Genome& genome) const {
@@ -139,13 +260,257 @@ evo::EvalResult RemoteWorker::exchange(Socket& socket, const evo::Genome& genome
   return result;
 }
 
+void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>& genomes,
+                                  const std::vector<std::size_t>& items,
+                                  std::vector<evo::EvalOutcome>& outcomes) const {
+  EvalBatchRequest request;
+  request.batch_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.genomes.reserve(items.size());
+  for (std::size_t index : items) request.genomes.push_back(genomes[index]);
+  WireWriter writer;
+  write_eval_batch_request(writer, request);
+  send_frame_on(socket, MsgType::EvalBatchRequest, writer.bytes());
+  batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
+
+  const Frame frame =
+      recv_frame_on(socket, batch_timeout_ms(options_.request_timeout_ms, items.size()));
+  if (frame.type != MsgType::EvalBatchResponse) {
+    throw NetError("expected EvalBatchResponse, got " + std::string(to_string(frame.type)));
+  }
+  WireReader reader(frame.payload);
+  EvalBatchResponse response = read_eval_batch_response(reader);
+  reader.expect_end();
+  if (response.batch_id != request.batch_id) {
+    throw NetError("batch id mismatch (" + std::to_string(response.batch_id) + " != " +
+                   std::to_string(request.batch_id) + ")");
+  }
+  if (response.items.size() != items.size()) {
+    throw WireError("wire: batch response holds " + std::to_string(response.items.size()) +
+                    " outcomes for " + std::to_string(items.size()) + " genomes");
+  }
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    evo::EvalOutcome& slot = outcomes[items[k]];
+    slot = std::move(response.items[k]);
+    if (!slot.ok) slot.error = "remote evaluation failed: " + slot.error;
+  }
+}
+
+void RemoteWorker::exchange_pipelined(Socket& socket, const std::vector<evo::Genome>& genomes,
+                                      const std::vector<std::size_t>& items,
+                                      std::vector<evo::EvalOutcome>& outcomes) const {
+  std::unordered_map<std::uint64_t, std::size_t> in_flight;  // request id -> genome index
+  in_flight.reserve(items.size());
+  for (std::size_t index : items) {
+    const std::uint64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    WireWriter request;
+    request.put_u64(request_id);
+    write_genome(request, genomes[index]);
+    send_frame_on(socket, MsgType::EvalRequest, request.bytes());
+    in_flight.emplace(request_id, index);
+  }
+  while (!in_flight.empty()) {
+    const Frame frame = recv_frame_on(socket, options_.request_timeout_ms);
+    if (frame.type != MsgType::EvalResponse) {
+      throw NetError("expected EvalResponse, got " + std::string(to_string(frame.type)));
+    }
+    WireReader reader(frame.payload);
+    const std::uint64_t response_id = reader.get_u64();
+    const auto it = in_flight.find(response_id);
+    if (it == in_flight.end()) {
+      throw NetError("response id " + std::to_string(response_id) + " is not in flight");
+    }
+    evo::EvalOutcome& slot = outcomes[it->second];
+    if (reader.get_bool()) {
+      slot.result = read_eval_result(reader);
+      reader.expect_end();
+      slot.ok = true;
+    } else {
+      // Remote evaluation failure: deterministic per genome, settles the
+      // slot instead of being retried elsewhere.
+      slot.error = "remote evaluation failed: " + reader.get_string();
+      reader.expect_end();
+    }
+    in_flight.erase(it);
+  }
+}
+
+void RemoteWorker::run_shard(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
+                             const std::vector<std::size_t>& items,
+                             std::vector<evo::EvalOutcome>& outcomes,
+                             std::vector<std::size_t>& unfinished) const {
+  Checkout conn;
+  if (!checkout_endpoint(endpoint_index, conn)) {
+    unfinished = items;
+    return;
+  }
+  // An outcome slot is settled once it holds a result or an error message;
+  // anything else was lost to the connection fault and must be re-sharded.
+  const auto settled = [&outcomes](std::size_t index) {
+    return outcomes[index].ok || !outcomes[index].error.empty();
+  };
+  util::Stopwatch watch;
+  try {
+    if (conn.connection.version >= 2) {
+      exchange_batch(conn.connection.socket, genomes, items, outcomes);
+    } else {
+      // v1-only endpoint: the shard degrades to per-genome frames pipelined
+      // on the one pooled connection (still a single connect/handshake, and
+      // the daemon's pool still runs the items concurrently).
+      exchange_pipelined(conn.connection.socket, genomes, items, outcomes);
+    }
+    record_throughput(endpoint_index, items.size(), watch.elapsed_seconds());
+    check_in(std::move(conn));
+  } catch (const NetError& e) {
+    util::Log(util::LogLevel::Warn, "net")
+        << "batch shard on " << options_.endpoints[endpoint_index].to_string() << " failed ("
+        << e.what() << "); re-sharding";
+    penalize(endpoint_index);
+  } catch (const WireError& e) {
+    util::Log(util::LogLevel::Warn, "net")
+        << "malformed batch response from " << options_.endpoints[endpoint_index].to_string()
+        << " (" << e.what() << "); re-sharding";
+    penalize(endpoint_index);
+  }
+  std::size_t settled_count = 0;
+  for (std::size_t index : items) {
+    if (settled(index)) {
+      ++settled_count;  // includes slots a failed shard settled before dying
+    } else {
+      unfinished.push_back(index);
+    }
+  }
+  remote_evaluations_.fetch_add(settled_count, std::memory_order_relaxed);
+}
+
+std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo::Genome>& genomes,
+                                                           util::ThreadPool& pool) const {
+  std::vector<evo::EvalOutcome> outcomes(genomes.size());
+  if (genomes.empty()) return outcomes;
+
+  std::vector<std::size_t> pending(genomes.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  struct Shard {
+    std::size_t endpoint_index = 0;
+    std::vector<std::size_t> items;
+  };
+
+  // Each scheduling round shards `pending` across the currently healthy
+  // endpoints proportionally to their observed throughput (largest-remainder
+  // apportionment; unknown endpoints get the mean weight), runs the shards
+  // concurrently, and re-shards whatever a dying endpoint left unfinished.
+  const std::size_t max_rounds =
+      std::max<std::size_t>(1, options_.max_rounds) * states_.size() + 1;
+  for (std::size_t round = 0; round < max_rounds && !pending.empty(); ++round) {
+    std::vector<std::size_t> available;
+    std::vector<double> weights;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (!endpoint_available(states_[i], now)) continue;
+        available.push_back(i);
+        weights.push_back(states_[i].throughput_ips);
+      }
+    }
+    if (available.empty()) break;  // nothing reachable; fall through to fallback
+
+    double known_sum = 0.0;
+    std::size_t known = 0;
+    for (double w : weights) {
+      if (w > 0.0) {
+        known_sum += w;
+        ++known;
+      }
+    }
+    const double default_weight = known > 0 ? known_sum / static_cast<double>(known) : 1.0;
+    double total_weight = 0.0;
+    for (double& w : weights) {
+      if (w <= 0.0) w = default_weight;
+      total_weight += w;
+    }
+
+    // Integer apportionment of pending.size() items: floors first, then the
+    // largest fractional remainders claim the leftovers.
+    const std::size_t total_items = pending.size();
+    std::vector<std::size_t> counts(available.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t s = 0; s < available.size(); ++s) {
+      const double exact = static_cast<double>(total_items) * weights[s] / total_weight;
+      counts[s] = std::min<std::size_t>(static_cast<std::size_t>(exact), kMaxBatchItems);
+      assigned += counts[s];
+      remainders.emplace_back(exact - static_cast<double>(counts[s]), s);
+    }
+    std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (std::size_t k = 0; assigned < total_items && k < remainders.size(); ++k) {
+      const std::size_t s = remainders[k].second;
+      if (counts[s] >= kMaxBatchItems) continue;
+      ++counts[s];
+      ++assigned;
+    }
+
+    std::vector<Shard> shards;
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < available.size() && cursor < total_items; ++s) {
+      if (counts[s] == 0) continue;
+      Shard shard;
+      shard.endpoint_index = available[s];
+      const std::size_t take = std::min(counts[s], total_items - cursor);
+      shard.items.assign(pending.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         pending.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+      cursor += take;
+      shards.push_back(std::move(shard));
+    }
+
+    std::vector<std::vector<std::size_t>> unfinished(shards.size());
+    if (shards.size() == 1) {
+      run_shard(shards[0].endpoint_index, genomes, shards[0].items, outcomes, unfinished[0]);
+    } else {
+      pool.parallel_for(shards.size(), [&](std::size_t s) {
+        run_shard(shards[s].endpoint_index, genomes, shards[s].items, outcomes, unfinished[s]);
+      });
+    }
+
+    std::vector<std::size_t> next;
+    // Items the apportionment could not place this round (batch-size caps)
+    // stay pending alongside whatever the shards could not finish.
+    next.insert(next.end(), pending.begin() + static_cast<std::ptrdiff_t>(cursor), pending.end());
+    for (const std::vector<std::size_t>& shard_unfinished : unfinished) {
+      next.insert(next.end(), shard_unfinished.begin(), shard_unfinished.end());
+    }
+    std::sort(next.begin(), next.end());
+    pending = std::move(next);
+  }
+
+  if (!pending.empty()) {
+    if (options_.fallback == nullptr) {
+      throw NetError("RemoteWorker: no evaluation daemon reachable and no local fallback configured");
+    }
+    util::Log(util::LogLevel::Warn, "net")
+        << "no evaluation daemon reachable for " << pending.size()
+        << " batch items; falling back to local worker '" << options_.fallback->name() << "'";
+    std::vector<evo::Genome> rest;
+    rest.reserve(pending.size());
+    for (std::size_t index : pending) rest.push_back(genomes[index]);
+    std::vector<evo::EvalOutcome> rest_outcomes = options_.fallback->evaluate_batch(rest, pool);
+    for (std::size_t k = 0; k < pending.size() && k < rest_outcomes.size(); ++k) {
+      outcomes[pending[k]] = std::move(rest_outcomes[k]);
+    }
+    fallback_evaluations_.fetch_add(pending.size(), std::memory_order_relaxed);
+  }
+  return outcomes;
+}
+
 evo::EvalResult RemoteWorker::evaluate(const evo::Genome& genome) const {
   const std::size_t attempts = options_.max_rounds * states_.size();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     Checkout conn;
     if (!checkout(conn)) break;  // every endpoint down or cooling off
     try {
-      const evo::EvalResult result = exchange(conn.socket, genome);
+      const evo::EvalResult result = exchange(conn.connection.socket, genome);
       remote_evaluations_.fetch_add(1, std::memory_order_relaxed);
       check_in(std::move(conn));
       return result;
@@ -159,12 +524,12 @@ evo::EvalResult RemoteWorker::evaluate(const evo::Genome& genome) const {
       // Disconnect / timeout / protocol break mid-exchange: drop this
       // connection, sideline the endpoint, move on to the next one.
       util::Log(util::LogLevel::Warn, "net")
-          << "evaluation on " << states_[conn.endpoint_index].endpoint.to_string() << " failed ("
-          << e.what() << "); retrying elsewhere";
+          << "evaluation on " << options_.endpoints[conn.endpoint_index].to_string()
+          << " failed (" << e.what() << "); retrying elsewhere";
       penalize(conn.endpoint_index);
     } catch (const WireError& e) {
       util::Log(util::LogLevel::Warn, "net")
-          << "malformed response from " << states_[conn.endpoint_index].endpoint.to_string()
+          << "malformed response from " << options_.endpoints[conn.endpoint_index].to_string()
           << " (" << e.what() << "); retrying elsewhere";
       penalize(conn.endpoint_index);
     }
@@ -199,6 +564,16 @@ std::size_t RemoteWorker::ping_all() const {
   return alive;
 }
 
+std::size_t RemoteWorker::healthy_endpoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Clock::time_point now = Clock::now();
+  std::size_t healthy = 0;
+  for (const EndpointState& state : states_) {
+    if (endpoint_available(state, now)) ++healthy;
+  }
+  return healthy;
+}
+
 void RemoteWorker::shutdown_all() const {
   for (std::size_t index = 0; index < states_.size(); ++index) {
     Endpoint endpoint;
@@ -212,6 +587,53 @@ void RemoteWorker::shutdown_all() const {
     } catch (const NetError&) {
       // Already gone — that's what shutdown wanted anyway.
     }
+  }
+}
+
+void RemoteWorker::heartbeat_loop() {
+  const auto interval = std::chrono::milliseconds(options_.heartbeat_interval_ms);
+  std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+  while (!stopping_) {
+    heartbeat_cv_.wait_for(lock, interval, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+
+    std::vector<std::size_t> sidelined;
+    {
+      std::lock_guard<std::mutex> state_lock(mutex_);
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].down) sidelined.push_back(i);
+      }
+    }
+    for (std::size_t index : sidelined) {
+      Endpoint endpoint;
+      {
+        std::lock_guard<std::mutex> state_lock(mutex_);
+        endpoint = states_[index].endpoint;
+      }
+      try {
+        Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
+        send_frame_on(socket, MsgType::Ping, {});
+        const Frame frame = recv_frame_on(socket, options_.connect_timeout_ms);
+        if (frame.type != MsgType::Pong) continue;
+        {
+          std::lock_guard<std::mutex> state_lock(mutex_);
+          EndpointState& state = states_[index];
+          if (!state.down) continue;  // an evaluation beat us to it
+          state.down = false;
+          // A restarted daemon may speak a different protocol generation
+          // than its predecessor; rediscover in the next handshake.
+          state.max_version = std::min(options_.max_protocol, kProtocolVersion);
+        }
+        heartbeat_rejoins_.fetch_add(1, std::memory_order_relaxed);
+        util::Log(util::LogLevel::Info, "net")
+            << "endpoint " << endpoint.to_string() << " rejoined the pool via heartbeat ping";
+      } catch (const NetError&) {
+        // Still down; try again next tick.
+      } catch (const WireError&) {
+      }
+    }
+    lock.lock();
   }
 }
 

@@ -1,39 +1,69 @@
-// RemoteWorker: a core::Worker whose evaluate() runs on remote ecad_workerd
+// RemoteWorker: a core::Worker whose evaluations run on remote ecad_workerd
 // daemons.  The Master stays oblivious — it dispatches genomes exactly as it
-// would to a local worker, and this class fans the concurrent requests out
-// across a pool of endpoints with per-request timeouts, retry-on-disconnect,
-// and (optionally) fallback to a local worker when nothing is reachable.
+// would to a local worker, and this class fans the work out across a pool of
+// endpoints with per-request timeouts, retry-on-disconnect, and (optionally)
+// fallback to a local worker when nothing is reachable.
 //
-// Concurrency model: the Master's thread pool calls evaluate() from many
-// threads at once.  Each call checks a connection out of a shared idle pool
-// (round-robin over healthy endpoints, connecting lazily), speaks one
-// request/response exchange on it, and returns it for reuse.  A connection
-// therefore never multiplexes requests, which keeps failure handling local
-// to one evaluation.  Endpoints that fail enter a cooldown window so a dead
-// daemon costs one failed connect per window, not per genome.
+// Batching (protocol v2): evaluate_batch() shards a generation-sized chunk
+// across the healthy endpoints proportionally to their observed throughput
+// and ships each shard as one EvalBatchRequest frame, so a whole shard costs
+// one network round-trip instead of one per genome.  When an endpoint dies
+// mid-batch its unfinished items are re-sharded across the survivors; items
+// the remote worker itself failed on are NOT retried (deterministic per
+// genome) and surface through their per-item error slots.  Endpoints that
+// only speak v1 are still sharded to — their shard degrades to per-item
+// EvalRequest frames pipelined on one pooled connection (all requests sent
+// up front, responses matched by id), so the daemon's pool still evaluates
+// the shard concurrently.
+//
+// Connection model: each exchange checks a connection out of a shared idle
+// pool (connecting + handshaking lazily), speaks on it exclusively, and
+// returns it for reuse, so failure handling stays local to one exchange.
+// Version negotiation happens per connection in the Hello exchange; a peer
+// so old it drops the v2 Hello (trailing-bytes error) gets one downgrade
+// retry with the exact v1 handshake and is remembered as v1-only.
+//
+// Heartbeats: endpoints that fail are sidelined, and a background thread
+// pings sidelined endpoints every heartbeat_interval_ms — a revived daemon
+// rejoins the pool via Ping/Pong without waiting for an evaluation to probe
+// it.  With heartbeats disabled (interval 0), sidelining falls back to the
+// v1 fixed cooldown window.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/worker.h"
 #include "net/socket.h"
+#include "net/wire.h"
 
 namespace ecad::net {
 
 struct RemoteWorkerOptions {
   std::vector<Endpoint> endpoints;
   int connect_timeout_ms = 2000;
-  /// Deadline for one EvalResponse (covers remote training time).
+  /// Deadline for one EvalResponse (covers remote training time).  Batch
+  /// responses get this budget per item: a shard of N genomes waits up to
+  /// N * request_timeout_ms for its single response frame.
   int request_timeout_ms = 120000;
-  /// How long a failed endpoint sits out before being retried.
+  /// How long a failed endpoint sits out before being retried when
+  /// heartbeats are disabled.  With heartbeats on, a sidelined endpoint
+  /// rejoins only when a ping succeeds.
   int endpoint_cooldown_ms = 1000;
   /// Full passes over the endpoint list before giving up on the network.
   std::size_t max_rounds = 2;
+  /// Background ping period for sidelined endpoints; 0 disables the
+  /// heartbeat thread (v1 cooldown behavior).
+  int heartbeat_interval_ms = 250;
+  /// Highest protocol version offered in the handshake.  Pin to 1 to force
+  /// per-genome EvalRequest exchanges even against v2 daemons.
+  std::uint16_t max_protocol = kProtocolVersion;
   /// When no endpoint is reachable: evaluate locally on this worker instead
   /// of failing the search. nullptr = throw NetError.
   const core::Worker* fallback = nullptr;
@@ -43,6 +73,7 @@ class RemoteWorker final : public core::Worker {
  public:
   /// Throws std::invalid_argument when no endpoints are given.
   explicit RemoteWorker(RemoteWorkerOptions options);
+  ~RemoteWorker() override;
 
   std::string name() const override;
 
@@ -51,6 +82,13 @@ class RemoteWorker final : public core::Worker {
   /// threw on its machine) is not retried — it is deterministic — and
   /// surfaces as std::runtime_error with the remote message.
   evo::EvalResult evaluate(const evo::Genome& genome) const override;
+
+  /// Shard the chunk across healthy endpoints (one EvalBatchRequest frame
+  /// per shard), re-sharding remainders when endpoints die mid-batch.
+  /// Outcomes are in input order; network exhaustion falls back to the local
+  /// worker or throws NetError, exactly like evaluate().
+  std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
+                                               util::ThreadPool& pool) const override;
 
   /// Round-trip a Ping to every endpoint; number of live daemons.
   std::size_t ping_all() const;
@@ -64,30 +102,81 @@ class RemoteWorker final : public core::Worker {
   std::size_t fallback_evaluations() const {
     return fallback_evaluations_.load(std::memory_order_relaxed);
   }
+  /// EvalBatchRequest frames dispatched (shards, not generations).
+  std::size_t batches_dispatched() const {
+    return batches_dispatched_.load(std::memory_order_relaxed);
+  }
+  /// Sidelined endpoints revived by the heartbeat thread's Ping.
+  std::size_t heartbeat_rejoins() const {
+    return heartbeat_rejoins_.load(std::memory_order_relaxed);
+  }
+  /// Endpoints currently eligible for checkout (not sidelined).
+  std::size_t healthy_endpoints() const;
 
  private:
   using Clock = std::chrono::steady_clock;
 
+  struct PooledConnection {
+    Socket socket;
+    std::uint16_t version = 1;  // negotiated in the Hello exchange
+  };
+
   struct EndpointState {
     Endpoint endpoint;
-    Clock::time_point down_until{};       // cooldown gate
-    std::vector<Socket> idle;             // handshaken connections ready for reuse
+    bool down = false;                    // sidelined until ping / cooldown expiry
+    Clock::time_point down_until{};       // cooldown gate (heartbeats disabled)
+    std::uint16_t max_version = kProtocolVersion;  // lowered after a v1 downgrade
+    double throughput_ips = 0.0;          // EWMA items/sec; 0 = not yet observed
+    std::vector<PooledConnection> idle;   // handshaken connections ready for reuse
   };
 
   struct Checkout {
     std::size_t endpoint_index = 0;
-    Socket socket;
+    PooledConnection connection;
   };
 
+  bool endpoint_available(const EndpointState& state, Clock::time_point now) const;
+
   /// Next healthy endpoint in round-robin order with a ready or freshly
-  /// connected (and handshaken) socket; false when every endpoint is in
-  /// cooldown or unreachable right now.
+  /// connected (and handshaken) socket; false when every endpoint is
+  /// sidelined or unreachable right now.
   bool checkout(Checkout& out) const;
+  /// Same, but pinned to one endpoint (used by the batch scheduler, which
+  /// decides placement itself).  Sidelines the endpoint on failure.
+  bool checkout_endpoint(std::size_t endpoint_index, Checkout& out) const;
   void check_in(Checkout&& checkout) const;
   void penalize(std::size_t endpoint_index) const;
+  void record_throughput(std::size_t endpoint_index, std::size_t items, double seconds) const;
+
+  /// Connect + Hello/HelloAck at the endpoint's remembered max version, with
+  /// one v1 downgrade retry when a v2 handshake bounces off an old peer.
+  bool connect_endpoint(std::size_t endpoint_index, PooledConnection& out) const;
 
   /// One request/response exchange on a checked-out connection.
   evo::EvalResult exchange(Socket& socket, const evo::Genome& genome) const;
+
+  /// One EvalBatchRequest/Response exchange for `items` (indices into
+  /// `genomes`), writing outcome slots.  Throws NetError/WireError on
+  /// connection-level failures (the caller re-shards).
+  void exchange_batch(Socket& socket, const std::vector<evo::Genome>& genomes,
+                      const std::vector<std::size_t>& items,
+                      std::vector<evo::EvalOutcome>& outcomes) const;
+
+  /// v1 equivalent of exchange_batch: per-genome EvalRequest frames
+  /// pipelined on one connection, responses matched by request id as the
+  /// daemon finishes them (any order).  Slots settle incrementally, so a
+  /// mid-pipeline disconnect loses only the unanswered items.
+  void exchange_pipelined(Socket& socket, const std::vector<evo::Genome>& genomes,
+                          const std::vector<std::size_t>& items,
+                          std::vector<evo::EvalOutcome>& outcomes) const;
+
+  /// Run one shard on one endpoint; indices it could not finish (network
+  /// fault) land in `unfinished` for re-sharding.
+  void run_shard(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
+                 const std::vector<std::size_t>& items, std::vector<evo::EvalOutcome>& outcomes,
+                 std::vector<std::size_t>& unfinished) const;
+
+  void heartbeat_loop();
 
   RemoteWorkerOptions options_;
   mutable std::mutex mutex_;             // guards endpoint states + idle pools
@@ -96,6 +185,13 @@ class RemoteWorker final : public core::Worker {
   mutable std::atomic<std::size_t> round_robin_{0};
   mutable std::atomic<std::size_t> remote_evaluations_{0};
   mutable std::atomic<std::size_t> fallback_evaluations_{0};
+  mutable std::atomic<std::size_t> batches_dispatched_{0};
+  mutable std::atomic<std::size_t> heartbeat_rejoins_{0};
+
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool stopping_ = false;                // guarded by heartbeat_mutex_
+  std::thread heartbeat_thread_;
 };
 
 }  // namespace ecad::net

@@ -15,15 +15,27 @@ const char* to_string(MsgType type) {
     case MsgType::Ping: return "Ping";
     case MsgType::Pong: return "Pong";
     case MsgType::Shutdown: return "Shutdown";
+    case MsgType::EvalBatchRequest: return "EvalBatchRequest";
+    case MsgType::EvalBatchResponse: return "EvalBatchResponse";
   }
   return "?";
+}
+
+std::uint16_t frame_version_for(MsgType type) {
+  switch (type) {
+    case MsgType::EvalBatchRequest:
+    case MsgType::EvalBatchResponse:
+      return 2;
+    default:
+      return 1;
+  }
 }
 
 namespace {
 
 bool known_msg_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint16_t>(MsgType::Shutdown);
+         raw <= static_cast<std::uint16_t>(MsgType::EvalBatchResponse);
 }
 
 }  // namespace
@@ -287,6 +299,88 @@ core::SearchRequest read_search_request(WireReader& reader) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched evaluation (protocol v2)
+// ---------------------------------------------------------------------------
+
+void write_eval_batch_request(WireWriter& writer, const EvalBatchRequest& request) {
+  if (request.genomes.size() > kMaxBatchItems) {
+    throw WireError("wire: batch of " + std::to_string(request.genomes.size()) +
+                    " genomes exceeds the limit");
+  }
+  writer.put_u64(request.batch_id);
+  writer.put_u32(static_cast<std::uint32_t>(request.genomes.size()));
+  for (const evo::Genome& genome : request.genomes) write_genome(writer, genome);
+}
+
+EvalBatchRequest read_eval_batch_request(WireReader& reader) {
+  EvalBatchRequest request;
+  request.batch_id = reader.get_u64();
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxBatchItems) {
+    throw WireError("wire: batch length " + std::to_string(count) + " exceeds the limit");
+  }
+  request.genomes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) request.genomes.push_back(read_genome(reader));
+  return request;
+}
+
+void write_eval_batch_response(WireWriter& writer, const EvalBatchResponse& response) {
+  if (response.items.size() > kMaxBatchItems) {
+    throw WireError("wire: batch of " + std::to_string(response.items.size()) +
+                    " outcomes exceeds the limit");
+  }
+  writer.put_u64(response.batch_id);
+  writer.put_u32(static_cast<std::uint32_t>(response.items.size()));
+  for (const evo::EvalOutcome& item : response.items) {
+    writer.put_bool(item.ok);
+    if (item.ok) {
+      write_eval_result(writer, item.result);
+    } else {
+      writer.put_string(item.error);
+    }
+  }
+}
+
+EvalBatchResponse read_eval_batch_response(WireReader& reader) {
+  EvalBatchResponse response;
+  response.batch_id = reader.get_u64();
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxBatchItems) {
+    throw WireError("wire: batch length " + std::to_string(count) + " exceeds the limit");
+  }
+  response.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    evo::EvalOutcome item;
+    item.ok = reader.get_bool();
+    if (item.ok) {
+      item.result = read_eval_result(reader);
+    } else {
+      item.error = reader.get_string();
+    }
+    response.items.push_back(std::move(item));
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Handshake payloads
+// ---------------------------------------------------------------------------
+
+void write_hello_payload(WireWriter& writer, const std::string& name, std::uint16_t max_version) {
+  writer.put_string(name);
+  if (max_version >= 2) writer.put_u16(max_version);
+}
+
+HelloPayload read_hello_payload(WireReader& reader) {
+  HelloPayload hello;
+  hello.name = reader.get_string();
+  if (reader.remaining() >= 2) hello.max_version = reader.get_u16();
+  if (hello.max_version < 1) hello.max_version = 1;
+  reader.expect_end();
+  return hello;
+}
+
+// ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
@@ -297,7 +391,7 @@ std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint
   }
   WireWriter header;
   header.put_u32(kWireMagic);
-  header.put_u16(kProtocolVersion);
+  header.put_u16(frame_version_for(type));
   header.put_u16(static_cast<std::uint16_t>(type));
   header.put_u32(static_cast<std::uint32_t>(payload.size()));
   std::vector<std::uint8_t> frame = header.take();
@@ -312,9 +406,10 @@ FrameHeader decode_frame_header(const std::uint8_t* header) {
     throw WireError("wire: bad frame magic (not an ECAD peer?)");
   }
   const std::uint16_t version = reader.get_u16();
-  if (version != kProtocolVersion) {
-    throw WireError("wire: protocol version " + std::to_string(version) + " (expected " +
-                    std::to_string(kProtocolVersion) + ")");
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    throw WireError("wire: protocol version " + std::to_string(version) + " (supported: " +
+                    std::to_string(kMinProtocolVersion) + "-" + std::to_string(kProtocolVersion) +
+                    ")");
   }
   const std::uint16_t raw_type = reader.get_u16();
   if (!known_msg_type(raw_type)) {
@@ -322,6 +417,7 @@ FrameHeader decode_frame_header(const std::uint8_t* header) {
   }
   FrameHeader out;
   out.type = static_cast<MsgType>(raw_type);
+  out.version = version;
   out.payload_size = reader.get_u32();
   if (out.payload_size > kMaxPayloadBytes) {
     throw WireError("wire: frame payload of " + std::to_string(out.payload_size) +

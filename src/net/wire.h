@@ -4,7 +4,7 @@
 // Framing: every message is a length-prefixed binary frame
 //
 //     u32  magic    0x45434144 ("ECAD", little-endian on the wire)
-//     u16  version  kProtocolVersion
+//     u16  version  lowest protocol version that understands this message
 //     u16  type     MsgType
 //     u32  length   payload byte count (<= kMaxPayloadBytes)
 //     u8[] payload  type-specific body
@@ -13,6 +13,15 @@
 // their IEEE-754 bit pattern in a u64, so every value — including NaNs and
 // signed zeros — round-trips bit-for-bit.  Decoding is fully bounds-checked:
 // truncated or oversized input throws WireError, never reads past the end.
+//
+// Versioning (v2): the header's version field carries the lowest protocol
+// version able to parse that message — v1 messages keep a version-1 header
+// forever, so a v1-only peer interoperates untouched, while the v2 batch
+// messages are framed version 2 and bounce off old peers as a header error.
+// Peers negotiate the connection version in the handshake: Hello/HelloAck
+// payloads optionally carry a trailing u16 with the sender's maximum
+// supported version (absent = 1), and both sides speak min(theirs, ours).
+// Batch frames are only legal on connections negotiated to >= 2.
 #pragma once
 
 #include <cstdint>
@@ -35,24 +44,37 @@ class WireError : public std::runtime_error {
 /// Encoded little-endian like every other integer, so the first four bytes
 /// of a frame on the wire literally read "ECAD" (0x45 'E' is the low byte).
 inline constexpr std::uint32_t kWireMagic = 0x44414345u;
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Highest protocol version this build speaks. Peers negotiate down to the
+/// smaller of the two maxima; version 1 peers keep working unmodified.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Genomes and results are tiny; anything near this limit is corruption.
 inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
 inline constexpr std::uint32_t kMaxStringBytes = 1u << 20;
 inline constexpr std::uint32_t kMaxVectorElems = 1u << 20;
+/// Hard cap on genomes (or result slots) per batch frame; a generation is a
+/// few dozen, so anything near this limit is corruption.
+inline constexpr std::uint32_t kMaxBatchItems = 4096;
 
 enum class MsgType : std::uint16_t {
-  Hello = 1,         // client -> server: string client name
-  HelloAck = 2,      // server -> client: string worker name
-  EvalRequest = 3,   // u64 request id + Genome
-  EvalResponse = 4,  // u64 request id + u8 ok + (EvalResult | string error)
-  Ping = 5,          // empty
-  Pong = 6,          // empty
-  Shutdown = 7,      // client asks the daemon to exit its accept loop
+  Hello = 1,             // client -> server: string client name [+ u16 max version]
+  HelloAck = 2,          // server -> client: string worker name [+ u16 negotiated version]
+  EvalRequest = 3,       // u64 request id + Genome
+  EvalResponse = 4,      // u64 request id + u8 ok + (EvalResult | string error)
+  Ping = 5,              // empty
+  Pong = 6,              // empty
+  Shutdown = 7,          // client asks the daemon to exit its accept loop
+  EvalBatchRequest = 8,  // v2: u64 batch id + u32 count + count Genomes
+  EvalBatchResponse = 9, // v2: u64 batch id + u32 count + count outcome slots
 };
 
 const char* to_string(MsgType type);
+
+/// Lowest protocol version that understands `type` — and the version its
+/// frame header carries, so old peers reject only the messages they cannot
+/// parse instead of the whole stream.
+std::uint16_t frame_version_for(MsgType type);
 
 // ---------------------------------------------------------------------------
 // Primitive encode/decode
@@ -122,6 +144,47 @@ void write_search_request(WireWriter& writer, const core::SearchRequest& request
 core::SearchRequest read_search_request(WireReader& reader);
 
 // ---------------------------------------------------------------------------
+// Batched evaluation (protocol v2)
+// ---------------------------------------------------------------------------
+
+/// One EvalBatchRequest frame: N genomes evaluated per network round-trip.
+struct EvalBatchRequest {
+  std::uint64_t batch_id = 0;
+  std::vector<evo::Genome> genomes;
+};
+
+/// One EvalBatchResponse frame: outcome slots in request order.  Per-item
+/// error slots mean one poisoned genome fails its own slot, not the batch.
+struct EvalBatchResponse {
+  std::uint64_t batch_id = 0;
+  std::vector<evo::EvalOutcome> items;
+};
+
+void write_eval_batch_request(WireWriter& writer, const EvalBatchRequest& request);
+EvalBatchRequest read_eval_batch_request(WireReader& reader);
+
+void write_eval_batch_response(WireWriter& writer, const EvalBatchResponse& response);
+EvalBatchResponse read_eval_batch_response(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Handshake payloads
+// ---------------------------------------------------------------------------
+
+/// Hello / HelloAck body: a display name plus the sender's maximum protocol
+/// version.  v1 peers send just the name; the reader treats a missing
+/// trailer as version 1, so both generations parse both encodings.
+struct HelloPayload {
+  std::string name;
+  std::uint16_t max_version = 1;
+};
+
+/// Omits the version trailer when `max_version == 1`, producing the exact
+/// v1 encoding (a v1 peer calls expect_end() after the name and would drop
+/// the connection over trailing bytes).
+void write_hello_payload(WireWriter& writer, const std::string& name, std::uint16_t max_version);
+HelloPayload read_hello_payload(WireReader& reader);
+
+// ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
@@ -130,15 +193,19 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Header + payload as one contiguous buffer ready for send().
+/// Header + payload as one contiguous buffer ready for send().  The header
+/// version is frame_version_for(type) — v1 messages stay byte-identical to
+/// the v1 encoder (the golden-fixture test pins this).
 std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint8_t>& payload);
 
 struct FrameHeader {
   MsgType type = MsgType::Ping;
+  std::uint16_t version = kMinProtocolVersion;
   std::uint32_t payload_size = 0;
 };
 
-/// Validates magic, version, known type, and the payload size cap.
+/// Validates magic, version (kMinProtocolVersion..kProtocolVersion), known
+/// type, and the payload size cap.
 /// `header` must point at kFrameHeaderBytes readable bytes.
 FrameHeader decode_frame_header(const std::uint8_t* header);
 

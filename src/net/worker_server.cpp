@@ -62,11 +62,15 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
   switch (frame.type) {
     case MsgType::Hello: {
       WireReader reader(frame.payload);
-      const std::string client = reader.get_string();
-      reader.expect_end();
-      util::Log(util::LogLevel::Debug, "net") << "hello from '" << client << "'";
+      const HelloPayload hello = read_hello_payload(reader);
+      connection->version = std::min(hello.max_version, options_.max_protocol);
+      util::Log(util::LogLevel::Debug, "net")
+          << "hello from '" << hello.name << "' (max v" << hello.max_version << "); speaking v"
+          << connection->version;
       WireWriter ack;
-      ack.put_string(worker_.name());
+      // A v1 ack (no trailer) for v1 connections: byte-identical to the v1
+      // encoder, so old clients never see bytes they would reject.
+      write_hello_payload(ack, worker_.name(), connection->version);
       send_frame(connection, MsgType::HelloAck, ack.bytes());
       return true;
     }
@@ -85,17 +89,14 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       evo::Genome genome = read_genome(reader);
       reader.expect_end();
       pool_->submit([this, connection, request_id, genome = std::move(genome)] {
+        const evo::EvalOutcome outcome = core::evaluate_outcome(worker_, genome);
         WireWriter response;
         response.put_u64(request_id);
-        try {
-          const evo::EvalResult result = worker_.evaluate(genome);
-          response.put_u8(1);
-          write_eval_result(response, result);
-        } catch (const std::exception& e) {
-          response = WireWriter();
-          response.put_u64(request_id);
-          response.put_u8(0);
-          response.put_string(e.what());
+        response.put_bool(outcome.ok);
+        if (outcome.ok) {
+          write_eval_result(response, outcome.result);
+        } else {
+          response.put_string(outcome.error);
         }
         // Count before writing: a client that already holds the response must
         // never observe a counter that excludes it.
@@ -109,14 +110,70 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       });
       return true;
     }
+    case MsgType::EvalBatchRequest: {
+      if (connection->version < 2) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "EvalBatchRequest on a v" << connection->version
+            << " connection; dropping connection";
+        return false;
+      }
+      handle_batch_request(connection, std::move(frame));
+      return true;
+    }
     case MsgType::HelloAck:
     case MsgType::Pong:
     case MsgType::EvalResponse:
+    case MsgType::EvalBatchResponse:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;
   }
   return false;
+}
+
+void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& connection,
+                                        Frame frame) {
+  WireReader reader(frame.payload);
+  EvalBatchRequest request = read_eval_batch_request(reader);
+  reader.expect_end();
+
+  // Shared by the batch's pool tasks: outcome slots are written by disjoint
+  // indices, `remaining` elects the task that streams the response frame.
+  struct BatchJob {
+    std::uint64_t batch_id = 0;
+    std::vector<evo::Genome> genomes;
+    std::vector<evo::EvalOutcome> outcomes;
+    std::atomic<std::size_t> remaining{0};
+  };
+  auto job = std::make_shared<BatchJob>();
+  job->batch_id = request.batch_id;
+  job->genomes = std::move(request.genomes);
+  job->outcomes.resize(job->genomes.size());
+  job->remaining.store(job->genomes.size(), std::memory_order_relaxed);
+
+  auto finish = [this, connection, job] {
+    EvalBatchResponse response;
+    response.batch_id = job->batch_id;
+    response.items = std::move(job->outcomes);
+    WireWriter writer;
+    write_eval_batch_response(writer, response);
+    requests_served_.fetch_add(response.items.size(), std::memory_order_relaxed);
+    try {
+      send_frame(connection, MsgType::EvalBatchResponse, writer.bytes());
+    } catch (const NetError& e) {
+      util::Log(util::LogLevel::Debug, "net") << "batch response dropped: " << e.what();
+    }
+  };
+  if (job->genomes.empty()) {  // degenerate but legal: answer immediately
+    finish();
+    return;
+  }
+  for (std::size_t i = 0; i < job->genomes.size(); ++i) {
+    pool_->submit([this, job, finish, i] {
+      job->outcomes[i] = core::evaluate_outcome(worker_, job->genomes[i]);
+      if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) finish();
+    });
+  }
 }
 
 void WorkerServer::run_loop() {

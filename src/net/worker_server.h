@@ -1,11 +1,14 @@
 // Evaluation daemon: wraps any core::Worker behind the wire protocol.
 //
 // Architecture (paper §III): remote Workers hold the expensive evaluation
-// machinery (training data, hardware models) and serve EvalRequest frames
-// from the Master.  One poll(2) event-loop thread owns the listener and all
-// connection reads; complete EvalRequest frames are dispatched to the
-// existing util::ThreadPool, so N in-flight requests — from one Master
-// connection or several — evaluate concurrently.  Responses are written from
+// machinery (training data, hardware models) and serve EvalRequest /
+// EvalBatchRequest frames from the Master.  One poll(2) event-loop thread
+// owns the listener and all connection reads; complete request frames are
+// dispatched to the existing util::ThreadPool, so N in-flight requests —
+// from one Master connection or several — evaluate concurrently.  A batch's
+// items each get their own pool task (they evaluate concurrently with each
+// other and with other requests); the last item to finish assembles and
+// streams the single EvalBatchResponse frame.  Responses are written from
 // pool threads under a per-connection mutex (frames stay whole on the wire).
 #pragma once
 
@@ -31,6 +34,9 @@ struct WorkerServerOptions {
   std::size_t threads = 0;
   /// Event-loop poll granularity (also bounds stop() latency).
   int poll_interval_ms = 50;
+  /// Highest protocol version offered during the handshake.  Pin to 1 to
+  /// serve as a v1-only worker (per-genome EvalRequest frames only).
+  std::uint16_t max_protocol = kProtocolVersion;
 };
 
 class WorkerServer {
@@ -56,8 +62,9 @@ class WorkerServer {
   std::uint16_t port() const { return port_; }
   const std::string& host() const { return options_.host; }
 
-  /// Total EvalRequests evaluated (counted before the response is written,
-  /// so a client holding a response always sees itself included).
+  /// Total candidate evaluations served — one per EvalRequest plus one per
+  /// EvalBatchRequest item (counted before the response is written, so a
+  /// client holding a response always sees itself included).
   std::size_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
 
  private:
@@ -66,11 +73,16 @@ class WorkerServer {
     std::vector<std::uint8_t> inbox;  // partial-frame reassembly buffer
     std::mutex write_mutex;           // serializes response frames
     std::atomic<bool> closed{false};
+    /// Negotiated protocol version; written on the loop thread during the
+    /// Hello exchange, and 1 until then — batch frames before (or without) a
+    /// v2 handshake are protocol violations and drop the connection.
+    std::uint16_t version = 1;
   };
 
   void run_loop();
   /// Returns false when the connection should be dropped.
   bool handle_frame(const std::shared_ptr<Connection>& connection, Frame frame);
+  void handle_batch_request(const std::shared_ptr<Connection>& connection, Frame frame);
   void send_frame(const std::shared_ptr<Connection>& connection, MsgType type,
                   const std::vector<std::uint8_t>& payload);
 

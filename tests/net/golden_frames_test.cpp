@@ -1,0 +1,216 @@
+// Wire-format compatibility guard (ISSUE 4 satellite): committed golden
+// frames under tests/net/golden/ pin the on-wire encoding.  If today's
+// encoders stop producing these exact bytes, or today's decoders stop
+// accepting them, the protocol silently drifted and a rolling-upgrade fleet
+// (v1 daemons + v2 master) would break — so the build fails instead.
+//
+// Regenerating (only after an *intentional*, version-gated format change):
+//     ECAD_REGEN_GOLDEN=1 ./ecad_net_tests --gtest_filter='Golden*'
+// then commit the rewritten fixtures with the change that justified them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "net/wire.h"
+
+#ifndef ECAD_NET_GOLDEN_DIR
+#error "ECAD_NET_GOLDEN_DIR must point at tests/net/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace ecad::net {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(ECAD_NET_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing golden fixture " << path
+                  << " (regenerate with ECAD_REGEN_GOLDEN=1)";
+    return {};
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("ECAD_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Encoder half of the guard: today's encoder must reproduce the committed
+/// bytes exactly.  In regen mode the fixture is rewritten first.
+void expect_matches_golden(const std::string& name, const std::vector<std::uint8_t>& encoded) {
+  if (regen_requested()) write_file(golden_path(name), encoded);
+  const std::vector<std::uint8_t> golden = read_file(golden_path(name));
+  ASSERT_EQ(encoded.size(), golden.size()) << name << ": frame size drifted";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(encoded[i], golden[i]) << name << ": byte " << i << " drifted";
+  }
+}
+
+// Fixed, fully-specified payload contents — never derived from defaults that
+// another change could move under us.
+evo::Genome golden_genome() {
+  evo::Genome genome;
+  genome.nna.hidden = {64, 32, 16};
+  genome.nna.activation = nn::Activation::ReLU;
+  genome.nna.use_bias = true;
+  genome.grid.rows = 8;
+  genome.grid.cols = 16;
+  genome.grid.vec_width = 4;
+  genome.grid.interleave_m = 2;
+  genome.grid.interleave_n = 32;
+  return genome;
+}
+
+evo::EvalResult golden_result() {
+  evo::EvalResult result;
+  result.accuracy = 0.875;
+  result.outputs_per_second = 123456.789;
+  result.latency_seconds = 0.0009765625;
+  result.potential_gflops = 512.0;
+  result.effective_gflops = 448.25;
+  result.hw_efficiency = 0.875048828125;
+  result.power_watts = 17.5;
+  result.fmax_mhz = 287.5;
+  result.parameters = 4242.0;
+  result.flops_per_sample = 8484.0;
+  result.eval_seconds = 1.25;
+  result.feasible = true;
+  return result;
+}
+
+TEST(GoldenFrames, HelloV1) {
+  WireWriter payload;
+  payload.put_string("ecad-master");
+  expect_matches_golden("hello_v1.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
+TEST(GoldenFrames, HelloAckV1) {
+  WireWriter payload;
+  payload.put_string("analytic");
+  expect_matches_golden("hello_ack_v1.bin", encode_frame(MsgType::HelloAck, payload.bytes()));
+}
+
+TEST(GoldenFrames, ControlFramesV1) {
+  expect_matches_golden("ping_v1.bin", encode_frame(MsgType::Ping, {}));
+  expect_matches_golden("pong_v1.bin", encode_frame(MsgType::Pong, {}));
+  expect_matches_golden("shutdown_v1.bin", encode_frame(MsgType::Shutdown, {}));
+}
+
+TEST(GoldenFrames, EvalRequestV1EncodesAndDecodes) {
+  WireWriter payload;
+  payload.put_u64(7);
+  write_genome(payload, golden_genome());
+  expect_matches_golden("eval_request_v1.bin", encode_frame(MsgType::EvalRequest, payload.bytes()));
+
+  // Decoder half: the committed frame must still be accepted and must still
+  // mean what it meant.
+  const std::vector<std::uint8_t> golden = read_file(golden_path("eval_request_v1.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::EvalRequest);
+  EXPECT_EQ(header.version, 1);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  EXPECT_EQ(reader.get_u64(), 7u);
+  EXPECT_EQ(read_genome(reader), golden_genome());
+  reader.expect_end();
+}
+
+TEST(GoldenFrames, EvalResponseOkV1EncodesAndDecodes) {
+  WireWriter payload;
+  payload.put_u64(7);
+  payload.put_u8(1);
+  write_eval_result(payload, golden_result());
+  expect_matches_golden("eval_response_ok_v1.bin",
+                        encode_frame(MsgType::EvalResponse, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("eval_response_ok_v1.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::EvalResponse);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  EXPECT_EQ(reader.get_u64(), 7u);
+  EXPECT_EQ(reader.get_u8(), 1);
+  const evo::EvalResult decoded = read_eval_result(reader);
+  reader.expect_end();
+  const evo::EvalResult expected = golden_result();
+  EXPECT_EQ(decoded.accuracy, expected.accuracy);
+  EXPECT_EQ(decoded.outputs_per_second, expected.outputs_per_second);
+  EXPECT_EQ(decoded.eval_seconds, expected.eval_seconds);
+  EXPECT_EQ(decoded.feasible, expected.feasible);
+}
+
+TEST(GoldenFrames, EvalResponseErrorV1) {
+  WireWriter payload;
+  payload.put_u64(9);
+  payload.put_u8(0);
+  payload.put_string("cannot evaluate genome");
+  expect_matches_golden("eval_response_err_v1.bin",
+                        encode_frame(MsgType::EvalResponse, payload.bytes()));
+}
+
+// The v2 fixtures pin the new generation's encoding from day one, so v2
+// itself cannot drift silently either.
+TEST(GoldenFrames, EvalBatchRequestV2EncodesAndDecodes) {
+  EvalBatchRequest request;
+  request.batch_id = 11;
+  request.genomes = {golden_genome(), golden_genome()};
+  request.genomes[1].nna.hidden = {128};
+  request.genomes[1].nna.use_bias = false;
+  WireWriter payload;
+  write_eval_batch_request(payload, request);
+  expect_matches_golden("eval_batch_request_v2.bin",
+                        encode_frame(MsgType::EvalBatchRequest, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("eval_batch_request_v2.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::EvalBatchRequest);
+  EXPECT_EQ(header.version, 2);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const EvalBatchRequest decoded = read_eval_batch_request(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.batch_id, 11u);
+  ASSERT_EQ(decoded.genomes.size(), 2u);
+  EXPECT_EQ(decoded.genomes[0], request.genomes[0]);
+  EXPECT_EQ(decoded.genomes[1], request.genomes[1]);
+}
+
+TEST(GoldenFrames, EvalBatchResponseV2) {
+  EvalBatchResponse response;
+  response.batch_id = 11;
+  evo::EvalOutcome ok;
+  ok.ok = true;
+  ok.result = golden_result();
+  evo::EvalOutcome failed;
+  failed.ok = false;
+  failed.error = "cannot evaluate genome";
+  response.items = {ok, failed};
+  WireWriter payload;
+  write_eval_batch_response(payload, response);
+  expect_matches_golden("eval_batch_response_v2.bin",
+                        encode_frame(MsgType::EvalBatchResponse, payload.bytes()));
+}
+
+TEST(GoldenFrames, HelloV2WithVersionTrailer) {
+  WireWriter payload;
+  write_hello_payload(payload, "ecad-master", 2);
+  expect_matches_golden("hello_v2.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
+}  // namespace
+}  // namespace ecad::net

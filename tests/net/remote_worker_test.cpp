@@ -10,10 +10,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/master.h"
 #include "net/worker_server.h"
+#include "util/thread_pool.h"
 
 namespace ecad::net {
 namespace {
@@ -278,6 +281,395 @@ TEST(WorkerServer, PeerShutdownFrameStopsServerAndTeardownIsClean) {
   // still join the loop thread — skipping it terminates the process.
   server->stop();
   server.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Batched evaluation (protocol v2)
+// ---------------------------------------------------------------------------
+
+TEST(RemoteWorkerBatch, BatchOutcomesMatchOracleAndUseBatchFrames) {
+  const AnalyticWorker worker;
+  WorkerServer server_a(worker);
+  WorkerServer server_b(worker);
+  server_a.start();
+  server_b.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server_a.port()}, {"127.0.0.1", server_b.port()}};
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(4);
+
+  std::vector<evo::Genome> genomes;
+  for (std::size_t i = 0; i < 12; ++i) {
+    evo::Genome genome;
+    genome.nna.hidden = {16 + 8 * i, 8};
+    genomes.push_back(genome);
+  }
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  const AnalyticWorker oracle;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "item " << i << ": " << outcomes[i].error;
+    EXPECT_TRUE(results_identical(outcomes[i].result, oracle.evaluate(genomes[i]))) << "item " << i;
+  }
+  // The 12 items travelled in (at most) one batch frame per endpoint, not 12
+  // per-genome round-trips; both endpoints took a proportional share.
+  EXPECT_EQ(remote.remote_evaluations(), genomes.size());
+  EXPECT_GE(remote.batches_dispatched(), 1u);
+  EXPECT_LE(remote.batches_dispatched(), 2u);
+  EXPECT_GT(server_a.requests_served(), 0u);
+  EXPECT_GT(server_b.requests_served(), 0u);
+  EXPECT_EQ(server_a.requests_served() + server_b.requests_served(), genomes.size());
+
+  server_a.stop();
+  server_b.stop();
+}
+
+TEST(RemoteWorkerBatch, PoisonedGenomeFailsItsSlotNotTheBatch) {
+  // A worker that throws on genomes with an empty hidden list.
+  class PartiallyThrowingWorker final : public core::Worker {
+   public:
+    std::string name() const override { return "partial"; }
+    evo::EvalResult evaluate(const evo::Genome& genome) const override {
+      if (genome.nna.hidden.empty()) {
+        throw std::runtime_error("cannot evaluate " + genome.key());
+      }
+      evo::EvalResult result;
+      result.accuracy = 0.5 + 0.001 * static_cast<double>(genome.nna.hidden[0]);
+      return result;
+    }
+  };
+  const PartiallyThrowingWorker worker;
+  WorkerServer server(worker);
+  server.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server.port()}};
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(2);
+
+  std::vector<evo::Genome> genomes(3);
+  genomes[0].nna.hidden = {8};
+  genomes[1].nna.hidden = {};  // poisoned
+  genomes[2].nna.hidden = {16};
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_NE(outcomes[1].error.find("remote evaluation failed"), std::string::npos);
+  EXPECT_NE(outcomes[1].error.find("cannot evaluate"), std::string::npos);
+  EXPECT_TRUE(outcomes[2].ok);
+  server.stop();
+}
+
+TEST(RemoteWorkerBatch, EndpointDeathMidBatchReshardsWithoutLossOrDuplication) {
+  const AnalyticWorker worker(/*delay_ms=*/15);
+  WorkerServer server_a(worker);
+  WorkerServer server_b(worker);
+  server_a.start();
+  server_b.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server_a.port()}, {"127.0.0.1", server_b.port()}};
+  options.heartbeat_interval_ms = 0;  // keep the dead endpoint dead for this test
+  options.endpoint_cooldown_ms = 60000;
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(4);
+
+  std::vector<evo::Genome> genomes;
+  for (std::size_t i = 0; i < 10; ++i) {
+    evo::Genome genome;
+    genome.nna.hidden = {8 + 4 * i};
+    genomes.push_back(genome);
+  }
+
+  // Kill endpoint B while its shard is almost certainly still evaluating.
+  std::thread assassin([&server_b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server_b.stop();
+  });
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+  assassin.join();
+
+  // Every slot settled exactly once with the oracle value: B's unfinished
+  // share was re-sharded onto A, nothing was lost or answered twice.
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  const AnalyticWorker oracle;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "item " << i << ": " << outcomes[i].error;
+    EXPECT_TRUE(results_identical(outcomes[i].result, oracle.evaluate(genomes[i]))) << "item " << i;
+  }
+  EXPECT_EQ(remote.remote_evaluations(), genomes.size());
+  server_a.stop();
+}
+
+TEST(RemoteWorkerBatch, FallsBackToLocalWhenNothingIsReachable) {
+  std::uint16_t dead_port = 0;
+  {
+    Listener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  const AnalyticWorker local_worker;
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", dead_port}};
+  options.connect_timeout_ms = 200;
+  options.fallback = &local_worker;
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(2);
+
+  std::vector<evo::Genome> genomes(4);
+  for (std::size_t i = 0; i < genomes.size(); ++i) genomes[i].nna.hidden = {8 + i};
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok);
+    EXPECT_TRUE(results_identical(outcomes[i].result, local_worker.evaluate(genomes[i])));
+  }
+  EXPECT_EQ(remote.fallback_evaluations(), genomes.size());
+  EXPECT_EQ(remote.remote_evaluations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Version negotiation
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolNegotiation, V2MasterInteroperatesWithV1PinnedWorker) {
+  const AnalyticWorker worker;
+  WorkerServerOptions server_options;
+  server_options.max_protocol = 1;  // the daemon refuses to speak v2
+  WorkerServer server(worker, server_options);
+  server.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server.port()}};
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(2);
+
+  std::vector<evo::Genome> genomes(5);
+  for (std::size_t i = 0; i < genomes.size(); ++i) genomes[i].nna.hidden = {8 + 8 * i};
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+
+  const AnalyticWorker oracle;
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_TRUE(results_identical(outcomes[i].result, oracle.evaluate(genomes[i])));
+  }
+  // The shard degraded to per-genome EvalRequest frames: no batch frames on
+  // the wire, yet every item was still served by the v1 daemon.
+  EXPECT_EQ(remote.batches_dispatched(), 0u);
+  EXPECT_EQ(server.requests_served(), genomes.size());
+  server.stop();
+}
+
+TEST(ProtocolNegotiation, V1PinnedMasterAgainstV2Worker) {
+  const AnalyticWorker worker;
+  WorkerServer server(worker);
+  server.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server.port()}};
+  options.max_protocol = 1;
+  const RemoteWorker remote(options);
+  util::ThreadPool pool(2);
+
+  std::vector<evo::Genome> genomes(3);
+  for (std::size_t i = 0; i < genomes.size(); ++i) genomes[i].nna.hidden = {8 + i};
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+  for (const evo::EvalOutcome& outcome : outcomes) ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(remote.batches_dispatched(), 0u);
+  server.stop();
+}
+
+// A faithful imitation of the PR-3 era daemon: parses Hello as exactly a
+// string and drops the connection on trailing bytes, answers EvalRequest
+// only.  Exercises the v2 master's downgrade retry against a peer that
+// predates version negotiation entirely.
+class LegacyV1Server {
+ public:
+  explicit LegacyV1Server(const core::Worker& worker)
+      : worker_(worker), listener_("127.0.0.1", 0) {
+    thread_ = std::thread([this] { serve(); });
+  }
+  ~LegacyV1Server() {
+    // Join before the listener dies: serve() polls stop_ every accept
+    // timeout, and closing the fd under a live accept() would race.
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+  std::uint16_t port() const { return listener_.port(); }
+  std::size_t dropped_hellos() const { return dropped_hellos_.load(); }
+  std::size_t served() const { return served_.load(); }
+
+ private:
+  void serve() {
+    while (!stop_.load()) {
+      std::optional<Socket> accepted;
+      try {
+        accepted = listener_.accept(50);
+      } catch (const NetError&) {
+        return;  // listener closed
+      }
+      if (!accepted) continue;
+      handle(*accepted);
+    }
+  }
+
+  void handle(Socket& socket) {
+    try {
+      for (;;) {
+        std::uint8_t header[kFrameHeaderBytes];
+        socket.recv_exact(header, sizeof(header), 2000);
+        const FrameHeader decoded = decode_frame_header(header);
+        // The old daemon only knew version 1; reject v2-framed messages.
+        if (decoded.version != 1) return;
+        std::vector<std::uint8_t> payload(decoded.payload_size);
+        if (!payload.empty()) socket.recv_exact(payload.data(), payload.size(), 2000);
+        WireReader reader(payload.data(), payload.size());
+        switch (decoded.type) {
+          case MsgType::Hello: {
+            reader.get_string();
+            reader.expect_end();  // v1 semantics: trailing bytes drop the peer
+            WireWriter ack;
+            ack.put_string("legacy");
+            const auto frame = encode_frame(MsgType::HelloAck, ack.bytes());
+            socket.send_all(frame.data(), frame.size());
+            break;
+          }
+          case MsgType::EvalRequest: {
+            const std::uint64_t id = reader.get_u64();
+            const evo::Genome genome = read_genome(reader);
+            reader.expect_end();
+            WireWriter response;
+            response.put_u64(id);
+            response.put_u8(1);
+            write_eval_result(response, worker_.evaluate(genome));
+            const auto frame = encode_frame(MsgType::EvalResponse, response.bytes());
+            served_.fetch_add(1);  // count before writing, like the real server
+            socket.send_all(frame.data(), frame.size());
+            break;
+          }
+          case MsgType::Ping: {
+            const auto frame = encode_frame(MsgType::Pong, {});
+            socket.send_all(frame.data(), frame.size());
+            break;
+          }
+          default:
+            return;
+        }
+      }
+    } catch (const WireError&) {
+      dropped_hellos_.fetch_add(1);  // the trailing-bytes path lands here
+    } catch (const NetError&) {
+      // peer went away
+    }
+  }
+
+  const core::Worker& worker_;
+  Listener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> dropped_hellos_{0};
+  std::atomic<std::size_t> served_{0};
+};
+
+TEST(ProtocolNegotiation, DowngradeRetryReachesATrailerIntolerantV1Peer) {
+  const AnalyticWorker worker;
+  LegacyV1Server legacy(worker);
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", legacy.port()}};
+  const RemoteWorker remote(options);  // offers v2 by default
+  util::ThreadPool pool(2);
+
+  std::vector<evo::Genome> genomes(4);
+  for (std::size_t i = 0; i < genomes.size(); ++i) genomes[i].nna.hidden = {8 + 2 * i};
+  const std::vector<evo::EvalOutcome> outcomes = remote.evaluate_batch(genomes, pool);
+
+  const AnalyticWorker oracle;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_TRUE(results_identical(outcomes[i].result, oracle.evaluate(genomes[i])));
+  }
+  // The legacy peer dropped the v2 Hello at least once, the client retried
+  // as v1 on a fresh connection, and no batch frame ever hit the wire.
+  EXPECT_GE(legacy.dropped_hellos(), 1u);
+  EXPECT_EQ(legacy.served(), genomes.size());
+  EXPECT_EQ(remote.batches_dispatched(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+TEST(Heartbeat, RevivedEndpointRejoinsViaPingWithoutAnEvaluation) {
+  const AnalyticWorker worker;
+  const std::uint16_t port = [] {
+    Listener listener("127.0.0.1", 0);
+    return listener.port();
+  }();
+
+  auto server = std::make_unique<WorkerServer>(worker, WorkerServerOptions{"127.0.0.1", port});
+  server->start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", port}};
+  options.connect_timeout_ms = 200;
+  options.endpoint_cooldown_ms = 50;  // would expire almost immediately...
+  options.heartbeat_interval_ms = 40;  // ...but heartbeats gate revival on a real Pong
+  const RemoteWorker remote(options);
+
+  ASSERT_TRUE(results_identical(remote.evaluate(test_genome()), worker.evaluate(test_genome())));
+  EXPECT_EQ(remote.healthy_endpoints(), 1u);
+
+  // Kill the daemon and provoke a failure so the endpoint is sidelined.
+  server->stop();
+  server.reset();
+  EXPECT_THROW(remote.evaluate(test_genome()), NetError);
+  EXPECT_EQ(remote.healthy_endpoints(), 0u);
+
+  // With the daemon still dead the endpoint must STAY sidelined well past
+  // the cooldown window: revival is ping-gated, not timer-gated.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(remote.healthy_endpoints(), 0u);
+  EXPECT_EQ(remote.heartbeat_rejoins(), 0u);
+
+  // Revive the daemon on the same port; the heartbeat thread's Ping — not an
+  // evaluation, none happens here — must bring the endpoint back.
+  WorkerServer revived(worker, WorkerServerOptions{"127.0.0.1", port});
+  revived.start();
+  bool rejoined = false;
+  for (int i = 0; i < 100 && !rejoined; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rejoined = remote.healthy_endpoints() == 1;
+  }
+  EXPECT_TRUE(rejoined);
+  EXPECT_GE(remote.heartbeat_rejoins(), 1u);
+
+  // And the pool is immediately usable again.
+  EXPECT_TRUE(results_identical(remote.evaluate(test_genome()), worker.evaluate(test_genome())));
+  revived.stop();
+}
+
+TEST(Heartbeat, DisabledHeartbeatFallsBackToCooldownExpiry) {
+  const AnalyticWorker worker;
+  WorkerServer server(worker);
+  server.start();
+
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", server.port()}};
+  options.heartbeat_interval_ms = 0;
+  options.endpoint_cooldown_ms = 30;
+  const RemoteWorker remote(options);
+  // Sideline the endpoint artificially by evaluating against a stopped
+  // server, then check the cooldown lets it back in.
+  server.stop();
+  EXPECT_THROW(remote.evaluate(test_genome()), NetError);
+  EXPECT_EQ(remote.healthy_endpoints(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(remote.healthy_endpoints(), 1u);  // timer-gated revival (v1 behavior)
 }
 
 TEST(WorkerServer, StopIsIdempotentAndRestartable) {

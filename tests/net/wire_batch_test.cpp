@@ -1,0 +1,283 @@
+// Protocol v2 batch messages (ISSUE 4 satellite): randomized round-trips
+// over EvalBatchRequest / EvalBatchResponse, truncation and corruption
+// rejection, frame-version rules, and the version-tolerant Hello payloads.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace ecad::net {
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+evo::EvalResult random_result(util::Rng& rng) {
+  evo::EvalResult result;
+  double* fields[] = {&result.accuracy,         &result.outputs_per_second,
+                      &result.latency_seconds,  &result.potential_gflops,
+                      &result.effective_gflops, &result.hw_efficiency,
+                      &result.power_watts,      &result.fmax_mhz,
+                      &result.parameters,       &result.flops_per_sample,
+                      &result.eval_seconds};
+  for (double* field : fields) {
+    const std::uint64_t pattern = rng();
+    std::memcpy(field, &pattern, sizeof(double));
+  }
+  result.feasible = rng.next_bool(0.5);
+  return result;
+}
+
+void expect_result_bit_equal(const evo::EvalResult& a, const evo::EvalResult& b) {
+  EXPECT_EQ(bits_of(a.accuracy), bits_of(b.accuracy));
+  EXPECT_EQ(bits_of(a.outputs_per_second), bits_of(b.outputs_per_second));
+  EXPECT_EQ(bits_of(a.latency_seconds), bits_of(b.latency_seconds));
+  EXPECT_EQ(bits_of(a.potential_gflops), bits_of(b.potential_gflops));
+  EXPECT_EQ(bits_of(a.effective_gflops), bits_of(b.effective_gflops));
+  EXPECT_EQ(bits_of(a.hw_efficiency), bits_of(b.hw_efficiency));
+  EXPECT_EQ(bits_of(a.power_watts), bits_of(b.power_watts));
+  EXPECT_EQ(bits_of(a.fmax_mhz), bits_of(b.fmax_mhz));
+  EXPECT_EQ(bits_of(a.parameters), bits_of(b.parameters));
+  EXPECT_EQ(bits_of(a.flops_per_sample), bits_of(b.flops_per_sample));
+  EXPECT_EQ(bits_of(a.eval_seconds), bits_of(b.eval_seconds));
+  EXPECT_EQ(a.feasible, b.feasible);
+}
+
+TEST(WireBatchRequest, RandomizedRoundTripIsExact) {
+  evo::SearchSpace space;
+  util::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    EvalBatchRequest request;
+    request.batch_id = rng();
+    const std::size_t count = rng.next_index(17);  // 0..16, empty included
+    for (std::size_t i = 0; i < count; ++i) {
+      request.genomes.push_back(evo::random_genome(space, rng));
+    }
+
+    WireWriter writer;
+    write_eval_batch_request(writer, request);
+    WireReader reader(writer.bytes());
+    const EvalBatchRequest decoded = read_eval_batch_request(reader);
+    reader.expect_end();
+
+    EXPECT_EQ(decoded.batch_id, request.batch_id);
+    ASSERT_EQ(decoded.genomes.size(), request.genomes.size());
+    for (std::size_t i = 0; i < request.genomes.size(); ++i) {
+      EXPECT_EQ(decoded.genomes[i], request.genomes[i]) << "item " << i;
+    }
+  }
+}
+
+TEST(WireBatchResponse, RandomizedRoundTripIsBitExact) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    EvalBatchResponse response;
+    response.batch_id = rng();
+    const std::size_t count = rng.next_index(17);
+    for (std::size_t i = 0; i < count; ++i) {
+      evo::EvalOutcome item;
+      item.ok = rng.next_bool(0.7);
+      if (item.ok) {
+        item.result = random_result(rng);
+      } else {
+        item.error = "evaluation failed on item " + std::to_string(i);
+      }
+      response.items.push_back(std::move(item));
+    }
+
+    WireWriter writer;
+    write_eval_batch_response(writer, response);
+    WireReader reader(writer.bytes());
+    const EvalBatchResponse decoded = read_eval_batch_response(reader);
+    reader.expect_end();
+
+    EXPECT_EQ(decoded.batch_id, response.batch_id);
+    ASSERT_EQ(decoded.items.size(), response.items.size());
+    for (std::size_t i = 0; i < response.items.size(); ++i) {
+      EXPECT_EQ(decoded.items[i].ok, response.items[i].ok) << "item " << i;
+      if (response.items[i].ok) {
+        expect_result_bit_equal(decoded.items[i].result, response.items[i].result);
+      } else {
+        EXPECT_EQ(decoded.items[i].error, response.items[i].error) << "item " << i;
+      }
+    }
+  }
+}
+
+TEST(WireBatchRequest, TruncationAlwaysThrows) {
+  evo::SearchSpace space;
+  util::Rng rng(31);
+  EvalBatchRequest request;
+  request.batch_id = 77;
+  for (int i = 0; i < 3; ++i) request.genomes.push_back(evo::random_genome(space, rng));
+  WireWriter writer;
+  write_eval_batch_request(writer, request);
+  const auto& bytes = writer.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireReader reader(bytes.data(), cut);
+    EXPECT_THROW(
+        {
+          EvalBatchRequest decoded = read_eval_batch_request(reader);
+          reader.expect_end();
+          (void)decoded;
+        },
+        WireError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireBatchResponse, TruncationAlwaysThrows) {
+  util::Rng rng(37);
+  EvalBatchResponse response;
+  response.batch_id = 99;
+  for (int i = 0; i < 3; ++i) {
+    evo::EvalOutcome item;
+    item.ok = (i != 1);
+    if (item.ok) {
+      item.result = random_result(rng);
+    } else {
+      item.error = "poisoned genome";
+    }
+    response.items.push_back(std::move(item));
+  }
+  WireWriter writer;
+  write_eval_batch_response(writer, response);
+  const auto& bytes = writer.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireReader reader(bytes.data(), cut);
+    EXPECT_THROW(
+        {
+          EvalBatchResponse decoded = read_eval_batch_response(reader);
+          reader.expect_end();
+          (void)decoded;
+        },
+        WireError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireBatchRequest, HostileCountsAreRejectedBeforeAllocation) {
+  WireWriter writer;
+  writer.put_u64(1);                    // batch id
+  writer.put_u32(kMaxBatchItems + 1);   // count over the cap
+  WireReader reader(writer.bytes());
+  EXPECT_THROW(read_eval_batch_request(reader), WireError);
+
+  WireWriter response;
+  response.put_u64(1);
+  response.put_u32(0xFFFFFFFFu);
+  WireReader response_reader(response.bytes());
+  EXPECT_THROW(read_eval_batch_response(response_reader), WireError);
+}
+
+TEST(WireBatchRequest, CountBeyondPayloadIsRejected) {
+  // A plausible count with no genomes behind it must throw, not overread.
+  WireWriter writer;
+  writer.put_u64(5);
+  writer.put_u32(64);
+  WireReader reader(writer.bytes());
+  EXPECT_THROW(read_eval_batch_request(reader), WireError);
+}
+
+TEST(WireBatchResponse, CorruptedOkFlagStillParsesSafely) {
+  // Flip an ok byte from 1 to 0: the following EvalResult bytes get
+  // reinterpreted as a string length, which must either parse as a string or
+  // throw WireError — never read out of bounds (ASan guards the rest).
+  util::Rng rng(41);
+  EvalBatchResponse response;
+  response.batch_id = 3;
+  evo::EvalOutcome item;
+  item.ok = true;
+  item.result = random_result(rng);
+  response.items.push_back(item);
+  WireWriter writer;
+  write_eval_batch_response(writer, response);
+  std::vector<std::uint8_t> bytes = writer.bytes();
+  bytes[8 + 4] = 0;  // the first item's ok flag sits after u64 id + u32 count
+  WireReader reader(bytes.data(), bytes.size());
+  try {
+    const EvalBatchResponse decoded = read_eval_batch_response(reader);
+    reader.expect_end();
+    EXPECT_FALSE(decoded.items.at(0).ok);
+  } catch (const WireError&) {
+    // equally acceptable
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame versioning
+// ---------------------------------------------------------------------------
+
+TEST(WireFrameVersion, BatchFramesCarryVersion2AndOthersVersion1) {
+  const std::vector<std::uint8_t> batch = encode_frame(MsgType::EvalBatchRequest, {});
+  EXPECT_EQ(batch[4], 2);  // version low byte
+  EXPECT_EQ(batch[5], 0);
+  const FrameHeader batch_header = decode_frame_header(batch.data());
+  EXPECT_EQ(batch_header.version, 2);
+
+  // v1 messages must keep the v1 header byte-for-byte: a v1-only peer
+  // rejects exactly the frames it cannot parse, nothing else.
+  for (MsgType type : {MsgType::Hello, MsgType::HelloAck, MsgType::EvalRequest,
+                       MsgType::EvalResponse, MsgType::Ping, MsgType::Pong, MsgType::Shutdown}) {
+    const std::vector<std::uint8_t> frame = encode_frame(type, {});
+    EXPECT_EQ(frame[4], 1) << to_string(type);
+    EXPECT_EQ(frame[5], 0) << to_string(type);
+    EXPECT_EQ(decode_frame_header(frame.data()).version, 1) << to_string(type);
+  }
+}
+
+TEST(WireFrameVersion, UnsupportedVersionsAreRejected) {
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::Ping, {});
+  frame[4] = 0;  // below kMinProtocolVersion
+  EXPECT_THROW(decode_frame_header(frame.data()), WireError);
+  frame[4] = static_cast<std::uint8_t>(kProtocolVersion + 1);
+  EXPECT_THROW(decode_frame_header(frame.data()), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Hello payloads
+// ---------------------------------------------------------------------------
+
+TEST(WireHello, V1PayloadWithoutTrailerReadsAsVersion1) {
+  WireWriter writer;
+  writer.put_string("ecad-master");  // the exact v1 encoding
+  WireReader reader(writer.bytes());
+  const HelloPayload hello = read_hello_payload(reader);
+  EXPECT_EQ(hello.name, "ecad-master");
+  EXPECT_EQ(hello.max_version, 1);
+}
+
+TEST(WireHello, V2PayloadRoundTripsAndV1EncodingIsTrailerFree) {
+  WireWriter v2;
+  write_hello_payload(v2, "worker", 2);
+  WireReader v2_reader(v2.bytes());
+  const HelloPayload decoded = read_hello_payload(v2_reader);
+  EXPECT_EQ(decoded.name, "worker");
+  EXPECT_EQ(decoded.max_version, 2);
+
+  // Pinned to 1, the writer must produce the v1 bytes exactly — old peers
+  // call expect_end() after the name and would drop anything extra.
+  WireWriter v1;
+  write_hello_payload(v1, "worker", 1);
+  WireWriter reference;
+  reference.put_string("worker");
+  EXPECT_EQ(v1.bytes(), reference.bytes());
+}
+
+TEST(WireHello, TrailingGarbageIsRejected) {
+  WireWriter writer;
+  writer.put_string("worker");
+  writer.put_u16(2);
+  writer.put_u8(0xEE);  // 3 trailing bytes: u16 version + 1 garbage byte
+  WireReader reader(writer.bytes());
+  EXPECT_THROW(read_hello_payload(reader), WireError);
+}
+
+}  // namespace
+}  // namespace ecad::net

@@ -8,11 +8,13 @@
 // smoke test asserts.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/worker.h"
@@ -69,12 +71,19 @@ class ArgParser {
 
 /// Deterministic closed-form worker — no dataset, evaluations cost
 /// microseconds.  The CI smoke job uses it so the loopback test exercises
-/// the *network* subsystem, not MLP training time.
+/// the *network* subsystem, not MLP training time.  `delay_ms` stretches
+/// each evaluation without touching its result, so the smoke matrix can
+/// keep a search in flight long enough to kill and revive daemons under it.
 class AnalyticWorker final : public core::Worker {
  public:
+  explicit AnalyticWorker(int delay_ms = 0) : delay_ms_(delay_ms) {}
+
   std::string name() const override { return "analytic"; }
 
   evo::EvalResult evaluate(const evo::Genome& genome) const override {
+    if (delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    }
     evo::EvalResult result;
     double capacity = 0.0;
     for (std::size_t width : genome.nna.hidden) capacity += static_cast<double>(width);
@@ -90,6 +99,9 @@ class AnalyticWorker final : public core::Worker {
     result.feasible = dsp <= 8192.0;
     return result;
   }
+
+ private:
+  int delay_ms_ = 0;
 };
 
 struct WorkerConfig {
@@ -100,6 +112,9 @@ struct WorkerConfig {
   std::size_t data_classes = 3;
   std::size_t train_epochs = 5;
   std::uint64_t eval_seed = 42;
+  /// Artificial per-evaluation delay (analytic worker only). Never affects
+  /// results, so it does not participate in the determinism contract.
+  int eval_delay_ms = 0;
 };
 
 inline WorkerConfig worker_config_from_args(const ArgParser& args) {
@@ -111,6 +126,7 @@ inline WorkerConfig worker_config_from_args(const ArgParser& args) {
   config.data_classes = static_cast<std::size_t>(args.get_int("data-classes", 3));
   config.train_epochs = static_cast<std::size_t>(args.get_int("train-epochs", 5));
   config.eval_seed = static_cast<std::uint64_t>(args.get_int("eval-seed", 42));
+  config.eval_delay_ms = static_cast<int>(args.get_int("eval-delay-ms", 0));
   return config;
 }
 
@@ -123,7 +139,7 @@ struct WorkerBundle {
 inline WorkerBundle make_worker(const WorkerConfig& config) {
   WorkerBundle bundle;
   if (config.kind == "analytic") {
-    bundle.worker = std::make_unique<AnalyticWorker>();
+    bundle.worker = std::make_unique<AnalyticWorker>(config.eval_delay_ms);
     return bundle;
   }
   if (config.kind != "accuracy" && config.kind != "hwdb") {

@@ -35,6 +35,10 @@ void print_usage() {
       "  --threads N       Master dispatch threads (default 2)\n"
       "  --no-hw-search    freeze the hardware half of the genome\n"
       "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 2);\n"
+      "                    1 forces unbatched per-genome EvalRequest exchanges\n"
+      "  --heartbeat-ms N  background ping period for sidelined endpoints\n"
+      "                    (default 250; 0 disables heartbeats)\n"
       "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
       "                    (must match the daemons' flags for bit-exact results)\n"
       "  --log-level L     trace|debug|info|warn|error|off\n";
@@ -100,6 +104,15 @@ int main(int argc, char** argv) {
       options.endpoints = endpoints;
       options.request_timeout_ms =
           static_cast<int>(args.get_int("request-timeout-ms", 120000));
+      const long long max_protocol = args.get_int("max-protocol", net::kProtocolVersion);
+      if (max_protocol < net::kMinProtocolVersion || max_protocol > net::kProtocolVersion) {
+        throw std::invalid_argument("--max-protocol " + std::to_string(max_protocol) +
+                                    " out of range (" +
+                                    std::to_string(net::kMinProtocolVersion) + "-" +
+                                    std::to_string(net::kProtocolVersion) + ")");
+      }
+      options.max_protocol = static_cast<std::uint16_t>(max_protocol);
+      options.heartbeat_interval_ms = static_cast<int>(args.get_int("heartbeat-ms", 250));
       if (args.get_flag("fallback-local")) options.fallback = bundle.worker.get();
       remote = std::make_unique<net::RemoteWorker>(std::move(options));
       worker = remote.get();
@@ -124,8 +137,10 @@ int main(int argc, char** argv) {
 
     util::Log(util::LogLevel::Info, "searchd")
         << "search finished in " << result.stats.wall_seconds << "s ("
-        << (remote ? "remote: " + std::to_string(remote->remote_evaluations()) + " remote, " +
-                         std::to_string(remote->fallback_evaluations()) + " fallback"
+        << (remote ? "remote: " + std::to_string(remote->remote_evaluations()) + " remote in " +
+                         std::to_string(remote->batches_dispatched()) + " batch frames, " +
+                         std::to_string(remote->fallback_evaluations()) + " fallback, " +
+                         std::to_string(remote->heartbeat_rejoins()) + " heartbeat rejoins"
                    : std::string("local evaluation"))
         << ")";
 

@@ -29,6 +29,9 @@ void print_usage() {
       "  --port P          TCP port; 0 = ephemeral (default 0)\n"
       "  --threads N       evaluation threads; 0 = hardware concurrency\n"
       "  --worker KIND     analytic | accuracy | hwdb (default analytic)\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 2);\n"
+      "                    1 pins the daemon to per-genome EvalRequest frames\n"
+      "  --eval-delay-ms N artificial per-evaluation delay (analytic only)\n"
       "  --data-seed S     synthetic dataset seed (accuracy/hwdb)\n"
       "  --data-samples N  synthetic dataset size (default 600)\n"
       "  --data-features N feature count (default 16)\n"
@@ -64,6 +67,13 @@ int main(int argc, char** argv) {
     }
     options.port = static_cast<std::uint16_t>(port);
     options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    const long long max_protocol = args.get_int("max-protocol", net::kProtocolVersion);
+    if (max_protocol < net::kMinProtocolVersion || max_protocol > net::kProtocolVersion) {
+      throw std::invalid_argument("--max-protocol " + std::to_string(max_protocol) +
+                                  " out of range (" + std::to_string(net::kMinProtocolVersion) +
+                                  "-" + std::to_string(net::kProtocolVersion) + ")");
+    }
+    options.max_protocol = static_cast<std::uint16_t>(max_protocol);
 
     net::WorkerServer server(*bundle.worker, options);
     server.start();
