@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # Loopback integration matrix for the distributed evaluation service
-# (ISSUE 4 acceptance): start ecad_workerd daemons on 127.0.0.1 and prove,
-# for one seeded search, that every wire configuration produces stdout
-# byte-identical to the in-process reference:
+# (ISSUE 4 + ISSUE 5 acceptance): start ecad_workerd daemons on 127.0.0.1
+# and prove, for one seeded search, that every wire configuration produces
+# stdout byte-identical to the in-process reference:
 #
-#   leg 1  batched (protocol v2, the default)     == local
-#   leg 2  unbatched (master pinned --max-protocol 1, per-genome frames)
-#   leg 3  v2 master against v1-pinned workers    (version negotiation)
-#   leg 4  degradation: one worker killed mid-fleet, search still matches
-#   leg 5  heartbeat rejoin: kill a worker mid-search, restart it, and
+#   leg 1  streaming (protocol v3, the default)   == local
+#   leg 2  v2 batch mode (master pinned --max-protocol 2, single-response
+#          batch frames, no item streaming)       == local
+#   leg 3  unbatched (master pinned --max-protocol 1, per-genome frames)
+#   leg 4  v3 master against v1-pinned workers    (version negotiation)
+#   leg 5  degradation: one worker killed mid-fleet, search still matches
+#   leg 6  heartbeat rejoin: kill a worker mid-search, restart it, and
 #          require the master's log to show it rejoining via heartbeat ping
 #          (not via a failed evaluation), with output still matching local
+#   leg 7  streaming under slow-genome injection: a configurable-delay
+#          analytic worker stalls ~1/3 of the genomes; the master's log must
+#          show it consumed out-of-order item frames, output still matching
+#   leg 8  overlapped evolution (--overlap): distributed overlapped search
+#          matches the local overlapped reference byte for byte
 #
 # Usage: scripts/loopback_smoke.sh <build-dir>
 # Set SMOKE_LOG_DIR to keep daemon/search logs (CI uploads them on failure).
@@ -80,16 +87,28 @@ echo "   workers on :$PORT1 and :$PORT2"
 echo "== local (in-process) reference search"
 "$SEARCHD" "${SEARCH_FLAGS[@]}" >"$WORK/local.out" 2>"$WORK/local.err"
 
-echo "== leg 1: batched distributed search (protocol v2) across both daemons"
+echo "== leg 1: streaming distributed search (protocol v3, the default)"
 "$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
-  >"$WORK/batched.out" 2>"$WORK/batched.err"
-diff_or_die "$WORK/local.out" "$WORK/batched.out" "batched search"
-# A nonzero frame count, so the leg fails if batching silently never engages.
-grep -Eq "in [1-9][0-9]* batch frames" "$WORK/batched.err" || {
-  echo "FAIL: batched leg did not report a nonzero batch-frame count"; exit 1; }
-echo "   OK: batched distributed == local, byte for byte ($(wc -l <"$WORK/local.out") lines)"
+  >"$WORK/streaming.out" 2>"$WORK/streaming.err"
+diff_or_die "$WORK/local.out" "$WORK/streaming.out" "streaming search"
+# Nonzero frame counts, so the leg fails if streaming silently never engages.
+grep -Eq "in [1-9][0-9]* batch frames" "$WORK/streaming.err" || {
+  echo "FAIL: streaming leg did not report a nonzero batch-frame count"; exit 1; }
+grep -Eq "[1-9][0-9]* streamed item frames" "$WORK/streaming.err" || {
+  echo "FAIL: streaming leg did not report a nonzero streamed-item count"; exit 1; }
+echo "   OK: streaming distributed == local, byte for byte ($(wc -l <"$WORK/local.out") lines)"
 
-echo "== leg 2: unbatched search (master pinned to wire protocol v1)"
+echo "== leg 2: v2 batch mode (master pinned --max-protocol 2)"
+"$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" --max-protocol 2 "${SEARCH_FLAGS[@]}" \
+  >"$WORK/batched.out" 2>"$WORK/batched.err"
+diff_or_die "$WORK/local.out" "$WORK/batched.out" "v2-pinned batched search"
+grep -Eq "in [1-9][0-9]* batch frames" "$WORK/batched.err" || {
+  echo "FAIL: v2-pinned leg did not report a nonzero batch-frame count"; exit 1; }
+grep -q "0 streamed item frames" "$WORK/batched.err" || {
+  echo "FAIL: v2-pinned master still consumed streamed item frames"; exit 1; }
+echo "   OK: v2 batch mode == streaming == local"
+
+echo "== leg 3: unbatched search (master pinned to wire protocol v1)"
 "$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" --max-protocol 1 "${SEARCH_FLAGS[@]}" \
   >"$WORK/unbatched.out" 2>"$WORK/unbatched.err"
 diff_or_die "$WORK/local.out" "$WORK/unbatched.out" "unbatched (v1-pinned) search"
@@ -97,17 +116,26 @@ grep -q "0 batch frames" "$WORK/unbatched.err" || {
   echo "FAIL: v1-pinned master still sent batch frames"; exit 1; }
 echo "   OK: unbatched (v1 wire) == batched == local"
 
-echo "== leg 3: v2 master against v1-pinned workers (version negotiation)"
+echo "== leg 4: v3 master against v1- and v2-pinned workers (version negotiation)"
 start_worker "$WORK/w3.out" --max-protocol 1 "${WORKER_FLAGS[@]}"
 PORT3=$(awk '{print $2}' "$WORK/w3.out")
 "$SEARCHD" --workers "127.0.0.1:$PORT3" "${SEARCH_FLAGS[@]}" \
   >"$WORK/v1worker.out" 2>"$WORK/v1worker.err"
-diff_or_die "$WORK/local.out" "$WORK/v1worker.out" "v2-master/v1-worker search"
+diff_or_die "$WORK/local.out" "$WORK/v1worker.out" "v3-master/v1-worker search"
 grep -q "0 batch frames" "$WORK/v1worker.err" || {
   echo "FAIL: master sent batch frames to a v1-pinned worker"; exit 1; }
-echo "   OK: negotiation degraded to per-genome frames, results still match"
+start_worker "$WORK/w4.out" --max-protocol 2 "${WORKER_FLAGS[@]}"
+PORT4=$(awk '{print $2}' "$WORK/w4.out")
+"$SEARCHD" --workers "127.0.0.1:$PORT4" "${SEARCH_FLAGS[@]}" \
+  >"$WORK/v2worker.out" 2>"$WORK/v2worker.err"
+diff_or_die "$WORK/local.out" "$WORK/v2worker.out" "v3-master/v2-worker search"
+grep -Eq "in [1-9][0-9]* batch frames" "$WORK/v2worker.err" || {
+  echo "FAIL: v2-pinned worker leg did not use batch frames"; exit 1; }
+grep -q "0 streamed item frames" "$WORK/v2worker.err" || {
+  echo "FAIL: a v2-pinned worker somehow streamed item frames"; exit 1; }
+echo "   OK: negotiation degraded per daemon (v1 -> per-genome, v2 -> batch), results match"
 
-echo "== leg 4: degradation — kill worker 2, re-run distributed"
+echo "== leg 5: degradation — kill worker 2, re-run distributed"
 kill "${PIDS[1]}" 2>/dev/null || true
 wait "${PIDS[1]}" 2>/dev/null || true
 "$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
@@ -115,7 +143,7 @@ wait "${PIDS[1]}" 2>/dev/null || true
 diff_or_die "$WORK/local.out" "$WORK/degraded.out" "degraded search"
 echo "   OK: search degraded to the surviving worker and still matches"
 
-echo "== leg 5: heartbeat rejoin — kill and restart a worker mid-search"
+echo "== leg 6: heartbeat rejoin — kill and restart a worker mid-search"
 # Slow (analytic) evaluations keep the search in flight long enough to
 # bounce a daemon under it.  --eval-delay-ms never changes results, so the
 # delay-free local reference below is still the byte-exact oracle.
@@ -163,5 +191,48 @@ if ! grep -Eq "[1-9][0-9]* heartbeat rejoins" "$WORK/hb_dist.err"; then
   exit 1
 fi
 echo "   OK: worker rejoined via heartbeat ping and results still match"
+
+echo "== leg 7: streaming under slow-genome injection (out-of-order item frames)"
+# ~1/3 of the genomes stall 12x longer than the rest, so fast shard-mates
+# stream back ahead of them: the master must consume item frames out of
+# order.  Delays never change results, so the delay-free local reference is
+# still the byte-exact oracle.
+SG_WORKER_SPEC=(--worker analytic)
+SG_WORKER_FLAGS=(--eval-delay-ms 5 --eval-slow-modulo 3 --eval-slow-delay-ms 60 --threads 4
+                 "${SG_WORKER_SPEC[@]}")
+SG_SEARCH_FLAGS=(--seed 29 --population 6 --evaluations 96 --batch 8 --threads 4
+                 "${SG_WORKER_SPEC[@]}")
+start_worker "$WORK/sg1.out" "${SG_WORKER_FLAGS[@]}"
+SG_PORT1=$(awk '{print $2}' "$WORK/sg1.out")
+
+"$SEARCHD" "${SG_SEARCH_FLAGS[@]}" >"$WORK/sg_local.out" 2>"$WORK/sg_local.err"
+"$SEARCHD" --workers "127.0.0.1:$SG_PORT1" "${SG_SEARCH_FLAGS[@]}" \
+  >"$WORK/sg_dist.out" 2>"$WORK/sg_dist.err"
+diff_or_die "$WORK/sg_local.out" "$WORK/sg_dist.out" "slow-genome streaming search"
+# The acceptance bar: slow genomes were overtaken on the wire, i.e. the
+# master really consumed completion-ordered (not request-ordered) frames.
+grep -Eq "\([1-9][0-9]* out-of-order\)" "$WORK/sg_dist.err" || {
+  echo "FAIL: master log reports zero out-of-order item frames"
+  cat "$WORK/sg_dist.err"
+  exit 1
+}
+echo "   OK: out-of-order item frames consumed, results still match"
+
+echo "== leg 8: overlapped evolution (--overlap) distributed == local"
+OV_BASE_FLAGS=(--seed 31 --population 6 --evaluations 60 --batch 4 --threads 4
+               "${SG_WORKER_SPEC[@]}")
+"$SEARCHD" "${OV_BASE_FLAGS[@]}" --overlap >"$WORK/ov_local.out" 2>"$WORK/ov_local.err"
+"$SEARCHD" --workers "127.0.0.1:$SG_PORT1" "${OV_BASE_FLAGS[@]}" --overlap \
+  >"$WORK/ov_dist.out" 2>"$WORK/ov_dist.err"
+diff_or_die "$WORK/ov_local.out" "$WORK/ov_dist.out" "overlapped search"
+# Overlap must be a different (but internally consistent) trajectory, not a
+# silent no-op: the same flags without --overlap may not produce the same
+# byte stream.
+"$SEARCHD" "${OV_BASE_FLAGS[@]}" >"$WORK/ov_seq.out" 2>"$WORK/ov_seq.err"
+if diff -q "$WORK/ov_local.out" "$WORK/ov_seq.out" >/dev/null 2>&1; then
+  echo "FAIL: overlapped trajectory is identical to the sequential one (overlap never engaged?)"
+  exit 1
+fi
+echo "   OK: overlapped distributed == overlapped local, byte for byte"
 
 echo "PASS: loopback smoke matrix"

@@ -48,6 +48,17 @@ class Worker {
 /// batch executor so the two layers' slot semantics cannot diverge.
 evo::EvalOutcome evaluate_outcome(const Worker& worker, const evo::Genome& genome);
 
+/// Batch dispatch with intra-batch dedup: genomes sharing a canonical key
+/// are collapsed to one evaluation before the worker (possibly a remote
+/// fleet) sees the chunk, and the single outcome is fanned back to every
+/// slot that asked for it.  Workers are deterministic per genome, so the
+/// fan-out is exact — duplicate slots hold bit-identical results.  First
+/// step toward the cross-worker result cache: duplicates stop costing
+/// network round-trips before they stop costing evaluations.
+std::vector<evo::EvalOutcome> evaluate_batch_deduped(const Worker& worker,
+                                                     const std::vector<evo::Genome>& genomes,
+                                                     util::ThreadPool& pool);
+
 /// Accuracy-only worker: trains the candidate MLP on the split and measures
 /// test accuracy.  Used directly for Table I/II accuracy searches.
 class AccuracyWorker : public Worker {

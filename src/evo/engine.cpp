@@ -1,6 +1,7 @@
 #include "evo/engine.h"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -29,6 +30,54 @@ EvolutionEngine::BatchEvaluator wrap_per_genome(EvolutionEngine::Evaluator evalu
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// AsyncBatchDispatcher
+// ---------------------------------------------------------------------------
+
+AsyncBatchDispatcher::Ticket AsyncBatchDispatcher::submit(std::vector<Genome> genomes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Ticket ticket = next_ticket_++;
+  // One dedicated thread per in-flight batch (the engine bounds how many):
+  // the evaluation may block on the network for a long time, and parking it
+  // on the shared pool would steal a thread the evaluator itself needs.
+  futures_.emplace(ticket,
+                   std::async(std::launch::async, [this, genomes = std::move(genomes)] {
+                     return evaluate_(genomes, pool_);
+                   }));
+  return ticket;
+}
+
+bool AsyncBatchDispatcher::poll(Ticket ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = futures_.find(ticket);
+  if (it == futures_.end()) return false;
+  return it->second.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+std::vector<EvalOutcome> AsyncBatchDispatcher::wait(Ticket ticket) {
+  std::future<std::vector<EvalOutcome>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = futures_.find(ticket);
+    if (it == futures_.end()) {
+      throw std::invalid_argument("AsyncBatchDispatcher: unknown ticket " +
+                                  std::to_string(ticket));
+    }
+    future = std::move(it->second);
+    futures_.erase(it);
+  }
+  return future.get();
+}
+
+std::size_t AsyncBatchDispatcher::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return futures_.size();
+}
+
+// ---------------------------------------------------------------------------
+// EvolutionEngine
+// ---------------------------------------------------------------------------
+
 EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config, Evaluator evaluate,
                                  Fitness fitness)
     : EvolutionEngine(std::move(space), config, wrap_per_genome(std::move(evaluate)),
@@ -50,11 +99,13 @@ EvolutionEngine::EvolutionEngine(SearchSpace space, EvolutionConfig config,
   if (config_.tournament_size == 0) {
     throw std::invalid_argument("EvolutionEngine: tournament_size must be >= 1");
   }
+  if (config_.overlap_generations && config_.max_inflight_batches == 0) {
+    throw std::invalid_argument("EvolutionEngine: max_inflight_batches must be >= 1");
+  }
 }
 
-std::vector<Candidate> EvolutionEngine::evaluate_generation(const std::vector<Genome>& genomes,
-                                                            util::ThreadPool& pool) {
-  std::vector<EvalOutcome> outcomes = evaluate_(genomes, pool);
+std::vector<Candidate> EvolutionEngine::fold_outcomes(const std::vector<Genome>& genomes,
+                                                      std::vector<EvalOutcome> outcomes) {
   if (outcomes.size() != genomes.size()) {
     throw std::runtime_error("EvolutionEngine: batch evaluator returned " +
                              std::to_string(outcomes.size()) + " outcomes for " +
@@ -81,6 +132,11 @@ std::vector<Candidate> EvolutionEngine::evaluate_generation(const std::vector<Ge
   return candidates;
 }
 
+std::vector<Candidate> EvolutionEngine::evaluate_generation(const std::vector<Genome>& genomes,
+                                                            util::ThreadPool& pool) {
+  return fold_outcomes(genomes, evaluate_(genomes, pool));
+}
+
 std::size_t EvolutionEngine::tournament_best(const std::vector<Candidate>& population,
                                              util::Rng& rng) const {
   std::size_t best = rng.next_index(population.size());
@@ -101,11 +157,97 @@ std::size_t EvolutionEngine::tournament_worst(const std::vector<Candidate>& popu
   return worst;
 }
 
+std::vector<Genome> EvolutionEngine::breed_offspring(const std::vector<Candidate>& population,
+                                                     std::size_t count, util::Rng& rng) {
+  std::vector<Genome> offspring;
+  offspring.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Genome child;
+    bool fresh = false;
+    for (std::size_t attempt = 0; attempt < config_.dedup_attempts && !fresh; ++attempt) {
+      const Candidate& parent_a = population[tournament_best(population, rng)];
+      if (rng.next_bool(config_.crossover_probability)) {
+        const Candidate& parent_b = population[tournament_best(population, rng)];
+        child = crossover(parent_a.genome, parent_b.genome, space_, rng);
+      } else {
+        child = parent_a.genome;
+      }
+      // 1 + Poisson-ish extra mutations.
+      std::size_t mutations = 1;
+      double extra = config_.mutation_strength - 1.0;
+      while (extra > 0.0 && rng.next_bool(std::min(1.0, extra))) {
+        ++mutations;
+        extra -= 1.0;
+      }
+      child = mutate(child, space_, rng, mutations);
+      fresh = !cache_.contains(child.key());
+    }
+    if (!fresh) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.duplicates_skipped;
+      continue;  // all attempts hit known genomes; skip this slot
+    }
+    // Reserve the key so no later batch (in flight or not) can contain twins.
+    cache_.store(child.key(), EvalResult{});
+    offspring.push_back(std::move(child));
+  }
+  if (offspring.empty()) {
+    // Search space locally exhausted around the population; inject a random
+    // immigrant to keep progress.  A duplicate immigrant means even random
+    // sampling cannot escape the evaluated neighborhood: stop the search
+    // (signalled by the empty vector).
+    Genome immigrant = random_genome(space_, rng);
+    if (cache_.contains(immigrant.key())) return offspring;
+    cache_.store(immigrant.key(), EvalResult{});
+    offspring.push_back(std::move(immigrant));
+  }
+  return offspring;
+}
+
+void EvolutionEngine::replace_into(std::vector<Candidate> evaluated,
+                                   std::vector<Candidate>& population,
+                                   std::vector<Candidate>& history, util::Rng& rng) {
+  for (Candidate& candidate : evaluated) {
+    history.push_back(candidate);
+    const std::size_t victim = tournament_worst(population, rng);
+    if (candidate.fitness > population[victim].fitness) {
+      population[victim] = std::move(candidate);
+    }
+  }
+}
+
+EvolutionResult EvolutionEngine::finalize(std::vector<Candidate> population,
+                                          std::vector<Candidate> history, double wall_seconds) {
+  EvolutionResult out;
+  std::sort(population.begin(), population.end(),
+            [](const Candidate& a, const Candidate& b) { return a.fitness > b.fitness; });
+  out.population = std::move(population);
+  out.history = std::move(history);
+  out.best = out.history.front();
+  for (const Candidate& candidate : out.history) {
+    if (candidate.fitness > out.best.fitness) out.best = candidate;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wall_seconds = wall_seconds;
+    stats_.avg_eval_seconds = stats_.models_evaluated == 0
+                                  ? 0.0
+                                  : stats_.total_eval_seconds /
+                                        static_cast<double>(stats_.models_evaluated);
+    out.stats = stats_;
+  }
+  util::Log(util::LogLevel::Info, "evo")
+      << "search done: " << out.stats.models_evaluated << " models, best fitness "
+      << out.best.fitness << " (" << out.best.genome.key() << ")";
+  return out;
+}
+
 EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
   util::Stopwatch wall;
-  EvolutionResult out;
 
-  // --- Initial population: unique random genomes, evaluated in parallel. ---
+  // --- Initial population: unique random genomes, evaluated in parallel.
+  // Always synchronous, even in overlapped mode — breeding needs a fully
+  // scored population before any pipelining can start. ---
   std::vector<Genome> seeds;
   seeds.reserve(config_.population_size);
   std::size_t attempts = 0;
@@ -119,11 +261,24 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
                     [&key](const Genome& g) { return g.key() == key; });
     if (!duplicate) seeds.push_back(std::move(genome));
   }
-
   std::vector<Candidate> population = evaluate_generation(seeds, pool);
-  out.history = population;
 
-  // --- Steady-state loop: batched offspring generation + evaluation. ---
+  EvolutionResult out = config_.overlap_generations
+                            ? run_overlapped(rng, pool, std::move(population))
+                            : run_sequential(rng, pool, std::move(population));
+  out.stats.wall_seconds = wall.elapsed_seconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wall_seconds = out.stats.wall_seconds;
+  }
+  return out;
+}
+
+EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool& pool,
+                                                std::vector<Candidate> population) {
+  util::Stopwatch wall;
+  std::vector<Candidate> history = population;
+
   const std::size_t batch =
       config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
 
@@ -132,78 +287,71 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
     const std::size_t this_batch = std::min(batch, remaining);
 
     // Generate offspring serially (cheap; keeps RNG deterministic).
-    std::vector<Genome> offspring;
-    offspring.reserve(this_batch);
-    for (std::size_t i = 0; i < this_batch; ++i) {
-      Genome child;
-      bool fresh = false;
-      for (std::size_t attempt = 0; attempt < config_.dedup_attempts && !fresh; ++attempt) {
-        const Candidate& parent_a = population[tournament_best(population, rng)];
-        if (rng.next_bool(config_.crossover_probability)) {
-          const Candidate& parent_b = population[tournament_best(population, rng)];
-          child = crossover(parent_a.genome, parent_b.genome, space_, rng);
-        } else {
-          child = parent_a.genome;
-        }
-        // 1 + Poisson-ish extra mutations.
-        std::size_t mutations = 1;
-        double extra = config_.mutation_strength - 1.0;
-        while (extra > 0.0 && rng.next_bool(std::min(1.0, extra))) {
-          ++mutations;
-          extra -= 1.0;
-        }
-        child = mutate(child, space_, rng, mutations);
-        fresh = !cache_.contains(child.key());
-      }
-      if (!fresh) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.duplicates_skipped;
-        continue;  // all attempts hit known genomes; skip this slot
-      }
-      // Reserve the key so the same batch can't contain twins.
-      cache_.store(child.key(), EvalResult{});
-      offspring.push_back(std::move(child));
-    }
-    if (offspring.empty()) {
-      // Search space locally exhausted around the population; inject a
-      // random immigrant to keep progress.
-      Genome immigrant = random_genome(space_, rng);
-      if (cache_.contains(immigrant.key())) break;
-      offspring.push_back(std::move(immigrant));
-    }
+    std::vector<Genome> offspring = breed_offspring(population, this_batch, rng);
+    if (offspring.empty()) break;
 
     std::vector<Candidate> evaluated = evaluate_generation(offspring, pool);
+    replace_into(std::move(evaluated), population, history, rng);
+  }
 
-    for (Candidate& candidate : evaluated) {
-      out.history.push_back(candidate);
-      const std::size_t victim = tournament_worst(population, rng);
-      if (candidate.fitness > population[victim].fitness) {
-        population[victim] = std::move(candidate);
-      }
+  return finalize(std::move(population), std::move(history), wall.elapsed_seconds());
+}
+
+EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool& pool,
+                                                std::vector<Candidate> population) {
+  util::Stopwatch wall;
+  std::vector<Candidate> history = population;
+
+  const std::size_t batch =
+      config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
+  const std::size_t max_inflight = std::max<std::size_t>(1, config_.max_inflight_batches);
+
+  AsyncBatchDispatcher dispatcher(evaluate_, pool);
+  struct InFlight {
+    AsyncBatchDispatcher::Ticket ticket = 0;
+    std::vector<Genome> genomes;
+  };
+  std::deque<InFlight> inflight;
+
+  // Budget accounting runs on *submitted* genomes: every submitted batch is
+  // eventually folded, so models_evaluated catches up exactly, and breeding
+  // ahead can never overshoot max_evaluations.
+  std::size_t submitted = stats_.models_evaluated;
+
+  // Fold the oldest in-flight batch — always in submission order, at fixed
+  // points in the control flow, so the RNG consumption (and therefore the
+  // whole trajectory) is independent of which batch finished first.
+  const auto fold_oldest = [&] {
+    InFlight oldest = std::move(inflight.front());
+    inflight.pop_front();
+    std::vector<Candidate> evaluated =
+        fold_outcomes(oldest.genomes, dispatcher.wait(oldest.ticket));
+    replace_into(std::move(evaluated), population, history, rng);
+  };
+
+  while (true) {
+    // Pipeline full: block on the oldest batch before breeding again.
+    while (inflight.size() >= max_inflight) fold_oldest();
+    if (submitted >= config_.max_evaluations) break;
+    const std::size_t this_batch = std::min(batch, config_.max_evaluations - submitted);
+
+    // Parents are the population as of the last fold — already scored; the
+    // tail of the previous generation may still be in flight right now.
+    std::vector<Genome> offspring = breed_offspring(population, this_batch, rng);
+    if (offspring.empty()) break;
+    submitted += offspring.size();
+    if (!inflight.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.overlapped_batches;
     }
+    InFlight entry;
+    entry.genomes = offspring;  // keep a copy: outcomes are folded by index
+    entry.ticket = dispatcher.submit(std::move(offspring));
+    inflight.push_back(std::move(entry));
   }
+  while (!inflight.empty()) fold_oldest();
 
-  std::sort(population.begin(), population.end(),
-            [](const Candidate& a, const Candidate& b) { return a.fitness > b.fitness; });
-  out.population = std::move(population);
-  out.best = out.history.front();
-  for (const Candidate& candidate : out.history) {
-    if (candidate.fitness > out.best.fitness) out.best = candidate;
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.wall_seconds = wall.elapsed_seconds();
-    stats_.avg_eval_seconds = stats_.models_evaluated == 0
-                                  ? 0.0
-                                  : stats_.total_eval_seconds /
-                                        static_cast<double>(stats_.models_evaluated);
-    out.stats = stats_;
-  }
-  util::Log(util::LogLevel::Info, "evo")
-      << "search done: " << out.stats.models_evaluated << " models, best fitness "
-      << out.best.fitness << " (" << out.best.genome.key() << ")";
-  return out;
+  return finalize(std::move(population), std::move(history), wall.elapsed_seconds());
 }
 
 }  // namespace ecad::evo

@@ -3,9 +3,24 @@
 // reverse-tournament replacement, no generational barrier.  Offspring are
 // evaluated in parallel batches by the Master's thread pool and deduplicated
 // through the EvalCache.
+//
+// Two dispatch modes:
+//  * sequential (default): each offspring batch is bred, evaluated, and
+//    folded into the population before the next one is bred — the fully
+//    deterministic trajectory every seeded test pins.
+//  * overlapped (config.overlap_generations): batches are shipped through an
+//    AsyncBatchDispatcher and the engine breeds the next batch — from
+//    parents that are already scored — while up to max_inflight_batches
+//    previous batches are still evaluating remotely.  Batches are folded in
+//    submission order at fixed points (whenever the pipeline is full), so
+//    the overlapped trajectory is also deterministic for a given config; it
+//    just differs from the sequential one because breeding no longer waits
+//    for the immediately preceding batch.
 #pragma once
 
 #include <functional>
+#include <future>
+#include <map>
 #include <vector>
 
 #include "evo/cache.h"
@@ -30,6 +45,13 @@ struct EvolutionConfig {
   std::size_t dedup_attempts = 12;
   /// Offspring evaluated concurrently per steady-state step (0 = pool size).
   std::size_t batch_size = 0;
+  /// Overlap breeding with in-flight evaluation batches (see file header).
+  /// Off by default: the overlapped trajectory is deterministic but not the
+  /// same search as the sequential one.
+  bool overlap_generations = false;
+  /// Evaluation batches the overlapped mode keeps in flight before it
+  /// blocks on the oldest (>= 1; ignored when overlap is off).
+  std::size_t max_inflight_batches = 2;
 };
 
 struct Candidate {
@@ -41,6 +63,7 @@ struct Candidate {
 struct RunStats {
   std::size_t models_evaluated = 0;   // unique evaluations performed
   std::size_t duplicates_skipped = 0; // offspring served from the cache
+  std::size_t overlapped_batches = 0; // batches bred while another was in flight
   double total_eval_seconds = 0.0;    // summed worker time (Table III "Total")
   double avg_eval_seconds = 0.0;      // per-model mean (Table III "AVG")
   double wall_seconds = 0.0;          // end-to-end search wall clock
@@ -59,10 +82,12 @@ class EvolutionEngine {
   /// called from pool threads and must be thread-safe.
   using Evaluator = std::function<EvalResult(const Genome&)>;
   /// Whole-generation dispatch: genomes -> one outcome slot per genome, in
-  /// input order.  Called from the engine's driving thread with the pool at
-  /// its disposal; the Master wires core::Worker::evaluate_batch in here so
-  /// remote backends amortize one network round-trip over the whole chunk.
-  /// May throw for batch-wide failures; per-item failures go in error slots.
+  /// input order.  Called with the pool at its disposal; the Master wires
+  /// core::Worker::evaluate_batch in here so remote backends amortize one
+  /// network round-trip over the whole chunk.  In overlapped mode it runs on
+  /// dispatcher threads — up to max_inflight_batches calls concurrently — so
+  /// it must be thread-safe.  May throw for batch-wide failures; per-item
+  /// failures go in error slots.
   using BatchEvaluator =
       std::function<std::vector<EvalOutcome>(const std::vector<Genome>&, util::ThreadPool&)>;
   /// Scalar fitness, bigger = fitter (see FitnessRegistry).
@@ -75,7 +100,9 @@ class EvolutionEngine {
   EvolutionEngine(SearchSpace space, EvolutionConfig config, BatchEvaluator evaluate,
                   Fitness fitness);
 
-  /// Run the full search. Deterministic in `rng` for a serial pool (1 thread).
+  /// Run the full search. Deterministic in `rng` for a serial pool (1 thread);
+  /// the overlapped mode is deterministic for any pool width because batches
+  /// fold in submission order at fixed points.
   EvolutionResult run(util::Rng& rng, util::ThreadPool& pool);
 
   const EvalCache& cache() const { return cache_; }
@@ -86,6 +113,29 @@ class EvolutionEngine {
   /// index order) throws std::runtime_error with the slot's error message.
   std::vector<Candidate> evaluate_generation(const std::vector<Genome>& genomes,
                                              util::ThreadPool& pool);
+  /// Outcome slots -> scored candidates (shared tail of the sequential and
+  /// overlapped folds): throws on the first failed slot, stores results in
+  /// the cache, updates stats.
+  std::vector<Candidate> fold_outcomes(const std::vector<Genome>& genomes,
+                                       std::vector<EvalOutcome> outcomes);
+  /// Breed up to `count` fresh offspring from scored parents (tournament +
+  /// crossover + mutation + cache-reservation dedup).  Falls back to one
+  /// random immigrant when the neighborhood is exhausted; empty means even
+  /// the immigrant was a duplicate and the search should stop.
+  std::vector<Genome> breed_offspring(const std::vector<Candidate>& population,
+                                      std::size_t count, util::Rng& rng);
+  /// Reverse-tournament replacement of `evaluated` into the population,
+  /// appending every candidate to the history.
+  void replace_into(std::vector<Candidate> evaluated, std::vector<Candidate>& population,
+                    std::vector<Candidate>& history, util::Rng& rng);
+
+  EvolutionResult run_sequential(util::Rng& rng, util::ThreadPool& pool,
+                                 std::vector<Candidate> population);
+  EvolutionResult run_overlapped(util::Rng& rng, util::ThreadPool& pool,
+                                 std::vector<Candidate> population);
+  EvolutionResult finalize(std::vector<Candidate> population, std::vector<Candidate> history,
+                           double wall_seconds);
+
   std::size_t tournament_best(const std::vector<Candidate>& population, util::Rng& rng) const;
   std::size_t tournament_worst(const std::vector<Candidate>& population, util::Rng& rng) const;
 
@@ -96,6 +146,40 @@ class EvolutionEngine {
   EvalCache cache_;
   std::mutex stats_mutex_;
   RunStats stats_;
+};
+
+/// Submit/poll dispatch for overlapped evolution: submit() ships one
+/// offspring batch to the BatchEvaluator on a dedicated thread and returns a
+/// ticket immediately; poll() answers without blocking; wait() collects a
+/// ticket's outcomes (each ticket exactly once).  Destruction blocks until
+/// every in-flight batch finishes, so borrowed genomes and the pool are
+/// never referenced after the owner's frame unwinds.
+class AsyncBatchDispatcher {
+ public:
+  using Ticket = std::uint64_t;
+
+  /// `evaluate` and `pool` are borrowed and must outlive the dispatcher.
+  AsyncBatchDispatcher(const EvolutionEngine::BatchEvaluator& evaluate, util::ThreadPool& pool)
+      : evaluate_(evaluate), pool_(pool) {}
+
+  /// Ships `genomes` for evaluation; never blocks on the evaluation itself.
+  Ticket submit(std::vector<Genome> genomes);
+  /// True once wait(ticket) would not block. False for unknown/collected
+  /// tickets.
+  bool poll(Ticket ticket) const;
+  /// Outcomes for `ticket`, blocking until they settle.  Rethrows the batch
+  /// evaluator's exception for batch-wide failures.  Throws
+  /// std::invalid_argument for unknown (or already collected) tickets.
+  std::vector<EvalOutcome> wait(Ticket ticket);
+
+  std::size_t in_flight() const;
+
+ private:
+  const EvolutionEngine::BatchEvaluator& evaluate_;
+  util::ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  Ticket next_ticket_ = 1;
+  std::map<Ticket, std::future<std::vector<EvalOutcome>>> futures_;
 };
 
 }  // namespace ecad::evo

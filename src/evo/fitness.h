@@ -40,6 +40,12 @@ struct EvalOutcome {
   EvalResult result;
   bool ok = false;
   std::string error;  // meaningful only when !ok
+
+  /// A slot is settled once it holds a result or an error message; anything
+  /// else is still in flight (or was lost to a connection fault and must be
+  /// rescheduled).  Shared vocabulary of the streaming scheduler and the
+  /// overlapped engine, so the two layers cannot disagree on "done".
+  bool settled() const { return ok || !error.empty(); }
 };
 
 enum class Metric {

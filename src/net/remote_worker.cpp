@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <climits>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -52,8 +54,9 @@ std::uint16_t handshake_on(Socket& socket, std::uint16_t attempt_max, int timeou
   return std::min(attempt_max, payload.max_version);
 }
 
-/// A whole shard waits on one response frame; give it the per-item budget
-/// times the shard size (negative timeouts keep meaning "block forever").
+/// A shard's frames share the per-item budget: a shard of N genomes allows
+/// up to N * request_timeout_ms for any single response or item frame
+/// (negative timeouts keep meaning "block forever").
 int batch_timeout_ms(int per_item_ms, std::size_t items) {
   if (per_item_ms < 0) return -1;
   const long long total =
@@ -103,13 +106,19 @@ bool RemoteWorker::endpoint_available(const EndpointState& state, Clock::time_po
   return options_.heartbeat_interval_ms <= 0 && now >= state.down_until;
 }
 
-bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection& out) const {
+bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection& out,
+                                    bool penalize_on_failure) const {
   Endpoint endpoint;
   std::uint16_t attempt = 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const EndpointState& state = states_[endpoint_index];
+    EndpointState& state = states_[endpoint_index];
     endpoint = state.endpoint;
+    // An expired v1 demotion means the downgrade may have been a transient
+    // handshake fault, not a genuinely old peer: re-offer the full protocol.
+    if (state.max_version < options_.max_protocol && Clock::now() >= state.demoted_until) {
+      state.max_version = std::min(options_.max_protocol, kProtocolVersion);
+    }
     attempt = std::min(state.max_version, options_.max_protocol);
   }
   for (;;) {
@@ -122,7 +131,7 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
       // only double the connect timeout per checkout of a dead endpoint.
       util::Log(util::LogLevel::Debug, "net")
           << "endpoint " << endpoint.to_string() << " unavailable: " << e.what();
-      penalize(endpoint_index);
+      if (penalize_on_failure) penalize(endpoint_index);
       return false;
     }
     try {
@@ -133,13 +142,16 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
         EndpointState& state = states_[endpoint_index];
         state.down = false;
         state.max_version = negotiated;
+        if (negotiated < options_.max_protocol) {
+          state.demoted_until = Clock::now() + std::chrono::seconds(60);
+        }
       }
       out.socket = std::move(socket);
       out.version = negotiated;
       return true;
     } catch (const NetError& e) {
       // The connection came up but the handshake died — a peer so old it
-      // drops the v2 Hello (trailing-bytes error) closes before acking.
+      // drops the v2+ Hello (trailing-bytes error) closes before acking.
       // Retry once with the exact v1 greeting.
       if (attempt >= 2) {
         util::Log(util::LogLevel::Debug, "net")
@@ -158,7 +170,7 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
       util::Log(util::LogLevel::Warn, "net")
           << "endpoint " << endpoint.to_string() << " protocol mismatch: " << e.what();
     }
-    penalize(endpoint_index);
+    if (penalize_on_failure) penalize(endpoint_index);
     return false;
   }
 }
@@ -189,7 +201,8 @@ bool RemoteWorker::checkout(Checkout& out) const {
   return false;
 }
 
-bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out) const {
+bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out,
+                                     bool penalize_on_failure) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     EndpointState& state = states_[endpoint_index];
@@ -201,7 +214,7 @@ bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out) 
       return true;
     }
   }
-  if (connect_endpoint(endpoint_index, out.connection)) {
+  if (connect_endpoint(endpoint_index, out.connection, penalize_on_failure)) {
     out.endpoint_index = endpoint_index;
     return true;
   }
@@ -221,13 +234,54 @@ void RemoteWorker::penalize(std::size_t endpoint_index) const {
   state.idle.clear();  // stale sockets to a failed daemon are worthless
 }
 
-void RemoteWorker::record_throughput(std::size_t endpoint_index, std::size_t items,
-                                     double seconds) const {
-  if (items == 0 || seconds <= 0.0) return;
-  const double observed = static_cast<double>(items) / seconds;
+void RemoteWorker::record_item_latency(std::size_t endpoint_index, double seconds) const {
+  // Clamp instead of discarding: a loopback analytic eval really can finish
+  // inside the clock granularity, and a zero EWMA would read as "unobserved".
+  seconds = std::max(seconds, 1e-9);
   std::lock_guard<std::mutex> lock(mutex_);
-  double& ips = states_[endpoint_index].throughput_ips;
-  ips = ips <= 0.0 ? observed : 0.7 * ips + 0.3 * observed;
+  EndpointState& state = states_[endpoint_index];
+  if (state.item_latency_ewma_s <= 0.0) {
+    state.item_latency_ewma_s = seconds;
+    state.item_latency_var_s2 = 0.0;
+    return;
+  }
+  const double deviation = seconds - state.item_latency_ewma_s;
+  state.item_latency_ewma_s += 0.3 * deviation;
+  state.item_latency_var_s2 = 0.7 * state.item_latency_var_s2 + 0.3 * deviation * deviation;
+}
+
+std::size_t RemoteWorker::shard_size(std::size_t endpoint_index, const BatchQueue& queue) const {
+  // Fair share of the *currently pending* items across every stream of this
+  // round.  This is both the equal cold-start prior (every endpoint starts
+  // with the same unobserved latency, so the first wave splits the queue
+  // evenly) and a hard ceiling on the adaptive size — without it a fast
+  // endpoint's latency estimate can claim the whole queue in one shard,
+  // starving the rest of the fleet and silently recreating the one-giant-
+  // shard degeneration this scheduler exists to kill.
+  const std::size_t pending = queue.pending.size();
+  if (pending == 0) return 1;
+  const std::size_t streams = std::max<std::size_t>(1, queue.total_streams);
+  const std::size_t fair_share = (pending + streams - 1) / streams;
+  const std::size_t cap =
+      std::min(fair_share, std::max<std::size_t>(1, std::min<std::size_t>(
+                                                        options_.max_shard_items, kMaxBatchItems)));
+  double ewma = 0.0;
+  double variance = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ewma = states_[endpoint_index].item_latency_ewma_s;
+    variance = states_[endpoint_index].item_latency_var_s2;
+  }
+  if (ewma <= 0.0) return cap;  // equal prior: the fair share itself
+  // Aim each shard at ~shard_target_ms of endpoint wall clock, penalized by
+  // the observed latency spread: a jittery endpoint gets smaller shards so a
+  // stuck genome strands less work behind it.
+  const double target_s = std::max(1, options_.shard_target_ms) / 1000.0;
+  const double penalized_latency = ewma + std::sqrt(std::max(0.0, variance));
+  if (penalized_latency <= 0.0) return cap;
+  const double exact = target_s / penalized_latency;
+  if (exact >= static_cast<double>(cap)) return cap;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(exact));
 }
 
 evo::EvalResult RemoteWorker::exchange(Socket& socket, const evo::Genome& genome) const {
@@ -260,9 +314,9 @@ evo::EvalResult RemoteWorker::exchange(Socket& socket, const evo::Genome& genome
   return result;
 }
 
-void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>& genomes,
-                                  const std::vector<std::size_t>& items,
-                                  std::vector<evo::EvalOutcome>& outcomes) const {
+std::uint64_t RemoteWorker::send_shard_request(Socket& socket,
+                                               const std::vector<evo::Genome>& genomes,
+                                               const std::vector<std::size_t>& items) const {
   EvalBatchRequest request;
   request.batch_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   request.genomes.reserve(items.size());
@@ -271,6 +325,13 @@ void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>
   write_eval_batch_request(writer, request);
   send_frame_on(socket, MsgType::EvalBatchRequest, writer.bytes());
   batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  return request.batch_id;
+}
+
+void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>& genomes,
+                                  const std::vector<std::size_t>& items,
+                                  std::vector<evo::EvalOutcome>& outcomes) const {
+  const std::uint64_t batch_id = send_shard_request(socket, genomes, items);
 
   const Frame frame =
       recv_frame_on(socket, batch_timeout_ms(options_.request_timeout_ms, items.size()));
@@ -280,9 +341,9 @@ void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>
   WireReader reader(frame.payload);
   EvalBatchResponse response = read_eval_batch_response(reader);
   reader.expect_end();
-  if (response.batch_id != request.batch_id) {
+  if (response.batch_id != batch_id) {
     throw NetError("batch id mismatch (" + std::to_string(response.batch_id) + " != " +
-                   std::to_string(request.batch_id) + ")");
+                   std::to_string(batch_id) + ")");
   }
   if (response.items.size() != items.size()) {
     throw WireError("wire: batch response holds " + std::to_string(response.items.size()) +
@@ -292,6 +353,82 @@ void RemoteWorker::exchange_batch(Socket& socket, const std::vector<evo::Genome>
     evo::EvalOutcome& slot = outcomes[items[k]];
     slot = std::move(response.items[k]);
     if (!slot.ok) slot.error = "remote evaluation failed: " + slot.error;
+  }
+}
+
+void RemoteWorker::exchange_stream(std::size_t endpoint_index, Socket& socket,
+                                   const std::vector<evo::Genome>& genomes,
+                                   const std::vector<std::size_t>& items,
+                                   std::vector<evo::EvalOutcome>& outcomes) const {
+  const std::uint64_t batch_id = send_shard_request(socket, genomes, items);
+
+  // Item frames arrive in completion order; slots settle by frame index the
+  // moment each lands, so a disconnect below loses only unanswered items.
+  const int frame_timeout = batch_timeout_ms(options_.request_timeout_ms, items.size());
+  std::vector<char> seen(items.size(), 0);
+  std::size_t settled = 0;
+  std::uint32_t highest_index = 0;
+  bool any_seen = false;
+  std::size_t out_of_order = 0;
+  util::Stopwatch watch;
+  double previous_arrival_s = 0.0;
+  while (settled < items.size()) {
+    const Frame frame = recv_frame_on(socket, frame_timeout);
+    if (frame.type != MsgType::EvalItemResult) {
+      if (frame.type == MsgType::EvalBatchDone) {
+        throw WireError("wire: EvalBatchDone with " + std::to_string(items.size() - settled) +
+                        " unsettled items");
+      }
+      throw NetError("expected EvalItemResult, got " + std::string(to_string(frame.type)));
+    }
+    WireReader reader(frame.payload);
+    EvalItemResult item = read_eval_item_result(reader);
+    reader.expect_end();
+    if (item.batch_id != batch_id) {
+      throw NetError("item batch id mismatch (" + std::to_string(item.batch_id) + " != " +
+                     std::to_string(batch_id) + ")");
+    }
+    if (item.index >= items.size()) {
+      throw WireError("wire: item index " + std::to_string(item.index) + " beyond shard of " +
+                      std::to_string(items.size()));
+    }
+    if (seen[item.index]) {
+      throw WireError("wire: duplicate item frame for index " + std::to_string(item.index));
+    }
+    seen[item.index] = 1;
+    ++settled;
+    if (any_seen && item.index < highest_index) ++out_of_order;
+    if (!any_seen || item.index > highest_index) highest_index = item.index;
+    any_seen = true;
+
+    // Arrival gaps sum to the shard's wall clock, so their EWMA is the
+    // endpoint's true per-item rate while their spread captures the
+    // heterogeneity the adaptive sizer reacts to.
+    const double arrival_s = watch.elapsed_seconds();
+    record_item_latency(endpoint_index, arrival_s - previous_arrival_s);
+    previous_arrival_s = arrival_s;
+
+    evo::EvalOutcome& slot = outcomes[items[item.index]];
+    slot = std::move(item.outcome);
+    if (!slot.ok) slot.error = "remote evaluation failed: " + slot.error;
+    streamed_items_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Frame done_frame = recv_frame_on(socket, frame_timeout);
+  if (done_frame.type != MsgType::EvalBatchDone) {
+    throw NetError("expected EvalBatchDone, got " + std::string(to_string(done_frame.type)));
+  }
+  WireReader done_reader(done_frame.payload);
+  const EvalBatchDone done = read_eval_batch_done(done_reader);
+  done_reader.expect_end();
+  if (done.batch_id != batch_id || done.count != items.size()) {
+    throw WireError("wire: EvalBatchDone mismatch (batch " + std::to_string(done.batch_id) +
+                    ", count " + std::to_string(done.count) + ")");
+  }
+  if (out_of_order > 0) {
+    out_of_order_items_.fetch_add(out_of_order, std::memory_order_relaxed);
+    util::Log(util::LogLevel::Debug, "net")
+        << "streamed shard of " << items.size() << " items consumed " << out_of_order
+        << " out-of-order item frames";
   }
 }
 
@@ -334,23 +471,16 @@ void RemoteWorker::exchange_pipelined(Socket& socket, const std::vector<evo::Gen
   }
 }
 
-void RemoteWorker::run_shard(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
+bool RemoteWorker::run_shard(Checkout& conn, const std::vector<evo::Genome>& genomes,
                              const std::vector<std::size_t>& items,
                              std::vector<evo::EvalOutcome>& outcomes,
                              std::vector<std::size_t>& unfinished) const {
-  Checkout conn;
-  if (!checkout_endpoint(endpoint_index, conn)) {
-    unfinished = items;
-    return;
-  }
-  // An outcome slot is settled once it holds a result or an error message;
-  // anything else was lost to the connection fault and must be re-sharded.
-  const auto settled = [&outcomes](std::size_t index) {
-    return outcomes[index].ok || !outcomes[index].error.empty();
-  };
   util::Stopwatch watch;
+  bool healthy = false;
   try {
-    if (conn.connection.version >= 2) {
+    if (conn.connection.version >= 3) {
+      exchange_stream(conn.endpoint_index, conn.connection.socket, genomes, items, outcomes);
+    } else if (conn.connection.version == 2) {
       exchange_batch(conn.connection.socket, genomes, items, outcomes);
     } else {
       // v1-only endpoint: the shard degrades to per-genome frames pipelined
@@ -358,28 +488,74 @@ void RemoteWorker::run_shard(std::size_t endpoint_index, const std::vector<evo::
       // the daemon's pool still runs the items concurrently).
       exchange_pipelined(conn.connection.socket, genomes, items, outcomes);
     }
-    record_throughput(endpoint_index, items.size(), watch.elapsed_seconds());
-    check_in(std::move(conn));
+    if (conn.connection.version < 3 && !items.empty()) {
+      // No per-item arrival times on the collected paths; one averaged
+      // sample still keeps the adaptive sizer honest about the endpoint.
+      record_item_latency(conn.endpoint_index,
+                          watch.elapsed_seconds() / static_cast<double>(items.size()));
+    }
+    healthy = true;
   } catch (const NetError& e) {
     util::Log(util::LogLevel::Warn, "net")
-        << "batch shard on " << options_.endpoints[endpoint_index].to_string() << " failed ("
-        << e.what() << "); re-sharding";
-    penalize(endpoint_index);
+        << "batch shard on " << options_.endpoints[conn.endpoint_index].to_string()
+        << " failed (" << e.what() << "); requeueing unsettled items";
+    penalize(conn.endpoint_index);
   } catch (const WireError& e) {
     util::Log(util::LogLevel::Warn, "net")
-        << "malformed batch response from " << options_.endpoints[endpoint_index].to_string()
-        << " (" << e.what() << "); re-sharding";
-    penalize(endpoint_index);
+        << "malformed batch response from "
+        << options_.endpoints[conn.endpoint_index].to_string() << " (" << e.what()
+        << "); requeueing unsettled items";
+    penalize(conn.endpoint_index);
   }
   std::size_t settled_count = 0;
   for (std::size_t index : items) {
-    if (settled(index)) {
+    if (outcomes[index].settled()) {
       ++settled_count;  // includes slots a failed shard settled before dying
     } else {
       unfinished.push_back(index);
     }
   }
   remote_evaluations_.fetch_add(settled_count, std::memory_order_relaxed);
+  return healthy;
+}
+
+void RemoteWorker::drive_endpoint(std::size_t endpoint_index,
+                                  const std::vector<evo::Genome>& genomes,
+                                  std::vector<std::size_t> first_shard, BatchQueue& queue,
+                                  std::vector<evo::EvalOutcome>& outcomes, bool primary) const {
+  const auto requeue = [&queue](const std::vector<std::size_t>& items) {
+    if (items.empty()) return;
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    for (std::size_t index : items) queue.pending.push_back(index);
+  };
+
+  // Connection first, work second: until the stream actually holds a
+  // handshaken socket it owns no items, so a connect timeout here delays
+  // nothing — the other streams keep draining the queue meanwhile.
+  Checkout conn;
+  if (!checkout_endpoint(endpoint_index, conn, /*penalize_on_failure=*/primary)) {
+    requeue(first_shard);
+    return;
+  }
+
+  std::vector<std::size_t> shard = std::move(first_shard);
+  for (;;) {
+    if (shard.empty()) {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      if (queue.pending.empty()) break;
+      const std::size_t take = std::min(shard_size(endpoint_index, queue), queue.pending.size());
+      shard.assign(queue.pending.begin(),
+                   queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+      queue.pending.erase(queue.pending.begin(),
+                          queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    std::vector<std::size_t> unfinished;
+    const bool healthy = run_shard(conn, genomes, shard, outcomes, unfinished);
+    requeue(unfinished);
+    if (!healthy) return;  // connection dead, endpoint sidelined; drop it
+    shard.clear();
+  }
+  check_in(std::move(conn));
 }
 
 std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo::Genome>& genomes,
@@ -390,98 +566,94 @@ std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo
   std::vector<std::size_t> pending(genomes.size());
   std::iota(pending.begin(), pending.end(), std::size_t{0});
 
-  struct Shard {
-    std::size_t endpoint_index = 0;
-    std::vector<std::size_t> items;
-  };
-
-  // Each scheduling round shards `pending` across the currently healthy
-  // endpoints proportionally to their observed throughput (largest-remainder
-  // apportionment; unknown endpoints get the mean weight), runs the shards
-  // concurrently, and re-shards whatever a dying endpoint left unfinished.
+  // Each scheduling round spins up a bounded set of shard streams over the
+  // currently healthy endpoints, all pulling from one shared queue; a round
+  // ends when every stream has drained or died, and whatever is unsettled
+  // re-enters the next round (endpoints may have revived by then).
   const std::size_t max_rounds =
       std::max<std::size_t>(1, options_.max_rounds) * states_.size() + 1;
+  bool waited_for_revival = false;
   for (std::size_t round = 0; round < max_rounds && !pending.empty(); ++round) {
     std::vector<std::size_t> available;
-    std::vector<double> weights;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       const Clock::time_point now = Clock::now();
       for (std::size_t i = 0; i < states_.size(); ++i) {
-        if (!endpoint_available(states_[i], now)) continue;
-        available.push_back(i);
-        weights.push_back(states_[i].throughput_ips);
+        if (endpoint_available(states_[i], now)) available.push_back(i);
       }
     }
-    if (available.empty()) break;  // nothing reachable; fall through to fallback
-
-    double known_sum = 0.0;
-    std::size_t known = 0;
-    for (double w : weights) {
-      if (w > 0.0) {
-        known_sum += w;
-        ++known;
+    if (available.empty()) {
+      // With heartbeats on, a sidelined endpoint revives only through the
+      // background ping — which may be milliseconds away.  Give it one
+      // bounded window before declaring the fleet dead: a transiently
+      // penalized endpoint (e.g. a handshake that lost a race) should cost
+      // a beat, not the whole batch's worth of remote work.
+      if (options_.heartbeat_interval_ms > 0 && !waited_for_revival) {
+        waited_for_revival = true;
+        const int wait_ms =
+            std::min(2000, std::max(100, options_.heartbeat_interval_ms * 4));
+        const Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(wait_ms);
+        while (Clock::now() < deadline && healthy_endpoints() == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (healthy_endpoints() > 0) continue;
       }
-    }
-    const double default_weight = known > 0 ? known_sum / static_cast<double>(known) : 1.0;
-    double total_weight = 0.0;
-    for (double& w : weights) {
-      if (w <= 0.0) w = default_weight;
-      total_weight += w;
+      break;  // nothing reachable; fall through to fallback
     }
 
-    // Integer apportionment of pending.size() items: floors first, then the
-    // largest fractional remainders claim the leftovers.
-    const std::size_t total_items = pending.size();
-    std::vector<std::size_t> counts(available.size(), 0);
-    std::vector<std::pair<double, std::size_t>> remainders;
-    std::size_t assigned = 0;
+    const std::size_t streams_each = std::max<std::size_t>(1, options_.streams_per_endpoint);
+    const std::size_t total_streams =
+        std::max<std::size_t>(1, std::min(available.size() * streams_each, pending.size()));
+
+    BatchQueue queue;
+    queue.pending.assign(pending.begin(), pending.end());
+    queue.total_streams = total_streams;
+
+    // Reserve one equal-prior shard per endpoint up front: the round's first
+    // wave covers the whole fleet deterministically, and only then does the
+    // shared queue turn the remainder into a work-stealing race.
+    std::vector<std::vector<std::size_t>> reserved(available.size());
+    for (std::size_t s = 0; s < available.size() && !queue.pending.empty(); ++s) {
+      const std::size_t take =
+          std::min(shard_size(available[s], queue), queue.pending.size());
+      reserved[s].assign(queue.pending.begin(),
+                         queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+      queue.pending.erase(queue.pending.begin(),
+                          queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+
+    struct Stream {
+      std::size_t endpoint_index = 0;
+      std::vector<std::size_t> first_shard;
+      bool primary = false;
+    };
+    std::vector<Stream> streams;
+    streams.reserve(available.size() * streams_each);
     for (std::size_t s = 0; s < available.size(); ++s) {
-      const double exact = static_cast<double>(total_items) * weights[s] / total_weight;
-      counts[s] = std::min<std::size_t>(static_cast<std::size_t>(exact), kMaxBatchItems);
-      assigned += counts[s];
-      remainders.emplace_back(exact - static_cast<double>(counts[s]), s);
-    }
-    std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
-    for (std::size_t k = 0; assigned < total_items && k < remainders.size(); ++k) {
-      const std::size_t s = remainders[k].second;
-      if (counts[s] >= kMaxBatchItems) continue;
-      ++counts[s];
-      ++assigned;
+      for (std::size_t k = 0; k < streams_each; ++k) {
+        Stream stream;
+        stream.endpoint_index = available[s];
+        stream.primary = (k == 0);
+        if (k == 0) stream.first_shard = std::move(reserved[s]);
+        streams.push_back(std::move(stream));
+      }
     }
 
-    std::vector<Shard> shards;
-    std::size_t cursor = 0;
-    for (std::size_t s = 0; s < available.size() && cursor < total_items; ++s) {
-      if (counts[s] == 0) continue;
-      Shard shard;
-      shard.endpoint_index = available[s];
-      const std::size_t take = std::min(counts[s], total_items - cursor);
-      shard.items.assign(pending.begin() + static_cast<std::ptrdiff_t>(cursor),
-                         pending.begin() + static_cast<std::ptrdiff_t>(cursor + take));
-      cursor += take;
-      shards.push_back(std::move(shard));
-    }
-
-    std::vector<std::vector<std::size_t>> unfinished(shards.size());
-    if (shards.size() == 1) {
-      run_shard(shards[0].endpoint_index, genomes, shards[0].items, outcomes, unfinished[0]);
+    if (streams.size() == 1) {
+      drive_endpoint(streams[0].endpoint_index, genomes, std::move(streams[0].first_shard),
+                     queue, outcomes, /*primary=*/true);
     } else {
-      pool.parallel_for(shards.size(), [&](std::size_t s) {
-        run_shard(shards[s].endpoint_index, genomes, shards[s].items, outcomes, unfinished[s]);
+      pool.parallel_for(streams.size(), [&](std::size_t s) {
+        drive_endpoint(streams[s].endpoint_index, genomes, std::move(streams[s].first_shard),
+                       queue, outcomes, /*primary=*/streams[s].primary);
       });
     }
 
     std::vector<std::size_t> next;
-    // Items the apportionment could not place this round (batch-size caps)
-    // stay pending alongside whatever the shards could not finish.
-    next.insert(next.end(), pending.begin() + static_cast<std::ptrdiff_t>(cursor), pending.end());
-    for (const std::vector<std::size_t>& shard_unfinished : unfinished) {
-      next.insert(next.end(), shard_unfinished.begin(), shard_unfinished.end());
+    for (std::size_t index : pending) {
+      if (!outcomes[index].settled()) next.push_back(index);
     }
-    std::sort(next.begin(), next.end());
     pending = std::move(next);
   }
 

@@ -4,23 +4,32 @@
 // endpoints with per-request timeouts, retry-on-disconnect, and (optionally)
 // fallback to a local worker when nothing is reachable.
 //
-// Batching (protocol v2): evaluate_batch() shards a generation-sized chunk
-// across the healthy endpoints proportionally to their observed throughput
-// and ships each shard as one EvalBatchRequest frame, so a whole shard costs
-// one network round-trip instead of one per genome.  When an endpoint dies
-// mid-batch its unfinished items are re-sharded across the survivors; items
-// the remote worker itself failed on are NOT retried (deterministic per
-// genome) and surface through their per-item error slots.  Endpoints that
-// only speak v1 are still sharded to — their shard degrades to per-item
-// EvalRequest frames pipelined on one pooled connection (all requests sent
-// up front, responses matched by id), so the daemon's pool still evaluates
-// the shard concurrently.
+// Batch scheduling (completion-driven, protocol v3): evaluate_batch() feeds
+// a shared pending queue through a bounded number of concurrent shard
+// streams per endpoint.  Each stream pops a small shard off the queue, ships
+// it as one EvalBatchRequest frame, and — on a v3 connection — settles
+// outcome slots incrementally as the worker streams EvalItemResult frames
+// back in completion order, so one slow genome no longer delays its
+// shard-mates' results.  A stream that drains its shard immediately pops the
+// next one, which is work stealing by construction: fast endpoints simply
+// consume more of the queue while a slow endpoint grinds through its shard.
+// Shard sizes adapt per endpoint from the observed per-item latency EWMA and
+// its variance (high-variance endpoints get smaller shards so a stuck item
+// strands less work); at cold start every endpoint gets the same equal-prior
+// shard so no single endpoint swallows the whole queue before the others
+// have a measurement.  Endpoints negotiated to v2 degrade to the single
+// collected EvalBatchResponse frame, v1 endpoints to per-item EvalRequest
+// frames pipelined on one connection; both still pull shards from the same
+// queue.  When an endpoint dies mid-shard its unsettled items return to the
+// queue for the surviving streams; items the remote worker itself failed on
+// are NOT retried (deterministic per genome) and surface through their
+// per-item error slots.
 //
 // Connection model: each exchange checks a connection out of a shared idle
 // pool (connecting + handshaking lazily), speaks on it exclusively, and
 // returns it for reuse, so failure handling stays local to one exchange.
 // Version negotiation happens per connection in the Hello exchange; a peer
-// so old it drops the v2 Hello (trailing-bytes error) gets one downgrade
+// so old it drops the v2+ Hello (trailing-bytes error) gets one downgrade
 // retry with the exact v1 handshake and is remembered as v1-only.
 //
 // Heartbeats: endpoints that fail are sidelined, and a background thread
@@ -34,6 +43,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -48,9 +58,9 @@ namespace ecad::net {
 struct RemoteWorkerOptions {
   std::vector<Endpoint> endpoints;
   int connect_timeout_ms = 2000;
-  /// Deadline for one EvalResponse (covers remote training time).  Batch
-  /// responses get this budget per item: a shard of N genomes waits up to
-  /// N * request_timeout_ms for its single response frame.
+  /// Deadline for one EvalResponse (covers remote training time).  Streamed
+  /// batches get this budget per item: a shard of N genomes allows up to
+  /// N * request_timeout_ms between successive frames.
   int request_timeout_ms = 120000;
   /// How long a failed endpoint sits out before being retried when
   /// heartbeats are disabled.  With heartbeats on, a sidelined endpoint
@@ -61,8 +71,18 @@ struct RemoteWorkerOptions {
   /// Background ping period for sidelined endpoints; 0 disables the
   /// heartbeat thread (v1 cooldown behavior).
   int heartbeat_interval_ms = 250;
-  /// Highest protocol version offered in the handshake.  Pin to 1 to force
-  /// per-genome EvalRequest exchanges even against v2 daemons.
+  /// Concurrent shard streams per endpoint in evaluate_batch().  Two keeps
+  /// the daemon's pool fed while the previous shard's tail is still
+  /// streaming back; 1 restores strictly sequential shards per endpoint.
+  std::size_t streams_per_endpoint = 2;
+  /// Wall clock the adaptive sizer aims at per shard once an endpoint has a
+  /// latency measurement.  Smaller targets mean finer-grained work stealing
+  /// (less work strands behind a slow genome) at the cost of more frames.
+  int shard_target_ms = 200;
+  /// Hard cap on items per shard (also bounded by kMaxBatchItems).
+  std::size_t max_shard_items = 256;
+  /// Highest protocol version offered in the handshake.  Pin to 2 for v2
+  /// single-response batch frames, 1 for per-genome EvalRequest exchanges.
   std::uint16_t max_protocol = kProtocolVersion;
   /// When no endpoint is reachable: evaluate locally on this worker instead
   /// of failing the search. nullptr = throw NetError.
@@ -83,10 +103,11 @@ class RemoteWorker final : public core::Worker {
   /// surfaces as std::runtime_error with the remote message.
   evo::EvalResult evaluate(const evo::Genome& genome) const override;
 
-  /// Shard the chunk across healthy endpoints (one EvalBatchRequest frame
-  /// per shard), re-sharding remainders when endpoints die mid-batch.
-  /// Outcomes are in input order; network exhaustion falls back to the local
-  /// worker or throws NetError, exactly like evaluate().
+  /// Completion-driven batch dispatch (see the header comment): shards pull
+  /// from a shared queue across all healthy endpoints, slots settle as item
+  /// frames stream back, unsettled items of a dying endpoint return to the
+  /// queue.  Outcomes are in input order; network exhaustion falls back to
+  /// the local worker or throws NetError, exactly like evaluate().
   std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
                                                util::ThreadPool& pool) const override;
 
@@ -105,6 +126,15 @@ class RemoteWorker final : public core::Worker {
   /// EvalBatchRequest frames dispatched (shards, not generations).
   std::size_t batches_dispatched() const {
     return batches_dispatched_.load(std::memory_order_relaxed);
+  }
+  /// EvalItemResult frames consumed from v3 streaming workers.
+  std::size_t streamed_items() const {
+    return streamed_items_.load(std::memory_order_relaxed);
+  }
+  /// Streamed item frames that arrived before a lower-index shard-mate —
+  /// direct evidence the pipeline consumed results in completion order.
+  std::size_t out_of_order_items() const {
+    return out_of_order_items_.load(std::memory_order_relaxed);
   }
   /// Sidelined endpoints revived by the heartbeat thread's Ping.
   std::size_t heartbeat_rejoins() const {
@@ -126,13 +156,35 @@ class RemoteWorker final : public core::Worker {
     bool down = false;                    // sidelined until ping / cooldown expiry
     Clock::time_point down_until{};       // cooldown gate (heartbeats disabled)
     std::uint16_t max_version = kProtocolVersion;  // lowered after a v1 downgrade
-    double throughput_ips = 0.0;          // EWMA items/sec; 0 = not yet observed
+    /// A v1 downgrade is remembered only until this deadline, then the full
+    /// protocol is re-offered: a genuine legacy peer re-pays one extra
+    /// handshake round-trip per window, while a healthy v3 daemon that
+    /// merely timed out one Hello under load is not stripped of batching
+    /// and streaming for the rest of the process.
+    Clock::time_point demoted_until{};
+    /// EWMA of observed per-item latency (seconds); 0 = not yet observed.
+    /// Every endpoint starts at the same unobserved prior, so cold-start
+    /// shard sizing is equal-share by construction.
+    double item_latency_ewma_s = 0.0;
+    /// EWMA of squared deviation from the latency mean; feeds the sizer's
+    /// variance penalty (jittery endpoints get smaller shards).
+    double item_latency_var_s2 = 0.0;
     std::vector<PooledConnection> idle;   // handshaken connections ready for reuse
   };
 
   struct Checkout {
     std::size_t endpoint_index = 0;
     PooledConnection connection;
+  };
+
+  /// Shared work queue of one evaluate_batch() call: indices not yet handed
+  /// to a stream.  Failed shards push their unsettled indices back.
+  struct BatchQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> pending;
+    /// Streams pulling from this queue; bounds every shard to its fair
+    /// share of the pending items (see shard_size()).
+    std::size_t total_streams = 1;
   };
 
   bool endpoint_available(const EndpointState& state, Clock::time_point now) const;
@@ -142,39 +194,80 @@ class RemoteWorker final : public core::Worker {
   /// sidelined or unreachable right now.
   bool checkout(Checkout& out) const;
   /// Same, but pinned to one endpoint (used by the batch scheduler, which
-  /// decides placement itself).  Sidelines the endpoint on failure.
-  bool checkout_endpoint(std::size_t endpoint_index, Checkout& out) const;
+  /// decides placement itself).  With `penalize_on_failure` (the default)
+  /// a failed connect sidelines the endpoint; a secondary shard stream
+  /// passes false — failing to open an *extra* connection (e.g. against a
+  /// single-connection daemon) must not sideline an endpoint whose primary
+  /// stream is healthy mid-shard.
+  bool checkout_endpoint(std::size_t endpoint_index, Checkout& out,
+                         bool penalize_on_failure = true) const;
   void check_in(Checkout&& checkout) const;
   void penalize(std::size_t endpoint_index) const;
-  void record_throughput(std::size_t endpoint_index, std::size_t items, double seconds) const;
+  /// Fold one per-item latency sample into the endpoint's EWMA/variance.
+  void record_item_latency(std::size_t endpoint_index, double seconds) const;
+  /// Items the next shard for this endpoint should carry: the latency-EWMA
+  /// adaptive size (equal prior when unobserved), hard-bounded by the fair
+  /// share of the currently pending queue across every stream — one fast
+  /// endpoint must never swallow the whole queue and starve the fleet.
+  /// Caller holds queue.mutex (or has exclusive access pre-launch).
+  std::size_t shard_size(std::size_t endpoint_index, const BatchQueue& queue) const;
 
   /// Connect + Hello/HelloAck at the endpoint's remembered max version, with
-  /// one v1 downgrade retry when a v2 handshake bounces off an old peer.
-  bool connect_endpoint(std::size_t endpoint_index, PooledConnection& out) const;
+  /// one v1 downgrade retry when a v2+ handshake bounces off an old peer.
+  bool connect_endpoint(std::size_t endpoint_index, PooledConnection& out,
+                        bool penalize_on_failure = true) const;
 
   /// One request/response exchange on a checked-out connection.
   evo::EvalResult exchange(Socket& socket, const evo::Genome& genome) const;
 
+  /// Ship one EvalBatchRequest frame for `items` (indices into `genomes`)
+  /// and count it; returns the batch id.  Shared by the v2 and v3 exchange
+  /// paths so shard framing cannot drift between them.
+  std::uint64_t send_shard_request(Socket& socket, const std::vector<evo::Genome>& genomes,
+                                   const std::vector<std::size_t>& items) const;
+
   /// One EvalBatchRequest/Response exchange for `items` (indices into
   /// `genomes`), writing outcome slots.  Throws NetError/WireError on
-  /// connection-level failures (the caller re-shards).
+  /// connection-level failures (the caller requeues unsettled items).
   void exchange_batch(Socket& socket, const std::vector<evo::Genome>& genomes,
                       const std::vector<std::size_t>& items,
                       std::vector<evo::EvalOutcome>& outcomes) const;
 
-  /// v1 equivalent of exchange_batch: per-genome EvalRequest frames
-  /// pipelined on one connection, responses matched by request id as the
-  /// daemon finishes them (any order).  Slots settle incrementally, so a
-  /// mid-pipeline disconnect loses only the unanswered items.
+  /// v3 equivalent: one EvalBatchRequest answered by streamed EvalItemResult
+  /// frames (completion order) + a terminal EvalBatchDone.  Slots settle
+  /// incrementally, so a mid-stream disconnect loses only the unanswered
+  /// items; per-item latencies feed the adaptive sizer.
+  void exchange_stream(std::size_t endpoint_index, Socket& socket,
+                       const std::vector<evo::Genome>& genomes,
+                       const std::vector<std::size_t>& items,
+                       std::vector<evo::EvalOutcome>& outcomes) const;
+
+  /// v1 equivalent: per-genome EvalRequest frames pipelined on one
+  /// connection, responses matched by request id as the daemon finishes them
+  /// (any order).  Slots settle incrementally here too.
   void exchange_pipelined(Socket& socket, const std::vector<evo::Genome>& genomes,
                           const std::vector<std::size_t>& items,
                           std::vector<evo::EvalOutcome>& outcomes) const;
 
-  /// Run one shard on one endpoint; indices it could not finish (network
-  /// fault) land in `unfinished` for re-sharding.
-  void run_shard(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
+  /// Run one shard on an already checked-out connection; indices it could
+  /// not finish (network fault) land in `unfinished` for requeueing.
+  /// Returns false — after sidelining the endpoint — when the connection
+  /// died; the stream must stop using it.
+  bool run_shard(Checkout& conn, const std::vector<evo::Genome>& genomes,
                  const std::vector<std::size_t>& items, std::vector<evo::EvalOutcome>& outcomes,
                  std::vector<std::size_t>& unfinished) const;
+
+  /// One shard stream: establishes its connection FIRST (so no item is ever
+  /// stranded behind a connect timeout), then pops shards off the queue and
+  /// runs them until the queue drains or the connection dies.  `first_shard`
+  /// (optional, may be empty) is the round's reserved equal-prior shard that
+  /// guarantees every healthy endpoint participates before stealing starts;
+  /// it is requeued untouched when the stream cannot connect.  `primary`
+  /// marks the endpoint's first stream — the only one allowed to sideline
+  /// the endpoint over a failed *connect* (see checkout_endpoint).
+  void drive_endpoint(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
+                      std::vector<std::size_t> first_shard, BatchQueue& queue,
+                      std::vector<evo::EvalOutcome>& outcomes, bool primary) const;
 
   void heartbeat_loop();
 
@@ -186,6 +279,8 @@ class RemoteWorker final : public core::Worker {
   mutable std::atomic<std::size_t> remote_evaluations_{0};
   mutable std::atomic<std::size_t> fallback_evaluations_{0};
   mutable std::atomic<std::size_t> batches_dispatched_{0};
+  mutable std::atomic<std::size_t> streamed_items_{0};
+  mutable std::atomic<std::size_t> out_of_order_items_{0};
   mutable std::atomic<std::size_t> heartbeat_rejoins_{0};
 
   std::mutex heartbeat_mutex_;

@@ -17,6 +17,8 @@ const char* to_string(MsgType type) {
     case MsgType::Shutdown: return "Shutdown";
     case MsgType::EvalBatchRequest: return "EvalBatchRequest";
     case MsgType::EvalBatchResponse: return "EvalBatchResponse";
+    case MsgType::EvalItemResult: return "EvalItemResult";
+    case MsgType::EvalBatchDone: return "EvalBatchDone";
   }
   return "?";
 }
@@ -26,6 +28,9 @@ std::uint16_t frame_version_for(MsgType type) {
     case MsgType::EvalBatchRequest:
     case MsgType::EvalBatchResponse:
       return 2;
+    case MsgType::EvalItemResult:
+    case MsgType::EvalBatchDone:
+      return 3;
     default:
       return 1;
   }
@@ -35,7 +40,7 @@ namespace {
 
 bool known_msg_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint16_t>(MsgType::EvalBatchResponse);
+         raw <= static_cast<std::uint16_t>(MsgType::EvalBatchDone);
 }
 
 }  // namespace
@@ -255,6 +260,11 @@ void write_search_request(WireWriter& writer, const core::SearchRequest& request
   writer.put_f64(evolution.mutation_strength);
   writer.put_u64(evolution.dedup_attempts);
   writer.put_u64(evolution.batch_size);
+  // Overlap fields (PR 5).  SearchRequest has no MsgType yet (no peer
+  // exchanges it), so extending the encoding is safe; the planned
+  // SubmitSearch message will be framed at whatever version ships it.
+  writer.put_bool(evolution.overlap_generations);
+  writer.put_u64(evolution.max_inflight_batches);
 
   writer.put_string(request.fitness);
   writer.put_u64(request.seed);
@@ -291,6 +301,8 @@ core::SearchRequest read_search_request(WireReader& reader) {
   evolution.mutation_strength = reader.get_f64();
   evolution.dedup_attempts = static_cast<std::size_t>(reader.get_u64());
   evolution.batch_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.overlap_generations = reader.get_bool();
+  evolution.max_inflight_batches = static_cast<std::size_t>(reader.get_u64());
 
   request.fitness = reader.get_string();
   request.seed = reader.get_u64();
@@ -324,6 +336,32 @@ EvalBatchRequest read_eval_batch_request(WireReader& reader) {
   return request;
 }
 
+namespace {
+
+// Outcome-slot encoding shared by the v2 batch response and the v3 item
+// frame, so the two generations cannot drift apart.
+void put_outcome(WireWriter& writer, const evo::EvalOutcome& item) {
+  writer.put_bool(item.ok);
+  if (item.ok) {
+    write_eval_result(writer, item.result);
+  } else {
+    writer.put_string(item.error);
+  }
+}
+
+evo::EvalOutcome get_outcome(WireReader& reader) {
+  evo::EvalOutcome item;
+  item.ok = reader.get_bool();
+  if (item.ok) {
+    item.result = read_eval_result(reader);
+  } else {
+    item.error = reader.get_string();
+  }
+  return item;
+}
+
+}  // namespace
+
 void write_eval_batch_response(WireWriter& writer, const EvalBatchResponse& response) {
   if (response.items.size() > kMaxBatchItems) {
     throw WireError("wire: batch of " + std::to_string(response.items.size()) +
@@ -331,14 +369,7 @@ void write_eval_batch_response(WireWriter& writer, const EvalBatchResponse& resp
   }
   writer.put_u64(response.batch_id);
   writer.put_u32(static_cast<std::uint32_t>(response.items.size()));
-  for (const evo::EvalOutcome& item : response.items) {
-    writer.put_bool(item.ok);
-    if (item.ok) {
-      write_eval_result(writer, item.result);
-    } else {
-      writer.put_string(item.error);
-    }
-  }
+  for (const evo::EvalOutcome& item : response.items) put_outcome(writer, item);
 }
 
 EvalBatchResponse read_eval_batch_response(WireReader& reader) {
@@ -349,17 +380,52 @@ EvalBatchResponse read_eval_batch_response(WireReader& reader) {
     throw WireError("wire: batch length " + std::to_string(count) + " exceeds the limit");
   }
   response.items.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    evo::EvalOutcome item;
-    item.ok = reader.get_bool();
-    if (item.ok) {
-      item.result = read_eval_result(reader);
-    } else {
-      item.error = reader.get_string();
-    }
-    response.items.push_back(std::move(item));
-  }
+  for (std::uint32_t i = 0; i < count; ++i) response.items.push_back(get_outcome(reader));
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming evaluation (protocol v3)
+// ---------------------------------------------------------------------------
+
+void write_eval_item_result(WireWriter& writer, const EvalItemResult& item) {
+  if (item.index >= kMaxBatchItems) {
+    throw WireError("wire: item index " + std::to_string(item.index) + " exceeds the limit");
+  }
+  writer.put_u64(item.batch_id);
+  writer.put_u32(item.index);
+  put_outcome(writer, item.outcome);
+}
+
+EvalItemResult read_eval_item_result(WireReader& reader) {
+  EvalItemResult item;
+  item.batch_id = reader.get_u64();
+  item.index = reader.get_u32();
+  if (item.index >= kMaxBatchItems) {
+    throw WireError("wire: item index " + std::to_string(item.index) + " exceeds the limit");
+  }
+  item.outcome = get_outcome(reader);
+  return item;
+}
+
+void write_eval_batch_done(WireWriter& writer, const EvalBatchDone& done) {
+  if (done.count > kMaxBatchItems) {
+    throw WireError("wire: batch-done count " + std::to_string(done.count) +
+                    " exceeds the limit");
+  }
+  writer.put_u64(done.batch_id);
+  writer.put_u32(done.count);
+}
+
+EvalBatchDone read_eval_batch_done(WireReader& reader) {
+  EvalBatchDone done;
+  done.batch_id = reader.get_u64();
+  done.count = reader.get_u32();
+  if (done.count > kMaxBatchItems) {
+    throw WireError("wire: batch-done count " + std::to_string(done.count) +
+                    " exceeds the limit");
+  }
+  return done;
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,14 @@
 // payloads optionally carry a trailing u16 with the sender's maximum
 // supported version (absent = 1), and both sides speak min(theirs, ours).
 // Batch frames are only legal on connections negotiated to >= 2.
+//
+// Streaming (v3): on a connection negotiated to >= 3, a worker answers
+// EvalBatchRequest not with one EvalBatchResponse but with one EvalItemResult
+// frame per item *as each item completes* (in completion order, not request
+// order) followed by a terminal EvalBatchDone frame.  One slow genome no
+// longer holds back its shard-mates' results.  v2 connections keep the
+// single-response shape byte-for-byte, so a --max-protocol 2 pin restores
+// the old wire behavior exactly.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +54,7 @@ class WireError : public std::runtime_error {
 inline constexpr std::uint32_t kWireMagic = 0x44414345u;
 /// Highest protocol version this build speaks. Peers negotiate down to the
 /// smaller of the two maxima; version 1 peers keep working unmodified.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Genomes and results are tiny; anything near this limit is corruption.
@@ -67,6 +75,8 @@ enum class MsgType : std::uint16_t {
   Shutdown = 7,          // client asks the daemon to exit its accept loop
   EvalBatchRequest = 8,  // v2: u64 batch id + u32 count + count Genomes
   EvalBatchResponse = 9, // v2: u64 batch id + u32 count + count outcome slots
+  EvalItemResult = 10,   // v3: u64 batch id + u32 slot index + one outcome slot
+  EvalBatchDone = 11,    // v3: u64 batch id + u32 count of item frames sent
 };
 
 const char* to_string(MsgType type);
@@ -165,6 +175,34 @@ EvalBatchRequest read_eval_batch_request(WireReader& reader);
 
 void write_eval_batch_response(WireWriter& writer, const EvalBatchResponse& response);
 EvalBatchResponse read_eval_batch_response(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Streaming evaluation (protocol v3)
+// ---------------------------------------------------------------------------
+
+/// One EvalItemResult frame: a single slot of an in-flight batch, streamed
+/// the moment its evaluation completes.  `index` is the slot position in the
+/// originating EvalBatchRequest; frames arrive in completion order, so a
+/// receiver must settle slots by index, never by arrival position.
+struct EvalItemResult {
+  std::uint64_t batch_id = 0;
+  std::uint32_t index = 0;
+  evo::EvalOutcome outcome;
+};
+
+/// Terminal frame of a streamed batch: after `count` EvalItemResult frames
+/// the worker declares the batch finished.  A receiver holding unsettled
+/// slots past this frame knows the stream was corrupt rather than slow.
+struct EvalBatchDone {
+  std::uint64_t batch_id = 0;
+  std::uint32_t count = 0;
+};
+
+void write_eval_item_result(WireWriter& writer, const EvalItemResult& item);
+EvalItemResult read_eval_item_result(WireReader& reader);
+
+void write_eval_batch_done(WireWriter& writer, const EvalBatchDone& done);
+EvalBatchDone read_eval_batch_done(WireReader& reader);
 
 // ---------------------------------------------------------------------------
 // Handshake payloads

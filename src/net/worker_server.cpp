@@ -124,6 +124,8 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
     case MsgType::Pong:
     case MsgType::EvalResponse:
     case MsgType::EvalBatchResponse:
+    case MsgType::EvalItemResult:
+    case MsgType::EvalBatchDone:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;
@@ -138,7 +140,7 @@ void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& conne
   reader.expect_end();
 
   // Shared by the batch's pool tasks: outcome slots are written by disjoint
-  // indices, `remaining` elects the task that streams the response frame.
+  // indices, `remaining` elects the task that sends the terminal frame.
   struct BatchJob {
     std::uint64_t batch_id = 0;
     std::vector<evo::Genome> genomes;
@@ -151,15 +153,33 @@ void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& conne
   job->outcomes.resize(job->genomes.size());
   job->remaining.store(job->genomes.size(), std::memory_order_relaxed);
 
-  auto finish = [this, connection, job] {
-    EvalBatchResponse response;
-    response.batch_id = job->batch_id;
-    response.items = std::move(job->outcomes);
+  // v3 connections get streamed per-item frames (one the moment each item
+  // completes, in completion order) closed by EvalBatchDone; v2 connections
+  // keep the single collected EvalBatchResponse byte-for-byte.
+  const bool streaming = connection->version >= 3;
+
+  auto finish = [this, connection, job, streaming] {
     WireWriter writer;
-    write_eval_batch_response(writer, response);
-    requests_served_.fetch_add(response.items.size(), std::memory_order_relaxed);
+    MsgType type;
+    if (streaming) {
+      EvalBatchDone done;
+      done.batch_id = job->batch_id;
+      done.count = static_cast<std::uint32_t>(job->outcomes.size());
+      write_eval_batch_done(writer, done);
+      type = MsgType::EvalBatchDone;
+    } else {
+      EvalBatchResponse response;
+      response.batch_id = job->batch_id;
+      response.items = std::move(job->outcomes);
+      write_eval_batch_response(writer, response);
+      type = MsgType::EvalBatchResponse;
+      // Count before writing: a client holding the response must never
+      // observe a counter that excludes it.  (Streamed items were already
+      // counted as their frames went out.)
+      requests_served_.fetch_add(response.items.size(), std::memory_order_relaxed);
+    }
     try {
-      send_frame(connection, MsgType::EvalBatchResponse, writer.bytes());
+      send_frame(connection, type, writer.bytes());
     } catch (const NetError& e) {
       util::Log(util::LogLevel::Debug, "net") << "batch response dropped: " << e.what();
     }
@@ -169,8 +189,26 @@ void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& conne
     return;
   }
   for (std::size_t i = 0; i < job->genomes.size(); ++i) {
-    pool_->submit([this, job, finish, i] {
-      job->outcomes[i] = core::evaluate_outcome(worker_, job->genomes[i]);
+    pool_->submit([this, connection, job, finish, streaming, i] {
+      evo::EvalOutcome outcome = core::evaluate_outcome(worker_, job->genomes[i]);
+      if (streaming) {
+        // The outcome travels in its own frame right now; finish() only
+        // needs outcomes.size() for EvalBatchDone, so skip the store.
+        EvalItemResult item;
+        item.batch_id = job->batch_id;
+        item.index = static_cast<std::uint32_t>(i);
+        item.outcome = std::move(outcome);
+        WireWriter writer;
+        write_eval_item_result(writer, item);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          send_frame(connection, MsgType::EvalItemResult, writer.bytes());
+        } catch (const NetError& e) {
+          util::Log(util::LogLevel::Debug, "net") << "item frame dropped: " << e.what();
+        }
+      } else {
+        job->outcomes[i] = std::move(outcome);
+      }
       if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) finish();
     });
   }

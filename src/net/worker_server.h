@@ -7,9 +7,12 @@
 // dispatched to the existing util::ThreadPool, so N in-flight requests —
 // from one Master connection or several — evaluate concurrently.  A batch's
 // items each get their own pool task (they evaluate concurrently with each
-// other and with other requests); the last item to finish assembles and
-// streams the single EvalBatchResponse frame.  Responses are written from
-// pool threads under a per-connection mutex (frames stay whole on the wire).
+// other and with other requests).  On a v2 connection the last item to
+// finish assembles and sends the single EvalBatchResponse frame; on a v3
+// connection every item streams its own EvalItemResult frame the moment it
+// completes (completion order, not request order) and the last one closes
+// the batch with EvalBatchDone.  Responses are written from pool threads
+// under a per-connection mutex (frames stay whole on the wire).
 #pragma once
 
 #include <atomic>
@@ -35,7 +38,8 @@ struct WorkerServerOptions {
   /// Event-loop poll granularity (also bounds stop() latency).
   int poll_interval_ms = 50;
   /// Highest protocol version offered during the handshake.  Pin to 1 to
-  /// serve as a v1-only worker (per-genome EvalRequest frames only).
+  /// serve as a v1-only worker (per-genome EvalRequest frames only); pin to
+  /// 2 to disable per-item streaming (single EvalBatchResponse frames).
   std::uint16_t max_protocol = kProtocolVersion;
 };
 

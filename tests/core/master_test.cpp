@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 namespace ecad::core {
 namespace {
 
@@ -29,6 +31,86 @@ TEST(Master, RunsSearchWithNamedFitness) {
   EXPECT_GE(result.stats.models_evaluated, 6u);
   // Accuracy grows with depth; the winner should use max layers (4).
   EXPECT_EQ(result.best.genome.nna.hidden.size(), 4u);
+}
+
+// Counts distinct evaluations — the probe for intra-batch dedup.
+class CountingWorker final : public Worker {
+ public:
+  std::string name() const override { return "counting"; }
+  evo::EvalResult evaluate(const evo::Genome& genome) const override {
+    calls_.fetch_add(1);
+    evo::EvalResult result;
+    result.accuracy = 0.5 + 0.01 * static_cast<double>(genome.nna.hidden.size());
+    result.parameters = static_cast<double>(genome.grid.dsp_usage());
+    return result;
+  }
+  std::size_t calls() const { return calls_.load(); }
+
+ private:
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+TEST(Master, IntraBatchDedupCollapsesDuplicatesAndFansResultsBack) {
+  const CountingWorker worker;
+  util::ThreadPool pool(2);
+
+  evo::Genome a;
+  a.nna.hidden = {16};
+  evo::Genome b;
+  b.nna.hidden = {32, 8};
+  // a twice, b three times, a again: 6 slots, 2 unique evaluations.
+  const std::vector<evo::Genome> genomes = {a, b, a, b, b, a};
+  const std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
+
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  EXPECT_EQ(worker.calls(), 2u) << "duplicate genomes crossed the dedup layer";
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "slot " << i;
+    const evo::EvalResult direct = worker.evaluate(genomes[i]);
+    EXPECT_EQ(outcomes[i].result.accuracy, direct.accuracy) << "slot " << i;
+    EXPECT_EQ(outcomes[i].result.parameters, direct.parameters) << "slot " << i;
+  }
+  // Duplicate slots hold bit-identical copies of the first occurrence.
+  EXPECT_EQ(outcomes[0].result.accuracy, outcomes[2].result.accuracy);
+  EXPECT_EQ(outcomes[1].result.accuracy, outcomes[4].result.accuracy);
+}
+
+TEST(Master, DedupPassesUniqueBatchesStraightThrough) {
+  const CountingWorker worker;
+  util::ThreadPool pool(2);
+  std::vector<evo::Genome> genomes(3);
+  for (std::size_t i = 0; i < genomes.size(); ++i) genomes[i].nna.hidden = {8 + 8 * i};
+  const std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
+  ASSERT_EQ(outcomes.size(), genomes.size());
+  EXPECT_EQ(worker.calls(), genomes.size());
+  for (const evo::EvalOutcome& outcome : outcomes) EXPECT_TRUE(outcome.ok);
+}
+
+TEST(Master, DedupPreservesPerSlotErrorsForPoisonedDuplicates) {
+  // Poisoned genome appearing twice: both slots fail with the same message,
+  // from one evaluation.
+  class PartiallyThrowingWorker final : public Worker {
+   public:
+    std::string name() const override { return "partial"; }
+    evo::EvalResult evaluate(const evo::Genome& genome) const override {
+      if (genome.nna.hidden.empty()) throw std::domain_error("poisoned");
+      evo::EvalResult result;
+      result.accuracy = 0.7;
+      return result;
+    }
+  };
+  const PartiallyThrowingWorker worker;
+  util::ThreadPool pool(2);
+  evo::Genome poisoned;  // empty hidden list
+  evo::Genome healthy;
+  healthy.nna.hidden = {8};
+  const std::vector<evo::Genome> genomes = {poisoned, healthy, poisoned};
+  const std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_TRUE(outcomes[1].ok);
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_EQ(outcomes[0].error, outcomes[2].error);
 }
 
 // Worker that fails on every genome — exercises error propagation.

@@ -212,5 +212,74 @@ TEST(GoldenFrames, HelloV2WithVersionTrailer) {
   expect_matches_golden("hello_v2.bin", encode_frame(MsgType::Hello, payload.bytes()));
 }
 
+// The v3 fixtures pin the streaming generation's encoding from day one, so
+// v3 itself cannot drift silently either.
+TEST(GoldenFrames, EvalItemResultV3EncodesAndDecodes) {
+  EvalItemResult item;
+  item.batch_id = 21;
+  item.index = 2;
+  item.outcome.ok = true;
+  item.outcome.result = golden_result();
+  WireWriter payload;
+  write_eval_item_result(payload, item);
+  expect_matches_golden("eval_item_result_v3.bin",
+                        encode_frame(MsgType::EvalItemResult, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("eval_item_result_v3.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::EvalItemResult);
+  EXPECT_EQ(header.version, 3);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const EvalItemResult decoded = read_eval_item_result(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.batch_id, 21u);
+  EXPECT_EQ(decoded.index, 2u);
+  ASSERT_TRUE(decoded.outcome.ok);
+  const evo::EvalResult expected = golden_result();
+  EXPECT_EQ(decoded.outcome.result.accuracy, expected.accuracy);
+  EXPECT_EQ(decoded.outcome.result.eval_seconds, expected.eval_seconds);
+  EXPECT_EQ(decoded.outcome.result.feasible, expected.feasible);
+}
+
+TEST(GoldenFrames, EvalItemResultErrorV3) {
+  EvalItemResult item;
+  item.batch_id = 21;
+  item.index = 5;
+  item.outcome.ok = false;
+  item.outcome.error = "cannot evaluate genome";
+  WireWriter payload;
+  write_eval_item_result(payload, item);
+  expect_matches_golden("eval_item_result_err_v3.bin",
+                        encode_frame(MsgType::EvalItemResult, payload.bytes()));
+}
+
+TEST(GoldenFrames, EvalBatchDoneV3EncodesAndDecodes) {
+  EvalBatchDone done;
+  done.batch_id = 21;
+  done.count = 6;
+  WireWriter payload;
+  write_eval_batch_done(payload, done);
+  expect_matches_golden("eval_batch_done_v3.bin",
+                        encode_frame(MsgType::EvalBatchDone, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("eval_batch_done_v3.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::EvalBatchDone);
+  EXPECT_EQ(header.version, 3);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const EvalBatchDone decoded = read_eval_batch_done(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.batch_id, 21u);
+  EXPECT_EQ(decoded.count, 6u);
+}
+
+TEST(GoldenFrames, HelloV3WithVersionTrailer) {
+  WireWriter payload;
+  write_hello_payload(payload, "ecad-master", 3);
+  expect_matches_golden("hello_v3.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
 }  // namespace
 }  // namespace ecad::net

@@ -289,6 +289,8 @@ core::SearchRequest random_request(util::Rng& rng) {
   request.evolution.mutation_strength = rng.next_double() * 4.0;
   request.evolution.dedup_attempts = rng.next_index(20);
   request.evolution.batch_size = rng.next_index(16);
+  request.evolution.overlap_generations = rng.next_bool(0.5);
+  request.evolution.max_inflight_batches = 1 + rng.next_index(4);
   request.fitness = rng.next_bool(0.5) ? "accuracy" : "accuracy_x_throughput";
   request.seed = rng();
   request.threads = rng.next_index(16);
@@ -316,6 +318,8 @@ void expect_request_equal(const core::SearchRequest& a, const core::SearchReques
   expect_bit_equal(a.evolution.mutation_strength, b.evolution.mutation_strength);
   EXPECT_EQ(a.evolution.dedup_attempts, b.evolution.dedup_attempts);
   EXPECT_EQ(a.evolution.batch_size, b.evolution.batch_size);
+  EXPECT_EQ(a.evolution.overlap_generations, b.evolution.overlap_generations);
+  EXPECT_EQ(a.evolution.max_inflight_batches, b.evolution.max_inflight_batches);
   EXPECT_EQ(a.fitness, b.fitness);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.threads, b.threads);

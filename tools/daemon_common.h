@@ -74,15 +74,26 @@ class ArgParser {
 /// the *network* subsystem, not MLP training time.  `delay_ms` stretches
 /// each evaluation without touching its result, so the smoke matrix can
 /// keep a search in flight long enough to kill and revive daemons under it.
+/// `slow_modulo`/`slow_delay_ms` inject heterogeneity: genomes whose DSP
+/// usage is divisible by `slow_modulo` sleep `slow_delay_ms` instead — a
+/// deterministic function of the genome, so every process slows the *same*
+/// candidates and results never depend on the injection.  The streaming
+/// smoke leg uses this to force out-of-order item frames.
 class AnalyticWorker final : public core::Worker {
  public:
-  explicit AnalyticWorker(int delay_ms = 0) : delay_ms_(delay_ms) {}
+  explicit AnalyticWorker(int delay_ms = 0, std::size_t slow_modulo = 0, int slow_delay_ms = 0)
+      : delay_ms_(delay_ms), slow_modulo_(slow_modulo), slow_delay_ms_(slow_delay_ms) {}
 
   std::string name() const override { return "analytic"; }
 
+  bool is_slow(const evo::Genome& genome) const {
+    return slow_modulo_ > 0 && genome.grid.dsp_usage() % slow_modulo_ == 0;
+  }
+
   evo::EvalResult evaluate(const evo::Genome& genome) const override {
-    if (delay_ms_ > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    const int delay = is_slow(genome) ? slow_delay_ms_ : delay_ms_;
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
     evo::EvalResult result;
     double capacity = 0.0;
@@ -102,6 +113,8 @@ class AnalyticWorker final : public core::Worker {
 
  private:
   int delay_ms_ = 0;
+  std::size_t slow_modulo_ = 0;
+  int slow_delay_ms_ = 0;
 };
 
 struct WorkerConfig {
@@ -115,6 +128,10 @@ struct WorkerConfig {
   /// Artificial per-evaluation delay (analytic worker only). Never affects
   /// results, so it does not participate in the determinism contract.
   int eval_delay_ms = 0;
+  /// Slow-genome injection (analytic only): genomes whose DSP usage is
+  /// divisible by this sleep eval_slow_delay_ms instead. 0 = off.
+  std::size_t eval_slow_modulo = 0;
+  int eval_slow_delay_ms = 0;
 };
 
 inline WorkerConfig worker_config_from_args(const ArgParser& args) {
@@ -127,6 +144,8 @@ inline WorkerConfig worker_config_from_args(const ArgParser& args) {
   config.train_epochs = static_cast<std::size_t>(args.get_int("train-epochs", 5));
   config.eval_seed = static_cast<std::uint64_t>(args.get_int("eval-seed", 42));
   config.eval_delay_ms = static_cast<int>(args.get_int("eval-delay-ms", 0));
+  config.eval_slow_modulo = static_cast<std::size_t>(args.get_int("eval-slow-modulo", 0));
+  config.eval_slow_delay_ms = static_cast<int>(args.get_int("eval-slow-delay-ms", 0));
   return config;
 }
 
@@ -139,7 +158,9 @@ struct WorkerBundle {
 inline WorkerBundle make_worker(const WorkerConfig& config) {
   WorkerBundle bundle;
   if (config.kind == "analytic") {
-    bundle.worker = std::make_unique<AnalyticWorker>(config.eval_delay_ms);
+    bundle.worker = std::make_unique<AnalyticWorker>(config.eval_delay_ms,
+                                                     config.eval_slow_modulo,
+                                                     config.eval_slow_delay_ms);
     return bundle;
   }
   if (config.kind != "accuracy" && config.kind != "hwdb") {

@@ -34,9 +34,14 @@ void print_usage() {
       "  --fitness NAME    fitness registry entry (default accuracy)\n"
       "  --threads N       Master dispatch threads (default 2)\n"
       "  --no-hw-search    freeze the hardware half of the genome\n"
+      "  --overlap         overlapped evolution: breed the next batch while the\n"
+      "                    previous one is still in flight (deterministic, but a\n"
+      "                    different trajectory than the default sequential mode)\n"
+      "  --inflight N      in-flight batches the overlapped mode pipelines (default 2)\n"
       "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 2);\n"
-      "                    1 forces unbatched per-genome EvalRequest exchanges\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 3);\n"
+      "                    3 streams per-item result frames, 2 pins v2 batch\n"
+      "                    responses, 1 forces per-genome EvalRequest exchanges\n"
       "  --heartbeat-ms N  background ping period for sidelined endpoints\n"
       "                    (default 250; 0 disables heartbeats)\n"
       "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
@@ -96,6 +101,9 @@ int main(int argc, char** argv) {
     request.fitness = args.get("fitness", "accuracy");
     request.threads = static_cast<std::size_t>(args.get_int("threads", 2));
     request.space.search_hardware = !args.get_flag("no-hw-search");
+    request.evolution.overlap_generations = args.get_flag("overlap");
+    request.evolution.max_inflight_batches =
+        static_cast<std::size_t>(args.get_int("inflight", 2));
 
     std::unique_ptr<net::RemoteWorker> remote;
     const core::Worker* worker = bundle.worker.get();
@@ -139,6 +147,8 @@ int main(int argc, char** argv) {
         << "search finished in " << result.stats.wall_seconds << "s ("
         << (remote ? "remote: " + std::to_string(remote->remote_evaluations()) + " remote in " +
                          std::to_string(remote->batches_dispatched()) + " batch frames, " +
+                         std::to_string(remote->streamed_items()) + " streamed item frames (" +
+                         std::to_string(remote->out_of_order_items()) + " out-of-order), " +
                          std::to_string(remote->fallback_evaluations()) + " fallback, " +
                          std::to_string(remote->heartbeat_rejoins()) + " heartbeat rejoins"
                    : std::string("local evaluation"))

@@ -29,9 +29,14 @@ void print_usage() {
       "  --port P          TCP port; 0 = ephemeral (default 0)\n"
       "  --threads N       evaluation threads; 0 = hardware concurrency\n"
       "  --worker KIND     analytic | accuracy | hwdb (default analytic)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 2);\n"
-      "                    1 pins the daemon to per-genome EvalRequest frames\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 3);\n"
+      "                    2 pins single-response batch frames (no per-item\n"
+      "                    streaming), 1 pins per-genome EvalRequest frames\n"
       "  --eval-delay-ms N artificial per-evaluation delay (analytic only)\n"
+      "  --eval-slow-modulo N   slow-genome injection: genomes whose DSP usage\n"
+      "                    divides by N sleep --eval-slow-delay-ms instead\n"
+      "                    (analytic only; deterministic per genome)\n"
+      "  --eval-slow-delay-ms N delay for injected slow genomes\n"
       "  --data-seed S     synthetic dataset seed (accuracy/hwdb)\n"
       "  --data-samples N  synthetic dataset size (default 600)\n"
       "  --data-features N feature count (default 16)\n"
