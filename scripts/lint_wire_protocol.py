@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Wire-protocol invariant linter.
+
+Cross-checks the invariants that keep the distributed evaluation service's
+wire protocol honest but that no single compiler ever sees end to end:
+
+  1. Every ``MsgType`` in ``src/net/wire.h`` has a golden fixture under
+     ``tests/net/golden/`` captured at that message's *minimum* protocol
+     version (from ``frame_version_for`` in ``src/net/wire.cpp``) — so a new
+     message can't ship without pinning its bytes, and a version bump can't
+     silently orphan an old fixture.
+  2. Every ``write_X`` payload codec declared in ``wire.h`` has a matching
+     ``read_X`` (and vice versa), and some test under ``tests/`` references
+     both — a round-trip without a test is a round-trip on faith.
+  3. ``kProtocolVersion`` agrees across ``src/net/wire.h``, ``README.md``,
+     and ``scripts/loopback_smoke.sh`` — the three places a human reads the
+     current protocol generation.
+
+Run from anywhere:
+
+    python3 scripts/lint_wire_protocol.py [--repo-root DIR]
+
+Exit status 0 when every invariant holds, 1 with one line per violation
+otherwise.  ``--self-test`` sabotages copies of the real inputs and asserts
+the linter catches each class of breakage (run by CI and ctest so the linter
+itself can't rot into a yes-machine).
+"""
+
+import argparse
+import pathlib
+import re
+import shutil
+import sys
+import tempfile
+
+WIRE_H = "src/net/wire.h"
+WIRE_CPP = "src/net/wire.cpp"
+GOLDEN_DIR = "tests/net/golden"
+TESTS_DIR = "tests"
+README = "README.md"
+SMOKE_SCRIPT = "scripts/loopback_smoke.sh"
+
+
+def snake_case(name):
+    """CamelCase MsgType name -> golden-fixture tag (EvalBatchDone -> eval_batch_done)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def parse_msg_types(wire_h_text):
+    """-> ordered {name: numeric value} from the MsgType enum."""
+    match = re.search(r"enum\s+class\s+MsgType\s*:\s*std::uint16_t\s*\{(.*?)\};",
+                      wire_h_text, re.DOTALL)
+    if not match:
+        raise ValueError(f"{WIRE_H}: could not find the MsgType enum")
+    types = {}
+    for entry in re.finditer(r"^\s*(\w+)\s*=\s*(\d+)\s*,", match.group(1), re.MULTILINE):
+        types[entry.group(1)] = int(entry.group(2))
+    if not types:
+        raise ValueError(f"{WIRE_H}: MsgType enum parsed empty")
+    return types
+
+
+def parse_frame_versions(wire_cpp_text, type_names):
+    """-> {type name: minimum protocol version} from frame_version_for()."""
+    match = re.search(
+        r"frame_version_for\(MsgType\s+\w+\)\s*\{\s*switch\s*\([^)]*\)\s*\{(.*?)\n\}",
+        wire_cpp_text, re.DOTALL)
+    if not match:
+        raise ValueError(f"{WIRE_CPP}: could not find frame_version_for()")
+    body = match.group(1)
+    default = re.search(r"default:\s*return\s+(\d+)\s*;", body)
+    if not default:
+        raise ValueError(f"{WIRE_CPP}: frame_version_for() has no default case")
+    versions = {name: int(default.group(1)) for name in type_names}
+    # Walk the fall-through case groups: labels accumulate until a return.
+    pending = []
+    for line in body.splitlines():
+        case = re.search(r"case\s+MsgType::(\w+)\s*:", line)
+        if case:
+            pending.append(case.group(1))
+            continue
+        returned = re.search(r"return\s+(\d+)\s*;", line)
+        if returned and pending:
+            for name in pending:
+                if name not in versions:
+                    raise ValueError(
+                        f"{WIRE_CPP}: frame_version_for() names MsgType::{name} "
+                        f"which is not in the {WIRE_H} enum")
+                versions[name] = int(returned.group(1))
+            pending = []
+    return versions
+
+
+def parse_protocol_version(wire_h_text):
+    match = re.search(r"kProtocolVersion\s*=\s*(\d+)\s*;", wire_h_text)
+    if not match:
+        raise ValueError(f"{WIRE_H}: could not find kProtocolVersion")
+    return int(match.group(1))
+
+
+def parse_codec_pairs(wire_h_text):
+    """-> (writers, readers): the X suffixes of write_X / read_X declarations."""
+    writers = set(re.findall(r"\bvoid\s+write_(\w+)\s*\(", wire_h_text))
+    readers = set(re.findall(r"\b\w[\w:<>]*\s+read_(\w+)\s*\(", wire_h_text))
+    return writers, readers
+
+
+def fixture_tags(golden):
+    """-> {tag: set of versions} from ``{tag}[_variant]_v{N}.bin`` fixtures.
+
+    A file belongs to the *longest* known-looking tag prefix, so
+    ``hello_ack_v1.bin`` never satisfies the ``hello`` tag by accident:
+    callers pass the known tags and we match greedily against them.
+    """
+    files = sorted(p.name for p in golden.glob("*.bin"))
+    return files
+
+
+def assign_fixtures(files, tags):
+    """-> {tag: set of versions covered}, matching longest tag prefix first."""
+    covered = {tag: set() for tag in tags}
+    by_length = sorted(tags, key=len, reverse=True)
+    for name in files:
+        stem = name[:-len(".bin")]
+        version_match = re.search(r"_v(\d+)$", stem)
+        if not version_match:
+            continue
+        body = stem[: version_match.start()]
+        for tag in by_length:
+            if body == tag or body.startswith(tag + "_"):
+                covered[tag].add(int(version_match.group(1)))
+                break
+    return covered
+
+
+def lint(root):
+    """-> list of violation strings (empty when the protocol is consistent)."""
+    errors = []
+    wire_h_text = (root / WIRE_H).read_text()
+    wire_cpp_text = (root / WIRE_CPP).read_text()
+
+    types = parse_msg_types(wire_h_text)
+    versions = parse_frame_versions(wire_cpp_text, types)
+    declared = parse_protocol_version(wire_h_text)
+
+    for name, version in versions.items():
+        if not 1 <= version <= declared:
+            errors.append(
+                f"{WIRE_CPP}: MsgType::{name} claims minimum version {version}, "
+                f"outside 1..kProtocolVersion ({declared})")
+
+    # --- invariant 1: golden fixture at each message's minimum version ----
+    golden = root / GOLDEN_DIR
+    tags = {snake_case(name): name for name in types}
+    covered = assign_fixtures(fixture_tags(golden), set(tags))
+    for tag, name in sorted(tags.items()):
+        if versions[name] not in covered[tag]:
+            errors.append(
+                f"{GOLDEN_DIR}: MsgType::{name} has no golden fixture "
+                f"'{tag}*_v{versions[name]}.bin' for its minimum protocol "
+                f"version {versions[name]}")
+
+    # --- invariant 2: write/read pairing + a round-trip test --------------
+    writers, readers = parse_codec_pairs(wire_h_text)
+    for suffix in sorted(writers - readers):
+        errors.append(f"{WIRE_H}: write_{suffix} has no matching read_{suffix}")
+    for suffix in sorted(readers - writers):
+        errors.append(f"{WIRE_H}: read_{suffix} has no matching write_{suffix}")
+    test_texts = [p.read_text() for p in sorted((root / TESTS_DIR).rglob("*_test.cpp"))]
+    for suffix in sorted(writers & readers):
+        write_ref = re.compile(rf"\bwrite_{suffix}\b")
+        read_ref = re.compile(rf"\bread_{suffix}\b")
+        if not any(write_ref.search(t) and read_ref.search(t) for t in test_texts):
+            errors.append(
+                f"{TESTS_DIR}: no test references both write_{suffix} and "
+                f"read_{suffix} (round-trip untested)")
+
+    # --- invariant 3: kProtocolVersion anchors agree ----------------------
+    readme_match = re.search(r"`kProtocolVersion\s*=\s*(\d+)`", (root / README).read_text())
+    if not readme_match:
+        errors.append(f"{README}: missing the `kProtocolVersion = N` anchor line")
+    elif int(readme_match.group(1)) != declared:
+        errors.append(
+            f"{README}: documents kProtocolVersion = {readme_match.group(1)} "
+            f"but {WIRE_H} says {declared}")
+    smoke_match = re.search(r"^PROTOCOL_VERSION=(\d+)\s*$",
+                            (root / SMOKE_SCRIPT).read_text(), re.MULTILINE)
+    if not smoke_match:
+        errors.append(f"{SMOKE_SCRIPT}: missing the PROTOCOL_VERSION=N anchor line")
+    elif int(smoke_match.group(1)) != declared:
+        errors.append(
+            f"{SMOKE_SCRIPT}: PROTOCOL_VERSION={smoke_match.group(1)} "
+            f"but {WIRE_H} says kProtocolVersion = {declared}")
+
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Self-test: sabotage copies of the real inputs, demand the lint notices.
+# --------------------------------------------------------------------------
+
+def _copy_repo_subset(root, dest):
+    for rel in (WIRE_H, WIRE_CPP, README, SMOKE_SCRIPT):
+        target = dest / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(root / rel, target)
+    shutil.copytree(root / GOLDEN_DIR, dest / GOLDEN_DIR)
+    (dest / TESTS_DIR / "net").mkdir(parents=True, exist_ok=True)
+    for test in (root / TESTS_DIR).rglob("*_test.cpp"):
+        shutil.copyfile(test, dest / TESTS_DIR / "net" / test.name)
+
+
+def _expect(failures, label, errors, needle):
+    matching = [e for e in errors if needle in e]
+    if not matching:
+        failures.append(
+            f"self-test '{label}': expected a violation containing '{needle}', "
+            f"got: {errors or '[no errors at all]'}")
+
+
+def self_test(root):
+    failures = []
+
+    # Parser unit checks against the real wire.h/wire.cpp: these pin facts the
+    # golden fixtures also pin, so a parser regression can't hide behind a
+    # conveniently-wrong parse.
+    wire_h_text = (root / WIRE_H).read_text()
+    types = parse_msg_types(wire_h_text)
+    if types.get("Hello") != 1:
+        failures.append(f"parser: expected MsgType::Hello == 1, got {types.get('Hello')}")
+    if len(types) < 7:
+        failures.append(f"parser: expected >= 7 message types, got {len(types)}")
+    if len(set(types.values())) != len(types):
+        failures.append("parser: duplicate MsgType values")
+    versions = parse_frame_versions((root / WIRE_CPP).read_text(), types)
+    if versions.get("Ping") != 1:
+        failures.append(f"parser: Ping should be a v1 frame, got {versions.get('Ping')}")
+    if "EvalBatchRequest" in types and versions.get("EvalBatchRequest") != 2:
+        failures.append("parser: EvalBatchRequest should be a v2 frame "
+                        f"(got {versions.get('EvalBatchRequest')})")
+    writers, readers = parse_codec_pairs(wire_h_text)
+    if "genome" not in writers or "genome" not in readers:
+        failures.append("parser: write_genome/read_genome not found in wire.h")
+    if snake_case("EvalBatchDone") != "eval_batch_done":
+        failures.append("parser: snake_case(EvalBatchDone) broken")
+    # Longest-prefix fixture assignment: hello_ack_v1.bin must not feed 'hello'.
+    covered = assign_fixtures(["hello_ack_v1.bin"], {"hello", "hello_ack"})
+    if covered["hello"] or covered["hello_ack"] != {1}:
+        failures.append(f"parser: fixture prefix matching broken: {covered}")
+
+    if lint(root):
+        failures.append("self-test baseline: the real repo should lint clean "
+                        f"(got {lint(root)})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp)
+
+        def sabotaged(label, mutate, needle):
+            copy = base / re.sub(r"\W", "_", label)
+            _copy_repo_subset(root, copy)
+            mutate(copy)
+            _expect(failures, label, lint(copy), needle)
+
+        sabotaged("missing fixture",
+                  lambda copy: (copy / GOLDEN_DIR / "ping_v1.bin").unlink(),
+                  "MsgType::Ping has no golden fixture")
+        sabotaged("fixture at wrong version",
+                  lambda copy: (copy / GOLDEN_DIR / "eval_batch_request_v2.bin")
+                  .rename(copy / GOLDEN_DIR / "eval_batch_request_v1.bin"),
+                  "MsgType::EvalBatchRequest has no golden fixture")
+        sabotaged("README version drift",
+                  lambda copy: (copy / README).write_text(
+                      re.sub(r"`kProtocolVersion\s*=\s*\d+`", "`kProtocolVersion = 99`",
+                             (copy / README).read_text())),
+                  "documents kProtocolVersion = 99")
+        sabotaged("smoke script version drift",
+                  lambda copy: (copy / SMOKE_SCRIPT).write_text(
+                      (copy / SMOKE_SCRIPT).read_text()
+                      .replace("\nPROTOCOL_VERSION=", "\nPROTOCOL_VERSION=9")),
+                  "PROTOCOL_VERSION=9")
+        sabotaged("unpaired codec",
+                  lambda copy: (copy / WIRE_H).write_text(
+                      re.sub(r"^.*\bread_eval_batch_done\s*\(.*$", "",
+                             (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
+                  "write_eval_batch_done has no matching read_eval_batch_done")
+        sabotaged("untested round-trip",
+                  lambda copy: [p.write_text(p.read_text().replace("read_genome", "read_gen0me"))
+                                for p in (copy / TESTS_DIR).rglob("*_test.cpp")],
+                  "no test references both write_genome and read_genome")
+
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo-root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the parent of scripts/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the linter fails on sabotaged inputs")
+    options = parser.parse_args()
+
+    if options.self_test:
+        failures = self_test(options.repo_root)
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("lint_wire_protocol self-test: all sabotage detected")
+        return 1 if failures else 0
+
+    errors = lint(options.repo_root)
+    for error in errors:
+        print(f"wire-lint: {error}", file=sys.stderr)
+    if not errors:
+        print("wire-lint: protocol invariants hold")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

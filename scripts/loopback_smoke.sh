@@ -26,6 +26,9 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 WORKERD="$BUILD_DIR/tools/ecad_workerd"
 SEARCHD="$BUILD_DIR/tools/ecad_searchd"
+# Current wire generation; scripts/lint_wire_protocol.py checks this against
+# kProtocolVersion in src/net/wire.h so the leg matrix can't silently rot.
+PROTOCOL_VERSION=3
 if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
   WORK="$SMOKE_LOG_DIR"
   mkdir -p "$WORK"
@@ -77,6 +80,7 @@ diff_or_die() {
   fi
 }
 
+echo "== wire protocol v$PROTOCOL_VERSION loopback matrix"
 echo "== starting two worker daemons on loopback"
 start_worker "$WORK/w1.out" "${WORKER_FLAGS[@]}"
 start_worker "$WORK/w2.out" "${WORKER_FLAGS[@]}"

@@ -3,7 +3,7 @@
 namespace ecad::evo {
 
 std::optional<EvalResult> EvalCache::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -14,27 +14,27 @@ std::optional<EvalResult> EvalCache::lookup(const std::string& key) {
 }
 
 void EvalCache::store(const std::string& key, const EvalResult& result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_[key] = result;
 }
 
 bool EvalCache::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.find(key) != entries_.end();
 }
 
 std::size_t EvalCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t EvalCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t EvalCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return misses_;
 }
 

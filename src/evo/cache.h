@@ -6,35 +6,36 @@
 // evaluates offspring batches in parallel.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "evo/fitness.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ecad::evo {
 
 class EvalCache {
  public:
   /// Returns the cached result (and counts a hit), or nullopt (a miss).
-  std::optional<EvalResult> lookup(const std::string& key);
+  std::optional<EvalResult> lookup(const std::string& key) ECAD_EXCLUDES(mutex_);
 
   /// Insert/overwrite a result.
-  void store(const std::string& key, const EvalResult& result);
+  void store(const std::string& key, const EvalResult& result) ECAD_EXCLUDES(mutex_);
 
   /// True if present, without counting a hit.
-  bool contains(const std::string& key) const;
+  bool contains(const std::string& key) const ECAD_EXCLUDES(mutex_);
 
-  std::size_t size() const;
-  std::size_t hits() const;
-  std::size_t misses() const;
+  std::size_t size() const ECAD_EXCLUDES(mutex_);
+  std::size_t hits() const ECAD_EXCLUDES(mutex_);
+  std::size_t misses() const ECAD_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, EvalResult> entries_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, EvalResult> entries_ ECAD_GUARDED_BY(mutex_);
+  std::size_t hits_ ECAD_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ ECAD_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ecad::evo

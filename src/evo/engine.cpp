@@ -35,7 +35,7 @@ EvolutionEngine::BatchEvaluator wrap_per_genome(EvolutionEngine::Evaluator evalu
 // ---------------------------------------------------------------------------
 
 AsyncBatchDispatcher::Ticket AsyncBatchDispatcher::submit(std::vector<Genome> genomes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Ticket ticket = next_ticket_++;
   // One dedicated thread per in-flight batch (the engine bounds how many):
   // the evaluation may block on the network for a long time, and parking it
@@ -48,7 +48,7 @@ AsyncBatchDispatcher::Ticket AsyncBatchDispatcher::submit(std::vector<Genome> ge
 }
 
 bool AsyncBatchDispatcher::poll(Ticket ticket) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = futures_.find(ticket);
   if (it == futures_.end()) return false;
   return it->second.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
@@ -57,7 +57,7 @@ bool AsyncBatchDispatcher::poll(Ticket ticket) const {
 std::vector<EvalOutcome> AsyncBatchDispatcher::wait(Ticket ticket) {
   std::future<std::vector<EvalOutcome>> future;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = futures_.find(ticket);
     if (it == futures_.end()) {
       throw std::invalid_argument("AsyncBatchDispatcher: unknown ticket " +
@@ -70,7 +70,7 @@ std::vector<EvalOutcome> AsyncBatchDispatcher::wait(Ticket ticket) {
 }
 
 std::size_t AsyncBatchDispatcher::in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return futures_.size();
 }
 
@@ -123,7 +123,7 @@ std::vector<Candidate> EvolutionEngine::fold_outcomes(const std::vector<Genome>&
     cache_.store(candidate.genome.key(), candidate.result);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.models_evaluated += genomes.size();
     for (const Candidate& candidate : candidates) {
       stats_.total_eval_seconds += candidate.result.eval_seconds;
@@ -135,6 +135,11 @@ std::vector<Candidate> EvolutionEngine::fold_outcomes(const std::vector<Genome>&
 std::vector<Candidate> EvolutionEngine::evaluate_generation(const std::vector<Genome>& genomes,
                                                             util::ThreadPool& pool) {
   return fold_outcomes(genomes, evaluate_(genomes, pool));
+}
+
+std::size_t EvolutionEngine::models_evaluated() const {
+  util::MutexLock lock(stats_mutex_);
+  return stats_.models_evaluated;
 }
 
 std::size_t EvolutionEngine::tournament_best(const std::vector<Candidate>& population,
@@ -183,7 +188,7 @@ std::vector<Genome> EvolutionEngine::breed_offspring(const std::vector<Candidate
       fresh = !cache_.contains(child.key());
     }
     if (!fresh) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.duplicates_skipped;
       continue;  // all attempts hit known genomes; skip this slot
     }
@@ -228,7 +233,7 @@ EvolutionResult EvolutionEngine::finalize(std::vector<Candidate> population,
     if (candidate.fitness > out.best.fitness) out.best = candidate;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.wall_seconds = wall_seconds;
     stats_.avg_eval_seconds = stats_.models_evaluated == 0
                                   ? 0.0
@@ -268,7 +273,7 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
                             : run_sequential(rng, pool, std::move(population));
   out.stats.wall_seconds = wall.elapsed_seconds();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.wall_seconds = out.stats.wall_seconds;
   }
   return out;
@@ -282,9 +287,13 @@ EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool
   const std::size_t batch =
       config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
 
-  while (stats_.models_evaluated < config_.max_evaluations) {
-    const std::size_t remaining = config_.max_evaluations - stats_.models_evaluated;
-    const std::size_t this_batch = std::min(batch, remaining);
+  for (;;) {
+    // The budget check was an unlocked read of a stats_mutex_-guarded field
+    // until the thread-safety analysis flagged it; the locked accessor also
+    // keeps it sound if batch evaluators ever update stats concurrently.
+    const std::size_t evaluated_so_far = models_evaluated();
+    if (evaluated_so_far >= config_.max_evaluations) break;
+    const std::size_t this_batch = std::min(batch, config_.max_evaluations - evaluated_so_far);
 
     // Generate offspring serially (cheap; keeps RNG deterministic).
     std::vector<Genome> offspring = breed_offspring(population, this_batch, rng);
@@ -316,7 +325,7 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
   // Budget accounting runs on *submitted* genomes: every submitted batch is
   // eventually folded, so models_evaluated catches up exactly, and breeding
   // ahead can never overshoot max_evaluations.
-  std::size_t submitted = stats_.models_evaluated;
+  std::size_t submitted = models_evaluated();
 
   // Fold the oldest in-flight batch — always in submission order, at fixed
   // points in the control flow, so the RNG consumption (and therefore the
@@ -341,7 +350,7 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
     if (offspring.empty()) break;
     submitted += offspring.size();
     if (!inflight.empty()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.overlapped_batches;
     }
     InFlight entry;

@@ -26,8 +26,10 @@
 #include "evo/cache.h"
 #include "evo/fitness.h"
 #include "evo/genome.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/thread_safety.h"
 
 namespace ecad::evo {
 
@@ -117,7 +119,11 @@ class EvolutionEngine {
   /// overlapped folds): throws on the first failed slot, stores results in
   /// the cache, updates stats.
   std::vector<Candidate> fold_outcomes(const std::vector<Genome>& genomes,
-                                       std::vector<EvalOutcome> outcomes);
+                                       std::vector<EvalOutcome> outcomes)
+      ECAD_EXCLUDES(stats_mutex_);
+  /// Unique evaluations performed so far (the run loops' budget check; the
+  /// stats lock makes the read sound even while overlapped batches fold).
+  std::size_t models_evaluated() const ECAD_EXCLUDES(stats_mutex_);
   /// Breed up to `count` fresh offspring from scored parents (tournament +
   /// crossover + mutation + cache-reservation dedup).  Falls back to one
   /// random immigrant when the neighborhood is exhausted; empty means even
@@ -144,8 +150,8 @@ class EvolutionEngine {
   BatchEvaluator evaluate_;
   Fitness fitness_;
   EvalCache cache_;
-  std::mutex stats_mutex_;
-  RunStats stats_;
+  mutable util::Mutex stats_mutex_;
+  RunStats stats_ ECAD_GUARDED_BY(stats_mutex_);
 };
 
 /// Submit/poll dispatch for overlapped evolution: submit() ships one
@@ -163,23 +169,23 @@ class AsyncBatchDispatcher {
       : evaluate_(evaluate), pool_(pool) {}
 
   /// Ships `genomes` for evaluation; never blocks on the evaluation itself.
-  Ticket submit(std::vector<Genome> genomes);
+  Ticket submit(std::vector<Genome> genomes) ECAD_EXCLUDES(mutex_);
   /// True once wait(ticket) would not block. False for unknown/collected
   /// tickets.
-  bool poll(Ticket ticket) const;
+  bool poll(Ticket ticket) const ECAD_EXCLUDES(mutex_);
   /// Outcomes for `ticket`, blocking until they settle.  Rethrows the batch
   /// evaluator's exception for batch-wide failures.  Throws
   /// std::invalid_argument for unknown (or already collected) tickets.
-  std::vector<EvalOutcome> wait(Ticket ticket);
+  std::vector<EvalOutcome> wait(Ticket ticket) ECAD_EXCLUDES(mutex_);
 
-  std::size_t in_flight() const;
+  std::size_t in_flight() const ECAD_EXCLUDES(mutex_);
 
  private:
   const EvolutionEngine::BatchEvaluator& evaluate_;
   util::ThreadPool& pool_;
-  mutable std::mutex mutex_;
-  Ticket next_ticket_ = 1;
-  std::map<Ticket, std::future<std::vector<EvalOutcome>>> futures_;
+  mutable util::Mutex mutex_;
+  Ticket next_ticket_ ECAD_GUARDED_BY(mutex_) = 1;
+  std::map<Ticket, std::future<std::vector<EvalOutcome>>> futures_ ECAD_GUARDED_BY(mutex_);
 };
 
 }  // namespace ecad::evo

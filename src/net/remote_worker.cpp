@@ -74,12 +74,17 @@ RemoteWorker::RemoteWorker(RemoteWorkerOptions options) : options_(std::move(opt
     throw std::invalid_argument("RemoteWorker: max_protocol must be >= " +
                                 std::to_string(kMinProtocolVersion));
   }
-  states_.reserve(options_.endpoints.size());
-  for (const Endpoint& endpoint : options_.endpoints) {
-    EndpointState state;
-    state.endpoint = endpoint;
-    state.max_version = std::min(options_.max_protocol, kProtocolVersion);
-    states_.push_back(std::move(state));
+  {
+    // No other thread exists yet, but states_ is mutex_-guarded and the
+    // analysis (rightly) has no carve-out for constructors.
+    util::MutexLock lock(mutex_);
+    states_.reserve(options_.endpoints.size());
+    for (const Endpoint& endpoint : options_.endpoints) {
+      EndpointState state;
+      state.endpoint = endpoint;
+      state.max_version = std::min(options_.max_protocol, kProtocolVersion);
+      states_.push_back(std::move(state));
+    }
   }
   if (options_.heartbeat_interval_ms > 0) {
     heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
@@ -88,7 +93,7 @@ RemoteWorker::RemoteWorker(RemoteWorkerOptions options) : options_(std::move(opt
 
 RemoteWorker::~RemoteWorker() {
   {
-    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    util::MutexLock lock(heartbeat_mutex_);
     stopping_ = true;
   }
   heartbeat_cv_.notify_all();
@@ -111,7 +116,7 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
   Endpoint endpoint;
   std::uint16_t attempt = 1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     EndpointState& state = states_[endpoint_index];
     endpoint = state.endpoint;
     // An expired v1 demotion means the downgrade may have been a transient
@@ -138,7 +143,7 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
       const std::uint16_t negotiated =
           handshake_on(socket, attempt, options_.connect_timeout_ms);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         EndpointState& state = states_[endpoint_index];
         state.down = false;
         state.max_version = negotiated;
@@ -176,12 +181,15 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
 }
 
 bool RemoteWorker::checkout(Checkout& out) const {
-  const std::size_t count = states_.size();
+  // The endpoint count comes from the immutable options, not from the
+  // mutex_-guarded states_ — the old unlocked states_.size() read was benign
+  // (the vector never resizes after construction) but unprovable.
+  const std::size_t count = options_.endpoints.size();
   const std::size_t start = round_robin_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t offset = 0; offset < count; ++offset) {
     const std::size_t index = (start + offset) % count;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       EndpointState& state = states_[index];
       if (!endpoint_available(state, Clock::now())) continue;
       if (!state.idle.empty()) {
@@ -204,7 +212,7 @@ bool RemoteWorker::checkout(Checkout& out) const {
 bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out,
                                      bool penalize_on_failure) const {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     EndpointState& state = states_[endpoint_index];
     if (!endpoint_available(state, Clock::now())) return false;
     if (!state.idle.empty()) {
@@ -222,12 +230,12 @@ bool RemoteWorker::checkout_endpoint(std::size_t endpoint_index, Checkout& out,
 }
 
 void RemoteWorker::check_in(Checkout&& checkout) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   states_[checkout.endpoint_index].idle.push_back(std::move(checkout.connection));
 }
 
 void RemoteWorker::penalize(std::size_t endpoint_index) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   EndpointState& state = states_[endpoint_index];
   state.down = true;
   state.down_until = Clock::now() + std::chrono::milliseconds(options_.endpoint_cooldown_ms);
@@ -238,7 +246,7 @@ void RemoteWorker::record_item_latency(std::size_t endpoint_index, double second
   // Clamp instead of discarding: a loopback analytic eval really can finish
   // inside the clock granularity, and a zero EWMA would read as "unobserved".
   seconds = std::max(seconds, 1e-9);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   EndpointState& state = states_[endpoint_index];
   if (state.item_latency_ewma_s <= 0.0) {
     state.item_latency_ewma_s = seconds;
@@ -268,7 +276,7 @@ std::size_t RemoteWorker::shard_size(std::size_t endpoint_index, const BatchQueu
   double ewma = 0.0;
   double variance = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ewma = states_[endpoint_index].item_latency_ewma_s;
     variance = states_[endpoint_index].item_latency_var_s2;
   }
@@ -525,7 +533,7 @@ void RemoteWorker::drive_endpoint(std::size_t endpoint_index,
                                   std::vector<evo::EvalOutcome>& outcomes, bool primary) const {
   const auto requeue = [&queue](const std::vector<std::size_t>& items) {
     if (items.empty()) return;
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    util::MutexLock lock(queue.mutex);
     for (std::size_t index : items) queue.pending.push_back(index);
   };
 
@@ -541,7 +549,7 @@ void RemoteWorker::drive_endpoint(std::size_t endpoint_index,
   std::vector<std::size_t> shard = std::move(first_shard);
   for (;;) {
     if (shard.empty()) {
-      std::lock_guard<std::mutex> lock(queue.mutex);
+      util::MutexLock lock(queue.mutex);
       if (queue.pending.empty()) break;
       const std::size_t take = std::min(shard_size(endpoint_index, queue), queue.pending.size());
       shard.assign(queue.pending.begin(),
@@ -571,12 +579,12 @@ std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo
   // ends when every stream has drained or died, and whatever is unsettled
   // re-enters the next round (endpoints may have revived by then).
   const std::size_t max_rounds =
-      std::max<std::size_t>(1, options_.max_rounds) * states_.size() + 1;
+      std::max<std::size_t>(1, options_.max_rounds) * options_.endpoints.size() + 1;
   bool waited_for_revival = false;
   for (std::size_t round = 0; round < max_rounds && !pending.empty(); ++round) {
     std::vector<std::size_t> available;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       const Clock::time_point now = Clock::now();
       for (std::size_t i = 0; i < states_.size(); ++i) {
         if (endpoint_available(states_[i], now)) available.push_back(i);
@@ -607,20 +615,25 @@ std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo
         std::max<std::size_t>(1, std::min(available.size() * streams_each, pending.size()));
 
     BatchQueue queue;
-    queue.pending.assign(pending.begin(), pending.end());
-    queue.total_streams = total_streams;
-
     // Reserve one equal-prior shard per endpoint up front: the round's first
     // wave covers the whole fleet deterministically, and only then does the
-    // shared queue turn the remainder into a work-stealing race.
+    // shared queue turn the remainder into a work-stealing race.  No stream
+    // has launched yet, but shard_size() requires queue.mutex — the old
+    // "or has exclusive access pre-launch" escape hatch is gone — so the
+    // whole setup pass takes the lock.
     std::vector<std::vector<std::size_t>> reserved(available.size());
-    for (std::size_t s = 0; s < available.size() && !queue.pending.empty(); ++s) {
-      const std::size_t take =
-          std::min(shard_size(available[s], queue), queue.pending.size());
-      reserved[s].assign(queue.pending.begin(),
-                         queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
-      queue.pending.erase(queue.pending.begin(),
-                          queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+    {
+      util::MutexLock lock(queue.mutex);
+      queue.pending.assign(pending.begin(), pending.end());
+      queue.total_streams = total_streams;
+      for (std::size_t s = 0; s < available.size() && !queue.pending.empty(); ++s) {
+        const std::size_t take =
+            std::min(shard_size(available[s], queue), queue.pending.size());
+        reserved[s].assign(queue.pending.begin(),
+                           queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+        queue.pending.erase(queue.pending.begin(),
+                            queue.pending.begin() + static_cast<std::ptrdiff_t>(take));
+      }
     }
 
     struct Stream {
@@ -677,7 +690,7 @@ std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo
 }
 
 evo::EvalResult RemoteWorker::evaluate(const evo::Genome& genome) const {
-  const std::size_t attempts = options_.max_rounds * states_.size();
+  const std::size_t attempts = options_.max_rounds * options_.endpoints.size();
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     Checkout conn;
     if (!checkout(conn)) break;  // every endpoint down or cooling off
@@ -718,12 +731,9 @@ evo::EvalResult RemoteWorker::evaluate(const evo::Genome& genome) const {
 
 std::size_t RemoteWorker::ping_all() const {
   std::size_t alive = 0;
-  for (std::size_t index = 0; index < states_.size(); ++index) {
-    Endpoint endpoint;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      endpoint = states_[index].endpoint;
-    }
+  // states_[i].endpoint mirrors options_.endpoints[i] and never changes, so
+  // the probe loop reads the immutable options instead of the guarded state.
+  for (const Endpoint& endpoint : options_.endpoints) {
     try {
       Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
       send_frame_on(socket, MsgType::Ping, {});
@@ -737,7 +747,7 @@ std::size_t RemoteWorker::ping_all() const {
 }
 
 std::size_t RemoteWorker::healthy_endpoints() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Clock::time_point now = Clock::now();
   std::size_t healthy = 0;
   for (const EndpointState& state : states_) {
@@ -747,12 +757,7 @@ std::size_t RemoteWorker::healthy_endpoints() const {
 }
 
 void RemoteWorker::shutdown_all() const {
-  for (std::size_t index = 0; index < states_.size(); ++index) {
-    Endpoint endpoint;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      endpoint = states_[index].endpoint;
-    }
+  for (const Endpoint& endpoint : options_.endpoints) {
     try {
       Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
       send_frame_on(socket, MsgType::Shutdown, {});
@@ -764,32 +769,33 @@ void RemoteWorker::shutdown_all() const {
 
 void RemoteWorker::heartbeat_loop() {
   const auto interval = std::chrono::milliseconds(options_.heartbeat_interval_ms);
-  std::unique_lock<std::mutex> lock(heartbeat_mutex_);
-  while (!stopping_) {
-    heartbeat_cv_.wait_for(lock, interval, [this] { return stopping_; });
-    if (stopping_) break;
-    lock.unlock();
+  for (;;) {
+    {
+      // Explicit check/wait/check instead of a predicate lambda: the analysis
+      // can't see guarded reads inside a lambda body (see util/mutex.h).  A
+      // spurious wakeup at worst triggers one early ping sweep.
+      util::MutexLock lock(heartbeat_mutex_);
+      if (stopping_) return;
+      heartbeat_cv_.wait_for(heartbeat_mutex_, interval);
+      if (stopping_) return;
+    }
 
     std::vector<std::size_t> sidelined;
     {
-      std::lock_guard<std::mutex> state_lock(mutex_);
+      util::MutexLock state_lock(mutex_);
       for (std::size_t i = 0; i < states_.size(); ++i) {
         if (states_[i].down) sidelined.push_back(i);
       }
     }
     for (std::size_t index : sidelined) {
-      Endpoint endpoint;
-      {
-        std::lock_guard<std::mutex> state_lock(mutex_);
-        endpoint = states_[index].endpoint;
-      }
+      const Endpoint& endpoint = options_.endpoints[index];
       try {
         Socket socket = Socket::connect(endpoint, options_.connect_timeout_ms);
         send_frame_on(socket, MsgType::Ping, {});
         const Frame frame = recv_frame_on(socket, options_.connect_timeout_ms);
         if (frame.type != MsgType::Pong) continue;
         {
-          std::lock_guard<std::mutex> state_lock(mutex_);
+          util::MutexLock state_lock(mutex_);
           EndpointState& state = states_[index];
           if (!state.down) continue;  // an evaluation beat us to it
           state.down = false;
@@ -805,7 +811,6 @@ void RemoteWorker::heartbeat_loop() {
       } catch (const WireError&) {
       }
     }
-    lock.lock();
   }
 }
 

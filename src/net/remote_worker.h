@@ -41,10 +41,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +50,8 @@
 #include "core/worker.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ecad::net {
 
@@ -101,7 +101,7 @@ class RemoteWorker final : public core::Worker {
   /// rotate to the next endpoint; a *remote evaluation* error (the worker
   /// threw on its machine) is not retried — it is deterministic — and
   /// surfaces as std::runtime_error with the remote message.
-  evo::EvalResult evaluate(const evo::Genome& genome) const override;
+  evo::EvalResult evaluate(const evo::Genome& genome) const ECAD_EXCLUDES(mutex_) override;
 
   /// Completion-driven batch dispatch (see the header comment): shards pull
   /// from a shared queue across all healthy endpoints, slots settle as item
@@ -109,7 +109,8 @@ class RemoteWorker final : public core::Worker {
   /// queue.  Outcomes are in input order; network exhaustion falls back to
   /// the local worker or throws NetError, exactly like evaluate().
   std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
-                                               util::ThreadPool& pool) const override;
+                                               util::ThreadPool& pool) const
+      ECAD_EXCLUDES(mutex_) override;
 
   /// Round-trip a Ping to every endpoint; number of live daemons.
   std::size_t ping_all() const;
@@ -141,7 +142,7 @@ class RemoteWorker final : public core::Worker {
     return heartbeat_rejoins_.load(std::memory_order_relaxed);
   }
   /// Endpoints currently eligible for checkout (not sidelined).
-  std::size_t healthy_endpoints() const;
+  std::size_t healthy_endpoints() const ECAD_EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -180,19 +181,22 @@ class RemoteWorker final : public core::Worker {
   /// Shared work queue of one evaluate_batch() call: indices not yet handed
   /// to a stream.  Failed shards push their unsettled indices back.
   struct BatchQueue {
-    std::mutex mutex;
-    std::deque<std::size_t> pending;
+    util::Mutex mutex;
+    std::deque<std::size_t> pending ECAD_GUARDED_BY(mutex);
     /// Streams pulling from this queue; bounds every shard to its fair
     /// share of the pending items (see shard_size()).
-    std::size_t total_streams = 1;
+    std::size_t total_streams ECAD_GUARDED_BY(mutex) = 1;
   };
 
-  bool endpoint_available(const EndpointState& state, Clock::time_point now) const;
+  /// `state` must be a reference into states_, which is only stable while
+  /// mutex_ is held.
+  bool endpoint_available(const EndpointState& state, Clock::time_point now) const
+      ECAD_REQUIRES(mutex_);
 
   /// Next healthy endpoint in round-robin order with a ready or freshly
   /// connected (and handshaken) socket; false when every endpoint is
   /// sidelined or unreachable right now.
-  bool checkout(Checkout& out) const;
+  bool checkout(Checkout& out) const ECAD_EXCLUDES(mutex_);
   /// Same, but pinned to one endpoint (used by the batch scheduler, which
   /// decides placement itself).  With `penalize_on_failure` (the default)
   /// a failed connect sidelines the endpoint; a secondary shard stream
@@ -200,22 +204,26 @@ class RemoteWorker final : public core::Worker {
   /// single-connection daemon) must not sideline an endpoint whose primary
   /// stream is healthy mid-shard.
   bool checkout_endpoint(std::size_t endpoint_index, Checkout& out,
-                         bool penalize_on_failure = true) const;
-  void check_in(Checkout&& checkout) const;
-  void penalize(std::size_t endpoint_index) const;
+                         bool penalize_on_failure = true) const ECAD_EXCLUDES(mutex_);
+  void check_in(Checkout&& checkout) const ECAD_EXCLUDES(mutex_);
+  void penalize(std::size_t endpoint_index) const ECAD_EXCLUDES(mutex_);
   /// Fold one per-item latency sample into the endpoint's EWMA/variance.
-  void record_item_latency(std::size_t endpoint_index, double seconds) const;
+  void record_item_latency(std::size_t endpoint_index, double seconds) const
+      ECAD_EXCLUDES(mutex_);
   /// Items the next shard for this endpoint should carry: the latency-EWMA
   /// adaptive size (equal prior when unobserved), hard-bounded by the fair
   /// share of the currently pending queue across every stream — one fast
   /// endpoint must never swallow the whole queue and starve the fleet.
-  /// Caller holds queue.mutex (or has exclusive access pre-launch).
-  std::size_t shard_size(std::size_t endpoint_index, const BatchQueue& queue) const;
+  /// The REQUIRES contract replaces the old "caller holds queue.mutex (or
+  /// has exclusive access pre-launch)" comment: every caller now holds the
+  /// lock, including the pre-launch reservation pass.
+  std::size_t shard_size(std::size_t endpoint_index, const BatchQueue& queue) const
+      ECAD_REQUIRES(queue.mutex) ECAD_EXCLUDES(mutex_);
 
   /// Connect + Hello/HelloAck at the endpoint's remembered max version, with
   /// one v1 downgrade retry when a v2+ handshake bounces off an old peer.
   bool connect_endpoint(std::size_t endpoint_index, PooledConnection& out,
-                        bool penalize_on_failure = true) const;
+                        bool penalize_on_failure = true) const ECAD_EXCLUDES(mutex_);
 
   /// One request/response exchange on a checked-out connection.
   evo::EvalResult exchange(Socket& socket, const evo::Genome& genome) const;
@@ -267,13 +275,15 @@ class RemoteWorker final : public core::Worker {
   /// the endpoint over a failed *connect* (see checkout_endpoint).
   void drive_endpoint(std::size_t endpoint_index, const std::vector<evo::Genome>& genomes,
                       std::vector<std::size_t> first_shard, BatchQueue& queue,
-                      std::vector<evo::EvalOutcome>& outcomes, bool primary) const;
+                      std::vector<evo::EvalOutcome>& outcomes, bool primary) const
+      ECAD_EXCLUDES(queue.mutex, mutex_);
 
-  void heartbeat_loop();
+  void heartbeat_loop() ECAD_EXCLUDES(heartbeat_mutex_, mutex_);
 
   RemoteWorkerOptions options_;
-  mutable std::mutex mutex_;             // guards endpoint states + idle pools
-  mutable std::vector<EndpointState> states_;
+  /// Guards endpoint states + idle pools (enforced via ECAD_GUARDED_BY).
+  mutable util::Mutex mutex_;
+  mutable std::vector<EndpointState> states_ ECAD_GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> next_request_id_{1};
   mutable std::atomic<std::size_t> round_robin_{0};
   mutable std::atomic<std::size_t> remote_evaluations_{0};
@@ -283,9 +293,9 @@ class RemoteWorker final : public core::Worker {
   mutable std::atomic<std::size_t> out_of_order_items_{0};
   mutable std::atomic<std::size_t> heartbeat_rejoins_{0};
 
-  std::mutex heartbeat_mutex_;
-  std::condition_variable heartbeat_cv_;
-  bool stopping_ = false;                // guarded by heartbeat_mutex_
+  util::Mutex heartbeat_mutex_;
+  util::CondVar heartbeat_cv_;
+  bool stopping_ ECAD_GUARDED_BY(heartbeat_mutex_) = false;
   std::thread heartbeat_thread_;
 };
 

@@ -53,7 +53,7 @@ void WorkerServer::stop() {
 void WorkerServer::send_frame(const std::shared_ptr<Connection>& connection, MsgType type,
                               const std::vector<std::uint8_t>& payload) {
   const std::vector<std::uint8_t> frame = encode_frame(type, payload);
-  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  util::MutexLock lock(connection->write_mutex);
   if (connection->closed.load(std::memory_order_acquire)) return;
   connection->socket.send_all(frame.data(), frame.size());
 }

@@ -25,7 +25,9 @@
 #include "core/worker.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
+#include "util/thread_safety.h"
 
 namespace ecad::net {
 
@@ -75,7 +77,11 @@ class WorkerServer {
   struct Connection {
     Socket socket;
     std::vector<std::uint8_t> inbox;  // partial-frame reassembly buffer
-    std::mutex write_mutex;           // serializes response frames
+    /// Serializes response frames: pool tasks and the loop thread both write
+    /// to the socket, and a frame must hit the wire whole.  The socket itself
+    /// can't be GUARDED_BY it — the loop thread recv()s without it — so the
+    /// contract is "every send_all goes through send_frame".
+    util::Mutex write_mutex;
     std::atomic<bool> closed{false};
     /// Negotiated protocol version; written on the loop thread during the
     /// Hello exchange, and 1 until then — batch frames before (or without) a
@@ -88,7 +94,8 @@ class WorkerServer {
   bool handle_frame(const std::shared_ptr<Connection>& connection, Frame frame);
   void handle_batch_request(const std::shared_ptr<Connection>& connection, Frame frame);
   void send_frame(const std::shared_ptr<Connection>& connection, MsgType type,
-                  const std::vector<std::uint8_t>& payload);
+                  const std::vector<std::uint8_t>& payload)
+      ECAD_EXCLUDES(connection->write_mutex);
 
   const core::Worker& worker_;
   WorkerServerOptions options_;

@@ -6,8 +6,10 @@
 #include <cerrno>
 #include <cctype>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ecad::util {
 
@@ -20,14 +22,18 @@ struct EnvLevelInit {
 };
 const EnvLevelInit g_env_level_init;
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
-}
+// The sink's mutex and the state it guards live in one struct so the
+// thread-safety analysis can tie them together (a function-local static
+// mutex cannot be named in an ECAD_GUARDED_BY expression).  Function-local
+// so logging works during other TUs' static initialization.
+struct Sink {
+  Mutex mutex;
+  std::string identity ECAD_GUARDED_BY(mutex);
+};
 
-std::string& identity_slot() {
-  static std::string identity;
-  return identity;
+Sink& sink() {
+  static Sink s;
+  return s;
 }
 
 // One write(2) per line so lines from separate processes sharing a terminal
@@ -64,13 +70,15 @@ void refresh_log_level_from_env() {
 }
 
 void set_log_identity(std::string identity) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  identity_slot() = std::move(identity);
+  Sink& s = sink();
+  MutexLock lock(s.mutex);
+  s.identity = std::move(identity);
 }
 
 std::string log_identity() {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  return identity_slot();
+  Sink& s = sink();
+  MutexLock lock(s.mutex);
+  return s.identity;
 }
 
 std::string_view to_string(LogLevel level) {
@@ -105,11 +113,11 @@ void log_line(LogLevel level, std::string_view component, std::string_view messa
   line += '[';
   line += to_string(level);
   line += "] ";
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  const std::string& identity = identity_slot();
-  if (!identity.empty()) {
+  Sink& s = sink();
+  MutexLock lock(s.mutex);
+  if (!s.identity.empty()) {
     line += '[';
-    line += identity;
+    line += s.identity;
     line += "] ";
   }
   line += '[';

@@ -1,0 +1,110 @@
+// Annotated locking primitives for Clang's thread-safety analysis.
+//
+// `std::mutex` is not a capability type, so it cannot appear in
+// `ECAD_GUARDED_BY` / `ECAD_REQUIRES` expressions.  These thin wrappers
+// (the canonical pattern from the Clang thread-safety docs) carry the
+// capability attributes while delegating every operation to the standard
+// primitives — zero-cost at runtime, machine-checked at compile time.
+//
+// Usage:
+//
+//   class Queue {
+//    public:
+//     void push(Item item) ECAD_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       items_.push_back(std::move(item));
+//       cv_.notify_one();
+//     }
+//     Item pop() ECAD_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       while (items_.empty()) cv_.wait(mutex_);   // explicit loop, no lambda
+//       ...
+//     }
+//    private:
+//     Mutex mutex_;
+//     std::deque<Item> items_ ECAD_GUARDED_BY(mutex_);
+//     CondVar cv_;
+//   };
+//
+// Condition predicates must be explicit `while` loops: the analysis treats
+// a lambda as an unrelated function with no lock context, so a guarded read
+// inside a `wait(lock, pred)`-style lambda fails the build (correctly — the
+// annotation machinery cannot prove the lock is held there).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_safety.h"
+
+namespace ecad::util {
+
+/// A `std::mutex` annotated as a thread-safety capability.  Satisfies
+/// *Lockable*, so `std::lock_guard<Mutex>` etc. still compile, but prefer
+/// `MutexLock` — the std wrappers carry no annotations.
+class ECAD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ECAD_ACQUIRE() { mutex_.lock(); }
+  void unlock() ECAD_RELEASE() { mutex_.unlock(); }
+  bool try_lock() ECAD_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock for Mutex (the annotated equivalent of std::lock_guard).
+class ECAD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ECAD_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() ECAD_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to util::Mutex.  wait() is annotated
+/// ECAD_REQUIRES(mutex): from the caller's (and the analysis') point of view
+/// the lock is held across the call, exactly like std::condition_variable —
+/// the release/re-acquire inside is invisible and atomic with the block.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, block until notified (or spuriously woken),
+  /// and re-acquire before returning.  Always re-check the predicate in a
+  /// `while` loop around this call.
+  void wait(Mutex& mutex) ECAD_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // lock ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait; std::cv_status::timeout when the deadline passed first.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& timeout)
+      ECAD_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ecad::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace ecad::util {
 
@@ -9,16 +10,25 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   num_threads_ = num_threads;
-  workers_.reserve(num_threads);
-  try {
-    for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+  // A failed std::thread spawn must not leak the already-running workers:
+  // an unjoined std::thread terminates the process on destruction.  The
+  // spawn loop holds shutdown_mutex_ (workers_' capability); the recovery
+  // shutdown() re-acquires it, so it must run after the scope closes.
+  std::exception_ptr spawn_error;
+  {
+    MutexLock lock(shutdown_mutex_);
+    workers_.reserve(num_threads);
+    try {
+      for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+    } catch (...) {
+      spawn_error = std::current_exception();
     }
-  } catch (...) {
-    // A failed std::thread spawn must not leak the already-running workers:
-    // an unjoined std::thread terminates the process on destruction.
+  }
+  if (spawn_error) {
     shutdown();
-    throw;
+    std::rethrow_exception(spawn_error);
   }
 }
 
@@ -31,9 +41,9 @@ void ThreadPool::shutdown() {
   // protect against racing the destructor itself — keeping the pool alive
   // across the call is the caller's job, as for any member function.
   // Must not be called from a worker thread (self-join).
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  MutexLock shutdown_lock(shutdown_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -47,8 +57,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

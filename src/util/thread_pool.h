@@ -1,16 +1,22 @@
 // Fixed-size thread pool used by the ECAD master to evaluate candidate
 // designs in parallel (paper §III-A: the Master "orchestrates the evaluation
 // process by distributing the co-design population").
+//
+// Lock discipline (machine-checked, see util/thread_safety.h): the task
+// queue and stop flag are guarded by `mutex_`; the worker vector is guarded
+// by `shutdown_mutex_`, which also serializes the whole stop/notify/join
+// sequence so concurrent shutdown() calls cannot double-join.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ecad::util {
 
@@ -34,7 +40,7 @@ class ThreadPool {
   /// not race shutdown() (or any member) with the pool's destruction —
   /// lifetime is external synchronization. After shutdown() returns,
   /// submit() throws std::runtime_error.
-  void shutdown();
+  void shutdown() ECAD_EXCLUDES(shutdown_mutex_, mutex_);
 
   /// Enqueue a task; the returned future yields its result (or exception).
   /// Throws std::runtime_error if the pool has been shut down.
@@ -44,7 +50,7 @@ class ThreadPool {
     auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       tasks_.push([packaged] { (*packaged)(); });
     }
@@ -61,15 +67,15 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() ECAD_EXCLUDES(mutex_);
 
   std::size_t num_threads_ = 0;  // set once in the constructor, then immutable
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::mutex shutdown_mutex_;  // serializes shutdown(); guards workers_ join/clear
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  Mutex shutdown_mutex_;  // serializes shutdown(); guards workers_ join/clear
+  std::vector<std::thread> workers_ ECAD_GUARDED_BY(shutdown_mutex_);
+  std::queue<std::function<void()>> tasks_ ECAD_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ ECAD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ecad::util

@@ -1,0 +1,78 @@
+// Clang thread-safety analysis macros (no-ops on other compilers).
+//
+// These wrap the capability attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so every locking
+// contract in the tree is machine-checked at compile time instead of living
+// in comments.  The CI `static-analysis` job builds with Clang and
+// `-Wthread-safety` promoted to an error; GCC compiles the same code with
+// the attributes expanded to nothing.
+//
+// The annotations only understand capability types, so the lockable
+// primitives themselves live in util/mutex.h (`ecad::util::Mutex`,
+// `MutexLock`, `CondVar`) — a plain `std::mutex` member cannot appear in an
+// `ECAD_GUARDED_BY` expression.
+//
+// Contract cheat sheet for contributors:
+//  * `ECAD_GUARDED_BY(mu)` on a data member: every read and write must hold
+//    `mu`.  The analysis rejects unlocked accesses at compile time.
+//  * `ECAD_REQUIRES(mu)` on a function: callers must already hold `mu` when
+//    calling it (the "caller holds the lock" comment, enforced).  The
+//    function must not re-acquire or release it.
+//  * `ECAD_ACQUIRE(mu)` / `ECAD_RELEASE(mu)`: the function takes/drops the
+//    lock; callers must not hold it on entry (resp. must hold it).
+//  * `ECAD_EXCLUDES(mu)`: the function acquires `mu` internally, so calling
+//    it with `mu` held would self-deadlock on a non-recursive mutex.
+#pragma once
+
+#if defined(__clang__) && !defined(ECAD_NO_THREAD_SAFETY_ANALYSIS)
+#define ECAD_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ECAD_TSA_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define ECAD_CAPABILITY(x) ECAD_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define ECAD_SCOPED_CAPABILITY ECAD_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Data members: accesses require the named capability (exclusive).
+#define ECAD_GUARDED_BY(x) ECAD_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Pointer members: dereferences require the named capability.
+#define ECAD_PT_GUARDED_BY(x) ECAD_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Documented lock-ordering edges (deadlock detection).
+#define ECAD_ACQUIRED_BEFORE(...) ECAD_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ECAD_ACQUIRED_AFTER(...) ECAD_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Functions: the caller must hold the capability (exclusively / shared).
+#define ECAD_REQUIRES(...) ECAD_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define ECAD_REQUIRES_SHARED(...) ECAD_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability (caller must not hold it).
+#define ECAD_ACQUIRE(...) ECAD_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ECAD_ACQUIRE_SHARED(...) ECAD_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Functions: release the capability (caller must hold it).
+#define ECAD_RELEASE(...) ECAD_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define ECAD_RELEASE_SHARED(...) ECAD_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define ECAD_RELEASE_GENERIC(...) ECAD_TSA_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Functions: acquire only when returning the given value.
+#define ECAD_TRY_ACQUIRE(...) ECAD_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define ECAD_TRY_ACQUIRE_SHARED(...) ECAD_TSA_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Functions: must NOT be called with the capability held (self-deadlock).
+#define ECAD_EXCLUDES(...) ECAD_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. lock state threaded through callbacks).
+#define ECAD_ASSERT_CAPABILITY(x) ECAD_TSA_ATTRIBUTE(assert_capability(x))
+
+/// Functions returning a reference to a capability.
+#define ECAD_RETURN_CAPABILITY(x) ECAD_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function is deliberately not analyzed.  Use sparingly
+/// and leave a comment saying why the analysis cannot follow the code.
+#define ECAD_NO_THREAD_SAFETY_ANALYSIS ECAD_TSA_ATTRIBUTE(no_thread_safety_analysis)

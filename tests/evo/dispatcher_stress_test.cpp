@@ -1,0 +1,149 @@
+// TSan-targeted stress for AsyncBatchDispatcher: many threads hammering
+// submit/poll/wait on one dispatcher, racing pool shutdown and dispatcher
+// destruction.  These tests assert little beyond "the right results came
+// back" — their value is running under -fsanitize=thread in CI, where any
+// lock-discipline slip in the dispatcher or the pool becomes a hard failure.
+#include "evo/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ecad::evo {
+namespace {
+
+std::vector<Genome> small_batch(std::uint64_t seed, std::size_t count = 2) {
+  SearchSpace space;
+  util::Rng rng(seed);
+  std::vector<Genome> batch;
+  for (std::size_t i = 0; i < count; ++i) batch.push_back(random_genome(space, rng));
+  return batch;
+}
+
+// Evaluator that fans items across the shared pool (like the Master's real
+// wiring) and tags each outcome so waiters can verify they got *their*
+// batch back, not a neighbor's.
+EvolutionEngine::BatchEvaluator tagging_evaluator(std::atomic<int>& evaluations) {
+  return [&evaluations](const std::vector<Genome>& genomes, util::ThreadPool& pool) {
+    std::vector<EvalOutcome> outcomes(genomes.size());
+    pool.parallel_for(genomes.size(), [&](std::size_t i) {
+      outcomes[i].result.accuracy = static_cast<double>(genomes[i].grid.rows);
+      outcomes[i].ok = true;
+      evaluations.fetch_add(1, std::memory_order_relaxed);
+    });
+    return outcomes;
+  };
+}
+
+TEST(DispatcherStress, ConcurrentSubmitPollWait) {
+  util::ThreadPool pool(4);
+  std::atomic<int> evaluations{0};
+  const EvolutionEngine::BatchEvaluator evaluate = tagging_evaluator(evaluations);
+  AsyncBatchDispatcher dispatcher(evaluate, pool);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kBatchesEach = 8;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  // Chaos observer: poll unknown tickets and read in_flight() the whole time.
+  std::thread observer([&] {
+    AsyncBatchDispatcher::Ticket probe = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      dispatcher.in_flight();
+      dispatcher.poll(probe++ % 64);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int b = 0; b < kBatchesEach; ++b) {
+        const std::vector<Genome> batch =
+            small_batch(static_cast<std::uint64_t>(s * 100 + b));
+        const auto ticket = dispatcher.submit(batch);
+        while (!dispatcher.poll(ticket)) std::this_thread::yield();
+        const std::vector<EvalOutcome> outcomes = dispatcher.wait(ticket);
+        if (outcomes.size() != batch.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          if (!outcomes[i].ok ||
+              outcomes[i].result.accuracy != static_cast<double>(batch[i].grid.rows)) {
+            failures.fetch_add(1);
+          }
+        }
+        // Double-collection must throw, even mid-storm.
+        EXPECT_THROW(dispatcher.wait(ticket), std::invalid_argument);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dispatcher.in_flight(), 0u);
+  EXPECT_EQ(evaluations.load(), kSubmitters * kBatchesEach * 2);
+}
+
+TEST(DispatcherStress, WaitRacingPoolShutdown) {
+  // Submissions race pool.shutdown(): every wait() must either deliver the
+  // full batch or rethrow the pool's submit-after-shutdown error — nothing
+  // in between, and no data race either way.
+  util::ThreadPool pool(2);
+  std::atomic<int> evaluations{0};
+  const EvolutionEngine::BatchEvaluator evaluate = tagging_evaluator(evaluations);
+  AsyncBatchDispatcher dispatcher(evaluate, pool);
+
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  std::thread submitter([&] {
+    for (int b = 0; b < 32; ++b) {
+      const auto ticket = dispatcher.submit(small_batch(static_cast<std::uint64_t>(b)));
+      try {
+        const std::vector<EvalOutcome> outcomes = dispatcher.wait(ticket);
+        if (outcomes.size() == 2) completed.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        rejected.fetch_add(1);  // pool shut down under this batch
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.shutdown();
+  submitter.join();
+
+  EXPECT_EQ(completed.load() + rejected.load(), 32);
+  EXPECT_EQ(dispatcher.in_flight(), 0u);
+}
+
+TEST(DispatcherStress, DestructionBlocksOnInFlightBatches) {
+  util::ThreadPool pool(2);
+  std::atomic<int> evaluations{0};
+  const EvolutionEngine::BatchEvaluator evaluate =
+      [&evaluations](const std::vector<Genome>& genomes, util::ThreadPool&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::vector<EvalOutcome> outcomes(genomes.size());
+        for (auto& outcome : outcomes) outcome.ok = true;
+        evaluations.fetch_add(static_cast<int>(genomes.size()), std::memory_order_relaxed);
+        return outcomes;
+      };
+  {
+    AsyncBatchDispatcher dispatcher(evaluate, pool);
+    for (int b = 0; b < 4; ++b) {
+      dispatcher.submit(small_batch(static_cast<std::uint64_t>(b)));
+    }
+    // Leave every ticket uncollected: the destructor must block on all of
+    // them, or the evaluator would outlive `evaluate` and `pool`.
+  }
+  EXPECT_EQ(evaluations.load(), 4 * 2);
+}
+
+}  // namespace
+}  // namespace ecad::evo

@@ -1,0 +1,70 @@
+// TSan-targeted stress for RemoteWorker's heartbeat thread: rapid
+// start/stop cycles with a hot ping interval against unreachable endpoints,
+// concurrent with the public health probes.  Like the dispatcher stress,
+// the point is running this under -fsanitize=thread in CI — the heartbeat
+// thread touches both heartbeat_mutex_ (stop signal) and mutex_ (endpoint
+// state), and a slip in either shows up here as a hard race report.
+#include "net/remote_worker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace ecad::net {
+namespace {
+
+// An endpoint nobody listens on: connects fail fast with ECONNREFUSED, so
+// the heartbeat loop spins through real connect attempts without a daemon.
+RemoteWorkerOptions unreachable_options() {
+  RemoteWorkerOptions options;
+  options.endpoints = {{"127.0.0.1", 1}, {"127.0.0.1", 2}};
+  options.connect_timeout_ms = 50;
+  options.heartbeat_interval_ms = 1;  // hottest legal heartbeat
+  options.max_rounds = 1;
+  return options;
+}
+
+TEST(HeartbeatStress, RapidStartStopCycles) {
+  // Construction starts the heartbeat thread, destruction signals and joins
+  // it; a destructor racing its own thread's first tick is exactly the
+  // window this loop tries to hit.
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const RemoteWorker worker(unreachable_options());
+    if (cycle % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+TEST(HeartbeatStress, HealthProbesRaceHeartbeatThread) {
+  const RemoteWorker worker(unreachable_options());
+  std::atomic<bool> done{false};
+
+  std::thread prober([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      // healthy_endpoints() takes mutex_, the same lock the heartbeat
+      // thread's sideline scan takes between its pings.
+      (void)worker.healthy_endpoints();
+      std::this_thread::yield();
+    }
+  });
+
+  // Sideline both endpoints via failed evaluations, repeatedly, while the
+  // heartbeat thread pings them and the prober reads the state.
+  evo::Genome genome;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW((void)worker.evaluate(genome), NetError);
+  }
+  EXPECT_EQ(worker.ping_all(), 0u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_release);
+  prober.join();
+}
+
+}  // namespace
+}  // namespace ecad::net
