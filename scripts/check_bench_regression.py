@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh bench JSON against committed baselines.
+
+CI runs every bench with a fresh build and drops ``BENCH_*.json`` into an
+artifact directory; this script compares each fresh file against the
+baseline of the same name committed at the repo root and fails the build
+when performance regressed beyond noise:
+
+  * **Throughput** (``gflops``): raw GFLOP/s differ across runner
+    generations, so absolute thresholds are useless.  Instead every shared
+    entry gets a fresh/baseline ratio and each ratio is normalized by the
+    *median* ratio across the file — a uniformly slower machine moves the
+    median and passes, a single kernel that fell off a cliff does not.
+    An entry fails when its normalized ratio drops below
+    ``1 - --max-gflops-drop`` (default 0.15: >15% below the fleet median).
+  * **Tail latency** (``p50_ms``/``p99_ms``): gate on the *shape* of the
+    distribution, not the absolute milliseconds — the fresh ``p99/p50``
+    tail ratio must stay within ``--max-tail-growth`` (default 2.0) times
+    the baseline's tail ratio.  This is what protects the streaming-wire
+    p99 win (see BENCH_batch_latency.json) from quietly rotting.
+
+Entries are matched by ``name``; entries present on only one side are
+reported but not fatal (``--quick`` CI runs legitimately produce a subset).
+A fresh file with no committed baseline is skipped with a notice.
+
+Usage:
+    scripts/check_bench_regression.py --baseline-dir . --fresh-dir bench-json
+    scripts/check_bench_regression.py --self-test
+
+``--self-test`` fabricates baseline/fresh pairs — a clean pass on a
+uniformly slower machine, an injected 0.5x single-kernel GFLOP/s collapse,
+and an injected 30x p99 blowup — and asserts the gate passes/fails each
+accordingly, so CI proves the gate can still say no.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+
+
+def load_entries(path):
+    """-> {entry name: metrics dict} from one BENCH_*.json file."""
+    data = json.loads(path.read_text())
+    return {entry["name"]: entry.get("metrics", {}) for entry in data.get("entries", [])}
+
+
+def check_file(baseline_path, fresh_path, max_gflops_drop, max_tail_growth):
+    """-> (violations, notices) comparing one fresh bench file to its baseline."""
+    violations = []
+    notices = []
+    baseline = load_entries(baseline_path)
+    fresh = load_entries(fresh_path)
+    shared = sorted(set(baseline) & set(fresh))
+    for name in sorted(set(baseline) ^ set(fresh)):
+        side = "baseline" if name in baseline else "fresh"
+        notices.append(f"{fresh_path.name}: entry '{name}' only in {side} run (skipped)")
+    if not shared:
+        notices.append(f"{fresh_path.name}: no shared entries with baseline (nothing gated)")
+        return violations, notices
+
+    # --- throughput: median-normalized per-entry GFLOP/s ratios ------------
+    ratios = {}
+    for name in shared:
+        base_gflops = baseline[name].get("gflops")
+        fresh_gflops = fresh[name].get("gflops")
+        if base_gflops and fresh_gflops:
+            ratios[name] = fresh_gflops / base_gflops
+    if ratios:
+        median_ratio = statistics.median(ratios.values())
+        floor = (1.0 - max_gflops_drop) * median_ratio
+        for name, ratio in sorted(ratios.items()):
+            if ratio < floor:
+                violations.append(
+                    f"{fresh_path.name}: '{name}' gflops ratio {ratio:.3f} is "
+                    f">{max_gflops_drop:.0%} below the median machine-speed "
+                    f"ratio {median_ratio:.3f} (floor {floor:.3f})")
+
+    # --- tail latency: p99/p50 shape vs baseline shape ---------------------
+    for name in shared:
+        base_p50 = baseline[name].get("p50_ms")
+        base_p99 = baseline[name].get("p99_ms")
+        fresh_p50 = fresh[name].get("p50_ms")
+        fresh_p99 = fresh[name].get("p99_ms")
+        if not (base_p50 and base_p99 and fresh_p50 and fresh_p99):
+            continue
+        base_tail = base_p99 / base_p50
+        fresh_tail = fresh_p99 / fresh_p50
+        if fresh_tail > max_tail_growth * base_tail:
+            violations.append(
+                f"{fresh_path.name}: '{name}' p99/p50 tail ratio {fresh_tail:.2f} "
+                f"exceeds {max_tail_growth:.1f}x the baseline tail ratio {base_tail:.2f}")
+    return violations, notices
+
+
+def check_dirs(baseline_dir, fresh_dir, max_gflops_drop, max_tail_growth):
+    violations = []
+    notices = []
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        violations.append(f"{fresh_dir}: no BENCH_*.json produced (bench run broken?)")
+    for fresh_path in fresh_files:
+        baseline_path = baseline_dir / fresh_path.name
+        if not baseline_path.exists():
+            notices.append(f"{fresh_path.name}: no committed baseline (skipped)")
+            continue
+        file_violations, file_notices = check_file(
+            baseline_path, fresh_path, max_gflops_drop, max_tail_growth)
+        violations.extend(file_violations)
+        notices.extend(file_notices)
+    return violations, notices
+
+
+# ---------------------------------------------------------------------------
+# Self-test: fabricate regressions, demand the gate notices.
+# ---------------------------------------------------------------------------
+
+def _bench_json(name, entries):
+    return json.dumps({
+        "bench": name,
+        "schema_version": 1,
+        "entries": [{"name": n, "metrics": m} for n, m in entries.items()],
+    })
+
+
+def self_test():
+    failures = []
+    baseline_gemm = {
+        "a/64": {"gflops": 10.0},
+        "b/64": {"gflops": 20.0},
+        "c/64": {"gflops": 40.0},
+    }
+    baseline_latency = {
+        "v2_batch": {"p50_ms": 2.0, "p99_ms": 60.0},
+        "v3_streaming": {"p50_ms": 2.0, "p99_ms": 2.4},
+    }
+
+    def run_case(label, fresh_gemm, fresh_latency, expect_fail, needle=""):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = pathlib.Path(tmp) / "base"
+            fresh = pathlib.Path(tmp) / "fresh"
+            base.mkdir()
+            fresh.mkdir()
+            (base / "BENCH_micro_gemm.json").write_text(_bench_json("micro_gemm", baseline_gemm))
+            (base / "BENCH_batch_latency.json").write_text(
+                _bench_json("batch_latency", baseline_latency))
+            (fresh / "BENCH_micro_gemm.json").write_text(_bench_json("micro_gemm", fresh_gemm))
+            (fresh / "BENCH_batch_latency.json").write_text(
+                _bench_json("batch_latency", fresh_latency))
+            violations, _ = check_dirs(base, fresh, 0.15, 2.0)
+        if expect_fail and not any(needle in v for v in violations):
+            failures.append(f"self-test '{label}': expected a violation containing "
+                            f"'{needle}', got {violations or '[clean pass]'}")
+        if not expect_fail and violations:
+            failures.append(f"self-test '{label}': expected a clean pass, got {violations}")
+
+    # A uniformly 0.8x-slower machine: every ratio equals the median, clean.
+    run_case("uniformly slower machine passes",
+             {n: {"gflops": m["gflops"] * 0.8} for n, m in baseline_gemm.items()},
+             baseline_latency, expect_fail=False)
+    # One kernel collapses to 0.5x while the rest hold: must fail.
+    run_case("single-kernel gflops collapse fails",
+             {"a/64": {"gflops": 10.0}, "b/64": {"gflops": 20.0}, "c/64": {"gflops": 20.0}},
+             baseline_latency, expect_fail=True, needle="'c/64' gflops ratio")
+    # Streaming p99 blows up 30x (p50 steady): the tail-shape gate must fail.
+    run_case("p99 tail blowup fails",
+             baseline_gemm,
+             {"v2_batch": {"p50_ms": 2.0, "p99_ms": 60.0},
+              "v3_streaming": {"p50_ms": 2.0, "p99_ms": 72.0}},
+             expect_fail=True, needle="'v3_streaming' p99/p50 tail ratio")
+    # Subset fresh run (quick mode): missing entries are notices, not failures.
+    run_case("quick-mode subset passes",
+             {"a/64": {"gflops": 10.0}}, baseline_latency, expect_fail=False)
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=pathlib.Path, default=pathlib.Path("."),
+                        help="directory holding the committed BENCH_*.json baselines")
+    parser.add_argument("--fresh-dir", type=pathlib.Path, default=pathlib.Path("bench-json"),
+                        help="directory holding freshly generated BENCH_*.json files")
+    parser.add_argument("--max-gflops-drop", type=float, default=0.15,
+                        help="max fractional GFLOP/s drop below the median ratio (default 0.15)")
+    parser.add_argument("--max-tail-growth", type=float, default=2.0,
+                        help="max p99/p50 tail-ratio growth vs baseline (default 2.0)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the gate fails on injected regressions")
+    options = parser.parse_args()
+
+    if options.self_test:
+        failures = self_test()
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("check_bench_regression self-test: all injected regressions detected")
+        return 1 if failures else 0
+
+    violations, notices = check_dirs(options.baseline_dir, options.fresh_dir,
+                                     options.max_gflops_drop, options.max_tail_growth)
+    for notice in notices:
+        print(f"bench-gate note: {notice}")
+    for violation in violations:
+        print(f"bench-gate: {violation}", file=sys.stderr)
+    if not violations:
+        print("bench-gate: no performance regressions beyond thresholds")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

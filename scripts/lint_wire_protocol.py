@@ -238,6 +238,11 @@ def self_test(root):
     if "EvalBatchRequest" in types and versions.get("EvalBatchRequest") != 2:
         failures.append("parser: EvalBatchRequest should be a v2 frame "
                         f"(got {versions.get('EvalBatchRequest')})")
+    for search_frame in ("SubmitSearch", "SearchAccepted", "SearchProgress",
+                         "SearchDone", "CancelSearch"):
+        if search_frame in types and versions.get(search_frame) != 4:
+            failures.append(f"parser: {search_frame} should be a v4 frame "
+                            f"(got {versions.get(search_frame)})")
     writers, readers = parse_codec_pairs(wire_h_text)
     if "genome" not in writers or "genome" not in readers:
         failures.append("parser: write_genome/read_genome not found in wire.h")
@@ -264,6 +269,13 @@ def self_test(root):
         sabotaged("missing fixture",
                   lambda copy: (copy / GOLDEN_DIR / "ping_v1.bin").unlink(),
                   "MsgType::Ping has no golden fixture")
+        sabotaged("missing search fixture",
+                  lambda copy: (copy / GOLDEN_DIR / "submit_search_v4.bin").unlink(),
+                  "MsgType::SubmitSearch has no golden fixture")
+        sabotaged("search done variants do not cover the base tag",
+                  lambda copy: [(copy / GOLDEN_DIR / "search_done_v4.bin").unlink(),
+                                (copy / GOLDEN_DIR / "search_done_err_v4.bin").unlink()],
+                  "MsgType::SearchDone has no golden fixture")
         sabotaged("fixture at wrong version",
                   lambda copy: (copy / GOLDEN_DIR / "eval_batch_request_v2.bin")
                   .rename(copy / GOLDEN_DIR / "eval_batch_request_v1.bin"),
@@ -283,6 +295,16 @@ def self_test(root):
                       re.sub(r"^.*\bread_eval_batch_done\s*\(.*$", "",
                              (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
                   "write_eval_batch_done has no matching read_eval_batch_done")
+        sabotaged("unpaired search codec",
+                  lambda copy: (copy / WIRE_H).write_text(
+                      re.sub(r"^.*\bread_search_done\s*\(.*$", "",
+                             (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
+                  "write_search_done has no matching read_search_done")
+        sabotaged("untested search round-trip",
+                  lambda copy: [p.write_text(
+                      p.read_text().replace("read_cancel_search", "read_cancel_search0"))
+                      for p in (copy / TESTS_DIR).rglob("*_test.cpp")],
+                  "no test references both write_cancel_search and read_cancel_search")
         sabotaged("untested round-trip",
                   lambda copy: [p.write_text(p.read_text().replace("read_genome", "read_gen0me"))
                                 for p in (copy / TESTS_DIR).rglob("*_test.cpp")],

@@ -4,7 +4,7 @@
 # and prove, for one seeded search, that every wire configuration produces
 # stdout byte-identical to the in-process reference:
 #
-#   leg 1  streaming (protocol v3, the default)   == local
+#   leg 1  streaming (protocol v3+, the default)  == local
 #   leg 2  v2 batch mode (master pinned --max-protocol 2, single-response
 #          batch frames, no item streaming)       == local
 #   leg 3  unbatched (master pinned --max-protocol 1, per-genome frames)
@@ -28,7 +28,8 @@ WORKERD="$BUILD_DIR/tools/ecad_workerd"
 SEARCHD="$BUILD_DIR/tools/ecad_searchd"
 # Current wire generation; scripts/lint_wire_protocol.py checks this against
 # kProtocolVersion in src/net/wire.h so the leg matrix can't silently rot.
-PROTOCOL_VERSION=3
+# (v4 adds the search-service frames, exercised by scripts/service_smoke.sh.)
+PROTOCOL_VERSION=4
 if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
   WORK="$SMOKE_LOG_DIR"
   mkdir -p "$WORK"
@@ -91,7 +92,7 @@ echo "   workers on :$PORT1 and :$PORT2"
 echo "== local (in-process) reference search"
 "$SEARCHD" "${SEARCH_FLAGS[@]}" >"$WORK/local.out" 2>"$WORK/local.err"
 
-echo "== leg 1: streaming distributed search (protocol v3, the default)"
+echo "== leg 1: streaming distributed search (protocol v3+, the default)"
 "$SEARCHD" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" "${SEARCH_FLAGS[@]}" \
   >"$WORK/streaming.out" 2>"$WORK/streaming.err"
 diff_or_die "$WORK/local.out" "$WORK/streaming.out" "streaming search"

@@ -4,28 +4,26 @@
 
 namespace ecad::core {
 
-evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
-  const auto& fitness = registry_.get(request.fitness);
-  // Generation-sized chunks flow through evaluate_batch_deduped — duplicate
-  // genomes within one chunk are collapsed before they cost a (possibly
-  // remote) evaluation — so remote backends amortize one network round-trip
-  // over the whole chunk and never evaluate the same key twice per batch.
+evo::EvolutionEngine::BatchEvaluator make_search_evaluator(const Worker& worker) {
   // Failed slots are annotated with the worker name + genome key: the engine
   // throws the first one, and without the key a remote- or training-failure
   // is undiagnosable ("which of the 64 candidates was it?").
-  evo::EvolutionEngine engine(
-      request.space, request.evolution,
-      [&worker](const std::vector<evo::Genome>& genomes, util::ThreadPool& pool) {
-        std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
-        for (std::size_t i = 0; i < outcomes.size() && i < genomes.size(); ++i) {
-          if (!outcomes[i].ok) {
-            outcomes[i].error = "worker '" + worker.name() + "' failed on genome " +
-                                genomes[i].key() + ": " + outcomes[i].error;
-          }
-        }
-        return outcomes;
-      },
-      fitness);
+  return [&worker](const std::vector<evo::Genome>& genomes, util::ThreadPool& pool) {
+    std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
+    for (std::size_t i = 0; i < outcomes.size() && i < genomes.size(); ++i) {
+      if (!outcomes[i].ok) {
+        outcomes[i].error = "worker '" + worker.name() + "' failed on genome " + genomes[i].key() +
+                            ": " + outcomes[i].error;
+      }
+    }
+    return outcomes;
+  };
+}
+
+evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
+  const auto& fitness = registry_.get(request.fitness);
+  evo::EvolutionEngine engine(request.space, request.evolution, make_search_evaluator(worker),
+                              fitness);
   util::Rng rng(request.seed);
   util::ThreadPool pool(request.threads);
   return engine.run(rng, pool);

@@ -1,0 +1,244 @@
+// Multi-tenant search scheduling for the resident master daemon (the
+// "search-as-a-service" half of the paper's master process): N concurrent
+// EvolutionEngine instances share one evaluation backend, with fair-share
+// batch interleaving, per-search cancellation, and a graceful drain that
+// lets in-flight generations finish before the daemon exits.
+//
+// Fairness model: every evaluation batch must pass through the
+// FairShareGate before it reaches the worker fleet.  The gate implements
+// stride scheduling — each search carries a weight and a "pass" (virtual
+// time); when a dispatch slot frees up, the waiting search with the lowest
+// pass wins, and its pass advances by items/weight.  With equal weights
+// this degenerates to round-robin over *batches*, so two 24-evaluation
+// searches interleave with a 10k-evaluation search instead of queuing
+// behind it; ties in pass are broken toward the search with the least
+// remaining budget, so the round order favors searches that are nearly
+// done (they release their runner soonest).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/master.h"
+#include "core/worker.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
+
+namespace ecad::core {
+
+/// Thrown out of a gated batch evaluator when the search's gate entry
+/// vanished mid-wait (cancellation or drain removed it).  The scheduler
+/// catches it and turns the search into a Canceled outcome; nothing else
+/// should swallow it.
+class SearchCanceled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Stride-scheduling admission gate for evaluation batches.  At most
+/// `slots` batches are in flight at once; among waiting searches the one
+/// with the lowest pass (then least remaining budget, then lowest id) is
+/// admitted next.  Identifier 0 is reserved as "nobody".
+class FairShareGate {
+ public:
+  explicit FairShareGate(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+  /// Register a search.  `weight` scales its share of dispatch slots
+  /// (2.0 = twice the batches of a weight-1 peer under contention);
+  /// `remaining` seeds the tiebreak (typically the evaluation budget).
+  void add(std::uint64_t id, double weight, std::uint64_t remaining) ECAD_EXCLUDES(mutex_);
+  /// Deregister.  Wakes any acquire() blocked on `id`, which then returns
+  /// false — this is how cancellation interrupts a waiting dispatcher.
+  /// Removing an unknown id is a no-op.
+  void remove(std::uint64_t id) ECAD_EXCLUDES(mutex_);
+  /// Update the remaining-budget tiebreak (called at generation
+  /// boundaries as the search consumes its budget).
+  void set_remaining(std::uint64_t id, std::uint64_t remaining) ECAD_EXCLUDES(mutex_);
+
+  /// Block until a slot is free and `id` is the scheduled-next waiter,
+  /// then charge `items` against its pass.  Returns false (without a
+  /// slot) when `id` is not, or no longer, registered.  Pair every true
+  /// return with exactly one release().
+  bool acquire(std::uint64_t id, std::size_t items) ECAD_EXCLUDES(mutex_);
+  /// Return a slot taken by a successful acquire().
+  void release() ECAD_EXCLUDES(mutex_);
+
+  /// Batches granted to `id` so far (0 for unknown ids).  Test hook.
+  std::uint64_t grants(std::uint64_t id) const ECAD_EXCLUDES(mutex_);
+
+  /// RAII slot: acquires on construction (throwing SearchCanceled when the
+  /// search was deregistered), releases on destruction.
+  class Grant {
+   public:
+    Grant(FairShareGate& gate, std::uint64_t id, std::size_t items) : gate_(gate) {
+      if (!gate_.acquire(id, items)) {
+        throw SearchCanceled("search " + std::to_string(id) +
+                             " canceled while awaiting a dispatch slot");
+      }
+    }
+    ~Grant() { gate_.release(); }
+    Grant(const Grant&) = delete;
+    Grant& operator=(const Grant&) = delete;
+
+   private:
+    FairShareGate& gate_;
+  };
+
+ private:
+  struct Entry {
+    double weight = 1.0;
+    double pass = 0.0;             // stride virtual time; lowest runs next
+    std::uint64_t remaining = 0;   // budget left (tiebreak only)
+    std::uint64_t grants = 0;      // batches admitted so far
+    bool waiting = false;          // blocked in acquire() right now
+  };
+
+  /// Waiting entry with the lowest (pass, remaining, id); 0 when none wait.
+  std::uint64_t next_waiting_locked() const ECAD_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::map<std::uint64_t, Entry> entries_ ECAD_GUARDED_BY(mutex_);
+  std::size_t slots_;
+  std::size_t in_use_ ECAD_GUARDED_BY(mutex_) = 0;
+  /// Global virtual time: late entrants (and searches that sat idle
+  /// between generations) resume here instead of replaying banked credit.
+  double virtual_time_ ECAD_GUARDED_BY(mutex_) = 0.0;
+};
+
+enum class SearchState : std::uint8_t { Queued, Running, Completed, Canceled, Failed };
+
+const char* to_string(SearchState state);
+
+/// One generation boundary of a running search, as streamed to its client.
+struct SearchProgressInfo {
+  std::uint64_t search_id = 0;
+  std::uint32_t generation = 0;
+  std::uint64_t models_evaluated = 0;
+  std::uint64_t max_evaluations = 0;
+  /// Accuracy/throughput-nondominated subset of the current population
+  /// (the axes of the paper's Fig. 2 trade-off curve).
+  std::uint32_t pareto_front_size = 0;
+  /// Best fitness over the whole history so far.
+  double best_fitness = 0.0;
+};
+
+/// Terminal record of a search.  `result` is populated only for Completed;
+/// Canceled/Failed carry the reason in `message`.
+struct SearchOutcome {
+  std::uint64_t search_id = 0;
+  SearchState state = SearchState::Failed;
+  evo::EvolutionResult result;
+  std::string message;
+};
+
+struct SearchSchedulerOptions {
+  /// Searches running concurrently (each on its own runner thread); the
+  /// rest queue FIFO.
+  std::size_t max_concurrent_searches = 2;
+  /// Evaluation batches in flight across all searches (FairShareGate
+  /// slots).  With slots < runners, searches contend and the stride
+  /// discipline decides who dispatches next.
+  std::size_t dispatch_slots = 2;
+};
+
+/// Runs submitted searches over one shared evaluation backend.  Each
+/// search reproduces Master::search exactly — same evaluator, same
+/// fitness registry defaults, fresh Rng(seed) and ThreadPool(threads) —
+/// except every evaluation batch first passes the FairShareGate, and a
+/// progress observer streams generation boundaries (which never perturbs
+/// the trajectory).  Callbacks fire on runner threads; they must not call
+/// back into the scheduler except for cancel().
+class SearchScheduler {
+ public:
+  using ProgressFn = std::function<void(const SearchProgressInfo&)>;
+  using DoneFn = std::function<void(const SearchOutcome&)>;
+
+  /// `worker` is borrowed and must outlive the scheduler.
+  explicit SearchScheduler(const Worker& worker, SearchSchedulerOptions options = {});
+  /// Drains (see drain()) and joins the runners.
+  ~SearchScheduler();
+
+  SearchScheduler(const SearchScheduler&) = delete;
+  SearchScheduler& operator=(const SearchScheduler&) = delete;
+
+  /// Custom fitness functions may be registered before submitting.
+  evo::FitnessRegistry& registry() { return registry_; }
+
+  /// Enqueue a search; returns its id (ids start at 1).  Throws
+  /// std::out_of_range for unknown fitness names and std::runtime_error
+  /// once draining.  `on_progress` fires per generation boundary,
+  /// `on_done` exactly once; either may be null.
+  std::uint64_t submit(SearchRequest request, ProgressFn on_progress, DoneFn on_done)
+      ECAD_EXCLUDES(mutex_);
+
+  /// Request cancellation.  A queued search dies before dispatching
+  /// anything; a running one stops at its next generation boundary (or
+  /// when its next batch hits the gate), folds batches already in flight,
+  /// and reports Canceled.  False when `id` is unknown or already done.
+  bool cancel(std::uint64_t id, const std::string& reason) ECAD_EXCLUDES(mutex_);
+
+  /// Graceful shutdown: stop admitting, cancel everything still queued
+  /// ("daemon draining"), let running searches finish their in-flight
+  /// generations, and return once every done-callback has fired.
+  void drain() ECAD_EXCLUDES(mutex_);
+
+  /// Block until no search is queued or running (drain not required).
+  void wait_idle() ECAD_EXCLUDES(mutex_);
+
+  /// Queued + running searches.
+  std::size_t active_searches() const ECAD_EXCLUDES(mutex_);
+
+  /// State of a search, or Failed for unknown ids (ids are never reused,
+  /// so callers that hold a real id can distinguish).
+  SearchState state_of(std::uint64_t id) const ECAD_EXCLUDES(mutex_);
+
+  /// Test hook: the admission gate, for inspecting grant counts.
+  const FairShareGate& gate() const { return gate_; }
+
+ private:
+  struct Search {
+    std::uint64_t id = 0;
+    SearchRequest request;
+    ProgressFn on_progress;
+    DoneFn on_done;
+    std::atomic<bool> cancel_requested{false};
+    // Guarded by the scheduler's mutex_ (not annotatable from a nested
+    // struct; every access site takes the lock).
+    SearchState state = SearchState::Queued;
+    std::string cancel_reason;
+  };
+
+  void runner_loop() ECAD_EXCLUDES(mutex_);
+  SearchOutcome run_one(Search& search) ECAD_EXCLUDES(mutex_);
+  void emit_progress(Search& search, std::uint32_t generation,
+                     const std::vector<evo::Candidate>& population,
+                     const std::vector<evo::Candidate>& history, std::size_t models_evaluated);
+  std::string cancel_reason_for(Search& search) ECAD_EXCLUDES(mutex_);
+  bool draining() const ECAD_EXCLUDES(mutex_);
+
+  const Worker& worker_;
+  SearchSchedulerOptions options_;
+  evo::FitnessRegistry registry_;
+  FairShareGate gate_;
+  mutable util::Mutex mutex_;
+  util::CondVar work_cv_;  // runners: queue gained an item, or stopping
+  util::CondVar idle_cv_;  // drain/wait_idle: a search finished
+  std::deque<std::shared_ptr<Search>> queue_ ECAD_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::shared_ptr<Search>> searches_ ECAD_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ ECAD_GUARDED_BY(mutex_) = 1;
+  std::size_t running_ ECAD_GUARDED_BY(mutex_) = 0;
+  bool draining_ ECAD_GUARDED_BY(mutex_) = false;
+  bool stopping_ ECAD_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace ecad::core

@@ -142,6 +142,22 @@ std::size_t EvolutionEngine::models_evaluated() const {
   return stats_.models_evaluated;
 }
 
+bool EvolutionEngine::notify_progress(std::size_t generation,
+                                      const std::vector<Candidate>& population,
+                                      const std::vector<Candidate>& history) {
+  if (!observer_) return true;
+  GenerationProgress progress;
+  progress.generation = generation;
+  {
+    util::MutexLock lock(stats_mutex_);
+    progress.models_evaluated = stats_.models_evaluated;
+    progress.duplicates_skipped = stats_.duplicates_skipped;
+  }
+  progress.population = &population;
+  progress.history = &history;
+  return observer_(progress);
+}
+
 std::size_t EvolutionEngine::tournament_best(const std::vector<Candidate>& population,
                                              util::Rng& rng) const {
   std::size_t best = rng.next_index(population.size());
@@ -287,7 +303,10 @@ EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool
   const std::size_t batch =
       config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
 
-  for (;;) {
+  std::size_t generation = 0;
+  bool keep_going = notify_progress(generation, population, history);
+
+  while (keep_going) {
     // The budget check was an unlocked read of a stats_mutex_-guarded field
     // until the thread-safety analysis flagged it; the locked accessor also
     // keeps it sound if batch evaluators ever update stats concurrently.
@@ -301,6 +320,7 @@ EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool
 
     std::vector<Candidate> evaluated = evaluate_generation(offspring, pool);
     replace_into(std::move(evaluated), population, history, rng);
+    keep_going = notify_progress(++generation, population, history);
   }
 
   return finalize(std::move(population), std::move(history), wall.elapsed_seconds());
@@ -327,21 +347,27 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
   // ahead can never overshoot max_evaluations.
   std::size_t submitted = models_evaluated();
 
+  std::size_t generation = 0;
+  bool stopped = !notify_progress(generation, population, history);
+
   // Fold the oldest in-flight batch — always in submission order, at fixed
   // points in the control flow, so the RNG consumption (and therefore the
-  // whole trajectory) is independent of which batch finished first.
+  // whole trajectory) is independent of which batch finished first.  A false
+  // observer answer stops *breeding*; batches already on the wire still fold
+  // below, so a drain always completes its in-flight generations.
   const auto fold_oldest = [&] {
     InFlight oldest = std::move(inflight.front());
     inflight.pop_front();
     std::vector<Candidate> evaluated =
         fold_outcomes(oldest.genomes, dispatcher.wait(oldest.ticket));
     replace_into(std::move(evaluated), population, history, rng);
+    if (!notify_progress(++generation, population, history)) stopped = true;
   };
 
   while (true) {
     // Pipeline full: block on the oldest batch before breeding again.
     while (inflight.size() >= max_inflight) fold_oldest();
-    if (submitted >= config_.max_evaluations) break;
+    if (stopped || submitted >= config_.max_evaluations) break;
     const std::size_t this_batch = std::min(batch, config_.max_evaluations - submitted);
 
     // Parents are the population as of the last fold — already scored; the

@@ -78,6 +78,17 @@ struct EvolutionResult {
   RunStats stats;
 };
 
+/// Snapshot handed to the progress observer at each generation boundary.
+/// The vectors are borrowed from the running engine and only valid for the
+/// duration of the callback.
+struct GenerationProgress {
+  std::size_t generation = 0;  // 0 = the scored initial population
+  std::size_t models_evaluated = 0;
+  std::size_t duplicates_skipped = 0;
+  const std::vector<Candidate>* population = nullptr;
+  const std::vector<Candidate>* history = nullptr;
+};
+
 class EvolutionEngine {
  public:
   /// `evaluate` is the worker dispatch: genome -> measured result.  It is
@@ -107,6 +118,17 @@ class EvolutionEngine {
   /// fold in submission order at fixed points.
   EvolutionResult run(util::Rng& rng, util::ThreadPool& pool);
 
+  /// Generation-boundary hook (the search service's progress stream and
+  /// cancellation point).  Called on the run() thread after the initial
+  /// population is scored (generation 0) and after every subsequent fold.
+  /// Returning false stops the search at this boundary: batches already in
+  /// flight (overlapped mode) still fold into the record, but nothing new is
+  /// bred or dispatched, and run() finalizes the partial result.  While the
+  /// observer returns true the trajectory is bit-identical to running
+  /// without one — the hook consumes no RNG and mutates nothing.
+  using ProgressObserver = std::function<bool(const GenerationProgress&)>;
+  void set_progress_observer(ProgressObserver observer) { observer_ = std::move(observer); }
+
   const EvalCache& cache() const { return cache_; }
 
  private:
@@ -124,6 +146,10 @@ class EvolutionEngine {
   /// Unique evaluations performed so far (the run loops' budget check; the
   /// stats lock makes the read sound even while overlapped batches fold).
   std::size_t models_evaluated() const ECAD_EXCLUDES(stats_mutex_);
+  /// Invoke the observer (if any) for one generation boundary; true = keep
+  /// searching.  No observer always means keep searching.
+  bool notify_progress(std::size_t generation, const std::vector<Candidate>& population,
+                       const std::vector<Candidate>& history) ECAD_EXCLUDES(stats_mutex_);
   /// Breed up to `count` fresh offspring from scored parents (tournament +
   /// crossover + mutation + cache-reservation dedup).  Falls back to one
   /// random immigrant when the neighborhood is exhausted; empty means even
@@ -149,6 +175,7 @@ class EvolutionEngine {
   EvolutionConfig config_;
   BatchEvaluator evaluate_;
   Fitness fitness_;
+  ProgressObserver observer_;
   EvalCache cache_;
   mutable util::Mutex stats_mutex_;
   RunStats stats_ ECAD_GUARDED_BY(stats_mutex_);

@@ -1,0 +1,135 @@
+#include "net/search_client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecad::net {
+
+SearchClient::SearchClient(SearchClientOptions options) : options_(std::move(options)) {}
+
+SearchClient::~SearchClient() { close(); }
+
+void SearchClient::connect() {
+  Endpoint endpoint;
+  endpoint.host = options_.host;
+  endpoint.port = options_.port;
+  socket_ = Socket::connect(endpoint, options_.connect_timeout_ms);
+  socket_.set_nodelay(true);
+  const std::uint16_t attempt = std::min(options_.max_protocol, kProtocolVersion);
+  WireWriter hello;
+  write_hello_payload(hello, options_.name, attempt);
+  const std::vector<std::uint8_t> frame = encode_frame(MsgType::Hello, hello.bytes());
+  socket_.send_all(frame.data(), frame.size());
+  const Frame ack = recv_frame();
+  if (ack.type != MsgType::HelloAck) {
+    throw NetError("handshake: expected HelloAck, got " + std::string(to_string(ack.type)));
+  }
+  WireReader reader(ack.payload);
+  const HelloPayload payload = read_hello_payload(reader);
+  version_ = std::min(attempt, payload.max_version);
+  if (version_ < 4) {
+    throw WireError("search service needs protocol >= 4; peer '" + payload.name +
+                    "' negotiated v" + std::to_string(version_));
+  }
+  util::Log(util::LogLevel::Debug, "net")
+      << "connected to search daemon '" << payload.name << "' (v" << version_ << ")";
+}
+
+std::uint64_t SearchClient::submit(const core::SearchRequest& request) {
+  SubmitSearch message;
+  message.submit_id = next_submit_id_++;
+  message.request = request;
+  WireWriter writer;
+  write_submit_search(writer, message);
+  const std::vector<std::uint8_t> frame = encode_frame(MsgType::SubmitSearch, writer.bytes());
+  socket_.send_all(frame.data(), frame.size());
+  // The accepted frame is written under the daemon's connection lock before
+  // any progress frame for the new search, so it is the next search-service
+  // frame on the wire (Pongs for interleaved pings may still precede it).
+  for (;;) {
+    const Frame reply = recv_frame();
+    if (reply.type == MsgType::SearchAccepted) {
+      WireReader reader(reply.payload);
+      const SearchAccepted accepted = read_search_accepted(reader);
+      reader.expect_end();
+      if (accepted.submit_id != message.submit_id) {
+        throw WireError("SearchAccepted for submit " + std::to_string(accepted.submit_id) +
+                        ", expected " + std::to_string(message.submit_id));
+      }
+      return accepted.search_id;
+    }
+    if (reply.type == MsgType::SearchDone) {
+      WireReader reader(reply.payload);
+      const SearchDone done = read_search_done(reader);
+      reader.expect_end();
+      if (done.search_id == 0) {  // the reserved "no search" id: a rejection
+        throw std::runtime_error("search rejected: " + done.message);
+      }
+      continue;  // a previous search of this connection finishing; not ours
+    }
+    if (reply.type == MsgType::SearchProgress || reply.type == MsgType::Pong) {
+      continue;  // interleaved traffic for other searches on this connection
+    }
+    throw WireError("unexpected " + std::string(to_string(reply.type)) +
+                    " while awaiting SearchAccepted");
+  }
+}
+
+SearchDone SearchClient::stream(std::uint64_t search_id,
+                                const std::function<void(const SearchProgress&)>& on_progress) {
+  for (;;) {
+    const Frame frame = recv_frame();
+    if (frame.type == MsgType::SearchProgress) {
+      WireReader reader(frame.payload);
+      const SearchProgress progress = read_search_progress(reader);
+      reader.expect_end();
+      if (progress.search_id == search_id && on_progress) on_progress(progress);
+      continue;
+    }
+    if (frame.type == MsgType::SearchDone) {
+      WireReader reader(frame.payload);
+      SearchDone done = read_search_done(reader);
+      reader.expect_end();
+      if (done.search_id == search_id) return done;
+      continue;  // another search on this connection
+    }
+    if (frame.type == MsgType::Pong) continue;
+    throw WireError("unexpected " + std::string(to_string(frame.type)) +
+                    " while streaming search " + std::to_string(search_id));
+  }
+}
+
+void SearchClient::cancel(std::uint64_t search_id) {
+  CancelSearch message;
+  message.search_id = search_id;
+  WireWriter writer;
+  write_cancel_search(writer, message);
+  const std::vector<std::uint8_t> frame = encode_frame(MsgType::CancelSearch, writer.bytes());
+  socket_.send_all(frame.data(), frame.size());
+}
+
+void SearchClient::shutdown_server() {
+  const std::vector<std::uint8_t> frame = encode_frame(MsgType::Shutdown, {});
+  socket_.send_all(frame.data(), frame.size());
+}
+
+void SearchClient::close() {
+  if (socket_.valid()) socket_.close();
+  version_ = 0;
+}
+
+Frame SearchClient::recv_frame() {
+  std::uint8_t header[kFrameHeaderBytes];
+  socket_.recv_exact(header, sizeof(header), options_.frame_timeout_ms);
+  const FrameHeader decoded = decode_frame_header(header);
+  Frame frame;
+  frame.type = decoded.type;
+  frame.payload.resize(decoded.payload_size);
+  if (decoded.payload_size > 0) {
+    socket_.recv_exact(frame.payload.data(), frame.payload.size(), options_.frame_timeout_ms);
+  }
+  return frame;
+}
+
+}  // namespace ecad::net

@@ -19,6 +19,11 @@ const char* to_string(MsgType type) {
     case MsgType::EvalBatchResponse: return "EvalBatchResponse";
     case MsgType::EvalItemResult: return "EvalItemResult";
     case MsgType::EvalBatchDone: return "EvalBatchDone";
+    case MsgType::SubmitSearch: return "SubmitSearch";
+    case MsgType::SearchAccepted: return "SearchAccepted";
+    case MsgType::SearchProgress: return "SearchProgress";
+    case MsgType::SearchDone: return "SearchDone";
+    case MsgType::CancelSearch: return "CancelSearch";
   }
   return "?";
 }
@@ -31,6 +36,12 @@ std::uint16_t frame_version_for(MsgType type) {
     case MsgType::EvalItemResult:
     case MsgType::EvalBatchDone:
       return 3;
+    case MsgType::SubmitSearch:
+    case MsgType::SearchAccepted:
+    case MsgType::SearchProgress:
+    case MsgType::SearchDone:
+    case MsgType::CancelSearch:
+      return 4;
     default:
       return 1;
   }
@@ -40,7 +51,7 @@ namespace {
 
 bool known_msg_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint16_t>(MsgType::EvalBatchDone);
+         raw <= static_cast<std::uint16_t>(MsgType::CancelSearch);
 }
 
 }  // namespace
@@ -260,9 +271,9 @@ void write_search_request(WireWriter& writer, const core::SearchRequest& request
   writer.put_f64(evolution.mutation_strength);
   writer.put_u64(evolution.dedup_attempts);
   writer.put_u64(evolution.batch_size);
-  // Overlap fields (PR 5).  SearchRequest has no MsgType yet (no peer
-  // exchanges it), so extending the encoding is safe; the planned
-  // SubmitSearch message will be framed at whatever version ships it.
+  // Overlap fields (PR 5).  Since v4 this encoding travels inside
+  // SubmitSearch frames, so any future field additions must ride a protocol
+  // version bump (the golden submit_search fixture pins today's bytes).
   writer.put_bool(evolution.overlap_generations);
   writer.put_u64(evolution.max_inflight_batches);
 
@@ -426,6 +437,133 @@ EvalBatchDone read_eval_batch_done(WireReader& reader) {
                     " exceeds the limit");
   }
   return done;
+}
+
+// ---------------------------------------------------------------------------
+// Search service (protocol v4)
+// ---------------------------------------------------------------------------
+
+void write_candidate(WireWriter& writer, const evo::Candidate& candidate) {
+  write_genome(writer, candidate.genome);
+  write_eval_result(writer, candidate.result);
+  writer.put_f64(candidate.fitness);
+}
+
+evo::Candidate read_candidate(WireReader& reader) {
+  evo::Candidate candidate;
+  candidate.genome = read_genome(reader);
+  candidate.result = read_eval_result(reader);
+  candidate.fitness = reader.get_f64();
+  return candidate;
+}
+
+void write_search_record(WireWriter& writer, const SearchRecord& record) {
+  if (record.history.size() > kMaxRecordCandidates) {
+    throw WireError("wire: search record of " + std::to_string(record.history.size()) +
+                    " candidates exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(record.history.size()));
+  for (const evo::Candidate& candidate : record.history) write_candidate(writer, candidate);
+  write_candidate(writer, record.best);
+  writer.put_u64(record.models_evaluated);
+  writer.put_u64(record.duplicates_skipped);
+}
+
+SearchRecord read_search_record(WireReader& reader) {
+  SearchRecord record;
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxRecordCandidates) {
+    throw WireError("wire: search record length " + std::to_string(count) +
+                    " exceeds the limit");
+  }
+  record.history.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) record.history.push_back(read_candidate(reader));
+  record.best = read_candidate(reader);
+  record.models_evaluated = reader.get_u64();
+  record.duplicates_skipped = reader.get_u64();
+  return record;
+}
+
+void write_submit_search(WireWriter& writer, const SubmitSearch& submit) {
+  writer.put_u64(submit.submit_id);
+  write_search_request(writer, submit.request);
+}
+
+SubmitSearch read_submit_search(WireReader& reader) {
+  SubmitSearch submit;
+  submit.submit_id = reader.get_u64();
+  submit.request = read_search_request(reader);
+  return submit;
+}
+
+void write_search_accepted(WireWriter& writer, const SearchAccepted& accepted) {
+  writer.put_u64(accepted.submit_id);
+  writer.put_u64(accepted.search_id);
+  writer.put_u32(accepted.queue_position);
+}
+
+SearchAccepted read_search_accepted(WireReader& reader) {
+  SearchAccepted accepted;
+  accepted.submit_id = reader.get_u64();
+  accepted.search_id = reader.get_u64();
+  accepted.queue_position = reader.get_u32();
+  return accepted;
+}
+
+void write_search_progress(WireWriter& writer, const SearchProgress& progress) {
+  writer.put_u64(progress.search_id);
+  writer.put_u32(progress.generation);
+  writer.put_u64(progress.models_evaluated);
+  writer.put_u64(progress.max_evaluations);
+  writer.put_u32(progress.pareto_front_size);
+  writer.put_f64(progress.best_fitness);
+}
+
+SearchProgress read_search_progress(WireReader& reader) {
+  SearchProgress progress;
+  progress.search_id = reader.get_u64();
+  progress.generation = reader.get_u32();
+  progress.models_evaluated = reader.get_u64();
+  progress.max_evaluations = reader.get_u64();
+  progress.pareto_front_size = reader.get_u32();
+  progress.best_fitness = reader.get_f64();
+  return progress;
+}
+
+void write_search_done(WireWriter& writer, const SearchDone& done) {
+  writer.put_u64(done.search_id);
+  writer.put_u8(static_cast<std::uint8_t>(done.status));
+  if (done.status == SearchDone::Status::Completed) {
+    write_search_record(writer, done.record);
+  } else {
+    writer.put_string(done.message);
+  }
+}
+
+SearchDone read_search_done(WireReader& reader) {
+  SearchDone done;
+  done.search_id = reader.get_u64();
+  const std::uint8_t raw_status = reader.get_u8();
+  if (raw_status > static_cast<std::uint8_t>(SearchDone::Status::Canceled)) {
+    throw WireError("wire: unknown SearchDone status " + std::to_string(raw_status));
+  }
+  done.status = static_cast<SearchDone::Status>(raw_status);
+  if (done.status == SearchDone::Status::Completed) {
+    done.record = read_search_record(reader);
+  } else {
+    done.message = reader.get_string();
+  }
+  return done;
+}
+
+void write_cancel_search(WireWriter& writer, const CancelSearch& cancel) {
+  writer.put_u64(cancel.search_id);
+}
+
+CancelSearch read_cancel_search(WireReader& reader) {
+  CancelSearch cancel;
+  cancel.search_id = reader.get_u64();
+  return cancel;
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,15 @@
 // longer holds back its shard-mates' results.  v2 connections keep the
 // single-response shape byte-for-byte, so a --max-protocol 2 pin restores
 // the old wire behavior exactly.
+//
+// Search service (v4): thin clients submit whole searches to a resident
+// master daemon.  SubmitSearch carries a serialized core::SearchRequest; the
+// daemon answers SearchAccepted, then streams one SearchProgress frame per
+// folded generation (in completion order across concurrent searches) and
+// closes with SearchDone carrying either the full deterministic search
+// record (every evaluated candidate plus the winner — the same data the
+// standalone CLI prints) or an error/cancellation message.  CancelSearch
+// stops a running search at its next generation boundary.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "core/master.h"
+#include "evo/engine.h"
 #include "evo/fitness.h"
 #include "evo/genome.h"
 
@@ -54,7 +64,7 @@ class WireError : public std::runtime_error {
 inline constexpr std::uint32_t kWireMagic = 0x44414345u;
 /// Highest protocol version this build speaks. Peers negotiate down to the
 /// smaller of the two maxima; version 1 peers keep working unmodified.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Genomes and results are tiny; anything near this limit is corruption.
@@ -64,6 +74,10 @@ inline constexpr std::uint32_t kMaxVectorElems = 1u << 20;
 /// Hard cap on genomes (or result slots) per batch frame; a generation is a
 /// few dozen, so anything near this limit is corruption.
 inline constexpr std::uint32_t kMaxBatchItems = 4096;
+/// Hard cap on candidates per SearchDone record (the full history of one
+/// search).  Budgets are hundreds-to-thousands; 64Ki candidates at ~150
+/// bytes each still fits kMaxPayloadBytes with headroom.
+inline constexpr std::uint32_t kMaxRecordCandidates = 65536;
 
 enum class MsgType : std::uint16_t {
   Hello = 1,             // client -> server: string client name [+ u16 max version]
@@ -77,6 +91,11 @@ enum class MsgType : std::uint16_t {
   EvalBatchResponse = 9, // v2: u64 batch id + u32 count + count outcome slots
   EvalItemResult = 10,   // v3: u64 batch id + u32 slot index + one outcome slot
   EvalBatchDone = 11,    // v3: u64 batch id + u32 count of item frames sent
+  SubmitSearch = 12,     // v4: u64 submit id + SearchRequest
+  SearchAccepted = 13,   // v4: u64 submit id + u64 search id + u32 queue position
+  SearchProgress = 14,   // v4: u64 search id + per-generation stats
+  SearchDone = 15,       // v4: u64 search id + u8 status + (record | string)
+  CancelSearch = 16,     // v4: u64 search id
 };
 
 const char* to_string(MsgType type);
@@ -203,6 +222,88 @@ EvalItemResult read_eval_item_result(WireReader& reader);
 
 void write_eval_batch_done(WireWriter& writer, const EvalBatchDone& done);
 EvalBatchDone read_eval_batch_done(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Search service (protocol v4)
+// ---------------------------------------------------------------------------
+
+/// One SubmitSearch frame: a thin client asks the resident master daemon to
+/// run a whole search.  `submit_id` is client-chosen and echoed in the
+/// SearchAccepted answer, so one connection can correlate several pending
+/// submissions.
+struct SubmitSearch {
+  std::uint64_t submit_id = 0;
+  core::SearchRequest request;
+};
+
+/// The daemon's answer to SubmitSearch: the server-assigned `search_id`
+/// every later progress/done/cancel frame uses, plus the number of searches
+/// (queued + running) ahead of this one at admission time.
+struct SearchAccepted {
+  std::uint64_t submit_id = 0;
+  std::uint64_t search_id = 0;
+  std::uint32_t queue_position = 0;
+};
+
+/// One per-generation progress frame, streamed in completion order across
+/// all concurrent searches on the connection.  `generation` 0 is the scored
+/// initial population.
+struct SearchProgress {
+  std::uint64_t search_id = 0;
+  std::uint32_t generation = 0;
+  std::uint64_t models_evaluated = 0;
+  std::uint64_t max_evaluations = 0;
+  /// Non-dominated subset of the current population (accuracy/throughput).
+  std::uint32_t pareto_front_size = 0;
+  double best_fitness = 0.0;
+};
+
+/// The deterministic final record of one search — the structured form of the
+/// standalone CLI's stdout (candidate history in evaluation order, winner,
+/// counters), so a submitted search can be re-rendered byte-identically.
+struct SearchRecord {
+  std::vector<evo::Candidate> history;
+  evo::Candidate best;
+  std::uint64_t models_evaluated = 0;
+  std::uint64_t duplicates_skipped = 0;
+};
+
+/// Terminal frame of one search.  Completed carries the record; Canceled and
+/// Failed carry a human-readable message instead.
+struct SearchDone {
+  enum class Status : std::uint8_t { Failed = 0, Completed = 1, Canceled = 2 };
+  std::uint64_t search_id = 0;
+  Status status = Status::Failed;
+  SearchRecord record;  // meaningful only when status == Completed
+  std::string message;  // meaningful only when status != Completed
+};
+
+/// Client asks the daemon to stop a search at its next generation boundary.
+/// The search still answers with SearchDone (status Canceled).
+struct CancelSearch {
+  std::uint64_t search_id = 0;
+};
+
+void write_candidate(WireWriter& writer, const evo::Candidate& candidate);
+evo::Candidate read_candidate(WireReader& reader);
+
+void write_search_record(WireWriter& writer, const SearchRecord& record);
+SearchRecord read_search_record(WireReader& reader);
+
+void write_submit_search(WireWriter& writer, const SubmitSearch& submit);
+SubmitSearch read_submit_search(WireReader& reader);
+
+void write_search_accepted(WireWriter& writer, const SearchAccepted& accepted);
+SearchAccepted read_search_accepted(WireReader& reader);
+
+void write_search_progress(WireWriter& writer, const SearchProgress& progress);
+SearchProgress read_search_progress(WireReader& reader);
+
+void write_search_done(WireWriter& writer, const SearchDone& done);
+SearchDone read_search_done(WireReader& reader);
+
+void write_cancel_search(WireWriter& writer, const CancelSearch& cancel);
+CancelSearch read_cancel_search(WireReader& reader);
 
 // ---------------------------------------------------------------------------
 // Handshake payloads

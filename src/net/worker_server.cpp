@@ -126,6 +126,13 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
     case MsgType::EvalBatchResponse:
     case MsgType::EvalItemResult:
     case MsgType::EvalBatchDone:
+    // The search-service frames (v4) belong to ecad_searchd's SearchServer;
+    // an evaluation daemon never accepts whole searches.
+    case MsgType::SubmitSearch:
+    case MsgType::SearchAccepted:
+    case MsgType::SearchProgress:
+    case MsgType::SearchDone:
+    case MsgType::CancelSearch:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;

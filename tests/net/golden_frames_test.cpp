@@ -281,5 +281,145 @@ TEST(GoldenFrames, HelloV3WithVersionTrailer) {
   expect_matches_golden("hello_v3.bin", encode_frame(MsgType::Hello, payload.bytes()));
 }
 
+// The v4 fixtures pin the search-service generation's encoding from day
+// one, so v4 itself cannot drift silently either.
+namespace {
+
+core::SearchRequest golden_search_request() {
+  core::SearchRequest request;
+  request.seed = 11;
+  request.threads = 3;
+  request.fitness = "accuracy";
+  request.evolution.population_size = 6;
+  request.evolution.max_evaluations = 24;
+  request.evolution.batch_size = 3;
+  request.space.search_hardware = true;
+  return request;
+}
+
+evo::Candidate golden_candidate() {
+  evo::Candidate candidate;
+  candidate.genome = golden_genome();
+  candidate.result = golden_result();
+  candidate.fitness = 0.875;
+  return candidate;
+}
+
+}  // namespace
+
+TEST(GoldenFrames, SubmitSearchV4EncodesAndDecodes) {
+  SubmitSearch submit;
+  submit.submit_id = 31;
+  submit.request = golden_search_request();
+  WireWriter payload;
+  write_submit_search(payload, submit);
+  expect_matches_golden("submit_search_v4.bin",
+                        encode_frame(MsgType::SubmitSearch, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("submit_search_v4.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::SubmitSearch);
+  EXPECT_EQ(header.version, 4);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const SubmitSearch decoded = read_submit_search(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.submit_id, 31u);
+  EXPECT_EQ(decoded.request.seed, 11u);
+  EXPECT_EQ(decoded.request.evolution.max_evaluations, 24u);
+  EXPECT_EQ(decoded.request.fitness, "accuracy");
+}
+
+TEST(GoldenFrames, SearchAcceptedV4) {
+  SearchAccepted accepted;
+  accepted.submit_id = 31;
+  accepted.search_id = 5;
+  accepted.queue_position = 2;
+  WireWriter payload;
+  write_search_accepted(payload, accepted);
+  expect_matches_golden("search_accepted_v4.bin",
+                        encode_frame(MsgType::SearchAccepted, payload.bytes()));
+}
+
+TEST(GoldenFrames, SearchProgressV4EncodesAndDecodes) {
+  SearchProgress progress;
+  progress.search_id = 5;
+  progress.generation = 3;
+  progress.models_evaluated = 15;
+  progress.max_evaluations = 24;
+  progress.pareto_front_size = 4;
+  progress.best_fitness = 0.9375;
+  WireWriter payload;
+  write_search_progress(payload, progress);
+  expect_matches_golden("search_progress_v4.bin",
+                        encode_frame(MsgType::SearchProgress, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("search_progress_v4.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::SearchProgress);
+  EXPECT_EQ(header.version, 4);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const SearchProgress decoded = read_search_progress(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.search_id, 5u);
+  EXPECT_EQ(decoded.generation, 3u);
+  EXPECT_EQ(decoded.best_fitness, 0.9375);
+}
+
+TEST(GoldenFrames, SearchDoneV4EncodesAndDecodes) {
+  SearchDone done;
+  done.search_id = 5;
+  done.status = SearchDone::Status::Completed;
+  done.record.history = {golden_candidate(), golden_candidate()};
+  done.record.history[1].fitness = 0.9375;
+  done.record.best = done.record.history[1];
+  done.record.models_evaluated = 2;
+  done.record.duplicates_skipped = 1;
+  WireWriter payload;
+  write_search_done(payload, done);
+  expect_matches_golden("search_done_v4.bin", encode_frame(MsgType::SearchDone, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("search_done_v4.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::SearchDone);
+  EXPECT_EQ(header.version, 4);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const SearchDone decoded = read_search_done(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.status, SearchDone::Status::Completed);
+  ASSERT_EQ(decoded.record.history.size(), 2u);
+  EXPECT_EQ(decoded.record.best.fitness, 0.9375);
+  EXPECT_EQ(decoded.record.models_evaluated, 2u);
+  EXPECT_EQ(decoded.record.duplicates_skipped, 1u);
+}
+
+TEST(GoldenFrames, SearchDoneCanceledV4) {
+  SearchDone done;
+  done.search_id = 5;
+  done.status = SearchDone::Status::Canceled;
+  done.message = "daemon draining";
+  WireWriter payload;
+  write_search_done(payload, done);
+  expect_matches_golden("search_done_err_v4.bin",
+                        encode_frame(MsgType::SearchDone, payload.bytes()));
+}
+
+TEST(GoldenFrames, CancelSearchV4) {
+  CancelSearch cancel;
+  cancel.search_id = 5;
+  WireWriter payload;
+  write_cancel_search(payload, cancel);
+  expect_matches_golden("cancel_search_v4.bin",
+                        encode_frame(MsgType::CancelSearch, payload.bytes()));
+}
+
+TEST(GoldenFrames, HelloV4WithVersionTrailer) {
+  WireWriter payload;
+  write_hello_payload(payload, "ecad-master", 4);
+  expect_matches_golden("hello_v4.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
 }  // namespace
 }  // namespace ecad::net

@@ -1,28 +1,52 @@
 // ecad_searchd — search driver for the distributed evaluation service
 // (paper §III-A: the Master distributing the co-design population).
 //
-//   ecad_searchd --seed 3 --evaluations 48                  # local, in-process
+// Three modes:
+//
+//   ecad_searchd --seed 3 --evaluations 48                  # one-shot, in-process
 //   ecad_searchd --workers 127.0.0.1:7001,127.0.0.1:7002
-//                --seed 3 --evaluations 48                  # sharded across daemons
+//                --seed 3 --evaluations 48                  # one-shot, sharded
+//
+//   ecad_searchd --serve --port 7100 --workers ...          # resident daemon:
+//     accepts SubmitSearch frames (protocol v4), runs several searches
+//     concurrently over the shared worker fleet with fair-share batch
+//     interleaving, streams per-generation progress, drains on SIGTERM.
+//
+//   ecad_searchd --submit 127.0.0.1:7100 --seed 3 ...       # thin client:
+//     ships the search to a resident daemon, logs streamed progress to
+//     stderr, prints the final record to stdout.
 //
 // Stdout is a deterministic record of the search (candidate keys + all
-// non-timing result fields at full double precision), so two runs with the
-// same seed — one local, one distributed — must produce byte-identical
-// output.  The CI loopback smoke job diffs exactly that.  Timing and
-// progress go to stderr via the logger.
+// non-timing result fields at full double precision), so runs with the same
+// seed — local, distributed, or submitted to a daemon — must produce
+// byte-identical output.  The CI loopback and service smoke jobs diff
+// exactly that.  Timing and progress go to stderr via the logger.
+#include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "core/master.h"
+#include "core/search_scheduler.h"
 #include "daemon_common.h"
 #include "net/remote_worker.h"
+#include "net/search_client.h"
+#include "net/search_server.h"
 #include "util/logging.h"
 
 namespace {
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_signal(int) { g_stop_requested = 1; }
+
 void print_usage() {
   std::cout <<
       "usage: ecad_searchd [options]\n"
+      "modes (default: run one search in this process)\n"
+      "  --serve           resident search daemon: accept SubmitSearch frames\n"
+      "  --submit HOST:PORT  ship this search to a resident daemon\n"
+      "  --stop-server     with --submit: just ask the daemon to drain and exit\n"
+      "search options\n"
       "  --workers LIST    comma-separated host:port endpoints; empty = evaluate locally\n"
       "  --fallback-local  degrade to in-process evaluation if no daemon is reachable\n"
       "  --ping            just probe --workers and print the live count\n"
@@ -39,26 +63,178 @@ void print_usage() {
       "                    different trajectory than the default sequential mode)\n"
       "  --inflight N      in-flight batches the overlapped mode pipelines (default 2)\n"
       "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 3);\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 4);\n"
       "                    3 streams per-item result frames, 2 pins v2 batch\n"
       "                    responses, 1 forces per-genome EvalRequest exchanges\n"
       "  --heartbeat-ms N  background ping period for sidelined endpoints\n"
       "                    (default 250; 0 disables heartbeats)\n"
       "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
       "                    (must match the daemons' flags for bit-exact results)\n"
+      "serve options\n"
+      "  --host H          bind address (default 127.0.0.1)\n"
+      "  --port P          TCP port; 0 = ephemeral, printed as LISTENING <port>\n"
+      "  --max-searches N  searches running concurrently (default 2)\n"
+      "  --dispatch-slots N  evaluation batches in flight across all searches\n"
+      "                    (default 2; fair-share interleaving decides whose)\n"
+      "submit options\n"
+      "  --cancel-after-progress N  send CancelSearch after N progress frames\n"
+      "  --frame-timeout-ms N  per-frame receive budget while streaming\n"
+      "                    (default 120000)\n"
       "  --log-level L     trace|debug|info|warn|error|off\n";
 }
 
-void print_result_fields(const ecad::evo::EvalResult& result) {
-  // Everything except eval_seconds, which measures wall clock and is the one
-  // legitimately nondeterministic field.
-  std::printf(
-      " accuracy=%.17g outputs_per_second=%.17g latency_seconds=%.17g"
-      " potential_gflops=%.17g effective_gflops=%.17g hw_efficiency=%.17g"
-      " power_watts=%.17g fmax_mhz=%.17g parameters=%.17g flops_per_sample=%.17g feasible=%d",
-      result.accuracy, result.outputs_per_second, result.latency_seconds,
-      result.potential_gflops, result.effective_gflops, result.hw_efficiency, result.power_watts,
-      result.fmax_mhz, result.parameters, result.flops_per_sample, result.feasible ? 1 : 0);
+ecad::core::SearchRequest search_request_from_args(const ecad::tools::ArgParser& args) {
+  ecad::core::SearchRequest request;
+  request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  request.evolution.population_size = static_cast<std::size_t>(args.get_int("population", 8));
+  request.evolution.max_evaluations = static_cast<std::size_t>(args.get_int("evaluations", 32));
+  // Fixed batch size: with the default (0 = pool width) the search
+  // trajectory would depend on the local core count, breaking cross-run
+  // comparability.
+  request.evolution.batch_size = static_cast<std::size_t>(args.get_int("batch", 4));
+  request.fitness = args.get("fitness", "accuracy");
+  request.threads = static_cast<std::size_t>(args.get_int("threads", 2));
+  request.space.search_hardware = !args.get_flag("no-hw-search");
+  request.evolution.overlap_generations = args.get_flag("overlap");
+  request.evolution.max_inflight_batches = static_cast<std::size_t>(args.get_int("inflight", 2));
+  return request;
+}
+
+std::uint16_t max_protocol_from_args(const ecad::tools::ArgParser& args) {
+  const long long max_protocol = args.get_int("max-protocol", ecad::net::kProtocolVersion);
+  if (max_protocol < ecad::net::kMinProtocolVersion ||
+      max_protocol > ecad::net::kProtocolVersion) {
+    throw std::invalid_argument("--max-protocol " + std::to_string(max_protocol) +
+                                " out of range (" +
+                                std::to_string(ecad::net::kMinProtocolVersion) + "-" +
+                                std::to_string(ecad::net::kProtocolVersion) + ")");
+  }
+  return static_cast<std::uint16_t>(max_protocol);
+}
+
+/// Evaluation backend from flags: a RemoteWorker fleet when --workers is
+/// given, the local bundle worker otherwise.  The returned pointer borrows
+/// from `bundle`/`remote`.
+const ecad::core::Worker* make_backend(const ecad::tools::ArgParser& args,
+                                       const ecad::tools::WorkerBundle& bundle,
+                                       const std::vector<ecad::net::Endpoint>& endpoints,
+                                       std::unique_ptr<ecad::net::RemoteWorker>& remote) {
+  using namespace ecad;
+  if (endpoints.empty()) return bundle.worker.get();
+  net::RemoteWorkerOptions options;
+  options.endpoints = endpoints;
+  options.request_timeout_ms = static_cast<int>(args.get_int("request-timeout-ms", 120000));
+  options.max_protocol = max_protocol_from_args(args);
+  options.heartbeat_interval_ms = static_cast<int>(args.get_int("heartbeat-ms", 250));
+  if (args.get_flag("fallback-local")) options.fallback = bundle.worker.get();
+  remote = std::make_unique<net::RemoteWorker>(std::move(options));
+  return remote.get();
+}
+
+int run_serve(const ecad::tools::ArgParser& args) {
+  using namespace ecad;
+  const tools::WorkerConfig worker_config = tools::worker_config_from_args(args);
+  const tools::WorkerBundle bundle = tools::make_worker(worker_config);
+  const std::vector<net::Endpoint> endpoints = net::parse_endpoint_list(args.get("workers", ""));
+  std::unique_ptr<net::RemoteWorker> remote;
+  const core::Worker* worker = make_backend(args, bundle, endpoints, remote);
+
+  core::SearchSchedulerOptions scheduler_options;
+  scheduler_options.max_concurrent_searches =
+      static_cast<std::size_t>(args.get_int("max-searches", 2));
+  scheduler_options.dispatch_slots = static_cast<std::size_t>(args.get_int("dispatch-slots", 2));
+  core::SearchScheduler scheduler(*worker, scheduler_options);
+
+  net::SearchServerOptions server_options;
+  server_options.host = args.get("host", "127.0.0.1");
+  const long long port = args.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("--port " + std::to_string(port) + " out of range (0-65535)");
+  }
+  server_options.port = static_cast<std::uint16_t>(port);
+  server_options.max_protocol = max_protocol_from_args(args);
+
+  net::SearchServer server(scheduler, server_options);
+  server.start();
+  util::set_log_identity("searchd:" + std::to_string(server.port()));
+
+  // Stdout handshake for scripts (ephemeral-port discovery).
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (server.running() && g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful drain: running searches finish their in-flight generations and
+  // send SearchDone before the sockets close.
+  server.stop();
+  util::Log(util::LogLevel::Info, "searchd")
+      << "service summary: accepted=" << server.searches_accepted()
+      << " completed=" << server.searches_completed()
+      << " canceled=" << server.searches_canceled() << " failed=" << server.searches_failed();
+  if (remote && args.get_flag("shutdown-workers")) remote->shutdown_all();
+  return 0;
+}
+
+int run_submit(const ecad::tools::ArgParser& args) {
+  using namespace ecad;
+  const net::Endpoint endpoint = net::parse_endpoint(args.get("submit", ""));
+  net::SearchClientOptions options;
+  options.host = endpoint.host;
+  options.port = endpoint.port;
+  options.frame_timeout_ms = static_cast<int>(args.get_int("frame-timeout-ms", 120000));
+  options.max_protocol = max_protocol_from_args(args);
+  net::SearchClient client(options);
+  client.connect();
+
+  if (args.get_flag("stop-server")) {
+    client.shutdown_server();
+    util::Log(util::LogLevel::Info, "searchd") << "shutdown sent to " << endpoint.to_string();
+    return 0;
+  }
+
+  const core::SearchRequest request = search_request_from_args(args);
+  const std::uint64_t search_id = client.submit(request);
+  util::Log(util::LogLevel::Info, "searchd")
+      << "search " << search_id << " accepted by " << endpoint.to_string();
+
+  const long long cancel_after = args.get_int("cancel-after-progress", -1);
+  std::size_t progress_frames = 0;
+  bool cancel_sent = false;
+  const net::SearchDone done =
+      client.stream(search_id, [&](const net::SearchProgress& progress) {
+        ++progress_frames;
+        util::Log(util::LogLevel::Info, "searchd")
+            << "search " << progress.search_id << " generation " << progress.generation << ": "
+            << progress.models_evaluated << "/" << progress.max_evaluations
+            << " evaluated, pareto front " << progress.pareto_front_size << ", best fitness "
+            << progress.best_fitness;
+        if (cancel_after >= 0 && !cancel_sent &&
+            progress_frames >= static_cast<std::size_t>(cancel_after)) {
+          client.cancel(progress.search_id);
+          cancel_sent = true;
+          util::Log(util::LogLevel::Info, "searchd")
+              << "cancel sent after " << progress_frames << " progress frames";
+        }
+      });
+
+  switch (done.status) {
+    case net::SearchDone::Status::Completed:
+      tools::print_search_record(done.record.history, done.record.best,
+                                 static_cast<std::size_t>(done.record.models_evaluated),
+                                 static_cast<std::size_t>(done.record.duplicates_skipped));
+      util::Log(util::LogLevel::Info, "searchd")
+          << "submitted search finished after " << progress_frames << " progress frames";
+      return 0;
+    case net::SearchDone::Status::Canceled:
+      util::Log(util::LogLevel::Warn, "searchd") << "search canceled: " << done.message;
+      return 3;
+    case net::SearchDone::Status::Failed:
+      break;
+  }
+  throw std::runtime_error("search failed: " + done.message);
 }
 
 }  // namespace
@@ -76,6 +252,9 @@ int main(int argc, char** argv) {
     }
     util::set_log_identity("searchd");
 
+    if (args.get_flag("serve")) return run_serve(args);
+    if (args.has("submit")) return run_submit(args);
+
     const std::vector<net::Endpoint> endpoints =
         net::parse_endpoint_list(args.get("workers", ""));
 
@@ -89,59 +268,16 @@ int main(int argc, char** argv) {
 
     const tools::WorkerConfig worker_config = tools::worker_config_from_args(args);
     const tools::WorkerBundle bundle = tools::make_worker(worker_config);
-
-    core::SearchRequest request;
-    request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    request.evolution.population_size = static_cast<std::size_t>(args.get_int("population", 8));
-    request.evolution.max_evaluations = static_cast<std::size_t>(args.get_int("evaluations", 32));
-    // Fixed batch size: with the default (0 = pool width) the search
-    // trajectory would depend on the local core count, breaking cross-run
-    // comparability.
-    request.evolution.batch_size = static_cast<std::size_t>(args.get_int("batch", 4));
-    request.fitness = args.get("fitness", "accuracy");
-    request.threads = static_cast<std::size_t>(args.get_int("threads", 2));
-    request.space.search_hardware = !args.get_flag("no-hw-search");
-    request.evolution.overlap_generations = args.get_flag("overlap");
-    request.evolution.max_inflight_batches =
-        static_cast<std::size_t>(args.get_int("inflight", 2));
+    const core::SearchRequest request = search_request_from_args(args);
 
     std::unique_ptr<net::RemoteWorker> remote;
-    const core::Worker* worker = bundle.worker.get();
-    if (!endpoints.empty()) {
-      net::RemoteWorkerOptions options;
-      options.endpoints = endpoints;
-      options.request_timeout_ms =
-          static_cast<int>(args.get_int("request-timeout-ms", 120000));
-      const long long max_protocol = args.get_int("max-protocol", net::kProtocolVersion);
-      if (max_protocol < net::kMinProtocolVersion || max_protocol > net::kProtocolVersion) {
-        throw std::invalid_argument("--max-protocol " + std::to_string(max_protocol) +
-                                    " out of range (" +
-                                    std::to_string(net::kMinProtocolVersion) + "-" +
-                                    std::to_string(net::kProtocolVersion) + ")");
-      }
-      options.max_protocol = static_cast<std::uint16_t>(max_protocol);
-      options.heartbeat_interval_ms = static_cast<int>(args.get_int("heartbeat-ms", 250));
-      if (args.get_flag("fallback-local")) options.fallback = bundle.worker.get();
-      remote = std::make_unique<net::RemoteWorker>(std::move(options));
-      worker = remote.get();
-    }
+    const core::Worker* worker = make_backend(args, bundle, endpoints, remote);
 
     core::Master master;
     const evo::EvolutionResult result = master.search(*worker, request);
 
-    // Deterministic record: one line per unique evaluated candidate, in
-    // evaluation order, then the winner.
-    for (std::size_t i = 0; i < result.history.size(); ++i) {
-      const evo::Candidate& candidate = result.history[i];
-      std::printf("cand %zu %s fitness=%.17g", i, candidate.genome.key().c_str(),
-                  candidate.fitness);
-      print_result_fields(candidate.result);
-      std::printf("\n");
-    }
-    std::printf("best %s fitness=%.17g\n", result.best.genome.key().c_str(),
-                result.best.fitness);
-    std::printf("stats models=%zu duplicates=%zu\n", result.stats.models_evaluated,
-                result.stats.duplicates_skipped);
+    tools::print_search_record(result.history, result.best, result.stats.models_evaluated,
+                               result.stats.duplicates_skipped);
 
     util::Log(util::LogLevel::Info, "searchd")
         << "search finished in " << result.stats.wall_seconds << "s ("
