@@ -42,9 +42,23 @@ import tempfile
 
 
 def load_entries(path):
-    """-> {entry name: metrics dict} from one BENCH_*.json file."""
+    """-> {entry name: metrics dict} from one BENCH_*.json file.
+
+    Metrics-snapshot reports (``"flavor": "metrics-snapshot"`` metadata,
+    written by the daemons' ``--metrics-json`` dumps) carry histogram
+    quantiles in seconds (``p50_s``/``p99_s``); normalize them onto the
+    ``p50_ms``/``p99_ms`` keys the tail gate reads, so a committed daemon
+    snapshot gets the same tail-shape protection as the latency benches.
+    """
     data = json.loads(path.read_text())
-    return {entry["name"]: entry.get("metrics", {}) for entry in data.get("entries", [])}
+    entries = {entry["name"]: dict(entry.get("metrics", {}))
+               for entry in data.get("entries", [])}
+    if data.get("metadata", {}).get("flavor") == "metrics-snapshot":
+        for metrics in entries.values():
+            for sec_key, ms_key in (("p50_s", "p50_ms"), ("p99_s", "p99_ms")):
+                if metrics.get(sec_key) and ms_key not in metrics:
+                    metrics[ms_key] = metrics[sec_key] * 1000.0
+    return entries
 
 
 def check_file(baseline_path, fresh_path, max_gflops_drop, max_tail_growth):
@@ -117,10 +131,11 @@ def check_dirs(baseline_dir, fresh_dir, max_gflops_drop, max_tail_growth):
 # Self-test: fabricate regressions, demand the gate notices.
 # ---------------------------------------------------------------------------
 
-def _bench_json(name, entries):
+def _bench_json(name, entries, metadata=None):
     return json.dumps({
         "bench": name,
         "schema_version": 1,
+        "metadata": metadata or {},
         "entries": [{"name": n, "metrics": m} for n, m in entries.items()],
     })
 
@@ -173,6 +188,39 @@ def self_test():
     # Subset fresh run (quick mode): missing entries are notices, not failures.
     run_case("quick-mode subset passes",
              {"a/64": {"gflops": 10.0}}, baseline_latency, expect_fail=False)
+
+    # Metrics-snapshot flavor: daemon --metrics-json dumps quote quantiles in
+    # seconds; the gate must normalize them and apply the same tail check.
+    baseline_snapshot = {
+        "core.eval_seconds": {"count": 100.0, "sum": 0.8, "p50_s": 0.008, "p99_s": 0.016},
+        "core.evals_completed_total": {"value": 100.0},
+    }
+
+    def run_snapshot_case(label, fresh_snapshot, expect_fail, needle=""):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = pathlib.Path(tmp) / "base"
+            fresh = pathlib.Path(tmp) / "fresh"
+            base.mkdir()
+            fresh.mkdir()
+            flavor = {"flavor": "metrics-snapshot"}
+            (base / "BENCH_searchd.json").write_text(
+                _bench_json("searchd", baseline_snapshot, flavor))
+            (fresh / "BENCH_searchd.json").write_text(
+                _bench_json("searchd", fresh_snapshot, flavor))
+            violations, _ = check_dirs(base, fresh, 0.15, 2.0)
+        if expect_fail and not any(needle in v for v in violations):
+            failures.append(f"self-test '{label}': expected a violation containing "
+                            f"'{needle}', got {violations or '[clean pass]'}")
+        if not expect_fail and violations:
+            failures.append(f"self-test '{label}': expected a clean pass, got {violations}")
+
+    run_snapshot_case("steady metrics snapshot passes",
+                      baseline_snapshot, expect_fail=False)
+    run_snapshot_case("metrics-snapshot p99 blowup fails",
+                      {"core.eval_seconds": {"count": 100.0, "sum": 0.9,
+                                             "p50_s": 0.008, "p99_s": 0.2},
+                       "core.evals_completed_total": {"value": 100.0}},
+                      expect_fail=True, needle="'core.eval_seconds' p99/p50 tail ratio")
     return failures
 
 

@@ -243,9 +243,15 @@ def self_test(root):
         if search_frame in types and versions.get(search_frame) != 4:
             failures.append(f"parser: {search_frame} should be a v4 frame "
                             f"(got {versions.get(search_frame)})")
+    for stats_frame in ("GetStats", "StatsReport"):
+        if stats_frame in types and versions.get(stats_frame) != 5:
+            failures.append(f"parser: {stats_frame} should be a v5 frame "
+                            f"(got {versions.get(stats_frame)})")
     writers, readers = parse_codec_pairs(wire_h_text)
     if "genome" not in writers or "genome" not in readers:
         failures.append("parser: write_genome/read_genome not found in wire.h")
+    if "stats_report" not in writers or "stats_report" not in readers:
+        failures.append("parser: write_stats_report/read_stats_report not found in wire.h")
     if snake_case("EvalBatchDone") != "eval_batch_done":
         failures.append("parser: snake_case(EvalBatchDone) broken")
     # Longest-prefix fixture assignment: hello_ack_v1.bin must not feed 'hello'.
@@ -276,6 +282,9 @@ def self_test(root):
                   lambda copy: [(copy / GOLDEN_DIR / "search_done_v4.bin").unlink(),
                                 (copy / GOLDEN_DIR / "search_done_err_v4.bin").unlink()],
                   "MsgType::SearchDone has no golden fixture")
+        sabotaged("missing stats fixture",
+                  lambda copy: (copy / GOLDEN_DIR / "stats_report_v5.bin").unlink(),
+                  "MsgType::StatsReport has no golden fixture")
         sabotaged("fixture at wrong version",
                   lambda copy: (copy / GOLDEN_DIR / "eval_batch_request_v2.bin")
                   .rename(copy / GOLDEN_DIR / "eval_batch_request_v1.bin"),
@@ -300,6 +309,18 @@ def self_test(root):
                       re.sub(r"^.*\bread_search_done\s*\(.*$", "",
                              (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
                   "write_search_done has no matching read_search_done")
+        sabotaged("unpaired stats codec",
+                  lambda copy: (copy / WIRE_H).write_text(
+                      re.sub(r"^.*\bread_stats_report\s*\(.*$", "",
+                             (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
+                  "write_stats_report has no matching read_stats_report")
+        sabotaged("wire.h version drift orphans both prose anchors",
+                  # Bumping kProtocolVersion without touching README or the
+                  # smoke script must trip *both* anchor checks at once.
+                  lambda copy: (copy / WIRE_H).write_text(
+                      re.sub(r"kProtocolVersion\s*=\s*\d+\s*;", "kProtocolVersion = 6;",
+                             (copy / WIRE_H).read_text())),
+                  f"but {WIRE_H} says 6")
         sabotaged("untested search round-trip",
                   lambda copy: [p.write_text(
                       p.read_text().replace("read_cancel_search", "read_cancel_search0"))

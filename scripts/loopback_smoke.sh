@@ -18,6 +18,12 @@
 #          show it consumed out-of-order item frames, output still matching
 #   leg 8  overlapped evolution (--overlap): distributed overlapped search
 #          matches the local overlapped reference byte for byte
+#   leg 9  observability (protocol v5): a distributed run with --metrics-json
+#          and --trace-file still matches local byte for byte; the master's
+#          metrics JSON, the `stats models=` line on stdout, and the fleet's
+#          GetStats answers (queried with `ecad_searchd --stats`) all agree
+#          on exactly how many evaluations happened; the trace file is valid
+#          Chrome trace-event JSON
 #
 # Usage: scripts/loopback_smoke.sh <build-dir>
 # Set SMOKE_LOG_DIR to keep daemon/search logs (CI uploads them on failure).
@@ -28,8 +34,9 @@ WORKERD="$BUILD_DIR/tools/ecad_workerd"
 SEARCHD="$BUILD_DIR/tools/ecad_searchd"
 # Current wire generation; scripts/lint_wire_protocol.py checks this against
 # kProtocolVersion in src/net/wire.h so the leg matrix can't silently rot.
-# (v4 adds the search-service frames, exercised by scripts/service_smoke.sh.)
-PROTOCOL_VERSION=4
+# (v4 adds the search-service frames, exercised by scripts/service_smoke.sh;
+# v5 adds the GetStats/StatsReport frames, exercised by leg 9 here.)
+PROTOCOL_VERSION=5
 if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
   WORK="$SMOKE_LOG_DIR"
   mkdir -p "$WORK"
@@ -239,5 +246,69 @@ if diff -q "$WORK/ov_local.out" "$WORK/ov_seq.out" >/dev/null 2>&1; then
   exit 1
 fi
 echo "   OK: overlapped distributed == overlapped local, byte for byte"
+
+echo "== leg 9: observability — metrics JSON, trace file, stats over the wire"
+# Fresh workers so the fleet's counters start from zero and the cross-process
+# accounting below can demand exact equality.
+start_worker "$WORK/st1.out" "${WORKER_FLAGS[@]}"
+ST_PORT1=$(awk '{print $2}' "$WORK/st1.out")
+start_worker "$WORK/st2.out" "${WORKER_FLAGS[@]}"
+ST_PORT2=$(awk '{print $2}' "$WORK/st2.out")
+"$SEARCHD" --workers "127.0.0.1:$ST_PORT1,127.0.0.1:$ST_PORT2" "${SEARCH_FLAGS[@]}" \
+  --metrics-json "$WORK/master_metrics.json" --trace-file "$WORK/master_trace.json" \
+  >"$WORK/stats.out" 2>"$WORK/stats.err"
+diff_or_die "$WORK/local.out" "$WORK/stats.out" "metrics+trace instrumented search"
+echo "   OK: observability-instrumented run == local, byte for byte"
+
+"$SEARCHD" --stats "127.0.0.1:$ST_PORT1,127.0.0.1:$ST_PORT2" \
+  >"$WORK/fleet_stats.out" 2>"$WORK/fleet_stats.err"
+grep -q "^STATS 127.0.0.1:$ST_PORT1 metrics=" "$WORK/fleet_stats.out" || {
+  echo "FAIL: --stats printed no report header for :$ST_PORT1"; cat "$WORK/fleet_stats.out"; exit 1; }
+grep -q "^STATS 127.0.0.1:$ST_PORT2 metrics=" "$WORK/fleet_stats.out" || {
+  echo "FAIL: --stats printed no report header for :$ST_PORT2"; cat "$WORK/fleet_stats.out"; exit 1; }
+
+# Exact three-way accounting: the `stats models=` line on stdout, the
+# master's metrics JSON, and the fleet's wire-served counters must all name
+# the same number of evaluations.  Worker-side, a dispatched item is either
+# evaluated (completed/failed) or collapsed onto a twin by batch dedup.
+python3 - "$WORK/stats.out" "$WORK/master_metrics.json" "$WORK/fleet_stats.out" <<'PY'
+import json, re, sys
+
+models = int(re.search(r"^stats models=(\d+) ", open(sys.argv[1]).read(), re.M).group(1))
+
+master = {e["name"]: e["metrics"] for e in json.load(open(sys.argv[2]))["entries"]}
+dispatched = sum(int(m["value"]) for name, m in master.items()
+                 if name.startswith("net.items_dispatched_total{"))
+requeued = int(master.get("net.requeued_items_total", {"value": 0})["value"])
+lookups = int(master["evo.cache_lookups_total"]["value"])
+hits = int(master["evo.cache_hits_total"]["value"])
+misses = int(master["evo.cache_misses_total"]["value"])
+
+fleet = 0
+for line in open(sys.argv[3]):
+    parts = line.split()
+    if parts and parts[0] in ("core.evals_completed_total", "core.evals_failed_total",
+                              "core.dedup_collapsed_total"):
+        fleet += int(float(parts[1]))
+
+assert hits + misses == lookups, f"cache: {hits}+{misses} != {lookups}"
+assert requeued == 0, f"unexpected requeues in a healthy fleet: {requeued}"
+assert dispatched == models, f"master dispatched {dispatched} != stdout models {models}"
+assert fleet == dispatched, f"fleet-side evals {fleet} != master dispatched {dispatched}"
+assert "core.eval_seconds" not in master, "one-shot master ran local evaluations?"
+print(f"   OK: models={models} == dispatched == fleet-side evals;"
+      f" cache {hits}+{misses}=={lookups}")
+PY
+
+# The trace is complete JSON after a clean exit, and carries both the
+# master's shard spans and the engine's generation spans.
+python3 - "$WORK/master_trace.json" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+cats = {e.get("cat") for e in events}
+assert any(e.get("ph") == "X" for e in events), "no complete (ph=X) events"
+assert "net" in cats and "evo" in cats, f"missing trace categories, saw {sorted(cats)}"
+print(f"   OK: trace file holds {len(events)} events across {sorted(cats)}")
+PY
 
 echo "PASS: loopback smoke matrix"

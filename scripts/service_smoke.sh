@@ -14,6 +14,12 @@
 #          SearchDone(Canceled "daemon draining"), and the daemon's service
 #          summary accounts for every search before exiting
 #   leg 4  --stop-server: a client-issued Shutdown frame stops the daemon
+#   leg 5  stats over the wire (protocol v5): after the three tenants finish,
+#          `ecad_searchd --stats` queries the resident daemon and both
+#          workers with GetStats frames; the daemon's dispatch counters, the
+#          workers' evaluation counters, and the `stats models=` lines the
+#          tenants printed must agree exactly.  The daemon also runs with
+#          --trace-file and --metrics-json, validated after shutdown.
 #
 # Usage: scripts/service_smoke.sh <build-dir>
 # Set SMOKE_LOG_DIR to keep daemon/client logs (CI uploads them on failure).
@@ -73,14 +79,15 @@ diff_or_die() {
   fi
 }
 
-echo "== search service smoke (wire protocol v4)"
+echo "== search service smoke (wire protocol v5)"
 echo "== starting a two-worker fleet and a resident search daemon"
 start_worker "$WORK/w1.out" "${WORKER_FLAGS[@]}"
 start_worker "$WORK/w2.out" "${WORKER_FLAGS[@]}"
 PORT1=$(awk '{print $2}' "$WORK/w1.out")
 PORT2=$(awk '{print $2}' "$WORK/w2.out")
 start_searchd "$WORK/daemon.out" --workers "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
-  --max-searches 3 --dispatch-slots 2
+  --max-searches 3 --dispatch-slots 2 \
+  --metrics-json "$WORK/daemon_metrics.json" --trace-file "$WORK/daemon_trace.json"
 DAEMON_PID=${PIDS[-1]}
 DAEMON_PORT=$(awk '{print $2}' "$WORK/daemon.out")
 echo "   workers on :$PORT1 :$PORT2, daemon on :$DAEMON_PORT"
@@ -111,6 +118,56 @@ for seed in "${SEEDS[@]}"; do
 done
 echo "   OK: 3 concurrent submitted searches == standalone, byte for byte"
 
+echo "== leg 5: stats over the wire — daemon and fleet counters vs tenant records"
+"$SEARCHD" --stats "127.0.0.1:$DAEMON_PORT" >"$WORK/daemon_stats.out" 2>"$WORK/daemon_stats.err"
+"$SEARCHD" --stats "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
+  >"$WORK/worker_stats.out" 2>"$WORK/worker_stats.err"
+grep -q "^STATS 127.0.0.1:$DAEMON_PORT metrics=" "$WORK/daemon_stats.out" || {
+  echo "FAIL: --stats printed no report header for the resident daemon"
+  cat "$WORK/daemon_stats.out"; exit 1; }
+# The standalone reference runs above were in-process, so the only traffic
+# these workers ever saw is the three submitted searches — exact accounting:
+# every item the daemon dispatched was either evaluated (completed/failed)
+# or collapsed onto a within-batch twin on a worker, and the dispatch total
+# equals the sum of the `stats models=` lines the three tenants printed.
+python3 - "$WORK/daemon_stats.out" "$WORK/worker_stats.out" \
+  "$WORK"/sub_21.out "$WORK"/sub_22.out "$WORK"/sub_23.out <<'PY'
+import re, sys
+
+def counters(path):
+    out = {}
+    for line in open(path):
+        parts = line.split()
+        if len(parts) == 2 and not parts[0].startswith("STATS"):
+            try:
+                out[parts[0]] = out.get(parts[0], 0) + int(float(parts[1]))
+            except ValueError:
+                pass
+    return out
+
+daemon = counters(sys.argv[1])
+fleet = counters(sys.argv[2])
+models = sum(int(re.search(r"^stats models=(\d+) ", open(p).read(), re.M).group(1))
+             for p in sys.argv[3:6])
+
+dispatched = sum(v for k, v in daemon.items()
+                 if k.startswith("net.items_dispatched_total{"))
+requeued = daemon.get("net.requeued_items_total", 0)
+lookups = daemon.get("evo.cache_lookups_total", 0)
+hits = daemon.get("evo.cache_hits_total", 0)
+misses = daemon.get("evo.cache_misses_total", 0)
+evals = sum(fleet.get(k, 0) for k in ("core.evals_completed_total",
+                                      "core.evals_failed_total",
+                                      "core.dedup_collapsed_total"))
+
+assert hits + misses == lookups, f"cache: {hits}+{misses} != {lookups}"
+assert requeued == 0, f"unexpected requeues in a healthy fleet: {requeued}"
+assert dispatched == models, f"daemon dispatched {dispatched} != tenants' models {models}"
+assert evals == dispatched, f"fleet-side evals {evals} != daemon dispatched {dispatched}"
+print(f"   OK: tenants' models={models} == daemon dispatched == fleet-side evals;"
+      f" cache {hits}+{misses}=={lookups}")
+PY
+
 echo "== leg 4 (part 1): --stop-server shuts the fleet daemon down"
 "$SEARCHD" --submit "127.0.0.1:$DAEMON_PORT" --stop-server
 for _ in $(seq 1 100); do
@@ -126,6 +183,27 @@ grep -q "service summary: accepted=3 completed=3 canceled=0 failed=0" "$WORK/dae
   exit 1
 }
 echo "   OK: daemon exited on Shutdown frame, summary accounts for all 3 tenants"
+
+# Shutdown also flushes the daemon's observability artifacts: the metrics
+# snapshot must match what leg 5 read over the wire, and the trace must be
+# complete Chrome trace-event JSON.
+python3 - "$WORK/daemon_metrics.json" "$WORK/daemon_stats.out" "$WORK/daemon_trace.json" <<'PY'
+import json, sys
+master = {e["name"]: e["metrics"] for e in json.load(open(sys.argv[1]))["entries"]}
+dispatched = sum(int(m["value"]) for name, m in master.items()
+                 if name.startswith("net.items_dispatched_total{"))
+wire = 0
+for line in open(sys.argv[2]):
+    parts = line.split()
+    if len(parts) == 2 and parts[0].startswith("net.items_dispatched_total{"):
+        wire += int(float(parts[1]))
+assert dispatched == wire, f"metrics JSON dispatched {dispatched} != wire-read {wire}"
+events = json.load(open(sys.argv[3]))
+assert any(e.get("ph") == "X" for e in events), "daemon trace has no complete events"
+assert any(e.get("cat") == "net" for e in events), "daemon trace has no net spans"
+print(f"   OK: daemon metrics JSON matches wire stats (dispatched={dispatched});"
+      f" trace holds {len(events)} events")
+PY
 
 echo "== leg 2: mid-stream cancel on a slow-evaluation daemon"
 # A local analytic worker with injected per-genome delay keeps the search in

@@ -5,8 +5,11 @@
 
 #include "evo/pareto.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace ecad::core {
 
@@ -37,6 +40,12 @@ void FairShareGate::set_remaining(std::uint64_t id, std::uint64_t remaining) {
 }
 
 bool FairShareGate::acquire(std::uint64_t id, std::size_t items) {
+  // How long dispatches sit waiting for a slot — the contention signal the
+  // autoscaling direction needs.  The cv wait releases the mutex, so the
+  // stopwatch spans exactly the blocked time plus lock overhead.
+  static util::Histogram& wait_hist = util::metrics().histogram("scheduler.gate_wait_seconds");
+  static util::Gauge& pass_gauge = util::metrics().gauge("scheduler.gate_pass");
+  util::Stopwatch waited;
   util::MutexLock lock(mutex_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return false;
@@ -58,6 +67,8 @@ bool FairShareGate::acquire(std::uint64_t id, std::size_t items) {
   entry.pass += static_cast<double>(items) / entry.weight;
   ++entry.grants;
   ++in_use_;
+  wait_hist.observe(waited.elapsed_seconds());
+  pass_gauge.set(virtual_time_);
   return true;
 }
 
@@ -220,7 +231,10 @@ void SearchScheduler::runner_loop() {
       search->state = SearchState::Running;
       ++running_;
     }
+    static util::Gauge& active_gauge = util::metrics().gauge("scheduler.searches_active");
+    active_gauge.add(1.0);
     SearchOutcome outcome = run_one(*search);
+    active_gauge.add(-1.0);
     {
       util::MutexLock lock(mutex_);
       search->state = outcome.state;
@@ -237,6 +251,7 @@ void SearchScheduler::runner_loop() {
 }
 
 SearchOutcome SearchScheduler::run_one(Search& search) {
+  util::TraceSpan span("core", "search " + std::to_string(search.id));
   SearchOutcome outcome;
   outcome.search_id = search.id;
   try {
@@ -314,6 +329,13 @@ void SearchScheduler::emit_progress(Search& search, std::uint32_t generation,
                                     const std::vector<evo::Candidate>& population,
                                     const std::vector<evo::Candidate>& history,
                                     std::size_t models_evaluated) {
+  const std::string label = std::to_string(search.id);
+  util::metrics()
+      .gauge(util::labeled_metric("scheduler.generation", "search", label))
+      .set(static_cast<double>(generation));
+  util::metrics()
+      .gauge(util::labeled_metric("scheduler.models_evaluated", "search", label))
+      .set(static_cast<double>(models_evaluated));
   if (!search.on_progress) return;
   SearchProgressInfo info;
   info.search_id = search.id;

@@ -3,21 +3,33 @@
 #include <functional>
 #include <unordered_map>
 
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace ecad::core {
 
 evo::EvalOutcome evaluate_outcome(const Worker& worker, const evo::Genome& genome) {
+  // Counted here — the single funnel every evaluation passes through,
+  // whether dispatched by the local Master, a WorkerServer pool task, or a
+  // scheduler tenant — so evals_completed_total is ground truth for the
+  // stats consistency checks in the smoke scripts.
+  static util::Counter& completed = util::metrics().counter("core.evals_completed_total");
+  static util::Counter& failed = util::metrics().counter("core.evals_failed_total");
+  static util::Histogram& latency = util::metrics().histogram("core.eval_seconds");
   evo::EvalOutcome outcome;
   util::Stopwatch watch;
   try {
     outcome.result = worker.evaluate(genome);
     outcome.result.eval_seconds = watch.elapsed_seconds();
     outcome.ok = true;
+    completed.add(1);
+    latency.observe(outcome.result.eval_seconds);
   } catch (const std::exception& e) {
     outcome.error = e.what();
+    failed.add(1);
   } catch (...) {
     outcome.error = "unknown evaluation error";
+    failed.add(1);
   }
   return outcome;
 }
@@ -46,6 +58,8 @@ std::vector<evo::EvalOutcome> evaluate_batch_deduped(const Worker& worker,
   }
   if (unique.size() == genomes.size()) return worker.evaluate_batch(genomes, pool);
 
+  static util::Counter& collapsed = util::metrics().counter("core.dedup_collapsed_total");
+  collapsed.add(genomes.size() - unique.size());
   const std::vector<evo::EvalOutcome> unique_outcomes = worker.evaluate_batch(unique, pool);
   if (unique_outcomes.size() != unique.size()) {
     // Propagate a malformed backend answer verbatim; the engine's size check

@@ -24,7 +24,9 @@ class EvalCache {
   /// Insert/overwrite a result.
   void store(const std::string& key, const EvalResult& result) ECAD_EXCLUDES(mutex_);
 
-  /// True if present, without counting a hit.
+  /// True if present, without counting a hit against this instance's
+  /// hits()/misses() tallies (the process-wide evo.cache_* metrics do count
+  /// it: the breeding loops probe with contains, so it is real traffic).
   bool contains(const std::string& key) const ECAD_EXCLUDES(mutex_);
 
   std::size_t size() const ECAD_EXCLUDES(mutex_);

@@ -6,6 +6,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace ecad::evo {
 
@@ -282,7 +283,10 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
                     [&key](const Genome& g) { return g.key() == key; });
     if (!duplicate) seeds.push_back(std::move(genome));
   }
-  std::vector<Candidate> population = evaluate_generation(seeds, pool);
+  std::vector<Candidate> population = [&] {
+    util::TraceSpan span("evo", "generation 0");
+    return evaluate_generation(seeds, pool);
+  }();
 
   EvolutionResult out = config_.overlap_generations
                             ? run_overlapped(rng, pool, std::move(population))
@@ -318,6 +322,7 @@ EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool
     std::vector<Genome> offspring = breed_offspring(population, this_batch, rng);
     if (offspring.empty()) break;
 
+    util::TraceSpan gen_span("evo", "generation " + std::to_string(generation + 1));
     std::vector<Candidate> evaluated = evaluate_generation(offspring, pool);
     replace_into(std::move(evaluated), population, history, rng);
     keep_going = notify_progress(++generation, population, history);
@@ -356,6 +361,7 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
   // observer answer stops *breeding*; batches already on the wire still fold
   // below, so a drain always completes its in-flight generations.
   const auto fold_oldest = [&] {
+    util::TraceSpan span("evo", "fold generation " + std::to_string(generation + 1));
     InFlight oldest = std::move(inflight.front());
     inflight.pop_front();
     std::vector<Candidate> evaluated =

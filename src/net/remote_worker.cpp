@@ -9,7 +9,9 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace ecad::net {
 
@@ -151,6 +153,10 @@ bool RemoteWorker::connect_endpoint(std::size_t endpoint_index, PooledConnection
           state.demoted_until = Clock::now() + std::chrono::seconds(60);
         }
       }
+      if (negotiated < options_.max_protocol) {
+        static util::Counter& demotions = util::metrics().counter("net.v1_demotions_total");
+        demotions.add(1);
+      }
       out.socket = std::move(socket);
       out.version = negotiated;
       return true;
@@ -246,6 +252,13 @@ void RemoteWorker::record_item_latency(std::size_t endpoint_index, double second
   // Clamp instead of discarding: a loopback analytic eval really can finish
   // inside the clock granularity, and a zero EWMA would read as "unobserved".
   seconds = std::max(seconds, 1e-9);
+  // The histogram keeps the full per-endpoint latency distribution the EWMA
+  // below compresses away; labeled lookup before taking mutex_ so the
+  // registry mutex is never acquired under it.
+  util::metrics()
+      .histogram(util::labeled_metric("net.item_latency_seconds", "endpoint",
+                                      options_.endpoints[endpoint_index].to_string()))
+      .observe(seconds);
   util::MutexLock lock(mutex_);
   EndpointState& state = states_[endpoint_index];
   if (state.item_latency_ewma_s <= 0.0) {
@@ -483,6 +496,14 @@ bool RemoteWorker::run_shard(Checkout& conn, const std::vector<evo::Genome>& gen
                              const std::vector<std::size_t>& items,
                              std::vector<evo::EvalOutcome>& outcomes,
                              std::vector<std::size_t>& unfinished) const {
+  const std::string endpoint_label = options_.endpoints[conn.endpoint_index].to_string();
+  static util::Histogram& shard_hist = util::metrics().histogram("net.shard_items");
+  shard_hist.observe(static_cast<double>(items.size()));
+  util::metrics()
+      .counter(util::labeled_metric("net.items_dispatched_total", "endpoint", endpoint_label))
+      .add(items.size());
+  util::TraceSpan span("net",
+                       "shard " + endpoint_label + " n=" + std::to_string(items.size()));
   util::Stopwatch watch;
   bool healthy = false;
   try {
@@ -533,6 +554,8 @@ void RemoteWorker::drive_endpoint(std::size_t endpoint_index,
                                   std::vector<evo::EvalOutcome>& outcomes, bool primary) const {
   const auto requeue = [&queue](const std::vector<std::size_t>& items) {
     if (items.empty()) return;
+    static util::Counter& requeued = util::metrics().counter("net.requeued_items_total");
+    requeued.add(items.size());
     util::MutexLock lock(queue.mutex);
     for (std::size_t index : items) queue.pending.push_back(index);
   };
@@ -570,6 +593,7 @@ std::vector<evo::EvalOutcome> RemoteWorker::evaluate_batch(const std::vector<evo
                                                            util::ThreadPool& pool) const {
   std::vector<evo::EvalOutcome> outcomes(genomes.size());
   if (genomes.empty()) return outcomes;
+  util::TraceSpan batch_span("net", "evaluate_batch n=" + std::to_string(genomes.size()));
 
   std::vector<std::size_t> pending(genomes.size());
   std::iota(pending.begin(), pending.end(), std::size_t{0});
@@ -804,6 +828,8 @@ void RemoteWorker::heartbeat_loop() {
           state.max_version = std::min(options_.max_protocol, kProtocolVersion);
         }
         heartbeat_rejoins_.fetch_add(1, std::memory_order_relaxed);
+        static util::Counter& rejoins = util::metrics().counter("net.heartbeat_rejoins_total");
+        rejoins.add(1);
         util::Log(util::LogLevel::Info, "net")
             << "endpoint " << endpoint.to_string() << " rejoined the pool via heartbeat ping";
       } catch (const NetError&) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "net/stats.h"
 #include "util/logging.h"
 
 namespace ecad::net {
@@ -219,6 +220,20 @@ bool SearchServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       }
       return true;
     }
+    case MsgType::GetStats: {
+      if (connection->version < 5) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "GetStats on a v" << connection->version << " connection; dropping connection";
+        return false;
+      }
+      WireReader reader(frame.payload);
+      const GetStats request = read_get_stats(reader);
+      reader.expect_end();
+      WireWriter writer;
+      write_stats_report(writer, snapshot_stats_report(request.prefix));
+      send_frame(connection, MsgType::StatsReport, writer.bytes());
+      return true;
+    }
     // This daemon runs searches; it never receives evaluation traffic or
     // its own server->client frames.
     case MsgType::HelloAck:
@@ -232,6 +247,7 @@ bool SearchServer::handle_frame(const std::shared_ptr<Connection>& connection, F
     case MsgType::SearchAccepted:
     case MsgType::SearchProgress:
     case MsgType::SearchDone:
+    case MsgType::StatsReport:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;

@@ -24,6 +24,8 @@ const char* to_string(MsgType type) {
     case MsgType::SearchProgress: return "SearchProgress";
     case MsgType::SearchDone: return "SearchDone";
     case MsgType::CancelSearch: return "CancelSearch";
+    case MsgType::GetStats: return "GetStats";
+    case MsgType::StatsReport: return "StatsReport";
   }
   return "?";
 }
@@ -42,6 +44,9 @@ std::uint16_t frame_version_for(MsgType type) {
     case MsgType::SearchDone:
     case MsgType::CancelSearch:
       return 4;
+    case MsgType::GetStats:
+    case MsgType::StatsReport:
+      return 5;
     default:
       return 1;
   }
@@ -51,7 +56,7 @@ namespace {
 
 bool known_msg_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint16_t>(MsgType::CancelSearch);
+         raw <= static_cast<std::uint16_t>(MsgType::StatsReport);
 }
 
 }  // namespace
@@ -564,6 +569,75 @@ CancelSearch read_cancel_search(WireReader& reader) {
   CancelSearch cancel;
   cancel.search_id = reader.get_u64();
   return cancel;
+}
+
+// ---------------------------------------------------------------------------
+// Stats (protocol v5)
+// ---------------------------------------------------------------------------
+
+void write_get_stats(WireWriter& writer, const GetStats& request) {
+  writer.put_string(request.prefix);
+}
+
+GetStats read_get_stats(WireReader& reader) {
+  GetStats request;
+  request.prefix = reader.get_string();
+  return request;
+}
+
+namespace {
+
+void put_stats_entry(WireWriter& writer, const StatsEntry& entry) {
+  if (entry.buckets.size() > kMaxHistogramBuckets) {
+    throw WireError("wire: histogram of " + std::to_string(entry.buckets.size()) +
+                    " buckets exceeds the limit");
+  }
+  writer.put_string(entry.name);
+  writer.put_u8(entry.kind);
+  writer.put_f64(entry.value);
+  writer.put_u64(entry.count);
+  writer.put_f64(entry.sum);
+  writer.put_u32(static_cast<std::uint32_t>(entry.buckets.size()));
+  for (std::uint64_t bucket : entry.buckets) writer.put_u64(bucket);
+}
+
+StatsEntry get_stats_entry(WireReader& reader) {
+  StatsEntry entry;
+  entry.name = reader.get_string();
+  entry.kind = reader.get_u8();
+  entry.value = reader.get_f64();
+  entry.count = reader.get_u64();
+  entry.sum = reader.get_f64();
+  const std::uint32_t bucket_count = reader.get_u32();
+  if (bucket_count > kMaxHistogramBuckets) {
+    throw WireError("wire: histogram bucket count " + std::to_string(bucket_count) +
+                    " exceeds the limit");
+  }
+  entry.buckets.reserve(bucket_count);
+  for (std::uint32_t i = 0; i < bucket_count; ++i) entry.buckets.push_back(reader.get_u64());
+  return entry;
+}
+
+}  // namespace
+
+void write_stats_report(WireWriter& writer, const StatsReport& report) {
+  if (report.entries.size() > kMaxStatsEntries) {
+    throw WireError("wire: stats report of " + std::to_string(report.entries.size()) +
+                    " entries exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(report.entries.size()));
+  for (const StatsEntry& entry : report.entries) put_stats_entry(writer, entry);
+}
+
+StatsReport read_stats_report(WireReader& reader) {
+  StatsReport report;
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxStatsEntries) {
+    throw WireError("wire: stats report length " + std::to_string(count) + " exceeds the limit");
+  }
+  report.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) report.entries.push_back(get_stats_entry(reader));
+  return report;
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,14 @@
 // record (every evaluated candidate plus the winner — the same data the
 // standalone CLI prints) or an error/cancellation message.  CancelSearch
 // stops a running search at its next generation boundary.
+//
+// Stats (v5): any peer can ask a daemon for its process-wide metrics
+// registry (util/metrics.h).  GetStats carries a metric-name prefix filter
+// ("" = everything); the daemon answers one StatsReport frame with a
+// snapshot of every matching counter, gauge, and histogram (log-bucket
+// counts included, so p50/p90/p99 are derivable client-side).  Stats frames
+// are only legal on connections negotiated to >= 5; v4 and older peers are
+// untouched.
 #pragma once
 
 #include <cstdint>
@@ -64,7 +72,7 @@ class WireError : public std::runtime_error {
 inline constexpr std::uint32_t kWireMagic = 0x44414345u;
 /// Highest protocol version this build speaks. Peers negotiate down to the
 /// smaller of the two maxima; version 1 peers keep working unmodified.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+inline constexpr std::uint16_t kProtocolVersion = 5;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Genomes and results are tiny; anything near this limit is corruption.
@@ -78,6 +86,12 @@ inline constexpr std::uint32_t kMaxBatchItems = 4096;
 /// search).  Budgets are hundreds-to-thousands; 64Ki candidates at ~150
 /// bytes each still fits kMaxPayloadBytes with headroom.
 inline constexpr std::uint32_t kMaxRecordCandidates = 65536;
+/// Hard cap on metric entries per StatsReport frame; a process registers a
+/// few dozen series (plus one per endpoint/search label), so anything near
+/// this limit is corruption.
+inline constexpr std::uint32_t kMaxStatsEntries = 4096;
+/// Hard cap on log buckets per histogram entry (util::Histogram uses 40).
+inline constexpr std::uint32_t kMaxHistogramBuckets = 64;
 
 enum class MsgType : std::uint16_t {
   Hello = 1,             // client -> server: string client name [+ u16 max version]
@@ -96,6 +110,8 @@ enum class MsgType : std::uint16_t {
   SearchProgress = 14,   // v4: u64 search id + per-generation stats
   SearchDone = 15,       // v4: u64 search id + u8 status + (record | string)
   CancelSearch = 16,     // v4: u64 search id
+  GetStats = 17,         // v5: string metric-name prefix filter ("" = all)
+  StatsReport = 18,      // v5: u32 count + count metric snapshot entries
 };
 
 const char* to_string(MsgType type);
@@ -304,6 +320,40 @@ SearchDone read_search_done(WireReader& reader);
 
 void write_cancel_search(WireWriter& writer, const CancelSearch& cancel);
 CancelSearch read_cancel_search(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Stats (protocol v5)
+// ---------------------------------------------------------------------------
+
+/// One GetStats frame: ask a daemon for its metrics registry.  `prefix`
+/// filters by metric-name prefix; empty returns everything.
+struct GetStats {
+  std::string prefix;
+};
+
+/// One metric in a StatsReport: the wire form of util::MetricSnapshot.
+/// `kind` is util::MetricKind (0 counter, 1 gauge, 2 histogram); counters
+/// and gauges carry `value`, histograms carry count/sum/buckets (log-bucket
+/// counts, util::Histogram layout, so quantiles are derivable client-side).
+struct StatsEntry {
+  std::string name;
+  std::uint8_t kind = 0;
+  double value = 0.0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// The daemon's answer to GetStats: every matching metric, sorted by name.
+struct StatsReport {
+  std::vector<StatsEntry> entries;
+};
+
+void write_get_stats(WireWriter& writer, const GetStats& request);
+GetStats read_get_stats(WireReader& reader);
+
+void write_stats_report(WireWriter& writer, const StatsReport& report);
+StatsReport read_stats_report(WireReader& reader);
 
 // ---------------------------------------------------------------------------
 // Handshake payloads

@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "net/stats.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ecad::net {
 
@@ -89,7 +92,10 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       evo::Genome genome = read_genome(reader);
       reader.expect_end();
       pool_->submit([this, connection, request_id, genome = std::move(genome)] {
+        static util::Gauge& concurrent = util::metrics().gauge("workerd.concurrent_evals");
+        concurrent.add(1.0);
         const evo::EvalOutcome outcome = core::evaluate_outcome(worker_, genome);
+        concurrent.add(-1.0);
         WireWriter response;
         response.put_u64(request_id);
         response.put_bool(outcome.ok);
@@ -120,6 +126,20 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       handle_batch_request(connection, std::move(frame));
       return true;
     }
+    case MsgType::GetStats: {
+      if (connection->version < 5) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "GetStats on a v" << connection->version << " connection; dropping connection";
+        return false;
+      }
+      WireReader reader(frame.payload);
+      const GetStats request = read_get_stats(reader);
+      reader.expect_end();
+      WireWriter writer;
+      write_stats_report(writer, snapshot_stats_report(request.prefix));
+      send_frame(connection, MsgType::StatsReport, writer.bytes());
+      return true;
+    }
     case MsgType::HelloAck:
     case MsgType::Pong:
     case MsgType::EvalResponse:
@@ -133,6 +153,8 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
     case MsgType::SearchProgress:
     case MsgType::SearchDone:
     case MsgType::CancelSearch:
+    // A daemon never *receives* its own answer frame.
+    case MsgType::StatsReport:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;
@@ -145,6 +167,13 @@ void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& conne
   WireReader reader(frame.payload);
   EvalBatchRequest request = read_eval_batch_request(reader);
   reader.expect_end();
+
+  static util::Counter& batches = util::metrics().counter("workerd.batches_total");
+  batches.add(1);
+  static util::Gauge& pending_items = util::metrics().gauge("workerd.pending_items");
+  pending_items.add(static_cast<double>(request.genomes.size()));
+  util::trace_instant("workerd", "batch " + std::to_string(request.batch_id) + " accepted n=" +
+                                     std::to_string(request.genomes.size()));
 
   // Shared by the batch's pool tasks: outcome slots are written by disjoint
   // indices, `remaining` elects the task that sends the terminal frame.
@@ -197,7 +226,18 @@ void WorkerServer::handle_batch_request(const std::shared_ptr<Connection>& conne
   }
   for (std::size_t i = 0; i < job->genomes.size(); ++i) {
     pool_->submit([this, connection, job, finish, streaming, i] {
-      evo::EvalOutcome outcome = core::evaluate_outcome(worker_, job->genomes[i]);
+      static util::Gauge& concurrent = util::metrics().gauge("workerd.concurrent_evals");
+      static util::Gauge& pending = util::metrics().gauge("workerd.pending_items");
+      concurrent.add(1.0);
+      evo::EvalOutcome outcome;
+      {
+        util::TraceSpan span("workerd",
+                             "batch " + std::to_string(job->batch_id) + " item " +
+                                 std::to_string(i));
+        outcome = core::evaluate_outcome(worker_, job->genomes[i]);
+      }
+      concurrent.add(-1.0);
+      pending.add(-1.0);
       if (streaming) {
         // The outcome travels in its own frame right now; finish() only
         // needs outcomes.size() for EvalBatchDone, so skip the store.

@@ -5,11 +5,14 @@
 #include <atomic>
 #include <cerrno>
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "util/mutex.h"
 #include "util/thread_safety.h"
+#include "util/trace.h"
 
 namespace ecad::util {
 
@@ -108,8 +111,16 @@ LogLevel parse_log_level(std::string_view name) {
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
+  // Monotonic seconds since process start, the same epoch trace events use
+  // (util/trace.h), so log lines and Perfetto spans correlate directly.
+  const std::uint64_t now_us = monotonic_micros();
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%llu.%06llu] ",
+                static_cast<unsigned long long>(now_us / 1000000),
+                static_cast<unsigned long long>(now_us % 1000000));
   std::string line;
-  line.reserve(16 + component.size() + message.size());
+  line.reserve(32 + component.size() + message.size());
+  line += stamp;
   line += '[';
   line += to_string(level);
   line += "] ";

@@ -1,0 +1,186 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace ecad::util {
+
+namespace {
+
+double bits_to_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::upper_bound(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return 1e-6 * static_cast<double>(std::uint64_t{1} << i);
+}
+
+std::size_t Histogram::bucket_index(double v) {
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
+    if (v <= upper_bound(i)) return i;
+  }
+  return kBuckets - 1;
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(bits, double_to_bits(bits_to_double(bits) + v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return bits_to_double(sum_bits_.load(std::memory_order_relaxed)); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::quantile(double q) const { return quantile_from_buckets(bucket_counts(), q); }
+
+double quantile_from_buckets(const std::vector<std::uint64_t>& buckets, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 1-based rank of the order statistic the quantile names.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      const double lower = i == 0 ? 0.0 : Histogram::upper_bound(i - 1);
+      double upper = Histogram::upper_bound(i);
+      // The overflow bucket has no finite width; report its lower edge.
+      if (!std::isfinite(upper)) return lower;
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += buckets[i];
+  }
+  return 0.0;
+}
+
+std::string labeled_metric(const std::string& base, const std::string& key,
+                           const std::string& value) {
+  return base + "{" + key + "=" + value + "}";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot(const std::string& prefix) const {
+  const auto matches = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  std::vector<MetricSnapshot> out;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, counter] : counters_) {
+      if (!matches(name)) continue;
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::Counter;
+      snap.value = static_cast<double>(counter->value());
+      snap.count = counter->value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      if (!matches(name)) continue;
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::Gauge;
+      snap.value = gauge->value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      if (!matches(name)) continue;
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.kind = MetricKind::Histogram;
+      snap.count = histogram->count();
+      snap.sum = histogram->sum();
+      snap.buckets = histogram->bucket_counts();
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+BenchReport MetricsRegistry::to_bench_report(const std::string& bench_name) const {
+  BenchReport report(bench_name);
+  report.set_metadata("flavor", "metrics-snapshot");
+  for (const MetricSnapshot& snap : snapshot()) {
+    BenchEntry& entry = report.add_entry(snap.name);
+    switch (snap.kind) {
+      case MetricKind::Counter:
+        entry.label("type", "counter").metric("value", snap.value);
+        break;
+      case MetricKind::Gauge:
+        entry.label("type", "gauge").metric("value", snap.value);
+        break;
+      case MetricKind::Histogram:
+        entry.label("type", "histogram")
+            .metric("count", static_cast<double>(snap.count))
+            .metric("sum", snap.sum)
+            .metric("p50_s", quantile_from_buckets(snap.buckets, 0.50))
+            .metric("p90_s", quantile_from_buckets(snap.buckets, 0.90))
+            .metric("p99_s", quantile_from_buckets(snap.buckets, 0.99));
+        break;
+    }
+  }
+  return report;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ecad::util

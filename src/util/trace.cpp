@@ -1,0 +1,132 @@
+#include "util/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "util/bench_json.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
+
+namespace ecad::util {
+
+namespace {
+
+// Mutex + the file state it guards in one struct (same pattern as the
+// logging sink) so the thread-safety analysis ties them together.
+struct TraceSink {
+  Mutex mutex;
+  std::FILE* file ECAD_GUARDED_BY(mutex) = nullptr;
+  bool first_event ECAD_GUARDED_BY(mutex) = true;
+};
+
+TraceSink& trace_sink() {
+  static TraceSink sink;
+  return sink;
+}
+
+// Fast-path gate: one relaxed load decides whether an event site does any
+// work at all, so disabled tracing never touches the sink mutex.
+std::atomic<bool>& trace_active() {
+  static std::atomic<bool> active{false};
+  return active;
+}
+
+std::uint64_t thread_tid() {
+  // Stable small-ish per-thread id for the trace's tid column.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000;
+}
+
+void emit_event(std::string_view category, std::string_view name, char phase,
+                std::uint64_t ts_us, std::uint64_t dur_us) {
+  const std::string escaped_name = JsonWriter::escape(std::string(name));
+  const std::string escaped_cat = JsonWriter::escape(std::string(category));
+  TraceSink& sink = trace_sink();
+  MutexLock lock(sink.mutex);
+  if (sink.file == nullptr) return;
+  if (!sink.first_event) std::fputs(",\n", sink.file);
+  sink.first_event = false;
+  if (phase == 'X') {
+    std::fprintf(sink.file,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                 "\"pid\":%ld,\"tid\":%llu}",
+                 escaped_name.c_str(), escaped_cat.c_str(),
+                 static_cast<unsigned long long>(ts_us), static_cast<unsigned long long>(dur_us),
+                 static_cast<long>(::getpid()), static_cast<unsigned long long>(thread_tid()));
+  } else {
+    std::fprintf(sink.file,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"s\":\"t\","
+                 "\"pid\":%ld,\"tid\":%llu}",
+                 escaped_name.c_str(), escaped_cat.c_str(),
+                 static_cast<unsigned long long>(ts_us), static_cast<long>(::getpid()),
+                 static_cast<unsigned long long>(thread_tid()));
+  }
+  // Flush per event: tracing is low-rate (batches and generations, not
+  // items), and a killed daemon must still leave a loadable file.
+  std::fflush(sink.file);
+}
+
+// ECAD_TRACE in the environment arms tracing at process start, mirroring
+// ECAD_LOG_LEVEL.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* path = std::getenv("ECAD_TRACE");
+    if (path != nullptr && *path != '\0') trace_open(path);
+  }
+};
+const EnvTraceInit g_env_trace_init;
+
+}  // namespace
+
+std::uint64_t monotonic_micros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch).count());
+}
+
+bool trace_enabled() { return trace_active().load(std::memory_order_relaxed); }
+
+void trace_open(const std::string& path) {
+  monotonic_micros();  // pin the epoch no later than the first event
+  TraceSink& sink = trace_sink();
+  MutexLock lock(sink.mutex);
+  if (sink.file != nullptr) return;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) throw std::runtime_error("cannot open trace file " + path);
+  sink.file = file;
+  sink.first_event = true;
+  std::fputs("[\n", file);
+  std::fflush(file);
+  trace_active().store(true, std::memory_order_relaxed);
+}
+
+void trace_close() {
+  TraceSink& sink = trace_sink();
+  MutexLock lock(sink.mutex);
+  if (sink.file == nullptr) return;
+  trace_active().store(false, std::memory_order_relaxed);
+  std::fputs("\n]\n", sink.file);
+  std::fclose(sink.file);
+  sink.file = nullptr;
+  sink.first_event = true;
+}
+
+void trace_complete(std::string_view category, std::string_view name, std::uint64_t start_us,
+                    std::uint64_t end_us) {
+  if (!trace_enabled()) return;
+  emit_event(category, name, 'X', start_us, end_us >= start_us ? end_us - start_us : 0);
+}
+
+void trace_instant(std::string_view category, std::string_view name) {
+  if (!trace_enabled()) return;
+  emit_event(category, name, 'i', monotonic_micros(), 0);
+}
+
+}  // namespace ecad::util

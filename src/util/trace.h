@@ -1,0 +1,66 @@
+// Opt-in batch-lifecycle tracing in Chrome trace-event JSON (the format
+// Perfetto / chrome://tracing load directly).
+//
+// Disabled (the default) every call is a cheap no-op — one relaxed atomic
+// load — so instrumentation can stay compiled into the hot paths.  Enabled
+// via `--trace-file PATH` on the daemons or the ECAD_TRACE environment
+// variable, events append to the file as they happen (one fflush per event),
+// so a crashed process still leaves a loadable trace: the JSON array format
+// tolerates a missing closing bracket.
+//
+// Timestamps share one process-wide monotonic epoch with the logger's line
+// prefix (monotonic_micros), so trace spans and stderr log lines correlate
+// by eyeball.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ecad::util {
+
+/// Microseconds since the process-wide monotonic epoch (first use).  The
+/// shared timebase of log-line timestamps and trace events.
+std::uint64_t monotonic_micros();
+
+/// True once a trace file is open.
+bool trace_enabled();
+
+/// Open `path` for trace output (truncating) and start the event array.
+/// Subsequent opens are ignored while a file is active.  Throws
+/// std::runtime_error when the file cannot be created.
+void trace_open(const std::string& path);
+
+/// Close the event array and the file.  No-op when tracing is off.
+void trace_close();
+
+/// Emit a complete ("X") event spanning [start_us, end_us].
+void trace_complete(std::string_view category, std::string_view name, std::uint64_t start_us,
+                    std::uint64_t end_us);
+
+/// Emit an instant ("i") event at now.
+void trace_instant(std::string_view category, std::string_view name);
+
+/// RAII complete-event span: stamps construction time, emits on destruction.
+/// Constructing one while tracing is disabled costs one atomic load.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view category, std::string name)
+      : enabled_(trace_enabled()),
+        category_(category),
+        name_(std::move(name)),
+        start_us_(enabled_ ? monotonic_micros() : 0) {}
+  ~TraceSpan() {
+    if (enabled_) trace_complete(category_, name_, start_us_, monotonic_micros());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool enabled_;
+  std::string_view category_;  // must outlive the span (string literals)
+  std::string name_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace ecad::util

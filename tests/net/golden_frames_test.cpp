@@ -421,5 +421,71 @@ TEST(GoldenFrames, HelloV4WithVersionTrailer) {
   expect_matches_golden("hello_v4.bin", encode_frame(MsgType::Hello, payload.bytes()));
 }
 
+// The v5 fixtures pin the stats generation's encoding from day one, so v5
+// itself cannot drift silently either.
+TEST(GoldenFrames, GetStatsV5EncodesAndDecodes) {
+  GetStats request;
+  request.prefix = "net.";
+  WireWriter payload;
+  write_get_stats(payload, request);
+  expect_matches_golden("get_stats_v5.bin", encode_frame(MsgType::GetStats, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("get_stats_v5.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::GetStats);
+  EXPECT_EQ(header.version, 5);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const GetStats decoded = read_get_stats(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.prefix, "net.");
+}
+
+TEST(GoldenFrames, StatsReportV5EncodesAndDecodes) {
+  StatsReport report;
+  StatsEntry counter;
+  counter.name = "core.evals_completed_total";
+  counter.kind = 0;
+  counter.value = 48.0;
+  counter.count = 48;
+  StatsEntry gauge;
+  gauge.name = "scheduler.searches_active";
+  gauge.kind = 1;
+  gauge.value = 2.0;
+  StatsEntry histogram;
+  histogram.name = "core.eval_seconds";
+  histogram.kind = 2;
+  histogram.count = 6;
+  histogram.sum = 0.0859375;
+  histogram.buckets = {0, 1, 2, 3};  // truncated tail: trailing zeros dropped
+  report.entries = {counter, gauge, histogram};
+  WireWriter payload;
+  write_stats_report(payload, report);
+  expect_matches_golden("stats_report_v5.bin",
+                        encode_frame(MsgType::StatsReport, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("stats_report_v5.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::StatsReport);
+  EXPECT_EQ(header.version, 5);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const StatsReport decoded = read_stats_report(reader);
+  reader.expect_end();
+  ASSERT_EQ(decoded.entries.size(), 3u);
+  EXPECT_EQ(decoded.entries[0].name, "core.evals_completed_total");
+  EXPECT_EQ(decoded.entries[0].value, 48.0);
+  EXPECT_EQ(decoded.entries[1].kind, 1);
+  EXPECT_EQ(decoded.entries[2].count, 6u);
+  EXPECT_EQ(decoded.entries[2].sum, 0.0859375);
+  EXPECT_EQ(decoded.entries[2].buckets, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(GoldenFrames, HelloV5WithVersionTrailer) {
+  WireWriter payload;
+  write_hello_payload(payload, "ecad-master", 5);
+  expect_matches_golden("hello_v5.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
 }  // namespace
 }  // namespace ecad::net

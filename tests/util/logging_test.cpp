@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -69,6 +72,49 @@ TEST_F(LoggingTest, IdentityRoundTripsAndPrefixesSafely) {
   Log(LogLevel::Trace, "test") << "line with identity";  // below Info: dropped
   set_log_identity("");
   EXPECT_EQ(log_identity(), "");
+}
+
+TEST_F(LoggingTest, LinePrefixCarriesMonotonicTimestampAndLevel) {
+  set_log_level(LogLevel::Error);
+  set_log_identity("");
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::Error, "stamp", "hello");
+  const std::string line = ::testing::internal::GetCapturedStderr();
+
+  // "[<sec>.<6-digit-micros>] [ERROR] [stamp] hello\n" — seconds.micros from
+  // the monotonic epoch shared with util/trace.h.
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.front(), '[');
+  const std::size_t dot = line.find('.');
+  ASSERT_NE(dot, std::string::npos);
+  for (std::size_t i = 1; i < dot; ++i) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+  }
+  ASSERT_GE(line.size(), dot + 8);
+  for (std::size_t i = dot + 1; i < dot + 7; ++i) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+  }
+  EXPECT_EQ(line[dot + 7], ']') << "micros field must be exactly 6 digits: " << line;
+  EXPECT_NE(line.find("] [ERROR] [stamp] hello\n"), std::string::npos) << line;
+}
+
+TEST_F(LoggingTest, TimestampsAreMonotoneAcrossLines) {
+  set_log_level(LogLevel::Error);
+  set_log_identity("");
+  const auto stamp_of = [](const std::string& line) {
+    // Parse "[sec.micros]" back into microseconds.
+    const std::size_t dot = line.find('.');
+    const std::uint64_t sec = std::stoull(line.substr(1, dot - 1));
+    const std::uint64_t micros = std::stoull(line.substr(dot + 1, 6));
+    return sec * 1000000 + micros;
+  };
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::Error, "mono", "first");
+  log_line(LogLevel::Error, "mono", "second");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  const std::size_t second_line = out.find("\n[") + 1;
+  ASSERT_NE(second_line, std::string::npos);
+  EXPECT_LE(stamp_of(out), stamp_of(out.substr(second_line)));
 }
 
 TEST_F(LoggingTest, ConcurrentWritersDoNotRace) {

@@ -1,0 +1,207 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace ecad::util {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  EXPECT_EQ(gauge.value(), 3.5);
+  gauge.add(-1.5);
+  EXPECT_EQ(gauge.value(), 2.0);
+}
+
+// --- Histogram bucket boundaries -------------------------------------------
+
+TEST(Histogram, UpperBoundsAreExactPowersOfTwoMicroseconds) {
+  EXPECT_EQ(Histogram::upper_bound(0), 1e-6);
+  EXPECT_EQ(Histogram::upper_bound(1), 2e-6);
+  EXPECT_EQ(Histogram::upper_bound(10), 1e-6 * 1024.0);
+  // The last finite bound covers ~275 s; the final bucket is the overflow.
+  EXPECT_GT(Histogram::upper_bound(Histogram::kBuckets - 2), 200.0);
+  EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, BucketBoundariesAreExact) {
+  // Bucket i holds upper_bound(i-1) < v <= upper_bound(i): a value exactly
+  // on a bound lands in that bucket, one ulp above lands in the next.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    const double bound = Histogram::upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(bound), i) << "at bound " << bound;
+    EXPECT_EQ(Histogram::bucket_index(std::nextafter(bound, inf)), i + 1)
+        << "just above bound " << bound;
+  }
+}
+
+TEST(Histogram, SubMicrosecondAndOverflowValues) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-9), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e9), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveFillsCountSumAndBuckets) {
+  Histogram histogram;
+  histogram.observe(3e-6);   // bucket 2 (2e-6 < v <= 4e-6)
+  histogram.observe(4e-6);   // bucket 2 (exact bound)
+  histogram.observe(0.5);    // bucket 19 (0.26..0.52 s)
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 3e-6 + 4e-6 + 0.5);
+  EXPECT_EQ(histogram.bucket(2), 2u);
+  EXPECT_EQ(histogram.bucket(Histogram::bucket_index(0.5)), 1u);
+}
+
+// --- Quantiles --------------------------------------------------------------
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileWithinFactorTwoOfTrueValue) {
+  // Log-bucket quantiles are exact to within one bucket, i.e. the estimate
+  // of a point mass at v lies in (v/2, 2v] — the documented error bound.
+  for (double v : {2e-6, 1e-4, 3.7e-3, 0.25, 8.0}) {
+    Histogram histogram;
+    for (int i = 0; i < 100; ++i) histogram.observe(v);
+    for (double q : {0.01, 0.5, 0.9, 0.99, 1.0}) {
+      const double estimate = histogram.quantile(q);
+      EXPECT_GT(estimate, v / 2.0) << "v=" << v << " q=" << q;
+      EXPECT_LE(estimate, 2.0 * v) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, QuantileRanksSplitAcrossBuckets) {
+  Histogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.observe(1.5e-6);  // bucket 1
+  for (int i = 0; i < 10; ++i) histogram.observe(0.1);     // bucket ~17
+  // p50 names rank 50 of 100 — deep inside the fast bucket.
+  EXPECT_LE(histogram.quantile(0.50), 2e-6);
+  // p99 names rank 99 — inside the slow bucket, so well above the fast one.
+  EXPECT_GT(histogram.quantile(0.99), 0.05);
+}
+
+TEST(Histogram, OverflowBucketQuantileReportsLastFiniteBound) {
+  Histogram histogram;
+  histogram.observe(1e9);
+  EXPECT_EQ(histogram.quantile(0.5), Histogram::upper_bound(Histogram::kBuckets - 2));
+}
+
+TEST(QuantileFromBuckets, MatchesHistogramQuantile) {
+  Histogram histogram;
+  for (double v : {1e-5, 2e-4, 3e-3, 4e-2, 0.5}) histogram.observe(v);
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(quantile_from_buckets(buckets, q), histogram.quantile(q));
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(MetricsRegistry, LookupsAreStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.counter");
+  Counter& b = registry.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndPrefixFiltered) {
+  MetricsRegistry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("b.gauge").set(4.0);
+  registry.histogram("b.hist").observe(1e-3);
+
+  const std::vector<MetricSnapshot> all = registry.snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].name, all[i].name);
+  }
+
+  const std::vector<MetricSnapshot> filtered = registry.snapshot("b.");
+  ASSERT_EQ(filtered.size(), 3u);
+  EXPECT_EQ(filtered[0].name, "b.gauge");
+  EXPECT_EQ(filtered[0].kind, MetricKind::Gauge);
+  EXPECT_EQ(filtered[0].value, 4.0);
+  EXPECT_EQ(filtered[1].name, "b.hist");
+  EXPECT_EQ(filtered[1].kind, MetricKind::Histogram);
+  EXPECT_EQ(filtered[1].count, 1u);
+  ASSERT_EQ(filtered[1].buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(filtered[2].name, "b.second");
+  EXPECT_EQ(filtered[2].kind, MetricKind::Counter);
+  EXPECT_EQ(filtered[2].value, 2.0);
+}
+
+TEST(MetricsRegistry, BenchReportCarriesMetricsSnapshotFlavor) {
+  MetricsRegistry registry;
+  registry.counter("report.counter").add(3);
+  registry.histogram("report.hist").observe(2e-3);
+  const std::string json = registry.to_bench_report("metrics_test").to_json();
+  EXPECT_NE(json.find("\"flavor\": \"metrics-snapshot\""), std::string::npos);
+  EXPECT_NE(json.find("report.counter"), std::string::npos);
+  EXPECT_NE(json.find("p99_s"), std::string::npos);
+}
+
+TEST(LabeledMetric, FormatsBaseKeyValue) {
+  EXPECT_EQ(labeled_metric("net.items_dispatched_total", "endpoint", "127.0.0.1:7001"),
+            "net.items_dispatched_total{endpoint=127.0.0.1:7001}");
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+// --- Concurrency (the TSan shard runs this under the race detector) ---------
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.counter("stress.counter");
+      Gauge& gauge = registry.gauge("stress.gauge");
+      Histogram& histogram = registry.histogram("stress.hist");
+      for (int i = 0; i < kIters; ++i) {
+        counter.add(1);
+        gauge.add(1.0);
+        histogram.observe(1e-4);
+        if (i % 1024 == 0) {
+          // Snapshots race benignly with the writers; they must never tear.
+          (void)registry.snapshot("stress.");
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(registry.counter("stress.counter").value(), expected);
+  EXPECT_EQ(registry.gauge("stress.gauge").value(), static_cast<double>(expected));
+  EXPECT_EQ(registry.histogram("stress.hist").count(), expected);
+  EXPECT_NEAR(registry.histogram("stress.hist").sum(), 1e-4 * static_cast<double>(expected),
+              1e-7);
+}
+
+}  // namespace
+}  // namespace ecad::util

@@ -1,0 +1,119 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ecad::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// One fixture owns the trace lifecycle: the sink is process-global, so every
+// test must close what it opens (and the suite must not run concurrently
+// with another trace user — it doesn't; nothing else in the util tests
+// enables tracing).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "trace_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".json";
+  }
+  void TearDown() override {
+    trace_close();
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndEventsAreNoOps) {
+  ASSERT_FALSE(trace_enabled());
+  trace_complete("cat", "name", 0, 10);  // must not crash with no sink
+  trace_instant("cat", "name");
+  { TraceSpan span("cat", "scoped"); }
+}
+
+TEST_F(TraceTest, MonotonicMicrosNeverGoesBackwards) {
+  const std::uint64_t a = monotonic_micros();
+  const std::uint64_t b = monotonic_micros();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(TraceTest, OpenEmitCloseProducesAnEventArray) {
+  trace_open(path_);
+  EXPECT_TRUE(trace_enabled());
+  trace_complete("net", "shard", 10, 250);
+  trace_instant("workerd", "batch 1 accepted");
+  { TraceSpan span("evo", "generation 1"); }
+  trace_close();
+  EXPECT_FALSE(trace_enabled());
+
+  const std::string content = slurp(path_);
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_EQ(content.substr(content.size() - 2), "]\n");
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"shard\""), std::string::npos);
+  EXPECT_NE(content.find("\"cat\":\"evo\""), std::string::npos);
+  EXPECT_NE(content.find("\"dur\":240"), std::string::npos);
+}
+
+TEST_F(TraceTest, FileIsLoadableBeforeCloseCrashRobustness) {
+  // A killed daemon never writes the closing bracket; the array format is
+  // chosen so the file still holds complete event objects at any moment.
+  trace_open(path_);
+  trace_instant("net", "first");
+  trace_instant("net", "second");
+  const std::string content = slurp(path_);
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"second\""), std::string::npos);
+  // Events separated, each a complete JSON object on its own.
+  EXPECT_NE(content.find("},\n{"), std::string::npos);
+}
+
+TEST_F(TraceTest, NamesAreJsonEscaped) {
+  trace_open(path_);
+  trace_instant("cat", "quote \" and backslash \\");
+  const std::string content = slurp(path_);
+  EXPECT_NE(content.find("quote \\\" and backslash \\\\"), std::string::npos);
+}
+
+TEST_F(TraceTest, ReopenWhileActiveIsIgnored) {
+  trace_open(path_);
+  const std::string other = path_ + ".other";
+  trace_open(other);  // ignored: a file is already active
+  trace_instant("cat", "event");
+  trace_close();
+  EXPECT_NE(slurp(path_).find("\"name\":\"event\""), std::string::npos);
+  std::remove(other.c_str());
+}
+
+TEST_F(TraceTest, OpenOnUnwritablePathThrows) {
+  EXPECT_THROW(trace_open("/nonexistent_dir_ecad/trace.json"), std::runtime_error);
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST_F(TraceTest, SpanCapturesEnabledStateAtConstruction) {
+  // A span built while tracing is off stays silent even if tracing turns on
+  // before it dies — events never carry a bogus zero start timestamp.
+  TraceSpan outside("cat", "armed-late");
+  trace_open(path_);
+  { TraceSpan inside("cat", "armed-early"); }
+  trace_close();
+  const std::string content = slurp(path_);
+  EXPECT_NE(content.find("armed-early"), std::string::npos);
+  EXPECT_EQ(content.find("armed-late"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecad::util

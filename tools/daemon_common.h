@@ -23,8 +23,11 @@
 #include "data/splits.h"
 #include "data/synthetic.h"
 #include "hwmodel/device.h"
+#include "net/stats.h"
 #include "nn/trainer.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ecad::tools {
 
@@ -219,6 +222,46 @@ inline void print_search_record(const std::vector<evo::Candidate>& history,
   }
   std::printf("best %s fitness=%.17g\n", best.genome.key().c_str(), best.fitness);
   std::printf("stats models=%zu duplicates=%zu\n", models_evaluated, duplicates_skipped);
+}
+
+/// Render one daemon's StatsReport for --stats: a `STATS <endpoint>` header,
+/// then one line per metric — counters and gauges as "<name> <value>",
+/// histograms with count/sum and client-side derived quantiles.  The format
+/// is what the CI smoke legs grep their consistency assertions out of.
+inline void print_stats_report(const std::string& endpoint, const net::StatsReport& report) {
+  std::printf("STATS %s metrics=%zu\n", endpoint.c_str(), report.entries.size());
+  for (const net::StatsEntry& entry : report.entries) {
+    if (entry.kind == static_cast<std::uint8_t>(util::MetricKind::Histogram)) {
+      std::printf("%s count=%llu sum=%.17g p50=%.9g p90=%.9g p99=%.9g\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.count), entry.sum,
+                  util::quantile_from_buckets(entry.buckets, 0.50),
+                  util::quantile_from_buckets(entry.buckets, 0.90),
+                  util::quantile_from_buckets(entry.buckets, 0.99));
+    } else {
+      std::printf("%s %.17g\n", entry.name.c_str(), entry.value);
+    }
+  }
+}
+
+/// --trace-file PATH switches on the batch-lifecycle trace writer (the
+/// ECAD_TRACE environment variable is the flagless equivalent, handled by
+/// util/trace.cpp at startup).
+inline void maybe_open_trace(const ArgParser& args) {
+  if (args.has("trace-file")) util::trace_open(args.get("trace-file", ""));
+}
+
+/// --metrics-json PATH dumps the process metrics registry as a BENCH-style
+/// JSON snapshot (flavor "metrics-snapshot") on the way out.
+inline void maybe_write_metrics_json(const ArgParser& args, const std::string& bench_name) {
+  if (!args.has("metrics-json")) return;
+  const std::string path = args.get("metrics-json", "");
+  const std::string json = util::metrics().to_bench_report(bench_name).to_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open metrics-json path '" + path + "'");
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
 }
 
 }  // namespace ecad::tools

@@ -46,6 +46,9 @@ void print_usage() {
       "  --serve           resident search daemon: accept SubmitSearch frames\n"
       "  --submit HOST:PORT  ship this search to a resident daemon\n"
       "  --stop-server     with --submit: just ask the daemon to drain and exit\n"
+      "  --stats LIST      query each daemon's metrics registry over the wire\n"
+      "                    (protocol v5 GetStats; works against workerd and\n"
+      "                    searchd daemons alike)\n"
       "search options\n"
       "  --workers LIST    comma-separated host:port endpoints; empty = evaluate locally\n"
       "  --fallback-local  degrade to in-process evaluation if no daemon is reachable\n"
@@ -63,9 +66,10 @@ void print_usage() {
       "                    different trajectory than the default sequential mode)\n"
       "  --inflight N      in-flight batches the overlapped mode pipelines (default 2)\n"
       "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 4);\n"
-      "                    3 streams per-item result frames, 2 pins v2 batch\n"
-      "                    responses, 1 forces per-genome EvalRequest exchanges\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 5);\n"
+      "                    4 disables stats-over-the-wire, 3 streams per-item\n"
+      "                    result frames, 2 pins v2 batch responses, 1 forces\n"
+      "                    per-genome EvalRequest exchanges\n"
       "  --heartbeat-ms N  background ping period for sidelined endpoints\n"
       "                    (default 250; 0 disables heartbeats)\n"
       "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
@@ -80,6 +84,13 @@ void print_usage() {
       "  --cancel-after-progress N  send CancelSearch after N progress frames\n"
       "  --frame-timeout-ms N  per-frame receive budget while streaming\n"
       "                    (default 120000)\n"
+      "observability options\n"
+      "  --stats-prefix P  with --stats: only metrics whose name starts with P\n"
+      "  --metrics-json PATH  on exit, dump this process's metrics registry as\n"
+      "                    BENCH-style JSON (flavor metrics-snapshot)\n"
+      "  --trace-file PATH write a Chrome trace-event JSON of the batch\n"
+      "                    lifecycle (load in Perfetto); ECAD_TRACE=PATH is the\n"
+      "                    flagless equivalent\n"
       "  --log-level L     trace|debug|info|warn|error|off\n";
 }
 
@@ -175,6 +186,23 @@ int run_serve(const ecad::tools::ArgParser& args) {
       << " completed=" << server.searches_completed()
       << " canceled=" << server.searches_canceled() << " failed=" << server.searches_failed();
   if (remote && args.get_flag("shutdown-workers")) remote->shutdown_all();
+  tools::maybe_write_metrics_json(args, "searchd");
+  util::trace_close();
+  return 0;
+}
+
+int run_stats(const ecad::tools::ArgParser& args) {
+  using namespace ecad;
+  const std::vector<net::Endpoint> endpoints = net::parse_endpoint_list(args.get("stats", ""));
+  if (endpoints.empty()) {
+    throw std::invalid_argument("--stats needs HOST:PORT[,HOST:PORT...]");
+  }
+  const std::string prefix = args.get("stats-prefix", "");
+  const int timeout_ms = static_cast<int>(args.get_int("request-timeout-ms", 5000));
+  for (const net::Endpoint& endpoint : endpoints) {
+    tools::print_stats_report(endpoint.to_string(),
+                              net::fetch_stats(endpoint.host, endpoint.port, prefix, timeout_ms));
+  }
   return 0;
 }
 
@@ -227,6 +255,7 @@ int run_submit(const ecad::tools::ArgParser& args) {
                                  static_cast<std::size_t>(done.record.duplicates_skipped));
       util::Log(util::LogLevel::Info, "searchd")
           << "submitted search finished after " << progress_frames << " progress frames";
+      tools::maybe_write_metrics_json(args, "searchd");
       return 0;
     case net::SearchDone::Status::Canceled:
       util::Log(util::LogLevel::Warn, "searchd") << "search canceled: " << done.message;
@@ -251,9 +280,11 @@ int main(int argc, char** argv) {
       util::set_log_level(util::parse_log_level(args.get("log-level", "info")));
     }
     util::set_log_identity("searchd");
+    tools::maybe_open_trace(args);
 
     if (args.get_flag("serve")) return run_serve(args);
     if (args.has("submit")) return run_submit(args);
+    if (args.has("stats")) return run_stats(args);
 
     const std::vector<net::Endpoint> endpoints =
         net::parse_endpoint_list(args.get("workers", ""));
@@ -291,6 +322,8 @@ int main(int argc, char** argv) {
         << ")";
 
     if (remote && args.get_flag("shutdown-workers")) remote->shutdown_all();
+    tools::maybe_write_metrics_json(args, "searchd");
+    util::trace_close();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "ecad_searchd: " << e.what() << '\n';

@@ -29,9 +29,10 @@ void print_usage() {
       "  --port P          TCP port; 0 = ephemeral (default 0)\n"
       "  --threads N       evaluation threads; 0 = hardware concurrency\n"
       "  --worker KIND     analytic | accuracy | hwdb (default analytic)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 3);\n"
-      "                    2 pins single-response batch frames (no per-item\n"
-      "                    streaming), 1 pins per-genome EvalRequest frames\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 5);\n"
+      "                    4 disables stats-over-the-wire, 2 pins single-\n"
+      "                    response batch frames (no per-item streaming),\n"
+      "                    1 pins per-genome EvalRequest frames\n"
       "  --eval-delay-ms N artificial per-evaluation delay (analytic only)\n"
       "  --eval-slow-modulo N   slow-genome injection: genomes whose DSP usage\n"
       "                    divides by N sleep --eval-slow-delay-ms instead\n"
@@ -43,6 +44,13 @@ void print_usage() {
       "  --data-classes N  class count (default 3)\n"
       "  --train-epochs N  epochs per candidate (default 5)\n"
       "  --eval-seed S     per-genome training seed base (default 42)\n"
+      "  --metrics-json PATH  on exit, dump this process's metrics registry as\n"
+      "                    BENCH-style JSON (flavor metrics-snapshot); a live\n"
+      "                    daemon answers v5 GetStats frames either way (see\n"
+      "                    ecad_searchd --stats)\n"
+      "  --trace-file PATH write a Chrome trace-event JSON of the batch\n"
+      "                    lifecycle (load in Perfetto); ECAD_TRACE=PATH is the\n"
+      "                    flagless equivalent\n"
       "  --log-level L     trace|debug|info|warn|error|off\n";
 }
 
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
     if (args.has("log-level")) {
       util::set_log_level(util::parse_log_level(args.get("log-level", "info")));
     }
+
+    tools::maybe_open_trace(args);
 
     const tools::WorkerConfig worker_config = tools::worker_config_from_args(args);
     const tools::WorkerBundle bundle = tools::make_worker(worker_config);
@@ -94,6 +104,8 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     server.stop();
+    tools::maybe_write_metrics_json(args, "workerd");
+    util::trace_close();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "ecad_workerd: " << e.what() << '\n';
