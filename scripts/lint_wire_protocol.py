@@ -247,11 +247,25 @@ def self_test(root):
         if stats_frame in types and versions.get(stats_frame) != 5:
             failures.append(f"parser: {stats_frame} should be a v5 frame "
                             f"(got {versions.get(stats_frame)})")
+    if types.get("CacheLookup") != 19:
+        failures.append(f"parser: expected MsgType::CacheLookup == 19, "
+                        f"got {types.get('CacheLookup')}")
+    if types.get("CacheStore") != 20:
+        failures.append(f"parser: expected MsgType::CacheStore == 20, "
+                        f"got {types.get('CacheStore')}")
+    for cache_frame in ("CacheLookup", "CacheStore"):
+        if cache_frame in types and versions.get(cache_frame) != 6:
+            failures.append(f"parser: {cache_frame} should be a v6 frame "
+                            f"(got {versions.get(cache_frame)})")
     writers, readers = parse_codec_pairs(wire_h_text)
     if "genome" not in writers or "genome" not in readers:
         failures.append("parser: write_genome/read_genome not found in wire.h")
     if "stats_report" not in writers or "stats_report" not in readers:
         failures.append("parser: write_stats_report/read_stats_report not found in wire.h")
+    for cache_codec in ("cache_lookup", "cache_store"):
+        if cache_codec not in writers or cache_codec not in readers:
+            failures.append(f"parser: write_{cache_codec}/read_{cache_codec} "
+                            "not found in wire.h")
     if snake_case("EvalBatchDone") != "eval_batch_done":
         failures.append("parser: snake_case(EvalBatchDone) broken")
     # Longest-prefix fixture assignment: hello_ack_v1.bin must not feed 'hello'.
@@ -285,6 +299,12 @@ def self_test(root):
         sabotaged("missing stats fixture",
                   lambda copy: (copy / GOLDEN_DIR / "stats_report_v5.bin").unlink(),
                   "MsgType::StatsReport has no golden fixture")
+        sabotaged("missing cache lookup fixture",
+                  lambda copy: (copy / GOLDEN_DIR / "cache_lookup_v6.bin").unlink(),
+                  "MsgType::CacheLookup has no golden fixture")
+        sabotaged("missing cache store fixture",
+                  lambda copy: (copy / GOLDEN_DIR / "cache_store_v6.bin").unlink(),
+                  "MsgType::CacheStore has no golden fixture")
         sabotaged("fixture at wrong version",
                   lambda copy: (copy / GOLDEN_DIR / "eval_batch_request_v2.bin")
                   .rename(copy / GOLDEN_DIR / "eval_batch_request_v1.bin"),
@@ -314,18 +334,28 @@ def self_test(root):
                       re.sub(r"^.*\bread_stats_report\s*\(.*$", "",
                              (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
                   "write_stats_report has no matching read_stats_report")
+        sabotaged("unpaired cache codec",
+                  lambda copy: (copy / WIRE_H).write_text(
+                      re.sub(r"^.*\bread_cache_store\s*\(.*$", "",
+                             (copy / WIRE_H).read_text(), flags=re.MULTILINE)),
+                  "write_cache_store has no matching read_cache_store")
         sabotaged("wire.h version drift orphans both prose anchors",
                   # Bumping kProtocolVersion without touching README or the
                   # smoke script must trip *both* anchor checks at once.
                   lambda copy: (copy / WIRE_H).write_text(
-                      re.sub(r"kProtocolVersion\s*=\s*\d+\s*;", "kProtocolVersion = 6;",
+                      re.sub(r"kProtocolVersion\s*=\s*\d+\s*;", "kProtocolVersion = 7;",
                              (copy / WIRE_H).read_text())),
-                  f"but {WIRE_H} says 6")
+                  f"but {WIRE_H} says 7")
         sabotaged("untested search round-trip",
                   lambda copy: [p.write_text(
                       p.read_text().replace("read_cancel_search", "read_cancel_search0"))
                       for p in (copy / TESTS_DIR).rglob("*_test.cpp")],
                   "no test references both write_cancel_search and read_cancel_search")
+        sabotaged("untested cache round-trip",
+                  lambda copy: [p.write_text(
+                      p.read_text().replace("read_cache_lookup", "read_cache_lookup0"))
+                      for p in (copy / TESTS_DIR).rglob("*_test.cpp")],
+                  "no test references both write_cache_lookup and read_cache_lookup")
         sabotaged("untested round-trip",
                   lambda copy: [p.write_text(p.read_text().replace("read_genome", "read_gen0me"))
                                 for p in (copy / TESTS_DIR).rglob("*_test.cpp")],

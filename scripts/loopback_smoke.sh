@@ -24,6 +24,13 @@
 #          GetStats answers (queried with `ecad_searchd --stats`) all agree
 #          on exactly how many evaluations happened; the trace file is valid
 #          Chrome trace-event JSON
+#   leg 10 fleet result cache (protocol v6): against daemons started with
+#          --cache-bytes, a second identical search (fresh master, empty
+#          local cache) is served >= 90% from the fleet's content-addressed
+#          cache with byte-identical stdout; a cache-only daemon fronting
+#          the warm fleet answers lookups without ever evaluating; and a
+#          --max-protocol 5 master interoperates with the cache-enabled
+#          fleet without ever speaking the cache frames
 #
 # Usage: scripts/loopback_smoke.sh <build-dir>
 # Set SMOKE_LOG_DIR to keep daemon/search logs (CI uploads them on failure).
@@ -36,7 +43,7 @@ SEARCHD="$BUILD_DIR/tools/ecad_searchd"
 # kProtocolVersion in src/net/wire.h so the leg matrix can't silently rot.
 # (v4 adds the search-service frames, exercised by scripts/service_smoke.sh;
 # v5 adds the GetStats/StatsReport frames, exercised by leg 9 here.)
-PROTOCOL_VERSION=5
+PROTOCOL_VERSION=6
 if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
   WORK="$SMOKE_LOG_DIR"
   mkdir -p "$WORK"
@@ -309,6 +316,105 @@ cats = {e.get("cat") for e in events}
 assert any(e.get("ph") == "X" for e in events), "no complete (ph=X) events"
 assert "net" in cats and "evo" in cats, f"missing trace categories, saw {sorted(cats)}"
 print(f"   OK: trace file holds {len(events)} events across {sorted(cats)}")
+PY
+
+echo "== leg 10: fleet result cache (protocol v6) — warm rerun served from cache"
+# Fresh daemons with the cache tier enabled.  The cold run publishes every
+# fresh outcome to every daemon (stores broadcast); the warm rerun is a
+# brand-new master process with an empty local dedup cache, so every unique
+# genome it looks up must settle from the fleet tier instead of dispatching.
+# Daemon counters accumulate across runs, so all daemon-side assertions are
+# on deltas between --stats snapshots.
+start_worker "$WORK/fc1.out" --cache-bytes 1048576 "${WORKER_FLAGS[@]}"
+FC_PORT1=$(awk '{print $2}' "$WORK/fc1.out")
+start_worker "$WORK/fc2.out" --cache-bytes 1048576 "${WORKER_FLAGS[@]}"
+FC_PORT2=$(awk '{print $2}' "$WORK/fc2.out")
+FC_WORKERS="127.0.0.1:$FC_PORT1,127.0.0.1:$FC_PORT2"
+
+"$SEARCHD" --workers "$FC_WORKERS" "${SEARCH_FLAGS[@]}" \
+  --metrics-json "$WORK/fc_cold.json" >"$WORK/fc_cold.out" 2>"$WORK/fc_cold.err"
+diff_or_die "$WORK/local.out" "$WORK/fc_cold.out" "cold fleet-cache search"
+"$SEARCHD" --stats "$FC_WORKERS" >"$WORK/fc_stats_cold.out" 2>"$WORK/fc_stats_cold.err"
+
+"$SEARCHD" --workers "$FC_WORKERS" "${SEARCH_FLAGS[@]}" \
+  --metrics-json "$WORK/fc_warm.json" >"$WORK/fc_warm.out" 2>"$WORK/fc_warm.err"
+diff_or_die "$WORK/local.out" "$WORK/fc_warm.out" "warm fleet-cache search"
+"$SEARCHD" --stats "$FC_WORKERS" >"$WORK/fc_stats_warm.out" 2>"$WORK/fc_stats_warm.err"
+
+python3 - "$WORK/fc_cold.json" "$WORK/fc_warm.json" \
+  "$WORK/fc_stats_cold.out" "$WORK/fc_stats_warm.out" <<'PY'
+import json, sys
+
+def master_counter(path, name):
+    entries = {e["name"]: e["metrics"] for e in json.load(open(path))["entries"]}
+    return int(entries.get(name, {"value": 0})["value"])
+
+def fleet_counter(path, name):
+    return sum(int(float(line.split()[1])) for line in open(path)
+               if line.split() and line.split()[0] == name)
+
+cold_json, warm_json, cold_stats, warm_stats = sys.argv[1:5]
+assert master_counter(cold_json, "net.fleet_cache_hits_total") == 0, \
+    "cold run hit a freshly started cache?"
+assert master_counter(cold_json, "net.fleet_cache_publishes_total") > 0, \
+    "cold run published nothing to the fleet cache"
+hits = master_counter(warm_json, "net.fleet_cache_hits_total")
+misses = master_counter(warm_json, "net.fleet_cache_misses_total")
+assert hits + misses > 0, "warm run never consulted the fleet cache"
+rate = hits / (hits + misses)
+assert rate >= 0.9, f"warm run hit rate {rate:.2%} < 90% ({hits}/{hits + misses})"
+served = (fleet_counter(warm_stats, "fleet.cache_hits_total")
+          - fleet_counter(cold_stats, "fleet.cache_hits_total"))
+assert served > 0, "daemons report zero cache hits for the warm run"
+# The warm master dispatched (almost) nothing: the daemons' fresh-evaluation
+# counters may not grow by more than the warm run's miss count.
+def evals(path):
+    return (fleet_counter(path, "core.evals_completed_total")
+            + fleet_counter(path, "core.evals_failed_total")
+            + fleet_counter(path, "core.dedup_collapsed_total"))
+fresh = evals(warm_stats) - evals(cold_stats)
+assert fresh <= misses, \
+    f"warm run cost {fresh} fresh evaluations but reported only {misses} misses"
+print(f"   OK: warm rerun {rate:.0%} cache-served ({hits}/{hits + misses}), "
+      f"{fresh} fresh evaluations, daemons answered {served} hits")
+PY
+echo "   OK: warm rerun == local, byte for byte, served from the fleet cache"
+
+echo "== leg 10b: cache-only daemon fronts the warm fleet"
+# A --cache-only daemon rejects evaluation frames, so it can satisfy the
+# search only through CacheLookup answers (its own, all misses — it was not
+# up for the cold run's publishes) and by not being dispatched to: a fully
+# cache-served search never sends it an EvalRequest at all.
+start_worker "$WORK/fco.out" --cache-only --cache-bytes 1048576 "${WORKER_FLAGS[@]}"
+FCO_PORT=$(awk '{print $2}' "$WORK/fco.out")
+"$SEARCHD" --workers "127.0.0.1:$FCO_PORT,$FC_WORKERS" "${SEARCH_FLAGS[@]}" \
+  >"$WORK/fco.out2" 2>"$WORK/fco.err2"
+diff_or_die "$WORK/local.out" "$WORK/fco.out2" "cache-only-fronted search"
+"$SEARCHD" --stats "127.0.0.1:$FCO_PORT" >"$WORK/fco_stats.out" 2>"$WORK/fco_stats.err"
+python3 - "$WORK/fco_stats.out" <<'PY'
+import sys
+counters = {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if len(parts) == 2 and not parts[0].startswith("STATS"):
+        counters[parts[0]] = counters.get(parts[0], 0) + int(float(parts[1]))
+answered = counters.get("fleet.cache_hits_total", 0) + counters.get("fleet.cache_misses_total", 0)
+evaluated = sum(v for k, v in counters.items() if k.startswith("core.evals_"))
+assert answered > 0, "cache-only daemon answered no lookups"
+assert evaluated == 0, f"cache-only daemon evaluated {evaluated} genomes"
+print(f"   OK: cache-only daemon answered {answered} lookup keys, evaluated 0 genomes")
+PY
+
+echo "== leg 10c: v5-pinned master against the cache-enabled fleet (interop)"
+"$SEARCHD" --workers "$FC_WORKERS" --max-protocol 5 "${SEARCH_FLAGS[@]}" \
+  --metrics-json "$WORK/fc_v5.json" >"$WORK/fc_v5.out" 2>"$WORK/fc_v5.err"
+diff_or_die "$WORK/local.out" "$WORK/fc_v5.out" "v5-pinned search against cache-enabled fleet"
+python3 - "$WORK/fc_v5.json" <<'PY'
+import json, sys
+entries = {e["name"] for e in json.load(open(sys.argv[1]))["entries"]}
+spoken = sorted(e for e in entries if e.startswith("net.fleet_cache_"))
+assert not spoken, f"v5-pinned master spoke cache frames: {spoken}"
+print("   OK: v5-pinned master negotiated the cache tier away, results still match")
 PY
 
 echo "PASS: loopback smoke matrix"

@@ -20,6 +20,11 @@
 #          workers' evaluation counters, and the `stats models=` lines the
 #          tenants printed must agree exactly.  The daemon also runs with
 #          --trace-file and --metrics-json, validated after shutdown.
+#   leg 6  fleet result cache (protocol v6): against cache-enabled workers
+#          (--cache-bytes), two tenants submitting the *same* request,
+#          staggered, share evaluations through the fleet tier — the workers
+#          report cache hits, and both tenants stay byte-identical to the
+#          standalone run
 #
 # Usage: scripts/service_smoke.sh <build-dir>
 # Set SMOKE_LOG_DIR to keep daemon/client logs (CI uploads them on failure).
@@ -79,7 +84,7 @@ diff_or_die() {
   fi
 }
 
-echo "== search service smoke (wire protocol v5)"
+echo "== search service smoke (wire protocol v6)"
 echo "== starting a two-worker fleet and a resident search daemon"
 start_worker "$WORK/w1.out" "${WORKER_FLAGS[@]}"
 start_worker "$WORK/w2.out" "${WORKER_FLAGS[@]}"
@@ -256,5 +261,57 @@ grep -q "service summary: accepted=2 completed=0 canceled=2 failed=0" "$WORK/slo
   exit 1
 }
 echo "   OK: SIGTERM drained gracefully, every search accounted for"
+
+echo "== leg 6: fleet cache shared across tenants (protocol v6)"
+# Fresh cache-enabled workers and a fresh resident daemon.  Two tenants
+# submit the *same* request, staggered: tenant A evaluates and publishes to
+# the fleet tier; tenant B — its own search with its own empty dedup cache —
+# settles the shared genomes from the workers' caches instead of
+# re-evaluating them.  Whichever tenant reaches a genome second gets the
+# hit, so the workers' summed hit counter must be positive either way.
+start_worker "$WORK/cw1.out" --cache-bytes 1048576 "${WORKER_FLAGS[@]}"
+CW_PORT1=$(awk '{print $2}' "$WORK/cw1.out")
+start_worker "$WORK/cw2.out" --cache-bytes 1048576 "${WORKER_FLAGS[@]}"
+CW_PORT2=$(awk '{print $2}' "$WORK/cw2.out")
+start_searchd "$WORK/cache_daemon.out" \
+  --workers "127.0.0.1:$CW_PORT1,127.0.0.1:$CW_PORT2" --max-searches 2 --dispatch-slots 2
+CACHE_DAEMON_PORT=$(awk '{print $2}' "$WORK/cache_daemon.out")
+
+"$SEARCHD" --seed 27 "${REQUEST_FLAGS[@]}" "${WORKER_FLAGS[@]}" \
+  >"$WORK/ref_27.out" 2>"$WORK/ref_27.err"
+
+"$SEARCHD" --submit "127.0.0.1:$CACHE_DAEMON_PORT" --seed 27 "${REQUEST_FLAGS[@]}" \
+  >"$WORK/tenant_a.out" 2>"$WORK/tenant_a.err" &
+TENANT_A=$!
+PIDS+=($TENANT_A)
+# Let tenant A finish (and publish) at least one generation before the
+# identical tenant B arrives, so B's early lookups land on warm entries.
+for _ in $(seq 1 100); do
+  if grep -q "generation" "$WORK/tenant_a.err" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+"$SEARCHD" --submit "127.0.0.1:$CACHE_DAEMON_PORT" --seed 27 "${REQUEST_FLAGS[@]}" \
+  >"$WORK/tenant_b.out" 2>"$WORK/tenant_b.err"
+if ! wait "$TENANT_A"; then
+  echo "FAIL: tenant A exited nonzero"; cat "$WORK/tenant_a.err"; exit 1
+fi
+diff_or_die "$WORK/ref_27.out" "$WORK/tenant_a.out" "tenant A (cache leg)"
+diff_or_die "$WORK/ref_27.out" "$WORK/tenant_b.out" "tenant B (cache leg)"
+"$SEARCHD" --stats "127.0.0.1:$CW_PORT1,127.0.0.1:$CW_PORT2" \
+  >"$WORK/cw_stats.out" 2>"$WORK/cw_stats.err"
+python3 - "$WORK/cw_stats.out" <<'PY'
+import sys
+counters = {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if len(parts) == 2 and not parts[0].startswith("STATS"):
+        counters[parts[0]] = counters.get(parts[0], 0) + int(float(parts[1]))
+hits = counters.get("fleet.cache_hits_total", 0)
+entries = counters.get("fleet.cache_entries", 0)
+assert entries > 0, "workers cached nothing despite --cache-bytes"
+assert hits > 0, "identical tenants shared no evaluations through the fleet cache"
+print(f"   OK: tenants shared {hits} cache hits across {entries} cached entries")
+PY
+echo "   OK: identical tenants byte-identical and served from the shared fleet cache"
 
 echo "PASS: search service smoke matrix"

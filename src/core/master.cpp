@@ -2,14 +2,17 @@
 
 #include <stdexcept>
 
+#include "core/eval_pipeline.h"
+
 namespace ecad::core {
 
 evo::EvolutionEngine::BatchEvaluator make_search_evaluator(const Worker& worker) {
   // Failed slots are annotated with the worker name + genome key: the engine
   // throws the first one, and without the key a remote- or training-failure
   // is undiagnosable ("which of the 64 candidates was it?").
-  return [&worker](const std::vector<evo::Genome>& genomes, util::ThreadPool& pool) {
-    std::vector<evo::EvalOutcome> outcomes = evaluate_batch_deduped(worker, genomes, pool);
+  return [&worker, pipeline = EvalPipeline(worker)](const std::vector<evo::Genome>& genomes,
+                                                    util::ThreadPool& pool) {
+    std::vector<evo::EvalOutcome> outcomes = pipeline.evaluate(genomes, pool);
     for (std::size_t i = 0; i < outcomes.size() && i < genomes.size(); ++i) {
       if (!outcomes[i].ok) {
         outcomes[i].error = "worker '" + worker.name() + "' failed on genome " + genomes[i].key() +

@@ -24,13 +24,12 @@ struct SearchRequest {
 };
 
 /// The batch evaluator every search dispatches through: generation-sized
-/// chunks flow through evaluate_batch_deduped (duplicate genomes within one
-/// chunk are collapsed before they cost a possibly-remote evaluation), and
-/// failed slots are annotated with the worker name + genome key so a remote
-/// failure names its candidate.  Shared by Master::search and the
-/// search-as-a-service scheduler so a submitted search reproduces the
-/// standalone one bit for bit.  `worker` is borrowed and must outlive the
-/// returned evaluator.
+/// chunks flow through a full EvalPipeline (dedup -> fleet cache ->
+/// dispatch; see core/eval_pipeline.h), and failed slots are annotated with
+/// the worker name + genome key so a remote failure names its candidate.
+/// Shared by Master::search and the search-as-a-service scheduler so a
+/// submitted search reproduces the standalone one bit for bit.  `worker` is
+/// borrowed and must outlive the returned evaluator.
 evo::EvolutionEngine::BatchEvaluator make_search_evaluator(const Worker& worker);
 
 class Master {

@@ -268,9 +268,11 @@ SearchOutcome SearchScheduler::run_one(Search& search) {
       return outcome;
     }
     const auto& fitness = registry_.get(search.request.fitness);
-    // The exact Master::search evaluator, with the fair-share gate in
-    // front: one Grant per generation batch, held for the batch's whole
-    // worker round-trip.
+    // The exact Master::search evaluator — the full EvalPipeline (dedup ->
+    // fleet cache -> dispatch) — with the fair-share gate in front: one
+    // Grant per generation batch, held for the batch's whole worker
+    // round-trip.  Tenants share one Worker, so they share its fleet cache:
+    // a genome one tenant evaluated settles from cache for every other.
     const evo::EvolutionEngine::BatchEvaluator inner = make_search_evaluator(worker_);
     const std::uint64_t id = search.id;
     evo::EvolutionEngine engine(

@@ -1,8 +1,8 @@
 #include "core/worker.h"
 
 #include <functional>
-#include <unordered_map>
 
+#include "core/eval_pipeline.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
 
@@ -45,32 +45,9 @@ std::vector<evo::EvalOutcome> Worker::evaluate_batch(const std::vector<evo::Geno
 std::vector<evo::EvalOutcome> evaluate_batch_deduped(const Worker& worker,
                                                      const std::vector<evo::Genome>& genomes,
                                                      util::ThreadPool& pool) {
-  // slot index -> position in the unique chunk (first occurrence wins).
-  std::unordered_map<std::string, std::size_t> first_by_key;
-  first_by_key.reserve(genomes.size());
-  std::vector<std::size_t> slot_to_unique(genomes.size());
-  std::vector<evo::Genome> unique;
-  unique.reserve(genomes.size());
-  for (std::size_t i = 0; i < genomes.size(); ++i) {
-    const auto [it, inserted] = first_by_key.emplace(genomes[i].key(), unique.size());
-    if (inserted) unique.push_back(genomes[i]);
-    slot_to_unique[i] = it->second;
-  }
-  if (unique.size() == genomes.size()) return worker.evaluate_batch(genomes, pool);
-
-  static util::Counter& collapsed = util::metrics().counter("core.dedup_collapsed_total");
-  collapsed.add(genomes.size() - unique.size());
-  const std::vector<evo::EvalOutcome> unique_outcomes = worker.evaluate_batch(unique, pool);
-  if (unique_outcomes.size() != unique.size()) {
-    // Propagate a malformed backend answer verbatim; the engine's size check
-    // is the layer that reports it.
-    return unique_outcomes;
-  }
-  std::vector<evo::EvalOutcome> outcomes(genomes.size());
-  for (std::size_t i = 0; i < genomes.size(); ++i) {
-    outcomes[i] = unique_outcomes[slot_to_unique[i]];
-  }
-  return outcomes;
+  EvalPipelineOptions options;
+  options.fleet_cache = false;
+  return EvalPipeline(worker, options).evaluate(genomes, pool);
 }
 
 namespace {

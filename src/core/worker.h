@@ -26,6 +26,8 @@
 
 namespace ecad::core {
 
+class FleetEvalCache;  // core/eval_pipeline.h
+
 class Worker {
  public:
   virtual ~Worker() = default;
@@ -40,6 +42,13 @@ class Worker {
   /// ship the chunk across the wire in EvalBatchRequest frames.
   virtual std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
                                                        util::ThreadPool& pool) const;
+
+  /// Fleet-wide content-addressed result cache for this worker's
+  /// evaluations, or nullptr (the default) when none is available.
+  /// EvalPipeline consults it between dedup and dispatch; net::RemoteWorker
+  /// overrides this to expose the wire-protocol v6 cache tier.  The returned
+  /// pointer is borrowed and must stay valid for the worker's lifetime.
+  virtual const FleetEvalCache* fleet_cache() const { return nullptr; }
 };
 
 /// Evaluate one genome into an outcome slot: result + wall-clock
@@ -52,9 +61,12 @@ evo::EvalOutcome evaluate_outcome(const Worker& worker, const evo::Genome& genom
 /// are collapsed to one evaluation before the worker (possibly a remote
 /// fleet) sees the chunk, and the single outcome is fanned back to every
 /// slot that asked for it.  Workers are deterministic per genome, so the
-/// fan-out is exact — duplicate slots hold bit-identical results.  First
-/// step toward the cross-worker result cache: duplicates stop costing
-/// network round-trips before they stop costing evaluations.
+/// fan-out is exact — duplicate slots hold bit-identical results.
+///
+/// Compatibility shim: this is EvalPipeline (core/eval_pipeline.h) with the
+/// fleet-cache stage disabled, kept for callers that want dedup semantics
+/// without wiring up pipeline options.  New code should compose an
+/// EvalPipeline directly.
 std::vector<evo::EvalOutcome> evaluate_batch_deduped(const Worker& worker,
                                                      const std::vector<evo::Genome>& genomes,
                                                      util::ThreadPool& pool);

@@ -1,0 +1,117 @@
+#include "net/fleet_cache.h"
+
+#include "util/metrics.h"
+
+namespace ecad::net {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  // FNV-1a, 64-bit: offset basis 0xcbf29ce484222325, prime 0x100000001b3.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string EvalConfigId::to_string() const {
+  return "worker=" + worker_kind + ";data_seed=" + std::to_string(data_seed) +
+         ";data_samples=" + std::to_string(data_samples) +
+         ";data_features=" + std::to_string(data_features) +
+         ";data_classes=" + std::to_string(data_classes) +
+         ";train_epochs=" + std::to_string(train_epochs) +
+         ";eval_seed=" + std::to_string(eval_seed);
+}
+
+std::uint64_t fleet_cache_key(const std::string& eval_config, const std::string& genome_key) {
+  // '\n' can appear in neither half, so the join is unambiguous.
+  return fnv1a64(eval_config + "\n" + genome_key);
+}
+
+namespace {
+
+// Process-wide tier counters (bumped outside the cache mutex so the registry
+// mutex stays a leaf lock).  The smoke cache legs read these over the v5
+// stats wire and assert warm-run hit-rate deltas against them.
+void count_query(bool present) {
+  static util::Counter& hits = util::metrics().counter("fleet.cache_hits_total");
+  static util::Counter& misses = util::metrics().counter("fleet.cache_misses_total");
+  (present ? hits : misses).add(1);
+}
+
+void set_size_gauges(std::size_t entries) {
+  static util::Gauge& entry_gauge = util::metrics().gauge("fleet.cache_entries");
+  static util::Gauge& byte_gauge = util::metrics().gauge("fleet.cache_bytes");
+  entry_gauge.set(static_cast<double>(entries));
+  byte_gauge.set(static_cast<double>(entries * kCacheEntryBytes));
+}
+
+void count_evictions(std::uint64_t n) {
+  static util::Counter& evictions = util::metrics().counter("fleet.cache_evictions_total");
+  evictions.add(n);
+}
+
+}  // namespace
+
+FleetResultCache::FleetResultCache(std::size_t byte_budget)
+    : budget_entries_(byte_budget / kCacheEntryBytes) {}
+
+std::optional<evo::EvalResult> FleetResultCache::lookup(std::uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  std::optional<evo::EvalResult> found;
+  {
+    util::MutexLock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second.recency);
+      found = it->second.result;
+    }
+  }
+  count_query(found.has_value());
+  return found;
+}
+
+void FleetResultCache::store(std::uint64_t key, const evo::EvalResult& result) {
+  if (!enabled()) return;
+  std::uint64_t evicted = 0;
+  std::size_t size = 0;
+  {
+    util::MutexLock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Identical keys should carry identical results (content addressing);
+      // refresh recency and keep the newer bits in case they differ.
+      it->second.result = result;
+      recency_.splice(recency_.begin(), recency_, it->second.recency);
+    } else {
+      recency_.push_front(key);
+      entries_.emplace(key, Entry{result, recency_.begin()});
+      while (entries_.size() > budget_entries_) {
+        entries_.erase(recency_.back());
+        recency_.pop_back();
+        ++evictions_;
+        ++evicted;
+      }
+    }
+    size = entries_.size();
+  }
+  if (evicted > 0) count_evictions(evicted);
+  set_size_gauges(size);
+}
+
+std::size_t FleetResultCache::entries() const {
+  util::MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t FleetResultCache::bytes() const {
+  util::MutexLock lock(mutex_);
+  return entries_.size() * kCacheEntryBytes;
+}
+
+std::uint64_t FleetResultCache::evictions() const {
+  util::MutexLock lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace ecad::net

@@ -4,10 +4,12 @@
 #include <climits>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
+#include "net/fleet_cache.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
@@ -104,6 +106,137 @@ RemoteWorker::~RemoteWorker() {
 
 std::string RemoteWorker::name() const {
   return "remote(" + std::to_string(options_.endpoints.size()) + " endpoints)";
+}
+
+const core::FleetEvalCache* RemoteWorker::fleet_cache() const {
+  const bool enabled = options_.fleet_cache && !options_.cache_config.empty() &&
+                       std::min(options_.max_protocol, kProtocolVersion) >= 6;
+  return enabled ? &cache_client_ : nullptr;
+}
+
+namespace {
+
+/// One short-lived v6 connection for a cache exchange, or nullopt when the
+/// endpoint is unreachable or negotiates below v6 (a v5 daemon in a mixed
+/// fleet is simply skipped).  Ephemeral connections — the fetch_stats idiom —
+/// keep cache traffic out of the pooled-connection state machine and learn
+/// the peer's version fresh each call, so the first batch of a warm run
+/// already hits.
+std::optional<Socket> connect_cache_peer(const Endpoint& endpoint, std::uint16_t max_protocol,
+                                         int timeout_ms) {
+  try {
+    Socket socket = Socket::connect(endpoint, timeout_ms);
+    const std::uint16_t version = handshake_on(socket, max_protocol, timeout_ms);
+    if (version < 6) return std::nullopt;
+    return socket;
+  } catch (const NetError&) {
+  } catch (const WireError&) {
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void RemoteWorker::FleetCacheClient::fleet_lookup(const std::vector<evo::Genome>& genomes,
+                                                  std::vector<evo::EvalOutcome>& outcomes) const {
+  static util::Counter& hits = util::metrics().counter("net.fleet_cache_hits_total");
+  static util::Counter& misses = util::metrics().counter("net.fleet_cache_misses_total");
+  const RemoteWorkerOptions& options = owner_.options_;
+  const std::uint16_t max_protocol = std::min(options.max_protocol, kProtocolVersion);
+
+  // Duplicate keys are possible only when the dedup stage is disabled; keep
+  // every slot for a key so one reply settles all of them.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> slots_by_key;
+  for (std::size_t i = 0; i < genomes.size() && i < outcomes.size(); ++i) {
+    slots_by_key[fleet_cache_key(options.cache_config, genomes[i].key())].push_back(i);
+  }
+
+  std::size_t settled = 0;
+  for (const Endpoint& endpoint : options.endpoints) {
+    if (settled == slots_by_key.size()) break;
+    std::optional<Socket> socket =
+        connect_cache_peer(endpoint, max_protocol, options.connect_timeout_ms);
+    if (!socket) continue;
+    try {
+      CacheLookup lookup;
+      lookup.keys.reserve(slots_by_key.size() - settled);
+      for (const auto& [key, slots] : slots_by_key) {
+        if (!outcomes[slots.front()].ok) lookup.keys.push_back(key);
+      }
+      // Chunk to the frame cap; generation batches are far smaller, but the
+      // pipeline contract does not know that.
+      for (std::size_t offset = 0; offset < lookup.keys.size(); offset += kMaxCacheEntries) {
+        CacheLookup chunk;
+        chunk.keys.assign(lookup.keys.begin() + static_cast<std::ptrdiff_t>(offset),
+                          lookup.keys.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  std::min(offset + kMaxCacheEntries, lookup.keys.size())));
+        WireWriter writer;
+        write_cache_lookup(writer, chunk);
+        send_frame_on(*socket, MsgType::CacheLookup, writer.bytes());
+        const Frame reply = recv_frame_on(*socket, options.connect_timeout_ms);
+        if (reply.type != MsgType::CacheStore) {
+          throw NetError("cache: expected CacheStore, got " + std::string(to_string(reply.type)));
+        }
+        WireReader reader(reply.payload);
+        const CacheStore found = read_cache_store(reader);
+        reader.expect_end();
+        for (const CacheEntry& entry : found.entries) {
+          const auto it = slots_by_key.find(entry.key);
+          if (it == slots_by_key.end() || outcomes[it->second.front()].ok) continue;
+          for (const std::size_t slot : it->second) {
+            outcomes[slot].result = entry.result;
+            outcomes[slot].ok = true;
+          }
+          ++settled;
+        }
+      }
+    } catch (const NetError&) {
+    } catch (const WireError&) {
+      // Best-effort: a half-answered endpoint keeps whatever settled; the
+      // rest stays unsettled and dispatches normally.
+    }
+  }
+  hits.add(settled);
+  misses.add(slots_by_key.size() - settled);
+}
+
+void RemoteWorker::FleetCacheClient::fleet_store(const std::vector<evo::Genome>& genomes,
+                                                 const std::vector<evo::EvalOutcome>& outcomes) const {
+  static util::Counter& published = util::metrics().counter("net.fleet_cache_publishes_total");
+  const RemoteWorkerOptions& options = owner_.options_;
+  const std::uint16_t max_protocol = std::min(options.max_protocol, kProtocolVersion);
+
+  CacheStore store;
+  for (std::size_t i = 0; i < genomes.size() && i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) continue;  // failures are not content-addressable facts
+    store.entries.push_back(
+        CacheEntry{fleet_cache_key(options.cache_config, genomes[i].key()), outcomes[i].result});
+  }
+  if (store.entries.empty()) return;
+  published.add(store.entries.size());
+
+  // Broadcast to every endpoint: a replicated cache makes a later run hit
+  // regardless of which daemon its shards happen to land on.
+  for (const Endpoint& endpoint : options.endpoints) {
+    std::optional<Socket> socket =
+        connect_cache_peer(endpoint, max_protocol, options.connect_timeout_ms);
+    if (!socket) continue;
+    try {
+      for (std::size_t offset = 0; offset < store.entries.size(); offset += kMaxCacheEntries) {
+        CacheStore chunk;
+        chunk.entries.assign(store.entries.begin() + static_cast<std::ptrdiff_t>(offset),
+                             store.entries.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     std::min(offset + kMaxCacheEntries, store.entries.size())));
+        WireWriter writer;
+        write_cache_store(writer, chunk);
+        send_frame_on(*socket, MsgType::CacheStore, writer.bytes());
+      }
+    } catch (const NetError&) {
+      // Fire-and-forget: a lost store costs a future re-evaluation.
+    }
+  }
 }
 
 bool RemoteWorker::endpoint_available(const EndpointState& state, Clock::time_point now) const {

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/eval_pipeline.h"
 #include "core/worker.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -81,9 +82,19 @@ struct RemoteWorkerOptions {
   int shard_target_ms = 200;
   /// Hard cap on items per shard (also bounded by kMaxBatchItems).
   std::size_t max_shard_items = 256;
-  /// Highest protocol version offered in the handshake.  Pin to 2 for v2
-  /// single-response batch frames, 1 for per-genome EvalRequest exchanges.
+  /// Highest protocol version offered in the handshake.  Pin to 5 to
+  /// disable the fleet cache frames, 2 for v2 single-response batch frames,
+  /// 1 for per-genome EvalRequest exchanges.
   std::uint16_t max_protocol = kProtocolVersion;
+  /// Canonical eval-config identity (net::EvalConfigId::to_string()) hashed
+  /// into every fleet-cache key.  Empty — the default — disables the cache
+  /// client: fleet_cache() returns nullptr and no v6 frames are sent.
+  /// Every master sharing a fleet must derive this from the same worker
+  /// spec, or their caches silently partition.
+  std::string cache_config;
+  /// Master-side kill switch for the fleet cache client (ecad_searchd
+  /// --no-fleet-cache); cache_config must also be non-empty to enable.
+  bool fleet_cache = true;
   /// When no endpoint is reachable: evaluate locally on this worker instead
   /// of failing the search. nullptr = throw NetError.
   const core::Worker* fallback = nullptr;
@@ -111,6 +122,14 @@ class RemoteWorker final : public core::Worker {
   std::vector<evo::EvalOutcome> evaluate_batch(const std::vector<evo::Genome>& genomes,
                                                util::ThreadPool& pool) const
       ECAD_EXCLUDES(mutex_) override;
+
+  /// The wire-protocol v6 fleet cache tier as a core::FleetEvalCache, or
+  /// nullptr when disabled (empty cache_config, fleet_cache=false, or a
+  /// max_protocol pinned below 6).  EvalPipeline consults it between dedup
+  /// and dispatch; the client speaks CacheLookup/CacheStore on short-lived
+  /// per-call connections, so daemon restarts and mixed-version fleets cost
+  /// at most a miss, never a failed search.
+  const core::FleetEvalCache* fleet_cache() const override;
 
   /// Round-trip a Ping to every endpoint; number of live daemons.
   std::size_t ping_all() const;
@@ -146,6 +165,24 @@ class RemoteWorker final : public core::Worker {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Speaks the v6 cache frames for the owning RemoteWorker.  Lookups walk
+  /// the endpoint list until every key settles (the fleet is replicated by
+  /// broadcast stores, so the first v6 daemon usually answers everything);
+  /// stores broadcast to every endpoint so a later run hits regardless of
+  /// shard placement.  All failures are swallowed — the cache is an
+  /// optimization, never a dependency.
+  class FleetCacheClient final : public core::FleetEvalCache {
+   public:
+    explicit FleetCacheClient(const RemoteWorker& owner) : owner_(owner) {}
+    void fleet_lookup(const std::vector<evo::Genome>& genomes,
+                      std::vector<evo::EvalOutcome>& outcomes) const override;
+    void fleet_store(const std::vector<evo::Genome>& genomes,
+                     const std::vector<evo::EvalOutcome>& outcomes) const override;
+
+   private:
+    const RemoteWorker& owner_;
+  };
 
   struct PooledConnection {
     Socket socket;
@@ -281,6 +318,7 @@ class RemoteWorker final : public core::Worker {
   void heartbeat_loop() ECAD_EXCLUDES(heartbeat_mutex_, mutex_);
 
   RemoteWorkerOptions options_;
+  FleetCacheClient cache_client_{*this};
   /// Guards endpoint states + idle pools (enforced via ECAD_GUARDED_BY).
   mutable util::Mutex mutex_;
   mutable std::vector<EndpointState> states_ ECAD_GUARDED_BY(mutex_);

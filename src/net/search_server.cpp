@@ -248,6 +248,8 @@ bool SearchServer::handle_frame(const std::shared_ptr<Connection>& connection, F
     case MsgType::SearchProgress:
     case MsgType::SearchDone:
     case MsgType::StatsReport:
+    case MsgType::CacheLookup:
+    case MsgType::CacheStore:
       util::Log(util::LogLevel::Warn, "net")
           << "unexpected " << to_string(frame.type) << " from client; dropping connection";
       return false;

@@ -26,6 +26,8 @@ const char* to_string(MsgType type) {
     case MsgType::CancelSearch: return "CancelSearch";
     case MsgType::GetStats: return "GetStats";
     case MsgType::StatsReport: return "StatsReport";
+    case MsgType::CacheLookup: return "CacheLookup";
+    case MsgType::CacheStore: return "CacheStore";
   }
   return "?";
 }
@@ -47,6 +49,9 @@ std::uint16_t frame_version_for(MsgType type) {
     case MsgType::GetStats:
     case MsgType::StatsReport:
       return 5;
+    case MsgType::CacheLookup:
+    case MsgType::CacheStore:
+      return 6;
     default:
       return 1;
   }
@@ -56,7 +61,7 @@ namespace {
 
 bool known_msg_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::Hello) &&
-         raw <= static_cast<std::uint16_t>(MsgType::StatsReport);
+         raw <= static_cast<std::uint16_t>(MsgType::CacheStore);
 }
 
 }  // namespace
@@ -638,6 +643,61 @@ StatsReport read_stats_report(WireReader& reader) {
   report.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) report.entries.push_back(get_stats_entry(reader));
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet cache (protocol v6)
+// ---------------------------------------------------------------------------
+
+void write_cache_lookup(WireWriter& writer, const CacheLookup& lookup) {
+  if (lookup.keys.size() > kMaxCacheEntries) {
+    throw WireError("wire: cache lookup of " + std::to_string(lookup.keys.size()) +
+                    " keys exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(lookup.keys.size()));
+  for (std::uint64_t key : lookup.keys) writer.put_u64(key);
+}
+
+CacheLookup read_cache_lookup(WireReader& reader) {
+  CacheLookup lookup;
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxCacheEntries) {
+    throw WireError("wire: cache lookup length " + std::to_string(count) + " exceeds the limit");
+  }
+  if (static_cast<std::size_t>(count) * 8 > reader.remaining()) {
+    throw WireError("wire: truncated cache lookup");
+  }
+  lookup.keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) lookup.keys.push_back(reader.get_u64());
+  return lookup;
+}
+
+void write_cache_store(WireWriter& writer, const CacheStore& store) {
+  if (store.entries.size() > kMaxCacheEntries) {
+    throw WireError("wire: cache store of " + std::to_string(store.entries.size()) +
+                    " entries exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(store.entries.size()));
+  for (const CacheEntry& entry : store.entries) {
+    writer.put_u64(entry.key);
+    write_eval_result(writer, entry.result);
+  }
+}
+
+CacheStore read_cache_store(WireReader& reader) {
+  CacheStore store;
+  const std::uint32_t count = reader.get_u32();
+  if (count > kMaxCacheEntries) {
+    throw WireError("wire: cache store length " + std::to_string(count) + " exceeds the limit");
+  }
+  store.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CacheEntry entry;
+    entry.key = reader.get_u64();
+    entry.result = read_eval_result(reader);
+    store.entries.push_back(entry);
+  }
+  return store;
 }
 
 // ---------------------------------------------------------------------------

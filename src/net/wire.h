@@ -47,6 +47,17 @@
 // counts included, so p50/p90/p99 are derivable client-side).  Stats frames
 // are only legal on connections negotiated to >= 5; v4 and older peers are
 // untouched.
+//
+// Fleet cache (v6): a content-addressed result cache tier hosted by worker
+// daemons (net/fleet_cache.h).  Entries are (u64 key, EvalResult) bindings
+// where the key is a stable FNV-1a hash of the eval-config identity plus the
+// canonical genome key — computed identically by every master sharing the
+// fleet, never with std::hash (which differs across processes).  CacheLookup
+// carries a batch of keys; the daemon answers with a CacheStore frame
+// holding the bindings it has (misses are simply absent).  CacheStore in the
+// client->server direction publishes freshly computed results and needs no
+// acknowledgement.  Cache frames are only legal on connections negotiated to
+// >= 6; v5 and older peers are untouched.
 #pragma once
 
 #include <cstdint>
@@ -72,7 +83,7 @@ class WireError : public std::runtime_error {
 inline constexpr std::uint32_t kWireMagic = 0x44414345u;
 /// Highest protocol version this build speaks. Peers negotiate down to the
 /// smaller of the two maxima; version 1 peers keep working unmodified.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+inline constexpr std::uint16_t kProtocolVersion = 6;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Genomes and results are tiny; anything near this limit is corruption.
@@ -92,6 +103,10 @@ inline constexpr std::uint32_t kMaxRecordCandidates = 65536;
 inline constexpr std::uint32_t kMaxStatsEntries = 4096;
 /// Hard cap on log buckets per histogram entry (util::Histogram uses 40).
 inline constexpr std::uint32_t kMaxHistogramBuckets = 64;
+/// Hard cap on keys per CacheLookup and bindings per CacheStore frame; the
+/// master looks up at most one batch of genomes at a time, so this mirrors
+/// kMaxBatchItems and anything near it is corruption.
+inline constexpr std::uint32_t kMaxCacheEntries = 4096;
 
 enum class MsgType : std::uint16_t {
   Hello = 1,             // client -> server: string client name [+ u16 max version]
@@ -112,6 +127,8 @@ enum class MsgType : std::uint16_t {
   CancelSearch = 16,     // v4: u64 search id
   GetStats = 17,         // v5: string metric-name prefix filter ("" = all)
   StatsReport = 18,      // v5: u32 count + count metric snapshot entries
+  CacheLookup = 19,      // v6: u32 count + count u64 cache keys
+  CacheStore = 20,       // v6: u32 count + count (u64 key + EvalResult)
 };
 
 const char* to_string(MsgType type);
@@ -354,6 +371,39 @@ GetStats read_get_stats(WireReader& reader);
 
 void write_stats_report(WireWriter& writer, const StatsReport& report);
 StatsReport read_stats_report(WireReader& reader);
+
+// ---------------------------------------------------------------------------
+// Fleet cache (protocol v6)
+// ---------------------------------------------------------------------------
+
+/// One CacheLookup frame: a master asks a daemon which of these
+/// content-addressed keys it holds results for.  Keys come from
+/// net::fleet_cache_key (a stable hash — see net/fleet_cache.h), so every
+/// master sharing the fleet derives identical keys for identical work.
+struct CacheLookup {
+  std::vector<std::uint64_t> keys;
+};
+
+/// One (key, result) binding of the fleet cache.  Only successful results
+/// are cached — failures are not content-addressable facts about a genome.
+struct CacheEntry {
+  std::uint64_t key = 0;
+  evo::EvalResult result;
+};
+
+/// One CacheStore frame: a bag of cache bindings.  Server -> client it is
+/// the answer to CacheLookup (hits only; a key absent from the reply was a
+/// miss).  Client -> server it publishes freshly computed results into the
+/// daemon's cache tier and needs no acknowledgement.
+struct CacheStore {
+  std::vector<CacheEntry> entries;
+};
+
+void write_cache_lookup(WireWriter& writer, const CacheLookup& lookup);
+CacheLookup read_cache_lookup(WireReader& reader);
+
+void write_cache_store(WireWriter& writer, const CacheStore& store);
+CacheStore read_cache_store(WireReader& reader);
 
 // ---------------------------------------------------------------------------
 // Handshake payloads

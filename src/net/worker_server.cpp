@@ -13,7 +13,7 @@
 namespace ecad::net {
 
 WorkerServer::WorkerServer(const core::Worker& worker, WorkerServerOptions options)
-    : worker_(worker), options_(std::move(options)) {}
+    : worker_(worker), options_(std::move(options)), cache_(options_.cache_bytes) {}
 
 WorkerServer::~WorkerServer() { stop(); }
 
@@ -85,6 +85,11 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
       running_.store(false, std::memory_order_release);
       return false;
     case MsgType::EvalRequest: {
+      if (options_.cache_only) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "EvalRequest on a cache-only daemon; dropping connection";
+        return false;
+      }
       // Parse on the loop thread (cheap, and malformed frames drop the
       // connection right here); evaluate + respond on the pool.
       WireReader reader(frame.payload);
@@ -123,7 +128,48 @@ bool WorkerServer::handle_frame(const std::shared_ptr<Connection>& connection, F
             << " connection; dropping connection";
         return false;
       }
+      if (options_.cache_only) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "EvalBatchRequest on a cache-only daemon; dropping connection";
+        return false;
+      }
       handle_batch_request(connection, std::move(frame));
+      return true;
+    }
+    case MsgType::CacheLookup: {
+      if (connection->version < 6) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "CacheLookup on a v" << connection->version << " connection; dropping connection";
+        return false;
+      }
+      // Served on the loop thread: lookups are a handful of map probes, far
+      // cheaper than the evaluations they displace.  The answer is a
+      // CacheStore frame carrying only the hits — an absent key was a miss.
+      WireReader reader(frame.payload);
+      const CacheLookup lookup = read_cache_lookup(reader);
+      reader.expect_end();
+      CacheStore found;
+      for (const std::uint64_t key : lookup.keys) {
+        if (auto result = cache_.lookup(key)) {
+          found.entries.push_back(CacheEntry{key, *result});
+        }
+      }
+      WireWriter writer;
+      write_cache_store(writer, found);
+      send_frame(connection, MsgType::CacheStore, writer.bytes());
+      return true;
+    }
+    case MsgType::CacheStore: {
+      if (connection->version < 6) {
+        util::Log(util::LogLevel::Warn, "net")
+            << "CacheStore on a v" << connection->version << " connection; dropping connection";
+        return false;
+      }
+      // Fire-and-forget publish from a master; no acknowledgement frame.
+      WireReader reader(frame.payload);
+      const CacheStore store = read_cache_store(reader);
+      reader.expect_end();
+      for (const CacheEntry& entry : store.entries) cache_.store(entry.key, entry.result);
       return true;
     }
     case MsgType::GetStats: {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/worker.h"
+#include "net/fleet_cache.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/mutex.h"
@@ -43,6 +44,16 @@ struct WorkerServerOptions {
   /// serve as a v1-only worker (per-genome EvalRequest frames only); pin to
   /// 2 to disable per-item streaming (single EvalBatchResponse frames).
   std::uint16_t max_protocol = kProtocolVersion;
+  /// Byte budget for the fleet result cache tier (v6 CacheLookup/CacheStore
+  /// frames).  0 — the default — disables the tier: lookups answer empty
+  /// and stores are dropped, so a cache-less fleet behaves exactly like a
+  /// v5 one.
+  std::size_t cache_bytes = 0;
+  /// Serve *only* the cache tier (plus handshake/ping/stats): evaluation
+  /// frames are protocol violations and drop the connection.  For dedicated
+  /// `ecad_workerd --cache-only` daemons that pool cache capacity without
+  /// burning evaluation threads.
+  bool cache_only = false;
 };
 
 class WorkerServer {
@@ -99,6 +110,7 @@ class WorkerServer {
 
   const core::Worker& worker_;
   WorkerServerOptions options_;
+  FleetResultCache cache_;
   Listener listener_;
   std::uint16_t port_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;

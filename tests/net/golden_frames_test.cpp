@@ -487,5 +487,64 @@ TEST(GoldenFrames, HelloV5WithVersionTrailer) {
   expect_matches_golden("hello_v5.bin", encode_frame(MsgType::Hello, payload.bytes()));
 }
 
+// The v6 fixtures pin the fleet-cache generation's encoding from day one,
+// so v6 itself cannot drift silently either.
+TEST(GoldenFrames, CacheLookupV6EncodesAndDecodes) {
+  CacheLookup lookup;
+  lookup.keys = {0x0123456789abcdefull, 0xfedcba9876543210ull, 42};
+  WireWriter payload;
+  write_cache_lookup(payload, lookup);
+  expect_matches_golden("cache_lookup_v6.bin",
+                        encode_frame(MsgType::CacheLookup, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("cache_lookup_v6.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::CacheLookup);
+  EXPECT_EQ(header.version, 6);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const CacheLookup decoded = read_cache_lookup(reader);
+  reader.expect_end();
+  ASSERT_EQ(decoded.keys.size(), 3u);
+  EXPECT_EQ(decoded.keys[0], 0x0123456789abcdefull);
+  EXPECT_EQ(decoded.keys[1], 0xfedcba9876543210ull);
+  EXPECT_EQ(decoded.keys[2], 42u);
+}
+
+TEST(GoldenFrames, CacheStoreV6EncodesAndDecodes) {
+  CacheStore store;
+  store.entries.push_back(CacheEntry{0x0123456789abcdefull, golden_result()});
+  evo::EvalResult second = golden_result();
+  second.accuracy = 0.9375;
+  second.feasible = false;
+  store.entries.push_back(CacheEntry{42, second});
+  WireWriter payload;
+  write_cache_store(payload, store);
+  expect_matches_golden("cache_store_v6.bin", encode_frame(MsgType::CacheStore, payload.bytes()));
+
+  const std::vector<std::uint8_t> golden = read_file(golden_path("cache_store_v6.bin"));
+  ASSERT_GE(golden.size(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(golden.data());
+  EXPECT_EQ(header.type, MsgType::CacheStore);
+  EXPECT_EQ(header.version, 6);
+  WireReader reader(golden.data() + kFrameHeaderBytes, golden.size() - kFrameHeaderBytes);
+  const CacheStore decoded = read_cache_store(reader);
+  reader.expect_end();
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].key, 0x0123456789abcdefull);
+  EXPECT_EQ(decoded.entries[0].result.accuracy, golden_result().accuracy);
+  EXPECT_EQ(decoded.entries[0].result.eval_seconds, golden_result().eval_seconds);
+  EXPECT_TRUE(decoded.entries[0].result.feasible);
+  EXPECT_EQ(decoded.entries[1].key, 42u);
+  EXPECT_EQ(decoded.entries[1].result.accuracy, 0.9375);
+  EXPECT_FALSE(decoded.entries[1].result.feasible);
+}
+
+TEST(GoldenFrames, HelloV6WithVersionTrailer) {
+  WireWriter payload;
+  write_hello_payload(payload, "ecad-master", 6);
+  expect_matches_golden("hello_v6.bin", encode_frame(MsgType::Hello, payload.bytes()));
+}
+
 }  // namespace
 }  // namespace ecad::net

@@ -149,7 +149,7 @@ TEST(WireStats, StatsMsgTypesAreKnownAndTheNextValueIsNot) {
   };
   header_for(static_cast<std::uint16_t>(MsgType::StatsReport));
   EXPECT_EQ(decode_frame_header(header_bytes).type, MsgType::StatsReport);
-  header_for(19);  // one past the last known MsgType
+  header_for(21);  // one past the last known MsgType (CacheStore = 20)
   EXPECT_THROW(decode_frame_header(header_bytes), WireError);
 }
 

@@ -29,6 +29,7 @@
 #include "core/master.h"
 #include "core/search_scheduler.h"
 #include "daemon_common.h"
+#include "net/fleet_cache.h"
 #include "net/remote_worker.h"
 #include "net/search_client.h"
 #include "net/search_server.h"
@@ -66,10 +67,13 @@ void print_usage() {
       "                    different trajectory than the default sequential mode)\n"
       "  --inflight N      in-flight batches the overlapped mode pipelines (default 2)\n"
       "  --request-timeout-ms N   per-evaluation network deadline (default 120000)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 5);\n"
-      "                    4 disables stats-over-the-wire, 3 streams per-item\n"
-      "                    result frames, 2 pins v2 batch responses, 1 forces\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 6);\n"
+      "                    5 disables the fleet cache frames, 4 disables\n"
+      "                    stats-over-the-wire, 3 streams per-item result\n"
+      "                    frames, 2 pins v2 batch responses, 1 forces\n"
       "                    per-genome EvalRequest exchanges\n"
+      "  --no-fleet-cache  never consult or publish to the workers' fleet\n"
+      "                    result cache tier (v6 CacheLookup/CacheStore)\n"
       "  --heartbeat-ms N  background ping period for sidelined endpoints\n"
       "                    (default 250; 0 disables heartbeats)\n"
       "  --worker/--data-*/--train-epochs/--eval-seed   local worker spec\n"
@@ -123,10 +127,27 @@ std::uint16_t max_protocol_from_args(const ecad::tools::ArgParser& args) {
   return static_cast<std::uint16_t>(max_protocol);
 }
 
+/// The fleet-cache identity of this process's worker spec: the
+/// determinism-contract fields, never the delay-injection knobs (those
+/// change timings, not results).  Every master sharing a fleet derives the
+/// same string from the same spec flags, so their cache keys agree.
+std::string cache_config_from(const ecad::tools::WorkerConfig& config) {
+  ecad::net::EvalConfigId id;
+  id.worker_kind = config.kind;
+  id.data_seed = config.data_seed;
+  id.data_samples = config.data_samples;
+  id.data_features = config.data_features;
+  id.data_classes = config.data_classes;
+  id.train_epochs = config.train_epochs;
+  id.eval_seed = config.eval_seed;
+  return id.to_string();
+}
+
 /// Evaluation backend from flags: a RemoteWorker fleet when --workers is
 /// given, the local bundle worker otherwise.  The returned pointer borrows
 /// from `bundle`/`remote`.
 const ecad::core::Worker* make_backend(const ecad::tools::ArgParser& args,
+                                       const ecad::tools::WorkerConfig& worker_config,
                                        const ecad::tools::WorkerBundle& bundle,
                                        const std::vector<ecad::net::Endpoint>& endpoints,
                                        std::unique_ptr<ecad::net::RemoteWorker>& remote) {
@@ -137,6 +158,8 @@ const ecad::core::Worker* make_backend(const ecad::tools::ArgParser& args,
   options.request_timeout_ms = static_cast<int>(args.get_int("request-timeout-ms", 120000));
   options.max_protocol = max_protocol_from_args(args);
   options.heartbeat_interval_ms = static_cast<int>(args.get_int("heartbeat-ms", 250));
+  options.cache_config = cache_config_from(worker_config);
+  options.fleet_cache = !args.get_flag("no-fleet-cache");
   if (args.get_flag("fallback-local")) options.fallback = bundle.worker.get();
   remote = std::make_unique<net::RemoteWorker>(std::move(options));
   return remote.get();
@@ -148,7 +171,7 @@ int run_serve(const ecad::tools::ArgParser& args) {
   const tools::WorkerBundle bundle = tools::make_worker(worker_config);
   const std::vector<net::Endpoint> endpoints = net::parse_endpoint_list(args.get("workers", ""));
   std::unique_ptr<net::RemoteWorker> remote;
-  const core::Worker* worker = make_backend(args, bundle, endpoints, remote);
+  const core::Worker* worker = make_backend(args, worker_config, bundle, endpoints, remote);
 
   core::SearchSchedulerOptions scheduler_options;
   scheduler_options.max_concurrent_searches =
@@ -302,7 +325,7 @@ int main(int argc, char** argv) {
     const core::SearchRequest request = search_request_from_args(args);
 
     std::unique_ptr<net::RemoteWorker> remote;
-    const core::Worker* worker = make_backend(args, bundle, endpoints, remote);
+    const core::Worker* worker = make_backend(args, worker_config, bundle, endpoints, remote);
 
     core::Master master;
     const evo::EvolutionResult result = master.search(*worker, request);

@@ -29,10 +29,16 @@ void print_usage() {
       "  --port P          TCP port; 0 = ephemeral (default 0)\n"
       "  --threads N       evaluation threads; 0 = hardware concurrency\n"
       "  --worker KIND     analytic | accuracy | hwdb (default analytic)\n"
-      "  --max-protocol V  highest wire protocol version to offer (default 5);\n"
-      "                    4 disables stats-over-the-wire, 2 pins single-\n"
-      "                    response batch frames (no per-item streaming),\n"
-      "                    1 pins per-genome EvalRequest frames\n"
+      "  --max-protocol V  highest wire protocol version to offer (default 6);\n"
+      "                    5 disables the fleet cache frames, 4 disables\n"
+      "                    stats-over-the-wire, 2 pins single-response batch\n"
+      "                    frames (no per-item streaming), 1 pins per-genome\n"
+      "                    EvalRequest frames\n"
+      "  --cache-bytes N   byte budget for the fleet result cache tier (v6\n"
+      "                    CacheLookup/CacheStore frames); 0 disables the\n"
+      "                    tier (default 0)\n"
+      "  --cache-only      serve only the cache tier (plus handshake/ping/\n"
+      "                    stats); evaluation frames drop the connection\n"
       "  --eval-delay-ms N artificial per-evaluation delay (analytic only)\n"
       "  --eval-slow-modulo N   slow-genome injection: genomes whose DSP usage\n"
       "                    divides by N sleep --eval-slow-delay-ms instead\n"
@@ -89,6 +95,13 @@ int main(int argc, char** argv) {
                                   "-" + std::to_string(net::kProtocolVersion) + ")");
     }
     options.max_protocol = static_cast<std::uint16_t>(max_protocol);
+    const long long cache_bytes = args.get_int("cache-bytes", 0);
+    if (cache_bytes < 0) {
+      throw std::invalid_argument("--cache-bytes " + std::to_string(cache_bytes) +
+                                  " must be non-negative");
+    }
+    options.cache_bytes = static_cast<std::size_t>(cache_bytes);
+    options.cache_only = args.get_flag("cache-only");
 
     net::WorkerServer server(*bundle.worker, options);
     server.start();
