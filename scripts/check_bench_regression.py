@@ -18,6 +18,14 @@ when performance regressed beyond noise:
     tail ratio must stay within ``--max-tail-growth`` (default 2.0) times
     the baseline's tail ratio.  This is what protects the streaming-wire
     p99 win (see BENCH_batch_latency.json) from quietly rotting.
+  * **Fleet-cache hit rate** (metrics-snapshot flavor only): the daemons'
+    ``--metrics-json`` dumps carry the result-cache counters on both sides
+    of the wire (``net.fleet_cache_hits_total``/``..._misses_total`` from
+    the master, ``fleet.cache_hits_total``/``..._misses_total`` from the
+    workers).  When baseline and fresh snapshots both saw cache traffic,
+    the fresh hit rate must stay above the baseline rate minus
+    ``--max-hit-rate-drop`` (default 0.20) — a warm-restart or dedup
+    regression that silently turns hits into misses fails the build.
 
 Entries are matched by ``name``; entries present on only one side are
 reported but not fatal (``--quick`` CI runs legitimately produce a subset).
@@ -29,7 +37,8 @@ Usage:
 
 ``--self-test`` fabricates baseline/fresh pairs — a clean pass on a
 uniformly slower machine, an injected 0.5x single-kernel GFLOP/s collapse,
-and an injected 30x p99 blowup — and asserts the gate passes/fails each
+an injected 30x p99 blowup, and an injected fleet-cache hit-rate collapse
+on both counter families — and asserts the gate passes/fails each
 accordingly, so CI proves the gate can still say no.
 """
 
@@ -41,8 +50,16 @@ import sys
 import tempfile
 
 
+# Hit/miss counter pairs exported into metrics-snapshot dumps: the master's
+# wire-level view and the workers' cache-tier view of the same traffic.
+CACHE_COUNTER_PAIRS = (
+    ("net.fleet_cache_hits_total", "net.fleet_cache_misses_total"),
+    ("fleet.cache_hits_total", "fleet.cache_misses_total"),
+)
+
+
 def load_entries(path):
-    """-> {entry name: metrics dict} from one BENCH_*.json file.
+    """-> ({entry name: metrics dict}, is_metrics_snapshot) from one BENCH file.
 
     Metrics-snapshot reports (``"flavor": "metrics-snapshot"`` metadata,
     written by the daemons' ``--metrics-json`` dumps) carry histogram
@@ -53,20 +70,34 @@ def load_entries(path):
     data = json.loads(path.read_text())
     entries = {entry["name"]: dict(entry.get("metrics", {}))
                for entry in data.get("entries", [])}
-    if data.get("metadata", {}).get("flavor") == "metrics-snapshot":
+    is_snapshot = data.get("metadata", {}).get("flavor") == "metrics-snapshot"
+    if is_snapshot:
         for metrics in entries.values():
             for sec_key, ms_key in (("p50_s", "p50_ms"), ("p99_s", "p99_ms")):
                 if metrics.get(sec_key) and ms_key not in metrics:
                     metrics[ms_key] = metrics[sec_key] * 1000.0
-    return entries
+    return entries, is_snapshot
 
 
-def check_file(baseline_path, fresh_path, max_gflops_drop, max_tail_growth):
+def cache_hit_rate(entries, hits_key, misses_key):
+    """-> hits/(hits+misses) from counter entries, or None without traffic."""
+    hits = entries.get(hits_key, {}).get("value")
+    misses = entries.get(misses_key, {}).get("value")
+    if hits is None or misses is None:
+        return None
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
+
+
+def check_file(baseline_path, fresh_path, max_gflops_drop, max_tail_growth,
+               max_hit_rate_drop):
     """-> (violations, notices) comparing one fresh bench file to its baseline."""
     violations = []
     notices = []
-    baseline = load_entries(baseline_path)
-    fresh = load_entries(fresh_path)
+    baseline, baseline_is_snapshot = load_entries(baseline_path)
+    fresh, fresh_is_snapshot = load_entries(fresh_path)
     shared = sorted(set(baseline) & set(fresh))
     for name in sorted(set(baseline) ^ set(fresh)):
         side = "baseline" if name in baseline else "fresh"
@@ -106,10 +137,29 @@ def check_file(baseline_path, fresh_path, max_gflops_drop, max_tail_growth):
             violations.append(
                 f"{fresh_path.name}: '{name}' p99/p50 tail ratio {fresh_tail:.2f} "
                 f"exceeds {max_tail_growth:.1f}x the baseline tail ratio {base_tail:.2f}")
+
+    # --- fleet-cache hit rate: warm-cache effectiveness vs baseline --------
+    # Gated only when both sides recorded traffic for the same counter pair:
+    # a cold baseline (or a bench that never touches the cache) is skipped
+    # rather than failed, so non-cache snapshots stay unaffected.
+    if baseline_is_snapshot and fresh_is_snapshot:
+        for hits_key, misses_key in CACHE_COUNTER_PAIRS:
+            base_rate = cache_hit_rate(baseline, hits_key, misses_key)
+            fresh_rate = cache_hit_rate(fresh, hits_key, misses_key)
+            if base_rate is None or fresh_rate is None:
+                continue
+            floor = base_rate - max_hit_rate_drop
+            if fresh_rate < floor:
+                violations.append(
+                    f"{fresh_path.name}: '{hits_key}' fleet-cache hit rate "
+                    f"{fresh_rate:.3f} fell below the floor {floor:.3f} "
+                    f"(baseline {base_rate:.3f} minus allowed drop "
+                    f"{max_hit_rate_drop:.2f})")
     return violations, notices
 
 
-def check_dirs(baseline_dir, fresh_dir, max_gflops_drop, max_tail_growth):
+def check_dirs(baseline_dir, fresh_dir, max_gflops_drop, max_tail_growth,
+               max_hit_rate_drop):
     violations = []
     notices = []
     fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
@@ -121,7 +171,8 @@ def check_dirs(baseline_dir, fresh_dir, max_gflops_drop, max_tail_growth):
             notices.append(f"{fresh_path.name}: no committed baseline (skipped)")
             continue
         file_violations, file_notices = check_file(
-            baseline_path, fresh_path, max_gflops_drop, max_tail_growth)
+            baseline_path, fresh_path, max_gflops_drop, max_tail_growth,
+            max_hit_rate_drop)
         violations.extend(file_violations)
         notices.extend(file_notices)
     return violations, notices
@@ -164,7 +215,7 @@ def self_test():
             (fresh / "BENCH_micro_gemm.json").write_text(_bench_json("micro_gemm", fresh_gemm))
             (fresh / "BENCH_batch_latency.json").write_text(
                 _bench_json("batch_latency", fresh_latency))
-            violations, _ = check_dirs(base, fresh, 0.15, 2.0)
+            violations, _ = check_dirs(base, fresh, 0.15, 2.0, 0.20)
         if expect_fail and not any(needle in v for v in violations):
             failures.append(f"self-test '{label}': expected a violation containing "
                             f"'{needle}', got {violations or '[clean pass]'}")
@@ -194,6 +245,10 @@ def self_test():
     baseline_snapshot = {
         "core.eval_seconds": {"count": 100.0, "sum": 0.8, "p50_s": 0.008, "p99_s": 0.016},
         "core.evals_completed_total": {"value": 100.0},
+        "net.fleet_cache_hits_total": {"value": 90.0},
+        "net.fleet_cache_misses_total": {"value": 10.0},
+        "fleet.cache_hits_total": {"value": 90.0},
+        "fleet.cache_misses_total": {"value": 10.0},
     }
 
     def run_snapshot_case(label, fresh_snapshot, expect_fail, needle=""):
@@ -207,7 +262,7 @@ def self_test():
                 _bench_json("searchd", baseline_snapshot, flavor))
             (fresh / "BENCH_searchd.json").write_text(
                 _bench_json("searchd", fresh_snapshot, flavor))
-            violations, _ = check_dirs(base, fresh, 0.15, 2.0)
+            violations, _ = check_dirs(base, fresh, 0.15, 2.0, 0.20)
         if expect_fail and not any(needle in v for v in violations):
             failures.append(f"self-test '{label}': expected a violation containing "
                             f"'{needle}', got {violations or '[clean pass]'}")
@@ -217,10 +272,50 @@ def self_test():
     run_snapshot_case("steady metrics snapshot passes",
                       baseline_snapshot, expect_fail=False)
     run_snapshot_case("metrics-snapshot p99 blowup fails",
-                      {"core.eval_seconds": {"count": 100.0, "sum": 0.9,
-                                             "p50_s": 0.008, "p99_s": 0.2},
-                       "core.evals_completed_total": {"value": 100.0}},
+                      dict(baseline_snapshot,
+                           **{"core.eval_seconds": {"count": 100.0, "sum": 0.9,
+                                                    "p50_s": 0.008, "p99_s": 0.2}}),
                       expect_fail=True, needle="'core.eval_seconds' p99/p50 tail ratio")
+    # The warm master cache turns to misses (0.9 -> 0.5 hit rate): the
+    # hit-rate floor (0.9 - 0.20 = 0.7) must catch it.
+    run_snapshot_case("fleet-cache hit-rate collapse fails",
+                      dict(baseline_snapshot,
+                           **{"net.fleet_cache_hits_total": {"value": 50.0},
+                              "net.fleet_cache_misses_total": {"value": 50.0}}),
+                      expect_fail=True,
+                      needle="'net.fleet_cache_hits_total' fleet-cache hit rate")
+    # Same collapse on the workers' cache-tier counters: gated independently.
+    run_snapshot_case("worker cache-tier hit-rate collapse fails",
+                      dict(baseline_snapshot,
+                           **{"fleet.cache_hits_total": {"value": 10.0},
+                              "fleet.cache_misses_total": {"value": 90.0}}),
+                      expect_fail=True,
+                      needle="'fleet.cache_hits_total' fleet-cache hit rate")
+    # A drop within tolerance (0.9 -> 0.75 >= floor 0.7) stays clean.
+    run_snapshot_case("tolerated hit-rate dip passes",
+                      dict(baseline_snapshot,
+                           **{"net.fleet_cache_hits_total": {"value": 75.0},
+                              "net.fleet_cache_misses_total": {"value": 25.0}}),
+                      expect_fail=False)
+    # Cold-cache snapshots (no traffic on either side) are skipped, not failed.
+    cold = {k: v for k, v in baseline_snapshot.items() if "cache" not in k}
+    run_cold_case_entries = dict(cold,
+                                 **{"net.fleet_cache_hits_total": {"value": 0.0},
+                                    "net.fleet_cache_misses_total": {"value": 0.0}})
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "base"
+        fresh = pathlib.Path(tmp) / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        flavor = {"flavor": "metrics-snapshot"}
+        (base / "BENCH_searchd.json").write_text(
+            _bench_json("searchd", run_cold_case_entries, flavor))
+        (fresh / "BENCH_searchd.json").write_text(
+            _bench_json("searchd", run_cold_case_entries, flavor))
+        violations, _ = check_dirs(base, fresh, 0.15, 2.0, 0.20)
+    if violations:
+        failures.append(f"self-test 'cold cache skipped': expected a clean pass, "
+                        f"got {violations}")
     return failures
 
 
@@ -234,6 +329,9 @@ def main():
                         help="max fractional GFLOP/s drop below the median ratio (default 0.15)")
     parser.add_argument("--max-tail-growth", type=float, default=2.0,
                         help="max p99/p50 tail-ratio growth vs baseline (default 2.0)")
+    parser.add_argument("--max-hit-rate-drop", type=float, default=0.20,
+                        help="max fleet-cache hit-rate drop below the baseline "
+                             "rate in metrics snapshots (default 0.20)")
     parser.add_argument("--self-test", action="store_true",
                         help="prove the gate fails on injected regressions")
     options = parser.parse_args()
@@ -247,7 +345,8 @@ def main():
         return 1 if failures else 0
 
     violations, notices = check_dirs(options.baseline_dir, options.fresh_dir,
-                                     options.max_gflops_drop, options.max_tail_growth)
+                                     options.max_gflops_drop, options.max_tail_growth,
+                                     options.max_hit_rate_drop)
     for notice in notices:
         print(f"bench-gate note: {notice}")
     for violation in violations:

@@ -15,6 +15,13 @@ wire protocol honest but that no single compiler ever sees end to end:
   3. ``kProtocolVersion`` agrees across ``src/net/wire.h``, ``README.md``,
      and ``scripts/loopback_smoke.sh`` — the three places a human reads the
      current protocol generation.
+  4. ``kSnapshotFormatVersion`` (the persisted engine-snapshot format in
+     ``src/util/snapshot_io.h``) agrees with ``README.md`` and
+     ``scripts/chaos_smoke.sh``, and the committed golden snapshot fixture
+     ``tests/evo/golden/engine_snapshot_v{N}.bin`` exists at exactly that
+     version — a checkpoint a crashed daemon wrote must stay loadable, so
+     the format can't change without bumping the version and re-pinning the
+     bytes.
 
 Run from anywhere:
 
@@ -39,6 +46,9 @@ GOLDEN_DIR = "tests/net/golden"
 TESTS_DIR = "tests"
 README = "README.md"
 SMOKE_SCRIPT = "scripts/loopback_smoke.sh"
+SNAPSHOT_IO_H = "src/util/snapshot_io.h"
+CHAOS_SCRIPT = "scripts/chaos_smoke.sh"
+EVO_GOLDEN_DIR = "tests/evo/golden"
 
 
 def snake_case(name):
@@ -95,6 +105,13 @@ def parse_protocol_version(wire_h_text):
     match = re.search(r"kProtocolVersion\s*=\s*(\d+)\s*;", wire_h_text)
     if not match:
         raise ValueError(f"{WIRE_H}: could not find kProtocolVersion")
+    return int(match.group(1))
+
+
+def parse_snapshot_version(snapshot_io_h_text):
+    match = re.search(r"kSnapshotFormatVersion\s*=\s*(\d+)\s*;", snapshot_io_h_text)
+    if not match:
+        raise ValueError(f"{SNAPSHOT_IO_H}: could not find kSnapshotFormatVersion")
     return int(match.group(1))
 
 
@@ -192,6 +209,30 @@ def lint(root):
             f"{SMOKE_SCRIPT}: PROTOCOL_VERSION={smoke_match.group(1)} "
             f"but {WIRE_H} says kProtocolVersion = {declared}")
 
+    # --- invariant 4: kSnapshotFormatVersion anchors + pinned fixture -----
+    snapshot_declared = parse_snapshot_version((root / SNAPSHOT_IO_H).read_text())
+    snap_readme = re.search(r"`kSnapshotFormatVersion\s*=\s*(\d+)`",
+                            (root / README).read_text())
+    if not snap_readme:
+        errors.append(f"{README}: missing the `kSnapshotFormatVersion = N` anchor line")
+    elif int(snap_readme.group(1)) != snapshot_declared:
+        errors.append(
+            f"{README}: documents kSnapshotFormatVersion = {snap_readme.group(1)} "
+            f"but {SNAPSHOT_IO_H} says {snapshot_declared}")
+    chaos_match = re.search(r"^SNAPSHOT_VERSION=(\d+)\s*$",
+                            (root / CHAOS_SCRIPT).read_text(), re.MULTILINE)
+    if not chaos_match:
+        errors.append(f"{CHAOS_SCRIPT}: missing the SNAPSHOT_VERSION=N anchor line")
+    elif int(chaos_match.group(1)) != snapshot_declared:
+        errors.append(
+            f"{CHAOS_SCRIPT}: SNAPSHOT_VERSION={chaos_match.group(1)} "
+            f"but {SNAPSHOT_IO_H} says kSnapshotFormatVersion = {snapshot_declared}")
+    snapshot_fixture = root / EVO_GOLDEN_DIR / f"engine_snapshot_v{snapshot_declared}.bin"
+    if not snapshot_fixture.is_file():
+        errors.append(
+            f"{EVO_GOLDEN_DIR}: no pinned fixture engine_snapshot_v{snapshot_declared}.bin "
+            f"for kSnapshotFormatVersion = {snapshot_declared}")
+
     return errors
 
 
@@ -200,11 +241,12 @@ def lint(root):
 # --------------------------------------------------------------------------
 
 def _copy_repo_subset(root, dest):
-    for rel in (WIRE_H, WIRE_CPP, README, SMOKE_SCRIPT):
+    for rel in (WIRE_H, WIRE_CPP, README, SMOKE_SCRIPT, SNAPSHOT_IO_H, CHAOS_SCRIPT):
         target = dest / rel
         target.parent.mkdir(parents=True, exist_ok=True)
         shutil.copyfile(root / rel, target)
     shutil.copytree(root / GOLDEN_DIR, dest / GOLDEN_DIR)
+    shutil.copytree(root / EVO_GOLDEN_DIR, dest / EVO_GOLDEN_DIR)
     (dest / TESTS_DIR / "net").mkdir(parents=True, exist_ok=True)
     for test in (root / TESTS_DIR).rglob("*_test.cpp"):
         shutil.copyfile(test, dest / TESTS_DIR / "net" / test.name)
@@ -268,6 +310,10 @@ def self_test(root):
                             "not found in wire.h")
     if snake_case("EvalBatchDone") != "eval_batch_done":
         failures.append("parser: snake_case(EvalBatchDone) broken")
+    snapshot_version = parse_snapshot_version((root / SNAPSHOT_IO_H).read_text())
+    if snapshot_version != 1:
+        failures.append(
+            f"parser: expected kSnapshotFormatVersion == 1, got {snapshot_version}")
     # Longest-prefix fixture assignment: hello_ack_v1.bin must not feed 'hello'.
     covered = assign_fixtures(["hello_ack_v1.bin"], {"hello", "hello_ack"})
     if covered["hello"] or covered["hello_ack"] != {1}:
@@ -360,6 +406,23 @@ def self_test(root):
                   lambda copy: [p.write_text(p.read_text().replace("read_genome", "read_gen0me"))
                                 for p in (copy / TESTS_DIR).rglob("*_test.cpp")],
                   "no test references both write_genome and read_genome")
+        sabotaged("snapshot version bump orphans both prose anchors",
+                  # Changing the persisted checkpoint format without touching
+                  # README or the chaos matrix must trip both anchor checks
+                  # (and the missing-fixture check for the new version).
+                  lambda copy: (copy / SNAPSHOT_IO_H).write_text(
+                      re.sub(r"kSnapshotFormatVersion\s*=\s*\d+\s*;",
+                             "kSnapshotFormatVersion = 8;",
+                             (copy / SNAPSHOT_IO_H).read_text())),
+                  f"but {SNAPSHOT_IO_H} says 8")
+        sabotaged("chaos script snapshot version drift",
+                  lambda copy: (copy / CHAOS_SCRIPT).write_text(
+                      (copy / CHAOS_SCRIPT).read_text()
+                      .replace("\nSNAPSHOT_VERSION=", "\nSNAPSHOT_VERSION=9")),
+                  "SNAPSHOT_VERSION=9")
+        sabotaged("missing engine snapshot fixture",
+                  lambda copy: (copy / EVO_GOLDEN_DIR / "engine_snapshot_v1.bin").unlink(),
+                  "no pinned fixture engine_snapshot_v1.bin")
 
     return failures
 

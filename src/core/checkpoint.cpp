@@ -1,0 +1,351 @@
+#include "core/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "nn/activation.h"
+#include "util/logging.h"
+
+namespace ecad::core {
+
+using util::SnapshotError;
+using util::SnapshotReader;
+using util::SnapshotWriter;
+
+// ---------------------------------------------------------------------------
+// SearchRequest codec
+// ---------------------------------------------------------------------------
+
+void write_search_request_snapshot(SnapshotWriter& writer, const SearchRequest& request) {
+  const evo::SearchSpace& space = request.space;
+  writer.put_u64(space.min_hidden_layers);
+  writer.put_u64(space.max_hidden_layers);
+  writer.put_size_vector(space.width_choices);
+  if (space.activations.size() > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: activation list exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(space.activations.size()));
+  for (nn::Activation activation : space.activations) {
+    writer.put_string(std::string(nn::to_string(activation)));
+  }
+  writer.put_bool(space.allow_no_bias);
+  writer.put_size_vector(space.grid.row_choices);
+  writer.put_size_vector(space.grid.col_choices);
+  writer.put_size_vector(space.grid.vec_choices);
+  writer.put_size_vector(space.grid.interleave_choices);
+  writer.put_bool(space.search_hardware);
+
+  const evo::EvolutionConfig& evolution = request.evolution;
+  writer.put_u64(evolution.population_size);
+  writer.put_u64(evolution.max_evaluations);
+  writer.put_u64(evolution.tournament_size);
+  writer.put_f64(evolution.crossover_probability);
+  writer.put_f64(evolution.mutation_strength);
+  writer.put_u64(evolution.dedup_attempts);
+  writer.put_u64(evolution.batch_size);
+  writer.put_bool(evolution.overlap_generations);
+  writer.put_u64(evolution.max_inflight_batches);
+
+  writer.put_string(request.fitness);
+  writer.put_u64(request.seed);
+  writer.put_u64(request.threads);
+}
+
+SearchRequest read_search_request_snapshot(SnapshotReader& reader) {
+  SearchRequest request;
+  evo::SearchSpace& space = request.space;
+  space.min_hidden_layers = static_cast<std::size_t>(reader.get_u64());
+  space.max_hidden_layers = static_cast<std::size_t>(reader.get_u64());
+  space.width_choices = reader.get_size_vector();
+  const std::uint32_t activation_count = reader.get_u32();
+  if (activation_count > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: activation list length exceeds the limit");
+  }
+  space.activations.clear();
+  space.activations.reserve(activation_count);
+  for (std::uint32_t i = 0; i < activation_count; ++i) {
+    try {
+      space.activations.push_back(nn::activation_from_name(reader.get_string()));
+    } catch (const std::invalid_argument& e) {
+      throw SnapshotError(std::string("snapshot: ") + e.what());
+    }
+  }
+  space.allow_no_bias = reader.get_bool();
+  space.grid.row_choices = reader.get_size_vector();
+  space.grid.col_choices = reader.get_size_vector();
+  space.grid.vec_choices = reader.get_size_vector();
+  space.grid.interleave_choices = reader.get_size_vector();
+  space.search_hardware = reader.get_bool();
+
+  evo::EvolutionConfig& evolution = request.evolution;
+  evolution.population_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.max_evaluations = static_cast<std::size_t>(reader.get_u64());
+  evolution.tournament_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.crossover_probability = reader.get_f64();
+  evolution.mutation_strength = reader.get_f64();
+  evolution.dedup_attempts = static_cast<std::size_t>(reader.get_u64());
+  evolution.batch_size = static_cast<std::size_t>(reader.get_u64());
+  evolution.overlap_generations = reader.get_bool();
+  evolution.max_inflight_batches = static_cast<std::size_t>(reader.get_u64());
+
+  request.fitness = reader.get_string();
+  request.seed = reader.get_u64();
+  request.threads = static_cast<std::size_t>(reader.get_u64());
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file codec + paths
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_checkpoint(const SearchCheckpoint& checkpoint) {
+  SnapshotWriter writer;
+  writer.put_u32(kCheckpointMagic);
+  writer.put_u32(util::kSnapshotFormatVersion);
+  writer.put_u64(checkpoint.search_id);
+  write_search_request_snapshot(writer, checkpoint.request);
+  evo::write_engine_snapshot(writer, checkpoint.snapshot);
+  return writer.take();
+}
+
+SearchCheckpoint deserialize_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  SnapshotReader reader(bytes);
+  if (reader.get_u32() != kCheckpointMagic) {
+    throw SnapshotError("snapshot: bad magic (not a search checkpoint)");
+  }
+  const std::uint32_t version = reader.get_u32();
+  if (version != util::kSnapshotFormatVersion) {
+    throw SnapshotError("snapshot: checkpoint format version " + std::to_string(version) +
+                        " is not supported (expected " +
+                        std::to_string(util::kSnapshotFormatVersion) + ")");
+  }
+  SearchCheckpoint checkpoint;
+  checkpoint.search_id = reader.get_u64();
+  checkpoint.request = read_search_request_snapshot(reader);
+  checkpoint.snapshot = evo::read_engine_snapshot(reader);
+  reader.expect_end();
+  return checkpoint;
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t search_id) {
+  return dir + "/search_" + std::to_string(search_id) + ".ckpt";
+}
+
+std::string done_marker_path(const std::string& dir, std::uint64_t search_id) {
+  return dir + "/search_" + std::to_string(search_id) + ".done";
+}
+
+void ensure_checkpoint_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw SnapshotError("snapshot: cannot create checkpoint dir '" + dir +
+                        "': " + std::strerror(errno));
+  }
+  if (::access(dir.c_str(), W_OK) != 0) {
+    throw SnapshotError("snapshot: checkpoint dir '" + dir + "' is not writable");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+// ---------------------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(std::string dir, std::uint64_t search_id,
+                                   SearchRequest request, std::size_t every)
+    : dir_(std::move(dir)),
+      search_id_(search_id),
+      request_(std::move(request)),
+      every_(every == 0 ? 1 : every) {}
+
+void CheckpointWriter::write(const evo::EngineSnapshot& snapshot) {
+  // Boundary 0 (the scored initial population) always persists: it is the
+  // cheapest point to save and the one that rescues the most work (the whole
+  // initial evaluation) after an early kill.
+  const std::size_t boundary = boundaries_seen_++;
+  if (boundary != 0 && boundary % every_ != 0) return;
+  SearchCheckpoint checkpoint;
+  checkpoint.search_id = search_id_;
+  checkpoint.request = request_;
+  checkpoint.snapshot = snapshot;
+  util::write_file_atomic(checkpoint_path(dir_, search_id_), serialize_checkpoint(checkpoint),
+                          "checkpoint");
+}
+
+void CheckpointWriter::mark_done() {
+  // Marker first, checkpoint unlink second: if the process dies between the
+  // two, the stale checkpoint is masked by the marker instead of resurrecting
+  // a finished search.
+  util::write_file_atomic(done_marker_path(dir_, search_id_), {});
+  ::unlink(checkpoint_path(dir_, search_id_).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// SubmissionJournal
+// ---------------------------------------------------------------------------
+
+std::string SubmissionJournal::journal_path(const std::string& dir) {
+  return dir + "/journal.bin";
+}
+
+SubmissionJournal::SubmissionJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw SnapshotError("snapshot: cannot open journal '" + path_ +
+                        "': " + std::strerror(errno));
+  }
+}
+
+SubmissionJournal::~SubmissionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SubmissionJournal::append(std::uint64_t search_id, const SearchRequest& request) {
+  SnapshotWriter payload;
+  payload.put_u64(search_id);
+  write_search_request_snapshot(payload, request);
+
+  SnapshotWriter entry;
+  entry.put_u32(kJournalMagic);
+  entry.put_u32(static_cast<std::uint32_t>(payload.bytes().size()));
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  std::vector<std::uint8_t> bytes = entry.take();
+  bytes.insert(bytes.end(), body.begin(), body.end());
+
+  const std::uint8_t* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t wrote = ::write(fd_, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw SnapshotError("snapshot: journal append failed: " + std::string(std::strerror(errno)));
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd_) != 0) {
+    throw SnapshotError("snapshot: journal fsync failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+std::vector<SubmissionJournal::Entry> SubmissionJournal::load(const std::string& path) {
+  std::vector<Entry> entries;
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = util::read_file_bytes(path);
+  } catch (const SnapshotError&) {
+    return entries;  // no journal yet
+  }
+  SnapshotReader reader(bytes);
+  while (reader.remaining() > 0) {
+    // A torn tail — the crash happened mid-append — is expected and simply
+    // ends the replay; anything complete before it is kept.
+    try {
+      if (reader.get_u32() != kJournalMagic) break;
+      const std::uint32_t length = reader.get_u32();
+      if (length > reader.remaining()) break;  // torn payload
+      const std::size_t before = reader.remaining();
+      Entry entry;
+      entry.search_id = reader.get_u64();
+      entry.request = read_search_request_snapshot(reader);
+      if (before - reader.remaining() != length) break;  // misaligned entry
+      entries.push_back(std::move(entry));
+    } catch (const SnapshotError&) {
+      break;
+    }
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Resume scan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool file_exists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
+
+/// Parse "search_<id>.ckpt" -> id; 0 when the name does not match.
+std::uint64_t checkpoint_id_from_name(const std::string& name) {
+  const std::string prefix = "search_";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return 0;
+  const std::string digits = name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) return 0;
+  try {
+    return std::stoull(digits);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<ResumableSearch> scan_checkpoint_dir(const std::string& dir) {
+  // Journal first: it names every accepted search, including ones that never
+  // reached their first checkpoint.
+  std::map<std::uint64_t, SearchRequest> journaled;
+  for (SubmissionJournal::Entry& entry : SubmissionJournal::load(SubmissionJournal::journal_path(dir))) {
+    journaled[entry.search_id] = std::move(entry.request);
+  }
+
+  std::vector<std::uint64_t> checkpoint_ids;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::uint64_t id = checkpoint_id_from_name(entry->d_name);
+      if (id != 0) checkpoint_ids.push_back(id);
+    }
+    ::closedir(handle);
+  }
+
+  // Union of both sources, deduplicated; the sort (not directory-entry
+  // order!) makes FairShareGate re-admission deterministic.
+  std::vector<std::uint64_t> ids = checkpoint_ids;
+  for (const auto& [id, request] : journaled) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::vector<ResumableSearch> out;
+  for (std::uint64_t id : ids) {
+    if (file_exists(done_marker_path(dir, id))) continue;  // finished in a past life
+    ResumableSearch resumable;
+    resumable.search_id = id;
+    const std::string path = checkpoint_path(dir, id);
+    bool have_request = false;
+    if (file_exists(path)) {
+      try {
+        SearchCheckpoint checkpoint = deserialize_checkpoint(util::read_file_bytes(path));
+        if (checkpoint.search_id != id) {
+          throw SnapshotError("snapshot: checkpoint names search " +
+                              std::to_string(checkpoint.search_id) + " but the file is for " +
+                              std::to_string(id));
+        }
+        resumable.request = std::move(checkpoint.request);
+        resumable.snapshot = std::move(checkpoint.snapshot);
+        resumable.has_snapshot = true;
+        have_request = true;
+      } catch (const SnapshotError& e) {
+        util::Log(util::LogLevel::Warn, "core")
+            << "ignoring unusable checkpoint '" << path << "': " << e.what();
+      }
+    }
+    if (!have_request) {
+      auto it = journaled.find(id);
+      if (it == journaled.end()) continue;  // corrupt checkpoint, no journal entry
+      resumable.request = it->second;
+      resumable.has_snapshot = false;
+    }
+    out.push_back(std::move(resumable));
+  }
+  return out;
+}
+
+}  // namespace ecad::core

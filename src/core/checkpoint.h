@@ -1,0 +1,133 @@
+// Crash-safe persistence for searches: per-search checkpoint files, a
+// persistent submission journal, and the directory scan `--resume` runs.
+//
+// On-disk layout under a checkpoint dir:
+//   search_<id>.ckpt  — atomic snapshot (magic + format version + search id
+//                       + SearchRequest + evo::EngineSnapshot), rewritten at
+//                       generation boundaries via tmp+fsync+rename, so a
+//                       reader only ever sees a complete snapshot.
+//   search_<id>.done  — terminal marker: the search completed (or failed, or
+//                       was canceled by its client) and must not be resumed.
+//   journal.bin       — append-only submission journal: every accepted
+//                       SubmitSearch is recorded before it is acknowledged,
+//                       so queued-but-unstarted searches survive a daemon
+//                       kill.  Torn tails (a crash mid-append) are ignored.
+//
+// All codecs ride util::kSnapshotFormatVersion; loaders throw
+// util::SnapshotError on malformed bytes and the scan degrades per-search
+// (a corrupt checkpoint falls back to the journaled request) instead of
+// refusing to start the daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/master.h"
+#include "evo/snapshot.h"
+#include "util/snapshot_io.h"
+
+namespace ecad::core {
+
+/// Magic prefix of a checkpoint file ("ECCK") and a journal file ("ECJL").
+inline constexpr std::uint32_t kCheckpointMagic = 0x4b434345u;
+inline constexpr std::uint32_t kJournalMagic = 0x4c4a4345u;
+
+/// SearchRequest codec (field order mirrors the wire's SubmitSearch payload
+/// so the two stay reviewable side by side).
+void write_search_request_snapshot(util::SnapshotWriter& writer, const SearchRequest& request);
+SearchRequest read_search_request_snapshot(util::SnapshotReader& reader);
+
+/// One resumable search on disk.
+struct SearchCheckpoint {
+  std::uint64_t search_id = 0;
+  SearchRequest request;
+  evo::EngineSnapshot snapshot;
+};
+
+std::vector<std::uint8_t> serialize_checkpoint(const SearchCheckpoint& checkpoint);
+/// Throws util::SnapshotError on malformed/truncated/version-mismatched bytes.
+SearchCheckpoint deserialize_checkpoint(const std::vector<std::uint8_t>& bytes);
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t search_id);
+std::string done_marker_path(const std::string& dir, std::uint64_t search_id);
+
+/// Create `dir` if missing (parents not created). Throws util::SnapshotError
+/// when the directory cannot be created or is not writable.
+void ensure_checkpoint_dir(const std::string& dir);
+
+/// Per-search checkpoint sink: persists every `every`-th engine snapshot
+/// atomically (crash label "checkpoint", so ECAD_CRASH_AFTER can kill the
+/// process at the torn-tmp or post-rename instant), and drops the terminal
+/// marker when the search finishes.
+class CheckpointWriter {
+ public:
+  /// `every` == N persists every Nth boundary (minimum 1).
+  CheckpointWriter(std::string dir, std::uint64_t search_id, SearchRequest request,
+                   std::size_t every = 1);
+
+  /// Maybe-persist one engine snapshot (throttled by `every`).
+  void write(const evo::EngineSnapshot& snapshot);
+
+  /// Terminal: write search_<id>.done and remove the checkpoint so a resume
+  /// scan skips this search forever.
+  void mark_done();
+
+ private:
+  std::string dir_;
+  std::uint64_t search_id_ = 0;
+  SearchRequest request_;
+  std::size_t every_ = 1;
+  std::size_t boundaries_seen_ = 0;
+};
+
+/// Append-only journal of accepted submissions.  The writer fsyncs each
+/// entry before submit() acknowledges, so an accepted search is never lost;
+/// load() stops silently at a torn tail (crash mid-append).
+class SubmissionJournal {
+ public:
+  struct Entry {
+    std::uint64_t search_id = 0;
+    SearchRequest request;
+  };
+
+  /// Opens (creates) `path` for appending. Throws util::SnapshotError.
+  explicit SubmissionJournal(std::string path);
+  ~SubmissionJournal();
+
+  SubmissionJournal(const SubmissionJournal&) = delete;
+  SubmissionJournal& operator=(const SubmissionJournal&) = delete;
+
+  /// Durably append one accepted submission.
+  void append(std::uint64_t search_id, const SearchRequest& request);
+
+  /// Read every complete entry; a missing file yields {}.  Malformed entries
+  /// after a valid prefix (torn tail) are ignored.
+  static std::vector<Entry> load(const std::string& path);
+
+  static std::string journal_path(const std::string& dir);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// One search the resume scan decided to re-admit.
+struct ResumableSearch {
+  std::uint64_t search_id = 0;
+  SearchRequest request;
+  /// True: `snapshot` holds mid-search state to resume from.  False: the
+  /// search was journaled but never checkpointed (queued or just started) —
+  /// re-admit it from scratch.
+  bool has_snapshot = false;
+  evo::EngineSnapshot snapshot;
+};
+
+/// Scan a checkpoint dir for unfinished searches: pair journal entries with
+/// checkpoint files, skip anything with a .done marker, report corrupt
+/// checkpoints (falling back to the journaled request when available), and
+/// return the survivors **sorted by search id** so FairShareGate
+/// re-admission order is deterministic regardless of directory-entry order.
+std::vector<ResumableSearch> scan_checkpoint_dir(const std::string& dir);
+
+}  // namespace ecad::core

@@ -1,8 +1,12 @@
 #include "core/master.h"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/eval_pipeline.h"
+#include "util/logging.h"
 
 namespace ecad::core {
 
@@ -24,12 +28,62 @@ evo::EvolutionEngine::BatchEvaluator make_search_evaluator(const Worker& worker)
 }
 
 evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request) const {
+  return search(worker, request, CheckpointOptions{});
+}
+
+// One-shot searches checkpoint as search id 1 — the same layout the
+// scheduler uses for tenant 1, so resume_search and the service scan share
+// one format.
+static constexpr std::uint64_t kOneShotSearchId = 1;
+
+evo::EvolutionResult Master::search(const Worker& worker, const SearchRequest& request,
+                                    const CheckpointOptions& checkpoint) const {
   const auto& fitness = registry_.get(request.fitness);
   evo::EvolutionEngine engine(request.space, request.evolution, make_search_evaluator(worker),
                               fitness);
+  std::unique_ptr<CheckpointWriter> writer;
+  if (checkpoint.enabled()) {
+    ensure_checkpoint_dir(checkpoint.dir);
+    writer = std::make_unique<CheckpointWriter>(checkpoint.dir, kOneShotSearchId, request,
+                                                checkpoint.every);
+    engine.set_checkpoint_sink(
+        [&writer](const evo::EngineSnapshot& snapshot) { writer->write(snapshot); });
+  }
   util::Rng rng(request.seed);
   util::ThreadPool pool(request.threads);
-  return engine.run(rng, pool);
+  evo::EvolutionResult result = engine.run(rng, pool);
+  if (writer) writer->mark_done();
+  return result;
+}
+
+evo::EvolutionResult Master::resume_search(const Worker& worker,
+                                           const CheckpointOptions& checkpoint,
+                                           SearchRequest* loaded_request) const {
+  std::vector<ResumableSearch> resumable = scan_checkpoint_dir(checkpoint.dir);
+  // Lowest id wins: one-shot runs only ever write id 1, and a directory with
+  // several tenants resumes deterministically.
+  auto it = std::find_if(resumable.begin(), resumable.end(),
+                         [](const ResumableSearch& entry) { return entry.has_snapshot; });
+  if (it == resumable.end()) {
+    throw std::runtime_error("no resumable checkpoint under '" + checkpoint.dir + "'");
+  }
+  const ResumableSearch& entry = *it;
+  if (loaded_request != nullptr) *loaded_request = entry.request;
+  util::Log(util::LogLevel::Info, "core")
+      << "resuming search " << entry.search_id << " from '" << checkpoint.dir << "' at generation "
+      << entry.snapshot.generation;
+
+  const auto& fitness = registry_.get(entry.request.fitness);
+  evo::EvolutionEngine engine(entry.request.space, entry.request.evolution,
+                              make_search_evaluator(worker), fitness);
+  CheckpointWriter writer(checkpoint.dir, entry.search_id, entry.request, checkpoint.every);
+  engine.set_checkpoint_sink(
+      [&writer](const evo::EngineSnapshot& snapshot) { writer.write(snapshot); });
+  util::Rng rng(entry.request.seed);
+  util::ThreadPool pool(entry.request.threads);
+  evo::EvolutionResult result = engine.resume(entry.snapshot, rng, pool);
+  writer.mark_done();
+  return result;
 }
 
 std::vector<evo::Candidate> Master::pareto_candidates(const std::vector<evo::Candidate>& history,

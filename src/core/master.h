@@ -23,6 +23,19 @@ struct SearchRequest {
   std::size_t threads = 0;  // 0 = hardware concurrency
 };
 
+/// Crash-safety knobs shared by Master::search and the scheduler (see
+/// core/checkpoint.h for the on-disk format).
+struct CheckpointOptions {
+  /// Directory for search_<id>.ckpt files; empty disables checkpointing.
+  std::string dir;
+  /// Persist every Nth generation boundary (1 = all; boundary 0 always
+  /// persists).  Larger values trade re-done work after a crash for less
+  /// fsync traffic on short generations.
+  std::size_t every = 1;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
 /// The batch evaluator every search dispatches through: generation-sized
 /// chunks flow through a full EvalPipeline (dedup -> fleet cache ->
 /// dispatch; see core/eval_pipeline.h), and failed slots are annotated with
@@ -42,6 +55,20 @@ class Master {
   /// Run one evolutionary search with `worker` as the evaluation backend.
   /// Throws std::out_of_range for unknown fitness names.
   evo::EvolutionResult search(const Worker& worker, const SearchRequest& request) const;
+
+  /// Same search, checkpointing engine state under `checkpoint.dir` (search
+  /// id 1, the one-shot convention) so a killed process can resume_search().
+  evo::EvolutionResult search(const Worker& worker, const SearchRequest& request,
+                              const CheckpointOptions& checkpoint) const;
+
+  /// Continue the one-shot search persisted under `checkpoint.dir`.  Loads
+  /// the newest resumable checkpoint (lowest search id), restores the
+  /// request embedded in it (`loaded_request`, optional out), and runs to
+  /// completion — bit-identical to the uninterrupted run.  Checkpointing
+  /// continues during the resumed run.  Throws std::runtime_error when the
+  /// directory holds nothing resumable.
+  evo::EvolutionResult resume_search(const Worker& worker, const CheckpointOptions& checkpoint,
+                                     SearchRequest* loaded_request = nullptr) const;
 
   /// Pareto front of a search history over the given metrics (Table IV,
   /// Figs. 2/4 post-processing).

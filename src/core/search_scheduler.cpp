@@ -119,6 +119,11 @@ SearchScheduler::SearchScheduler(const Worker& worker, SearchSchedulerOptions op
       registry_(evo::FitnessRegistry::with_builtins()),
       gate_(options.dispatch_slots) {
   if (options_.max_concurrent_searches == 0) options_.max_concurrent_searches = 1;
+  if (options_.checkpoint.enabled()) {
+    ensure_checkpoint_dir(options_.checkpoint.dir);
+    journal_ = std::make_unique<SubmissionJournal>(
+        SubmissionJournal::journal_path(options_.checkpoint.dir));
+  }
   runners_.reserve(options_.max_concurrent_searches);
   for (std::size_t i = 0; i < options_.max_concurrent_searches; ++i) {
     runners_.emplace_back([this] { runner_loop(); });
@@ -142,19 +147,58 @@ std::uint64_t SearchScheduler::submit(SearchRequest request, ProgressFn on_progr
   search->request = std::move(request);
   search->on_progress = std::move(on_progress);
   search->on_done = std::move(on_done);
-  const std::uint64_t budget = search->request.evolution.max_evaluations;
+  return enqueue(std::move(search), /*journal=*/true);
+}
+
+std::uint64_t SearchScheduler::resume_submit(const ResumableSearch& resumable,
+                                             ProgressFn on_progress, DoneFn on_done) {
+  registry_.get(resumable.request.fitness);
+  auto search = std::make_shared<Search>();
+  search->id = resumable.search_id;
+  search->request = resumable.request;
+  search->on_progress = std::move(on_progress);
+  search->on_done = std::move(on_done);
+  if (resumable.has_snapshot) {
+    search->resume_from = std::make_shared<evo::EngineSnapshot>(resumable.snapshot);
+  }
+  // Already journaled by the process that accepted it.
+  return enqueue(std::move(search), /*journal=*/false);
+}
+
+std::uint64_t SearchScheduler::enqueue(std::shared_ptr<Search> search, bool journal) {
   std::uint64_t id = 0;
+  std::uint64_t budget = search->request.evolution.max_evaluations;
+  if (search->resume_from) {
+    const std::uint64_t spent = search->resume_from->models_evaluated;
+    budget = budget > spent ? budget - spent : 0;
+  }
   {
     util::MutexLock lock(mutex_);
     if (draining_) throw std::runtime_error("scheduler is draining; rejecting new searches");
-    id = next_id_++;
-    search->id = id;
+    if (search->id != 0) {
+      // Resumed search: keep its original id, never reuse it for new work.
+      id = search->id;
+      if (searches_.count(id) != 0) {
+        throw std::runtime_error("search id " + std::to_string(id) + " is already registered");
+      }
+      next_id_ = std::max(next_id_, id + 1);
+    } else {
+      id = next_id_++;
+      search->id = id;
+    }
+    // Journal before the id escapes this process: once submit() returns (and
+    // the SearchAccepted frame goes out), a daemon kill must not lose the
+    // accepted search.  The append is durable (fsync) and under the mutex,
+    // so journal order matches id order.
+    if (journal && journal_) journal_->append(id, search->request);
     searches_.emplace(id, search);
+    // Equal stride weights: fairness is per-batch round-robin, with the
+    // remaining-budget tiebreak deciding turn order within a round.  The
+    // gate must learn the id before the search is poppable: a runner that
+    // reaches acquire() first would read "unregistered" as "canceled".
+    gate_.add(id, 1.0, budget);
     queue_.push_back(std::move(search));
   }
-  // Equal stride weights: fairness is per-batch round-robin, with the
-  // remaining-budget tiebreak deciding turn order within a round.
-  gate_.add(id, 1.0, budget);
   work_cv_.notify_one();
   return id;
 }
@@ -254,17 +298,34 @@ SearchOutcome SearchScheduler::run_one(Search& search) {
   util::TraceSpan span("core", "search " + std::to_string(search.id));
   SearchOutcome outcome;
   outcome.search_id = search.id;
+  std::unique_ptr<CheckpointWriter> writer;
+  if (options_.checkpoint.enabled()) {
+    writer = std::make_unique<CheckpointWriter>(options_.checkpoint.dir, search.id,
+                                                search.request, options_.checkpoint.every);
+  }
+  // Terminal bookkeeping: everything except a drain-cancel drops the .done
+  // marker (a drained search is exactly what --resume must pick back up; a
+  // client cancel, completion, or failure must never be re-admitted).
+  const auto seal_unless_drain_resumable = [&] {
+    if (!writer) return;
+    const bool drain_resumable =
+        outcome.state == SearchState::Canceled &&
+        !search.cancel_requested.load(std::memory_order_acquire);
+    if (!drain_resumable) writer->mark_done();
+  };
   try {
     if (search.cancel_requested.load(std::memory_order_acquire)) {
       gate_.remove(search.id);
       outcome.state = SearchState::Canceled;
       outcome.message = cancel_reason_for(search);
+      seal_unless_drain_resumable();
       return outcome;
     }
     if (draining()) {  // was queued when the drain started
       gate_.remove(search.id);
       outcome.state = SearchState::Canceled;
       outcome.message = "daemon draining";
+      seal_unless_drain_resumable();
       return outcome;
     }
     const auto& fitness = registry_.get(search.request.fitness);
@@ -295,9 +356,14 @@ SearchOutcome SearchScheduler::run_one(Search& search) {
       if (!keep) stopped_early = true;
       return keep;
     });
+    if (writer) {
+      engine.set_checkpoint_sink(
+          [&writer](const evo::EngineSnapshot& snapshot) { writer->write(snapshot); });
+    }
     util::Rng rng(search.request.seed);
     util::ThreadPool pool(search.request.threads);
-    evo::EvolutionResult result = engine.run(rng, pool);
+    evo::EvolutionResult result = search.resume_from ? engine.resume(*search.resume_from, rng, pool)
+                                                     : engine.run(rng, pool);
     gate_.remove(search.id);
     if (search.cancel_requested.load(std::memory_order_acquire)) {
       outcome.state = SearchState::Canceled;
@@ -321,6 +387,7 @@ SearchOutcome SearchScheduler::run_one(Search& search) {
     outcome.state = SearchState::Failed;
     outcome.message = e.what();
   }
+  seal_unless_drain_resumable();
   util::Log(util::LogLevel::Info, "core")
       << "search " << search.id << ' ' << to_string(outcome.state)
       << (outcome.message.empty() ? "" : (": " + outcome.message));

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/master.h"
 #include "core/worker.h"
 #include "util/mutex.h"
@@ -148,6 +149,12 @@ struct SearchSchedulerOptions {
   /// slots).  With slots < runners, searches contend and the stride
   /// discipline decides who dispatches next.
   std::size_t dispatch_slots = 2;
+  /// Crash safety (see core/checkpoint.h): with a directory set, every
+  /// accepted submission is journaled durably before it is acknowledged,
+  /// each running search checkpoints its engine at generation boundaries,
+  /// and terminal searches drop .done markers.  resume_submit() re-admits
+  /// what a dead daemon left behind.
+  CheckpointOptions checkpoint;
 };
 
 /// Runs submitted searches over one shared evaluation backend.  Each
@@ -180,6 +187,15 @@ class SearchScheduler {
   std::uint64_t submit(SearchRequest request, ProgressFn on_progress, DoneFn on_done)
       ECAD_EXCLUDES(mutex_);
 
+  /// Re-admit a search found by scan_checkpoint_dir() under its original id
+  /// (future submits allocate past it).  With a snapshot the engine resumes
+  /// mid-trajectory; without one the search restarts from scratch.  The
+  /// submission is NOT re-journaled (its entry already exists).  Call before
+  /// serving new submissions, in scan order, so FairShareGate admission
+  /// order is deterministic.
+  std::uint64_t resume_submit(const ResumableSearch& resumable, ProgressFn on_progress,
+                              DoneFn on_done) ECAD_EXCLUDES(mutex_);
+
   /// Request cancellation.  A queued search dies before dispatching
   /// anything; a running one stops at its next generation boundary (or
   /// when its next batch hits the gate), folds batches already in flight,
@@ -210,6 +226,8 @@ class SearchScheduler {
     SearchRequest request;
     ProgressFn on_progress;
     DoneFn on_done;
+    /// Set on resume_submit: mid-search state to continue from.
+    std::shared_ptr<evo::EngineSnapshot> resume_from;
     std::atomic<bool> cancel_requested{false};
     // Guarded by the scheduler's mutex_ (not annotatable from a nested
     // struct; every access site takes the lock).
@@ -219,6 +237,8 @@ class SearchScheduler {
 
   void runner_loop() ECAD_EXCLUDES(mutex_);
   SearchOutcome run_one(Search& search) ECAD_EXCLUDES(mutex_);
+  /// Shared admission tail of submit()/resume_submit().
+  std::uint64_t enqueue(std::shared_ptr<Search> search, bool journal) ECAD_EXCLUDES(mutex_);
   void emit_progress(Search& search, std::uint32_t generation,
                      const std::vector<evo::Candidate>& population,
                      const std::vector<evo::Candidate>& history, std::size_t models_evaluated);
@@ -232,6 +252,10 @@ class SearchScheduler {
   mutable util::Mutex mutex_;
   util::CondVar work_cv_;  // runners: queue gained an item, or stopping
   util::CondVar idle_cv_;  // drain/wait_idle: a search finished
+  /// Created in the constructor when checkpointing is on; append-only after
+  /// that, with its own internal synchronization point being the scheduler
+  /// mutex_ (appends happen under it in enqueue()).
+  std::unique_ptr<SubmissionJournal> journal_;
   std::deque<std::shared_ptr<Search>> queue_ ECAD_GUARDED_BY(mutex_);
   std::map<std::uint64_t, std::shared_ptr<Search>> searches_ ECAD_GUARDED_BY(mutex_);
   std::uint64_t next_id_ ECAD_GUARDED_BY(mutex_) = 1;

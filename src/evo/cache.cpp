@@ -81,4 +81,10 @@ std::size_t EvalCache::misses() const {
   return misses_;
 }
 
+void EvalCache::restore_stats(std::size_t hits, std::size_t misses) {
+  util::MutexLock lock(mutex_);
+  hits_ = hits;
+  misses_ = misses;
+}
+
 }  // namespace ecad::evo

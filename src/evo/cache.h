@@ -33,6 +33,11 @@ class EvalCache {
   std::size_t hits() const ECAD_EXCLUDES(mutex_);
   std::size_t misses() const ECAD_EXCLUDES(mutex_);
 
+  /// Checkpoint restore: overwrite the hit/miss tallies so a resumed search
+  /// reports the same dedup stats an uninterrupted run would.  Entries are
+  /// replayed separately via store().
+  void restore_stats(std::size_t hits, std::size_t misses) ECAD_EXCLUDES(mutex_);
+
  private:
   mutable util::Mutex mutex_;
   std::unordered_map<std::string, EvalResult> entries_ ECAD_GUARDED_BY(mutex_);

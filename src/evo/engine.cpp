@@ -288,9 +288,13 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
     return evaluate_generation(seeds, pool);
   }();
 
-  EvolutionResult out = config_.overlap_generations
-                            ? run_overlapped(rng, pool, std::move(population))
-                            : run_sequential(rng, pool, std::move(population));
+  std::vector<Candidate> history = population;
+  EvolutionResult out =
+      config_.overlap_generations
+          ? run_overlapped(rng, pool, std::move(population), std::move(history), 0, {},
+                           models_evaluated(), /*resumed=*/false)
+          : run_sequential(rng, pool, std::move(population), std::move(history), 0,
+                           /*resumed=*/false);
   out.stats.wall_seconds = wall.elapsed_seconds();
   {
     util::MutexLock lock(stats_mutex_);
@@ -299,16 +303,107 @@ EvolutionResult EvolutionEngine::run(util::Rng& rng, util::ThreadPool& pool) {
   return out;
 }
 
-EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool& pool,
-                                                std::vector<Candidate> population) {
+EvolutionResult EvolutionEngine::resume(const EngineSnapshot& snapshot, util::Rng& rng,
+                                        util::ThreadPool& pool) {
   util::Stopwatch wall;
-  std::vector<Candidate> history = population;
+  if (snapshot.population.empty()) {
+    throw std::invalid_argument("EvolutionEngine: snapshot has an empty population");
+  }
+  if (snapshot.history.size() < snapshot.population.size()) {
+    throw std::invalid_argument(
+        "EvolutionEngine: snapshot history is smaller than its population");
+  }
+  if (snapshot.overlap != config_.overlap_generations) {
+    throw std::invalid_argument(
+        "EvolutionEngine: snapshot mode does not match the engine config "
+        "(overlap_generations mismatch)");
+  }
+  if (!snapshot.pending.empty() && !config_.overlap_generations) {
+    throw std::invalid_argument("EvolutionEngine: sequential snapshot has in-flight batches");
+  }
+  rng.deserialize(snapshot.rng_state);
+
+  // Rebuild the dedup cache exactly as the original process had it: settled
+  // results from the history, reservation placeholders for batches that were
+  // still in flight (their keys must stay claimed so resumed breeding cannot
+  // produce twins).
+  for (const Candidate& candidate : snapshot.history) {
+    cache_.store(candidate.genome.key(), candidate.result);
+  }
+  for (const std::vector<Genome>& batch : snapshot.pending) {
+    for (const Genome& genome : batch) cache_.store(genome.key(), EvalResult{});
+  }
+  cache_.restore_stats(static_cast<std::size_t>(snapshot.cache_hits),
+                       static_cast<std::size_t>(snapshot.cache_misses));
+  {
+    util::MutexLock lock(stats_mutex_);
+    stats_.models_evaluated = static_cast<std::size_t>(snapshot.models_evaluated);
+    stats_.duplicates_skipped = static_cast<std::size_t>(snapshot.duplicates_skipped);
+    stats_.overlapped_batches = static_cast<std::size_t>(snapshot.overlapped_batches);
+    stats_.total_eval_seconds = snapshot.total_eval_seconds;
+  }
+
+  util::Log(util::LogLevel::Info, "evo")
+      << "resuming search at generation " << snapshot.generation << " ("
+      << snapshot.models_evaluated << " models evaluated, " << snapshot.pending.size()
+      << " batches in flight)";
+
+  EvolutionResult out =
+      config_.overlap_generations
+          ? run_overlapped(rng, pool, snapshot.population, snapshot.history,
+                           static_cast<std::size_t>(snapshot.generation), snapshot.pending,
+                           static_cast<std::size_t>(snapshot.submitted), /*resumed=*/true)
+          : run_sequential(rng, pool, snapshot.population, snapshot.history,
+                           static_cast<std::size_t>(snapshot.generation), /*resumed=*/true);
+  out.stats.wall_seconds = wall.elapsed_seconds();
+  {
+    util::MutexLock lock(stats_mutex_);
+    stats_.wall_seconds = out.stats.wall_seconds;
+  }
+  return out;
+}
+
+void EvolutionEngine::emit_checkpoint(const util::Rng& rng, std::size_t generation,
+                                      std::size_t submitted,
+                                      const std::vector<Candidate>& population,
+                                      const std::vector<Candidate>& history,
+                                      std::vector<std::vector<Genome>> pending) {
+  if (!checkpoint_) return;
+  EngineSnapshot snapshot;
+  snapshot.rng_state = rng.serialize();
+  snapshot.overlap = config_.overlap_generations;
+  snapshot.generation = generation;
+  snapshot.submitted = submitted;
+  snapshot.population = population;
+  snapshot.history = history;
+  snapshot.pending = std::move(pending);
+  {
+    util::MutexLock lock(stats_mutex_);
+    snapshot.models_evaluated = stats_.models_evaluated;
+    snapshot.duplicates_skipped = stats_.duplicates_skipped;
+    snapshot.overlapped_batches = stats_.overlapped_batches;
+    snapshot.total_eval_seconds = stats_.total_eval_seconds;
+  }
+  snapshot.cache_hits = cache_.hits();
+  snapshot.cache_misses = cache_.misses();
+  checkpoint_(snapshot);
+}
+
+EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool& pool,
+                                                std::vector<Candidate> population,
+                                                std::vector<Candidate> history,
+                                                std::size_t start_generation, bool resumed) {
+  util::Stopwatch wall;
 
   const std::size_t batch =
       config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
 
-  std::size_t generation = 0;
-  bool keep_going = notify_progress(generation, population, history);
+  std::size_t generation = start_generation;
+  bool keep_going = true;
+  if (!resumed) {
+    keep_going = notify_progress(generation, population, history);
+    emit_checkpoint(rng, generation, models_evaluated(), population, history, {});
+  }
 
   while (keep_going) {
     // The budget check was an unlocked read of a stats_mutex_-guarded field
@@ -326,15 +421,19 @@ EvolutionResult EvolutionEngine::run_sequential(util::Rng& rng, util::ThreadPool
     std::vector<Candidate> evaluated = evaluate_generation(offspring, pool);
     replace_into(std::move(evaluated), population, history, rng);
     keep_going = notify_progress(++generation, population, history);
+    emit_checkpoint(rng, generation, models_evaluated(), population, history, {});
   }
 
   return finalize(std::move(population), std::move(history), wall.elapsed_seconds());
 }
 
 EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool& pool,
-                                                std::vector<Candidate> population) {
+                                                std::vector<Candidate> population,
+                                                std::vector<Candidate> history,
+                                                std::size_t start_generation,
+                                                std::vector<std::vector<Genome>> pending,
+                                                std::size_t submitted_start, bool resumed) {
   util::Stopwatch wall;
-  std::vector<Candidate> history = population;
 
   const std::size_t batch =
       config_.batch_size == 0 ? std::max<std::size_t>(1, pool.size()) : config_.batch_size;
@@ -347,13 +446,37 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
   };
   std::deque<InFlight> inflight;
 
+  // Resume: re-dispatch the batches the dead process had in flight, in the
+  // original submission order, before anything new is bred.  Their genomes
+  // were bred before the snapshot (the RNG already reflects them) and their
+  // cache keys are reserved, so the continuation interleaves exactly like
+  // the uninterrupted run.
+  for (std::vector<Genome>& genomes : pending) {
+    InFlight entry;
+    entry.genomes = genomes;
+    entry.ticket = dispatcher.submit(std::move(genomes));
+    inflight.push_back(std::move(entry));
+  }
+
   // Budget accounting runs on *submitted* genomes: every submitted batch is
   // eventually folded, so models_evaluated catches up exactly, and breeding
   // ahead can never overshoot max_evaluations.
-  std::size_t submitted = models_evaluated();
+  std::size_t submitted = submitted_start;
 
-  std::size_t generation = 0;
-  bool stopped = !notify_progress(generation, population, history);
+  std::size_t generation = start_generation;
+  bool stopped = false;
+  if (!resumed) {
+    stopped = !notify_progress(generation, population, history);
+    emit_checkpoint(rng, generation, submitted, population, history, {});
+  }
+
+  // Checkpoints are only taken at folds forced by a full pipeline (and at
+  // generation 0): there the uninterrupted continuation is exactly "re-enter
+  // the main loop", which is what resume() does.  Folds in the final drain
+  // happen after a breeding decision the snapshot would not capture, so they
+  // are not persisted — resume restarts from the last main-loop boundary and
+  // deterministically re-does the tail.
+  bool persist_checkpoints = true;
 
   // Fold the oldest in-flight batch — always in submission order, at fixed
   // points in the control flow, so the RNG consumption (and therefore the
@@ -368,6 +491,12 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
         fold_outcomes(oldest.genomes, dispatcher.wait(oldest.ticket));
     replace_into(std::move(evaluated), population, history, rng);
     if (!notify_progress(++generation, population, history)) stopped = true;
+    if (persist_checkpoints && checkpoint_) {
+      std::vector<std::vector<Genome>> pending_now;
+      pending_now.reserve(inflight.size());
+      for (const InFlight& entry : inflight) pending_now.push_back(entry.genomes);
+      emit_checkpoint(rng, generation, submitted, population, history, std::move(pending_now));
+    }
   };
 
   while (true) {
@@ -390,6 +519,7 @@ EvolutionResult EvolutionEngine::run_overlapped(util::Rng& rng, util::ThreadPool
     entry.ticket = dispatcher.submit(std::move(offspring));
     inflight.push_back(std::move(entry));
   }
+  persist_checkpoints = false;
   while (!inflight.empty()) fold_oldest();
 
   return finalize(std::move(population), std::move(history), wall.elapsed_seconds());

@@ -18,9 +18,11 @@
 //    for the immediately preceding batch.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "evo/cache.h"
@@ -78,6 +80,35 @@ struct EvolutionResult {
   RunStats stats;
 };
 
+/// Complete engine state at a generation boundary — everything a fresh
+/// process needs to continue the search bit-identically (see evo/snapshot.h
+/// for the versioned binary codec).  `history` doubles as the Pareto
+/// archive: it holds every unique evaluated candidate, which is the exact
+/// input the NSGA-II / Pareto reporting paths rank.
+struct EngineSnapshot {
+  std::string rng_state;    // util::Rng::serialize() of the search stream
+  bool overlap = false;     // mode the snapshot was taken in (sanity-checked on resume)
+  std::uint64_t generation = 0;
+  /// Genomes submitted for evaluation so far — the budget spent.  Equals
+  /// models_evaluated in sequential mode; in overlapped mode it additionally
+  /// counts the `pending` batches still in flight.
+  std::uint64_t submitted = 0;
+  std::vector<Candidate> population;
+  std::vector<Candidate> history;
+  /// Overlapped mode: in-flight offspring batches in submission order.
+  /// Resume re-dispatches them before breeding anything new.
+  std::vector<std::vector<Genome>> pending;
+  // RunStats at the boundary (wall_seconds excluded: it restarts on resume
+  // and is not part of the printed record).
+  std::uint64_t models_evaluated = 0;
+  std::uint64_t duplicates_skipped = 0;
+  std::uint64_t overlapped_batches = 0;
+  double total_eval_seconds = 0.0;
+  // Dedup-cache tallies (entries are reconstructed from history + pending).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
 /// Snapshot handed to the progress observer at each generation boundary.
 /// The vectors are borrowed from the running engine and only valid for the
 /// duration of the callback.
@@ -117,6 +148,24 @@ class EvolutionEngine {
   /// the overlapped mode is deterministic for any pool width because batches
   /// fold in submission order at fixed points.
   EvolutionResult run(util::Rng& rng, util::ThreadPool& pool);
+
+  /// Continue a search from a checkpoint: restores the RNG stream (the
+  /// seed `rng` was constructed with is irrelevant), dedup cache, stats,
+  /// population, and — in overlapped mode — re-dispatches the in-flight
+  /// batches, then runs to completion.  Contract: with a deterministic
+  /// evaluator, resume produces a final record bit-identical to the
+  /// uninterrupted run the snapshot was taken from.  Throws
+  /// std::invalid_argument for snapshots inconsistent with this engine's
+  /// config (mode mismatch, empty population).
+  EvolutionResult resume(const EngineSnapshot& snapshot, util::Rng& rng, util::ThreadPool& pool);
+
+  /// Checkpoint hook, invoked on the fold thread at every generation
+  /// boundary the engine can be resumed from (after the progress observer).
+  /// The snapshot is self-contained — the sink may persist it from another
+  /// thread.  Like the observer, the sink consumes no engine RNG, so
+  /// checkpointing never perturbs the trajectory.
+  using CheckpointSink = std::function<void(const EngineSnapshot&)>;
+  void set_checkpoint_sink(CheckpointSink sink) { checkpoint_ = std::move(sink); }
 
   /// Generation-boundary hook (the search service's progress stream and
   /// cancellation point).  Called on the run() thread after the initial
@@ -161,10 +210,26 @@ class EvolutionEngine {
   void replace_into(std::vector<Candidate> evaluated, std::vector<Candidate>& population,
                     std::vector<Candidate>& history, util::Rng& rng);
 
+  /// Capture engine state and hand it to the checkpoint sink (no-op without
+  /// one).  Called only at resumable generation boundaries.
+  void emit_checkpoint(const util::Rng& rng, std::size_t generation, std::size_t submitted,
+                       const std::vector<Candidate>& population,
+                       const std::vector<Candidate>& history,
+                       std::vector<std::vector<Genome>> pending) ECAD_EXCLUDES(stats_mutex_);
+
+  /// The shared loop bodies.  Fresh runs enter with `resumed == false`
+  /// (generation 0 gets notified and checkpointed); resume() enters with the
+  /// restored state and `resumed == true` (the snapshot's boundary was
+  /// already notified in the previous life).
   EvolutionResult run_sequential(util::Rng& rng, util::ThreadPool& pool,
-                                 std::vector<Candidate> population);
+                                 std::vector<Candidate> population,
+                                 std::vector<Candidate> history, std::size_t start_generation,
+                                 bool resumed);
   EvolutionResult run_overlapped(util::Rng& rng, util::ThreadPool& pool,
-                                 std::vector<Candidate> population);
+                                 std::vector<Candidate> population, std::vector<Candidate> history,
+                                 std::size_t start_generation,
+                                 std::vector<std::vector<Genome>> pending,
+                                 std::size_t submitted_start, bool resumed);
   EvolutionResult finalize(std::vector<Candidate> population, std::vector<Candidate> history,
                            double wall_seconds);
 
@@ -176,6 +241,7 @@ class EvolutionEngine {
   BatchEvaluator evaluate_;
   Fitness fitness_;
   ProgressObserver observer_;
+  CheckpointSink checkpoint_;
   EvalCache cache_;
   mutable util::Mutex stats_mutex_;
   RunStats stats_ ECAD_GUARDED_BY(stats_mutex_);

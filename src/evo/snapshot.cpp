@@ -1,0 +1,202 @@
+#include "evo/snapshot.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "nn/activation.h"
+
+namespace ecad::evo {
+
+using util::SnapshotError;
+using util::SnapshotReader;
+using util::SnapshotWriter;
+
+namespace {
+
+// Field order mirrors the net wire codecs (activation travels by canonical
+// name, grid dimensions as u64) so the two formats stay reviewable side by
+// side, but the bytes are independent: snapshots carry their own version.
+
+nn::Activation activation_from_name_checked(const std::string& name) {
+  try {
+    return nn::activation_from_name(name);
+  } catch (const std::invalid_argument& e) {
+    throw SnapshotError(std::string("snapshot: ") + e.what());
+  }
+}
+
+void write_candidate_vector(SnapshotWriter& writer, const std::vector<Candidate>& candidates) {
+  if (candidates.size() > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: candidate list exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(candidates.size()));
+  for (const Candidate& candidate : candidates) write_candidate(writer, candidate);
+}
+
+std::vector<Candidate> read_candidate_vector(SnapshotReader& reader) {
+  const std::uint32_t count = reader.get_u32();
+  if (count > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: candidate list length exceeds the limit");
+  }
+  std::vector<Candidate> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(read_candidate(reader));
+  return out;
+}
+
+}  // namespace
+
+void write_genome(SnapshotWriter& writer, const Genome& genome) {
+  writer.put_size_vector(genome.nna.hidden);
+  writer.put_string(std::string(nn::to_string(genome.nna.activation)));
+  writer.put_bool(genome.nna.use_bias);
+  writer.put_u64(genome.grid.rows);
+  writer.put_u64(genome.grid.cols);
+  writer.put_u64(genome.grid.vec_width);
+  writer.put_u64(genome.grid.interleave_m);
+  writer.put_u64(genome.grid.interleave_n);
+}
+
+Genome read_genome(SnapshotReader& reader) {
+  Genome genome;
+  genome.nna.hidden = reader.get_size_vector();
+  genome.nna.activation = activation_from_name_checked(reader.get_string());
+  genome.nna.use_bias = reader.get_bool();
+  genome.grid.rows = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.cols = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.vec_width = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.interleave_m = static_cast<std::size_t>(reader.get_u64());
+  genome.grid.interleave_n = static_cast<std::size_t>(reader.get_u64());
+  return genome;
+}
+
+void write_eval_result(SnapshotWriter& writer, const EvalResult& result) {
+  writer.put_f64(result.accuracy);
+  writer.put_f64(result.outputs_per_second);
+  writer.put_f64(result.latency_seconds);
+  writer.put_f64(result.potential_gflops);
+  writer.put_f64(result.effective_gflops);
+  writer.put_f64(result.hw_efficiency);
+  writer.put_f64(result.power_watts);
+  writer.put_f64(result.fmax_mhz);
+  writer.put_f64(result.parameters);
+  writer.put_f64(result.flops_per_sample);
+  writer.put_f64(result.eval_seconds);
+  writer.put_bool(result.feasible);
+}
+
+EvalResult read_eval_result(SnapshotReader& reader) {
+  EvalResult result;
+  result.accuracy = reader.get_f64();
+  result.outputs_per_second = reader.get_f64();
+  result.latency_seconds = reader.get_f64();
+  result.potential_gflops = reader.get_f64();
+  result.effective_gflops = reader.get_f64();
+  result.hw_efficiency = reader.get_f64();
+  result.power_watts = reader.get_f64();
+  result.fmax_mhz = reader.get_f64();
+  result.parameters = reader.get_f64();
+  result.flops_per_sample = reader.get_f64();
+  result.eval_seconds = reader.get_f64();
+  result.feasible = reader.get_bool();
+  return result;
+}
+
+void write_candidate(SnapshotWriter& writer, const Candidate& candidate) {
+  write_genome(writer, candidate.genome);
+  write_eval_result(writer, candidate.result);
+  writer.put_f64(candidate.fitness);
+}
+
+Candidate read_candidate(SnapshotReader& reader) {
+  Candidate candidate;
+  candidate.genome = read_genome(reader);
+  candidate.result = read_eval_result(reader);
+  candidate.fitness = reader.get_f64();
+  return candidate;
+}
+
+void write_engine_snapshot(SnapshotWriter& writer, const EngineSnapshot& snapshot) {
+  writer.put_u32(kEngineSnapshotMagic);
+  writer.put_u32(util::kSnapshotFormatVersion);
+  writer.put_string(snapshot.rng_state);
+  writer.put_bool(snapshot.overlap);
+  writer.put_u64(snapshot.generation);
+  writer.put_u64(snapshot.submitted);
+  write_candidate_vector(writer, snapshot.population);
+  write_candidate_vector(writer, snapshot.history);
+  if (snapshot.pending.size() > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: pending batch list exceeds the limit");
+  }
+  writer.put_u32(static_cast<std::uint32_t>(snapshot.pending.size()));
+  for (const std::vector<Genome>& batch : snapshot.pending) {
+    if (batch.size() > util::kMaxSnapshotVectorElems) {
+      throw SnapshotError("snapshot: pending batch exceeds the limit");
+    }
+    writer.put_u32(static_cast<std::uint32_t>(batch.size()));
+    for (const Genome& genome : batch) write_genome(writer, genome);
+  }
+  writer.put_u64(snapshot.models_evaluated);
+  writer.put_u64(snapshot.duplicates_skipped);
+  writer.put_u64(snapshot.overlapped_batches);
+  writer.put_f64(snapshot.total_eval_seconds);
+  writer.put_u64(snapshot.cache_hits);
+  writer.put_u64(snapshot.cache_misses);
+}
+
+EngineSnapshot read_engine_snapshot(SnapshotReader& reader) {
+  const std::uint32_t magic = reader.get_u32();
+  if (magic != kEngineSnapshotMagic) {
+    throw SnapshotError("snapshot: bad magic (not an engine snapshot)");
+  }
+  const std::uint32_t version = reader.get_u32();
+  if (version != util::kSnapshotFormatVersion) {
+    throw SnapshotError("snapshot: format version " + std::to_string(version) +
+                        " is not supported (expected " +
+                        std::to_string(util::kSnapshotFormatVersion) + ")");
+  }
+  EngineSnapshot snapshot;
+  snapshot.rng_state = reader.get_string();
+  snapshot.overlap = reader.get_bool();
+  snapshot.generation = reader.get_u64();
+  snapshot.submitted = reader.get_u64();
+  snapshot.population = read_candidate_vector(reader);
+  snapshot.history = read_candidate_vector(reader);
+  const std::uint32_t batch_count = reader.get_u32();
+  if (batch_count > util::kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: pending batch list length exceeds the limit");
+  }
+  snapshot.pending.reserve(batch_count);
+  for (std::uint32_t i = 0; i < batch_count; ++i) {
+    const std::uint32_t batch_size = reader.get_u32();
+    if (batch_size > util::kMaxSnapshotVectorElems) {
+      throw SnapshotError("snapshot: pending batch length exceeds the limit");
+    }
+    std::vector<Genome> batch;
+    batch.reserve(batch_size);
+    for (std::uint32_t j = 0; j < batch_size; ++j) batch.push_back(read_genome(reader));
+    snapshot.pending.push_back(std::move(batch));
+  }
+  snapshot.models_evaluated = reader.get_u64();
+  snapshot.duplicates_skipped = reader.get_u64();
+  snapshot.overlapped_batches = reader.get_u64();
+  snapshot.total_eval_seconds = reader.get_f64();
+  snapshot.cache_hits = reader.get_u64();
+  snapshot.cache_misses = reader.get_u64();
+  return snapshot;
+}
+
+std::vector<std::uint8_t> serialize_engine_snapshot(const EngineSnapshot& snapshot) {
+  SnapshotWriter writer;
+  write_engine_snapshot(writer, snapshot);
+  return writer.take();
+}
+
+EngineSnapshot deserialize_engine_snapshot(const std::vector<std::uint8_t>& bytes) {
+  SnapshotReader reader(bytes);
+  EngineSnapshot snapshot = read_engine_snapshot(reader);
+  reader.expect_end();
+  return snapshot;
+}
+
+}  // namespace ecad::evo

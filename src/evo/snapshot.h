@@ -1,0 +1,48 @@
+// Versioned binary codec for EngineSnapshot (see evo/engine.h).
+//
+// Same discipline as the net wire codecs: bounds-checked little-endian
+// read/write pair, a golden fixture pinning the exact bytes
+// (tests/evo/golden/engine_snapshot_v1.bin, regenerated with
+// ECAD_REGEN_GOLDEN=1), and hard caps so a corrupt file cannot drive a giant
+// allocation.  The encoding starts with the "ECSN" magic and
+// util::kSnapshotFormatVersion; any change to the encoded bytes must bump
+// that version (lint_wire_protocol.py pins it against README).
+//
+// Deserialization throws util::SnapshotError on truncated, corrupt, or
+// version-mismatched input — loaders report and fall back, they never crash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evo/engine.h"
+#include "util/snapshot_io.h"
+
+namespace ecad::evo {
+
+/// Magic prefix of every serialized EngineSnapshot ("ECSN", little-endian).
+inline constexpr std::uint32_t kEngineSnapshotMagic = 0x4e534345u;
+
+/// Genome / result / candidate codecs are exposed so other snapshot formats
+/// (e.g. the core checkpoint file, which wraps an EngineSnapshot) can reuse
+/// the exact same byte layout.
+void write_genome(util::SnapshotWriter& writer, const Genome& genome);
+Genome read_genome(util::SnapshotReader& reader);
+void write_eval_result(util::SnapshotWriter& writer, const EvalResult& result);
+EvalResult read_eval_result(util::SnapshotReader& reader);
+void write_candidate(util::SnapshotWriter& writer, const Candidate& candidate);
+Candidate read_candidate(util::SnapshotReader& reader);
+
+/// EngineSnapshot -> bytes (magic + version + payload).
+std::vector<std::uint8_t> serialize_engine_snapshot(const EngineSnapshot& snapshot);
+
+/// Bytes -> EngineSnapshot.  Throws util::SnapshotError on any malformed
+/// input, including trailing garbage.
+EngineSnapshot deserialize_engine_snapshot(const std::vector<std::uint8_t>& bytes);
+
+/// Embedded form without the end-of-buffer check, for snapshots nested
+/// inside larger files (core checkpoint files append their own fields).
+void write_engine_snapshot(util::SnapshotWriter& writer, const EngineSnapshot& snapshot);
+EngineSnapshot read_engine_snapshot(util::SnapshotReader& reader);
+
+}  // namespace ecad::evo

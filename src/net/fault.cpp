@@ -1,0 +1,165 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace ecad::net {
+
+namespace {
+
+// splitmix64: tiny, seedable, and statistically fine for fault coin flips.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ECAD_FAULT: bad value for " + key + ": '" + value + "'");
+  }
+  if (used != value.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("ECAD_FAULT: " + key + " must be a probability in [0,1], got '" +
+                                value + "'");
+  }
+  return p;
+}
+
+void count_injected(const char* kind) {
+  util::metrics().counter(std::string("net.faults_injected_total")).add(1);
+  util::metrics()
+      .counter(util::labeled_metric("net.faults_injected", "kind", kind))
+      .add(1);
+}
+
+}  // namespace
+
+FaultConfig parse_fault_config(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& part : util::split(spec, ',')) {
+    const std::string trimmed(util::trim(part));
+    if (trimmed.empty()) continue;
+    const std::size_t colon = trimmed.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("ECAD_FAULT: expected key:value, got '" + trimmed + "'");
+    }
+    const std::string key = trimmed.substr(0, colon);
+    const std::string value = trimmed.substr(colon + 1);
+    if (key == "seed") {
+      try {
+        config.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("ECAD_FAULT: bad seed '" + value + "'");
+      }
+    } else if (key == "drop") {
+      config.drop = parse_probability(key, value);
+    } else if (key == "short_write") {
+      config.short_write = parse_probability(key, value);
+    } else if (key == "delay_ms") {
+      try {
+        config.delay_ms = std::stoi(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("ECAD_FAULT: bad delay_ms '" + value + "'");
+      }
+      if (config.delay_ms < 0) {
+        throw std::invalid_argument("ECAD_FAULT: delay_ms must be >= 0");
+      }
+    } else {
+      throw std::invalid_argument("ECAD_FAULT: unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("ECAD_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  try {
+    config_ = parse_fault_config(env);
+  } catch (const std::invalid_argument& e) {
+    util::Log(util::LogLevel::Warn, "net")
+        << "ignoring malformed ECAD_FAULT spec: " << e.what();
+    return;
+  }
+  enabled_ = config_.enabled();
+  state_ = config_.seed;
+  if (enabled_) {
+    util::Log(util::LogLevel::Warn, "net")
+        << "fault injection armed: seed=" << config_.seed << " drop=" << config_.drop
+        << " short_write=" << config_.short_write << " delay_ms=" << config_.delay_ms;
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+double FaultInjector::next_unit() {
+  // 53 random bits -> [0,1), same construction std::generate_canonical uses.
+  return static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::SendFate FaultInjector::send_fate() {
+  const char* kind = nullptr;
+  SendFate fate = SendFate::Ok;
+  {
+    util::MutexLock lock(mutex_);
+    const double roll = next_unit();
+    if (roll < config_.drop) {
+      fate = SendFate::Drop;
+      kind = "drop";
+    } else if (roll < config_.drop + config_.short_write) {
+      fate = SendFate::ShortWrite;
+      kind = "short_write";
+    }
+    if (kind != nullptr) ++injected_;
+  }
+  // Metric bump outside mutex_ (leaf-lock discipline).
+  if (kind != nullptr) count_injected(kind);
+  return fate;
+}
+
+bool FaultInjector::drop_recv() {
+  bool drop = false;
+  {
+    util::MutexLock lock(mutex_);
+    drop = next_unit() < config_.drop;
+    if (drop) ++injected_;
+  }
+  if (drop) count_injected("drop");
+  return drop;
+}
+
+void FaultInjector::maybe_delay() const {
+  if (config_.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+  }
+}
+
+std::uint64_t FaultInjector::injected() const {
+  util::MutexLock lock(mutex_);
+  return injected_;
+}
+
+void FaultInjector::configure_for_testing(const FaultConfig& config) {
+  util::MutexLock lock(mutex_);
+  config_ = config;
+  enabled_ = config.enabled();
+  state_ = config.seed;
+  injected_ = 0;
+}
+
+}  // namespace ecad::net

@@ -1,0 +1,83 @@
+// Deterministic, seeded fault injection for the socket layer.
+//
+//   ECAD_FAULT=seed:42,drop:0.05,short_write:0.02,delay_ms:3
+//
+// arms a process-wide injector consulted by Socket::send_all / recv_exact /
+// recv_some (see socket.cpp):
+//   drop:P        — with probability P the operation shuts the socket down
+//                   and throws NetError, as if the peer vanished mid-frame.
+//   short_write:P — with probability P a send transmits only a prefix of
+//                   its bytes before dying, so the peer sees a torn frame.
+//   delay_ms:D    — every faultable operation first sleeps D ms (latency
+//                   chaos; exercises timeout/straggler paths, not errors).
+//   seed:N        — PRNG seed.  The fault decision sequence is a pure
+//                   function of the seed and the order in which operations
+//                   consult the injector, so single-connection runs replay
+//                   exactly and the chaos smoke can pick seeds that are
+//                   known to complete.
+//
+// RemoteWorker's retry/cooldown/requeue machinery is expected to absorb
+// every injected fault: the chaos smoke asserts a fault-injected search
+// still produces a byte-identical record.  Unset (the default) the injector
+// is a single branch per socket op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_safety.h"
+
+namespace ecad::net {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  double short_write = 0.0;
+  int delay_ms = 0;
+
+  bool enabled() const { return drop > 0.0 || short_write > 0.0 || delay_ms > 0; }
+};
+
+/// Parse an ECAD_FAULT spec ("key:value" pairs, comma-separated).  Throws
+/// std::invalid_argument on unknown keys or unparsable values.
+FaultConfig parse_fault_config(const std::string& spec);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector; parses ECAD_FAULT on first use (a malformed
+  /// spec logs a warning and disables injection rather than killing the
+  /// daemon).
+  static FaultInjector& instance();
+
+  bool enabled() const { return enabled_; }
+
+  enum class SendFate : std::uint8_t { Ok, Drop, ShortWrite };
+
+  /// Roll the fate of one send (counts injected faults).
+  SendFate send_fate() ECAD_EXCLUDES(mutex_);
+  /// Roll whether one recv drops the connection.
+  bool drop_recv() ECAD_EXCLUDES(mutex_);
+  /// Sleep the configured delay (no-op for delay_ms 0).
+  void maybe_delay() const;
+
+  /// Faults injected so far (test/diagnostic hook; also exported as the
+  /// net.faults_injected_total metric).
+  std::uint64_t injected() const ECAD_EXCLUDES(mutex_);
+
+  /// Test hook: replace the configuration and reset the PRNG + counters.
+  void configure_for_testing(const FaultConfig& config) ECAD_EXCLUDES(mutex_);
+
+ private:
+  FaultInjector();
+
+  double next_unit() ECAD_REQUIRES(mutex_);  // uniform [0,1)
+
+  mutable util::Mutex mutex_;
+  FaultConfig config_;
+  bool enabled_ = false;  // written only at construction / configure_for_testing
+  std::uint64_t state_ ECAD_GUARDED_BY(mutex_) = 0;  // splitmix64 state
+  std::uint64_t injected_ ECAD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ecad::net

@@ -1,6 +1,8 @@
 #include "net/fleet_cache.h"
 
+#include "evo/snapshot.h"
 #include "util/metrics.h"
+#include "util/snapshot_io.h"
 
 namespace ecad::net {
 
@@ -112,6 +114,70 @@ std::size_t FleetResultCache::bytes() const {
 std::uint64_t FleetResultCache::evictions() const {
   util::MutexLock lock(mutex_);
   return evictions_;
+}
+
+std::vector<std::pair<std::uint64_t, evo::EvalResult>> FleetResultCache::export_entries() const {
+  std::vector<std::pair<std::uint64_t, evo::EvalResult>> out;
+  util::MutexLock lock(mutex_);
+  out.reserve(entries_.size());
+  // recency_ runs newest-first; walk it backwards so replaying the vector
+  // through store() (which pushes to the front) rebuilds the same order.
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    out.emplace_back(*it, entries_.at(*it).result);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_cache_entries(
+    const std::vector<std::pair<std::uint64_t, evo::EvalResult>>& entries) {
+  util::SnapshotWriter writer;
+  writer.put_u32(kCacheFileMagic);
+  writer.put_u16(util::kSnapshotFormatVersion);
+  writer.put_u64(entries.size());
+  for (const auto& [key, result] : entries) {
+    writer.put_u64(key);
+    evo::write_eval_result(writer, result);
+  }
+  return writer.take();
+}
+
+std::vector<std::pair<std::uint64_t, evo::EvalResult>> deserialize_cache_entries(
+    const std::vector<std::uint8_t>& bytes) {
+  util::SnapshotReader reader(bytes);
+  if (reader.get_u32() != kCacheFileMagic) {
+    throw util::SnapshotError("cache file: bad magic");
+  }
+  const std::uint16_t version = reader.get_u16();
+  if (version != util::kSnapshotFormatVersion) {
+    throw util::SnapshotError("cache file: unsupported format version " +
+                              std::to_string(version));
+  }
+  const std::uint64_t count = reader.get_u64();
+  if (count > util::kMaxSnapshotVectorElems) {
+    throw util::SnapshotError("cache file: entry count " + std::to_string(count) +
+                              " exceeds cap");
+  }
+  std::vector<std::pair<std::uint64_t, evo::EvalResult>> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = reader.get_u64();
+    entries.emplace_back(key, evo::read_eval_result(reader));
+  }
+  reader.expect_end();
+  return entries;
+}
+
+void save_cache_file(const std::string& path, const FleetResultCache& cache) {
+  util::write_file_atomic(path, serialize_cache_entries(cache.export_entries()),
+                          "cache_file");
+}
+
+std::size_t load_cache_file(const std::string& path, FleetResultCache& cache) {
+  const auto entries = deserialize_cache_entries(util::read_file_bytes(path));
+  for (const auto& [key, result] : entries) {
+    cache.store(key, result);
+  }
+  return entries.size();
 }
 
 }  // namespace ecad::net

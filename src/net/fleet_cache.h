@@ -28,6 +28,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "evo/fitness.h"
 #include "util/mutex.h"
@@ -89,6 +91,12 @@ class FleetResultCache {
   std::size_t bytes() const ECAD_EXCLUDES(mutex_);
   std::uint64_t evictions() const ECAD_EXCLUDES(mutex_);
 
+  /// Every live binding, least-recently-used first — so replaying the list
+  /// through store() reproduces both the contents and the recency order.
+  /// Does not touch recency or the hit/miss counters.
+  std::vector<std::pair<std::uint64_t, evo::EvalResult>> export_entries() const
+      ECAD_EXCLUDES(mutex_);
+
  private:
   struct Entry {
     evo::EvalResult result;
@@ -102,5 +110,30 @@ class FleetResultCache {
   std::unordered_map<std::uint64_t, Entry> entries_ ECAD_GUARDED_BY(mutex_);
   std::uint64_t evictions_ ECAD_GUARDED_BY(mutex_) = 0;
 };
+
+/// Magic prefix of a fleet-cache snapshot file ("ECCF", little-endian).
+/// The on-disk format is magic + util::kSnapshotFormatVersion + entry count
+/// + (key, EvalResult) pairs in LRU-first order, reusing the engine-snapshot
+/// EvalResult byte layout — so the same version bump covers both formats.
+inline constexpr std::uint32_t kCacheFileMagic = 0x46434345u;
+
+/// Cache entries -> snapshot bytes (LRU-first, as export_entries() yields).
+std::vector<std::uint8_t> serialize_cache_entries(
+    const std::vector<std::pair<std::uint64_t, evo::EvalResult>>& entries);
+
+/// Snapshot bytes -> cache entries.  Throws util::SnapshotError on
+/// truncated, corrupt, or version-mismatched input.
+std::vector<std::pair<std::uint64_t, evo::EvalResult>> deserialize_cache_entries(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Atomically persist the cache's live entries to `path` (tmp + fsync +
+/// rename; crash label "cache_file").  Throws util::SnapshotError on I/O
+/// failure.
+void save_cache_file(const std::string& path, const FleetResultCache& cache);
+
+/// Replay a snapshot file into `cache` through store(), oldest-first, and
+/// return the number of entries loaded.  Throws util::SnapshotError if the
+/// file is unreadable or malformed — callers log and start cold.
+std::size_t load_cache_file(const std::string& path, FleetResultCache& cache);
 
 }  // namespace ecad::net

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/fault.h"
 #include "util/string_util.h"
 
 namespace ecad::net {
@@ -151,14 +152,18 @@ Socket Socket::connect(const Endpoint& endpoint, int timeout_ms) {
   throw NetError("connect " + endpoint.to_string() + ": " + last_error);
 }
 
-void Socket::send_all(const void* data, std::size_t size) {
-  const char* at = static_cast<const char*>(data);
+namespace {
+
+/// The raw blocking send loop, shared by the normal path and the injected
+/// short-write path (which must transmit a real prefix so the peer observes
+/// a torn frame, not a clean close).
+void send_raw(int fd, const char* at, std::size_t size) {
   while (size > 0) {
-    const ::ssize_t n = ::send(fd_, at, size, MSG_NOSIGNAL);
+    const ::ssize_t n = ::send(fd, at, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        poll_one(fd_, POLLOUT, /*has_deadline=*/false, Clock::time_point());
+        poll_one(fd, POLLOUT, /*has_deadline=*/false, Clock::time_point());
         continue;
       }
       throw_errno("send");
@@ -168,7 +173,38 @@ void Socket::send_all(const void* data, std::size_t size) {
   }
 }
 
+}  // namespace
+
+void Socket::send_all(const void* data, std::size_t size) {
+  FaultInjector& faults = FaultInjector::instance();
+  if (faults.enabled()) {
+    faults.maybe_delay();
+    switch (faults.send_fate()) {
+      case FaultInjector::SendFate::Drop:
+        shutdown_both();
+        throw NetError("send: injected connection drop (ECAD_FAULT)");
+      case FaultInjector::SendFate::ShortWrite: {
+        // Transmit half the bytes, then die: the peer's length-prefixed read
+        // sees a torn frame and must treat this connection as poisoned.
+        send_raw(fd_, static_cast<const char*>(data), size / 2);
+        shutdown_both();
+        throw NetError("send: injected short write (ECAD_FAULT)");
+      }
+      case FaultInjector::SendFate::Ok: break;
+    }
+  }
+  send_raw(fd_, static_cast<const char*>(data), size);
+}
+
 void Socket::recv_exact(void* data, std::size_t size, int timeout_ms) {
+  FaultInjector& faults = FaultInjector::instance();
+  if (faults.enabled()) {
+    faults.maybe_delay();
+    if (faults.drop_recv()) {
+      shutdown_both();
+      throw NetError("recv: injected connection drop (ECAD_FAULT)");
+    }
+  }
   char* at = static_cast<char*>(data);
   const bool has_deadline = timeout_ms >= 0;
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -188,6 +224,14 @@ void Socket::recv_exact(void* data, std::size_t size, int timeout_ms) {
 }
 
 std::size_t Socket::recv_some(void* data, std::size_t size, int timeout_ms) {
+  FaultInjector& faults = FaultInjector::instance();
+  if (faults.enabled()) {
+    faults.maybe_delay();
+    if (faults.drop_recv()) {
+      shutdown_both();
+      throw NetError("recv: injected connection drop (ECAD_FAULT)");
+    }
+  }
   const bool has_deadline = timeout_ms >= 0;
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {

@@ -84,6 +84,12 @@ class WorkerServer {
   /// client holding a response always sees itself included).
   std::size_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
 
+  /// The fleet result cache tier, exposed so the daemon can persist it
+  /// across restarts (`ecad_workerd --cache-file`).  Thread-safe; preload
+  /// before start() so warm entries are visible from the first lookup.
+  FleetResultCache& cache() { return cache_; }
+  const FleetResultCache& cache() const { return cache_; }
+
  private:
   struct Connection {
     Socket socket;

@@ -1,0 +1,89 @@
+#include "util/crash_point.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace ecad::util {
+
+namespace {
+
+struct CrashSpec {
+  bool armed = false;
+  std::string label;
+  std::size_t fire_on_hit = 0;  // 1-based: crash on the n-th hit
+  std::size_t hits = 0;
+};
+
+std::mutex g_mutex;
+CrashSpec g_spec;
+bool g_parsed = false;
+
+// Parse "<label>:<n>"; n defaults to 1 when omitted. Malformed specs disarm
+// with a warning instead of aborting startup.
+CrashSpec parse_spec(const std::string& spec) {
+  CrashSpec out;
+  if (spec.empty()) return out;
+  std::size_t colon = spec.find_last_of(':');
+  std::string label = (colon == std::string::npos) ? spec : spec.substr(0, colon);
+  std::size_t n = 1;
+  if (colon != std::string::npos) {
+    try {
+      n = static_cast<std::size_t>(std::stoull(spec.substr(colon + 1)));
+    } catch (const std::exception&) {
+      log_line(LogLevel::Warn, "crash_point",
+               "ignoring malformed ECAD_CRASH_AFTER spec '" + spec + "'");
+      return out;
+    }
+  }
+  if (label.empty() || n == 0) {
+    log_line(LogLevel::Warn, "crash_point",
+             "ignoring malformed ECAD_CRASH_AFTER spec '" + spec + "'");
+    return out;
+  }
+  out.armed = true;
+  out.label = label;
+  out.fire_on_hit = n;
+  return out;
+}
+
+void ensure_parsed_locked() {
+  if (g_parsed) return;
+  g_parsed = true;
+  const char* env = std::getenv("ECAD_CRASH_AFTER");
+  if (env != nullptr) g_spec = parse_spec(env);
+}
+
+}  // namespace
+
+void crash_point(const std::string& label) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ensure_parsed_locked();
+    if (!g_spec.armed || g_spec.label != label) return;
+    ++g_spec.hits;
+    fire = g_spec.hits >= g_spec.fire_on_hit;
+  }
+  if (fire) {
+    // stderr only — the whole point is to die before any graceful teardown.
+    std::fprintf(stderr, "crash_point: injected crash at '%s'\n", label.c_str());
+    std::fflush(stderr);
+    std::_Exit(kCrashPointExitCode);
+  }
+}
+
+void set_crash_point_spec_for_testing(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_parsed = true;
+  g_spec = parse_spec(spec);
+}
+
+std::size_t crash_point_hits_for_testing() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_spec.hits;
+}
+
+}  // namespace ecad::util

@@ -1,0 +1,35 @@
+// Deterministic crash injection for the chaos harness.
+//
+// Production code marks hazardous instants with `crash_point("label")`.
+// Normally a no-op; when the process runs with
+//
+//   ECAD_CRASH_AFTER=<label>:<n>
+//
+// the n-th time that label is hit the process dies immediately via
+// `std::_Exit(kCrashPointExitCode)` — no atexit handlers, no flushing, the
+// closest portable stand-in for kill -9 at an exactly chosen point.  The
+// chaos smoke uses this to kill the master between a checkpoint's tmp-fsync
+// and its rename ("checkpoint_tmp") or right after the rename ("checkpoint")
+// instead of hoping a timed kill lands somewhere interesting.
+#pragma once
+
+#include <string>
+
+namespace ecad::util {
+
+/// Distinctive exit status so harnesses can tell an injected crash from a
+/// genuine failure.
+inline constexpr int kCrashPointExitCode = 87;
+
+/// Die here if ECAD_CRASH_AFTER selects this label and its counter expires.
+/// Thread-safe; the environment is parsed once per process.
+void crash_point(const std::string& label);
+
+/// Test hook: override the spec (same syntax as ECAD_CRASH_AFTER, empty
+/// string disarms) and reset the hit counter.
+void set_crash_point_spec_for_testing(const std::string& spec);
+
+/// Test hook: hits recorded so far for the armed label.
+std::size_t crash_point_hits_for_testing();
+
+}  // namespace ecad::util

@@ -1,6 +1,9 @@
 #include "util/rng.h"
 
 #include <cassert>
+#include <locale>
+#include <sstream>
+#include <stdexcept>
 
 namespace ecad::util {
 
@@ -38,6 +41,27 @@ double Rng::next_gaussian(double mean, double stddev) {
 
 bool Rng::next_bool(double probability_true) {
   return next_double() < probability_true;
+}
+
+std::string Rng::serialize() const {
+  // The standard guarantees operator<< / operator>> round-trip mt19937_64
+  // exactly; the classic locale keeps the digits free of grouping separators
+  // so checkpoints are portable across machines.
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << engine_;
+  return out.str();
+}
+
+void Rng::deserialize(const std::string& state) {
+  std::istringstream in(state);
+  in.imbue(std::locale::classic());
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    throw std::invalid_argument("rng: malformed serialized engine state");
+  }
+  engine_ = engine;
 }
 
 Rng Rng::split() {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace ecad::util {
@@ -40,6 +41,15 @@ class Rng {
 
   /// Derive an independent child generator (for per-thread / per-worker use).
   Rng split();
+
+  /// Full engine state as a portable ASCII string (classic-locale digits),
+  /// suitable for embedding in a checkpoint. Restoring via `deserialize`
+  /// continues the stream bit-identically.
+  std::string serialize() const;
+
+  /// Restore state produced by `serialize`. Throws std::invalid_argument on
+  /// malformed input.
+  void deserialize(const std::string& state);
 
   /// Fisher-Yates shuffle.
   template <typename T>

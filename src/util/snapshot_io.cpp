@@ -1,0 +1,239 @@
+#include "util/snapshot_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crash_point.h"
+
+namespace ecad::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SnapshotError("snapshot: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+void SnapshotWriter::put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void SnapshotWriter::put_u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void SnapshotWriter::put_u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void SnapshotWriter::put_u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void SnapshotWriter::put_f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void SnapshotWriter::put_string(const std::string& s) {
+  if (s.size() > kMaxSnapshotStringBytes) {
+    throw SnapshotError("snapshot: string of " + std::to_string(s.size()) +
+                        " bytes exceeds the limit");
+  }
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::put_size_vector(const std::vector<std::size_t>& values) {
+  if (values.size() > kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: vector of " + std::to_string(values.size()) +
+                        " elements exceeds the limit");
+  }
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (std::size_t v : values) put_u64(static_cast<std::uint64_t>(v));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+const std::uint8_t* SnapshotReader::need(std::size_t count) {
+  if (count > size_ - pos_) {
+    throw SnapshotError("snapshot: truncated (need " + std::to_string(count) + " bytes, have " +
+                        std::to_string(size_ - pos_) + ")");
+  }
+  const std::uint8_t* at = data_ + pos_;
+  pos_ += count;
+  return at;
+}
+
+std::uint8_t SnapshotReader::get_u8() { return *need(1); }
+
+std::uint16_t SnapshotReader::get_u16() {
+  const std::uint8_t* p = need(2);
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t SnapshotReader::get_u32() {
+  const std::uint8_t* p = need(4);
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t SnapshotReader::get_u64() {
+  const std::uint64_t lo = get_u32();
+  const std::uint64_t hi = get_u32();
+  return lo | (hi << 32);
+}
+
+double SnapshotReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::get_string() {
+  const std::uint32_t size = get_u32();
+  if (size > kMaxSnapshotStringBytes) {
+    throw SnapshotError("snapshot: string length " + std::to_string(size) + " exceeds the limit");
+  }
+  const std::uint8_t* p = need(size);
+  return std::string(reinterpret_cast<const char*>(p), size);
+}
+
+std::vector<std::size_t> SnapshotReader::get_size_vector() {
+  const std::uint32_t count = get_u32();
+  if (count > kMaxSnapshotVectorElems) {
+    throw SnapshotError("snapshot: vector length " + std::to_string(count) + " exceeds the limit");
+  }
+  if (static_cast<std::size_t>(count) * 8 > remaining()) {
+    throw SnapshotError("snapshot: truncated vector");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(static_cast<std::size_t>(get_u64()));
+  return out;
+}
+
+void SnapshotReader::expect_end() const {
+  if (pos_ != size_) {
+    throw SnapshotError("snapshot: " + std::to_string(size_ - pos_) +
+                        " trailing bytes after payload");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void fsync_path(const std::string& path, int open_flags) {
+  int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) throw_errno("open for fsync '" + path + "'");
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync '" + path + "'");
+  }
+  ::close(fd);
+}
+
+std::string parent_dir(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                       const std::string& crash_label) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("create '" + tmp + "'");
+
+  const std::uint8_t* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      throw_errno("write '" + tmp + "'");
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("fsync '" + tmp + "'");
+  }
+  ::close(fd);
+
+  // The tmp file is durable but the target still names the previous
+  // snapshot — a crash here must leave the old checkpoint loadable.
+  if (!crash_label.empty()) crash_point(crash_label + "_tmp");
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("rename '" + tmp + "' -> '" + path + "'");
+  }
+  // Persist the directory entry so the rename survives power loss.
+  fsync_path(parent_dir(path), O_RDONLY | O_DIRECTORY);
+
+  if (!crash_label.empty()) crash_point(crash_label);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open '" + path + "'");
+
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read '" + path + "'");
+    }
+    if (got == 0) break;
+    if (bytes.size() + static_cast<std::size_t>(got) > kMaxSnapshotBytes) {
+      ::close(fd);
+      throw SnapshotError("snapshot: '" + path + "' exceeds the " +
+                          std::to_string(kMaxSnapshotBytes) + "-byte limit");
+    }
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace ecad::util

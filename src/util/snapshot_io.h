@@ -1,0 +1,103 @@
+// Bounds-checked binary snapshot primitives + atomic file persistence.
+//
+// This is the checkpoint-side sibling of net/wire.h: the same little-endian
+// byte conventions (u64 integers, IEEE-754 doubles as u64 bits,
+// length-prefixed strings) but usable from layers *below* net — evo engine
+// snapshots, core checkpoint files, and the workerd cache file all encode
+// through these primitives.  Keeping them in util preserves the layer
+// diagram: core stays below net.
+//
+// Every on-disk snapshot starts with a magic u32 and the format version
+// below.  `lint_wire_protocol.py` pins the version against README so format
+// drift cannot land silently; bump it whenever any snapshot codec changes
+// encoded bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecad::util {
+
+/// Version stamped into every snapshot file (engine checkpoints, submission
+/// journals, worker cache files).  Readers reject any other value.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Hard caps mirroring net/wire.h so a corrupt length prefix cannot drive a
+/// multi-gigabyte allocation while loading a checkpoint.
+inline constexpr std::size_t kMaxSnapshotBytes = 64ull * 1024 * 1024;
+inline constexpr std::size_t kMaxSnapshotStringBytes = 1ull * 1024 * 1024;
+inline constexpr std::size_t kMaxSnapshotVectorElems = 1ull * 1024 * 1024;
+
+/// Thrown on any malformed, truncated, or over-cap snapshot. Loaders treat
+/// this as "checkpoint unusable", never as a crash.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian encoder (mirror of net::WireWriter).
+class SnapshotWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(const std::string& s);
+  void put_size_vector(const std::vector<std::size_t>& values);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked decoder over a byte span (mirror of net::WireReader).
+/// Throws SnapshotError on any read past the end or over-cap length.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit SnapshotReader(const std::vector<std::uint8_t>& bytes)
+      : SnapshotReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_string();
+  std::vector<std::size_t> get_size_vector();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Throws unless every byte has been consumed (catches trailing garbage).
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* need(std::size_t count);
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Write `bytes` to `path` atomically: write to `<path>.tmp`, fsync the file,
+/// rename over the target, then fsync the directory. A reader can never
+/// observe a torn file — it sees either the old snapshot or the new one.
+///
+/// `crash_label`, when non-empty, arms two deterministic crash points for the
+/// chaos harness (see util/crash_point.h): `<label>_tmp` fires after the tmp
+/// file is durable but before the rename (simulating a crash that must leave
+/// the previous snapshot intact), and `<label>` fires after the rename.
+void write_file_atomic(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                       const std::string& crash_label = "");
+
+/// Read an entire file. Throws SnapshotError if the file is missing,
+/// unreadable, or larger than kMaxSnapshotBytes.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+}  // namespace ecad::util

@@ -1,0 +1,289 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecad::core {
+namespace {
+
+// mkdtemp, not a fixed name: the submission journal is append-only, so a
+// reused directory would leak state between test-binary invocations.
+std::string make_temp_dir(const std::string& stem) {
+  std::string templ = ::testing::TempDir() + "checkpoint_" + stem + "_XXXXXX";
+  if (::mkdtemp(templ.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed for " << templ;
+  }
+  return templ;
+}
+
+SearchRequest sample_request() {
+  SearchRequest request;
+  request.seed = 17;
+  request.threads = 3;
+  request.fitness = "accuracy";
+  request.evolution.population_size = 6;
+  request.evolution.max_evaluations = 24;
+  request.evolution.tournament_size = 3;
+  request.evolution.crossover_probability = 0.75;
+  request.evolution.mutation_strength = 1.5;
+  request.evolution.dedup_attempts = 12;
+  request.evolution.batch_size = 3;
+  request.evolution.overlap_generations = true;
+  request.evolution.max_inflight_batches = 4;
+  request.space.min_hidden_layers = 2;
+  request.space.max_hidden_layers = 3;
+  request.space.width_choices = {16, 64};
+  request.space.activations = {nn::Activation::Tanh, nn::Activation::ReLU};
+  request.space.allow_no_bias = false;
+  request.space.search_hardware = false;
+  return request;
+}
+
+evo::EngineSnapshot sample_snapshot() {
+  evo::EngineSnapshot snapshot;
+  util::Rng rng(7);
+  snapshot.rng_state = rng.serialize();
+  snapshot.overlap = false;
+  snapshot.generation = 2;
+  evo::Candidate candidate;
+  candidate.genome.nna.hidden = {64, 16};
+  candidate.fitness = 0.5;
+  snapshot.population = {candidate};
+  snapshot.history = {candidate};
+  snapshot.submitted = 1;
+  snapshot.models_evaluated = 1;
+  return snapshot;
+}
+
+void expect_same_request(const SearchRequest& a, const SearchRequest& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.fitness, b.fitness);
+  EXPECT_EQ(a.evolution.population_size, b.evolution.population_size);
+  EXPECT_EQ(a.evolution.max_evaluations, b.evolution.max_evaluations);
+  EXPECT_EQ(a.evolution.tournament_size, b.evolution.tournament_size);
+  EXPECT_EQ(a.evolution.crossover_probability, b.evolution.crossover_probability);
+  EXPECT_EQ(a.evolution.mutation_strength, b.evolution.mutation_strength);
+  EXPECT_EQ(a.evolution.dedup_attempts, b.evolution.dedup_attempts);
+  EXPECT_EQ(a.evolution.batch_size, b.evolution.batch_size);
+  EXPECT_EQ(a.evolution.overlap_generations, b.evolution.overlap_generations);
+  EXPECT_EQ(a.evolution.max_inflight_batches, b.evolution.max_inflight_batches);
+  EXPECT_EQ(a.space.min_hidden_layers, b.space.min_hidden_layers);
+  EXPECT_EQ(a.space.max_hidden_layers, b.space.max_hidden_layers);
+  EXPECT_EQ(a.space.width_choices, b.space.width_choices);
+  EXPECT_EQ(a.space.activations, b.space.activations);
+  EXPECT_EQ(a.space.allow_no_bias, b.space.allow_no_bias);
+  EXPECT_EQ(a.space.search_hardware, b.space.search_hardware);
+}
+
+TEST(CheckpointCodec, SearchRequestRoundTrips) {
+  util::SnapshotWriter writer;
+  write_search_request_snapshot(writer, sample_request());
+  util::SnapshotReader reader(writer.bytes());
+  const SearchRequest decoded = read_search_request_snapshot(reader);
+  reader.expect_end();
+  expect_same_request(sample_request(), decoded);
+}
+
+TEST(CheckpointCodec, CheckpointRoundTrips) {
+  SearchCheckpoint checkpoint;
+  checkpoint.search_id = 42;
+  checkpoint.request = sample_request();
+  checkpoint.snapshot = sample_snapshot();
+  const SearchCheckpoint decoded = deserialize_checkpoint(serialize_checkpoint(checkpoint));
+  EXPECT_EQ(decoded.search_id, 42u);
+  expect_same_request(checkpoint.request, decoded.request);
+  EXPECT_EQ(decoded.snapshot.generation, 2u);
+  EXPECT_EQ(decoded.snapshot.rng_state, checkpoint.snapshot.rng_state);
+}
+
+TEST(CheckpointCodec, CorruptBytesRejected) {
+  SearchCheckpoint checkpoint;
+  checkpoint.search_id = 1;
+  checkpoint.request = sample_request();
+  checkpoint.snapshot = sample_snapshot();
+  std::vector<std::uint8_t> bytes = serialize_checkpoint(checkpoint);
+  EXPECT_THROW(deserialize_checkpoint({}), util::SnapshotError);
+  bytes[0] ^= 0xff;  // magic
+  EXPECT_THROW(deserialize_checkpoint(bytes), util::SnapshotError);
+  bytes[0] ^= 0xff;
+  bytes.resize(bytes.size() / 2);  // truncation
+  EXPECT_THROW(deserialize_checkpoint(bytes), util::SnapshotError);
+}
+
+TEST(CheckpointWriterTest, PersistsAndMarksDone) {
+  const std::string dir = make_temp_dir("writer");
+  CheckpointWriter writer(dir, 3, sample_request());
+  evo::EngineSnapshot snapshot = sample_snapshot();
+  writer.write(snapshot);
+
+  const SearchCheckpoint loaded =
+      deserialize_checkpoint(util::read_file_bytes(checkpoint_path(dir, 3)));
+  EXPECT_EQ(loaded.search_id, 3u);
+  EXPECT_EQ(loaded.snapshot.generation, snapshot.generation);
+
+  writer.mark_done();
+  EXPECT_THROW(util::read_file_bytes(checkpoint_path(dir, 3)), util::SnapshotError);
+  EXPECT_NO_THROW(util::read_file_bytes(done_marker_path(dir, 3)));
+}
+
+TEST(CheckpointWriterTest, EveryThrottlesButBoundaryZeroAlwaysPersists) {
+  const std::string dir = make_temp_dir("throttle");
+  CheckpointWriter writer(dir, 9, sample_request(), /*every=*/3);
+  evo::EngineSnapshot snapshot = sample_snapshot();
+
+  snapshot.generation = 0;
+  writer.write(snapshot);  // boundary 0: always persisted
+  EXPECT_EQ(deserialize_checkpoint(util::read_file_bytes(checkpoint_path(dir, 9)))
+                .snapshot.generation,
+            0u);
+
+  snapshot.generation = 1;
+  writer.write(snapshot);  // throttled
+  snapshot.generation = 2;
+  writer.write(snapshot);  // throttled
+  EXPECT_EQ(deserialize_checkpoint(util::read_file_bytes(checkpoint_path(dir, 9)))
+                .snapshot.generation,
+            0u);
+
+  snapshot.generation = 3;
+  writer.write(snapshot);  // 3rd boundary after 0: persisted
+  EXPECT_EQ(deserialize_checkpoint(util::read_file_bytes(checkpoint_path(dir, 9)))
+                .snapshot.generation,
+            3u);
+}
+
+TEST(SubmissionJournalTest, AppendLoadRoundTrips) {
+  const std::string dir = make_temp_dir("journal");
+  const std::string path = SubmissionJournal::journal_path(dir);
+  {
+    SubmissionJournal journal(path);
+    journal.append(1, sample_request());
+    SearchRequest second = sample_request();
+    second.seed = 99;
+    journal.append(2, second);
+  }
+  const std::vector<SubmissionJournal::Entry> entries = SubmissionJournal::load(path);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].search_id, 1u);
+  EXPECT_EQ(entries[1].search_id, 2u);
+  EXPECT_EQ(entries[1].request.seed, 99u);
+  expect_same_request(entries[0].request, sample_request());
+}
+
+TEST(SubmissionJournalTest, MissingFileLoadsEmpty) {
+  const std::string dir = make_temp_dir("missing");
+  EXPECT_TRUE(SubmissionJournal::load(SubmissionJournal::journal_path(dir)).empty());
+}
+
+TEST(SubmissionJournalTest, TornTailIsIgnored) {
+  const std::string dir = make_temp_dir("torn");
+  const std::string path = SubmissionJournal::journal_path(dir);
+  {
+    SubmissionJournal journal(path);
+    journal.append(1, sample_request());
+    journal.append(2, sample_request());
+  }
+  // Truncate mid-way through the second entry, as a crash mid-append would.
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size() - 7));
+  out.close();
+
+  const std::vector<SubmissionJournal::Entry> entries = SubmissionJournal::load(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].search_id, 1u);
+}
+
+TEST(ScanCheckpointDir, MissingDirYieldsNothing) {
+  EXPECT_TRUE(scan_checkpoint_dir(::testing::TempDir() + "scan_never_created").empty());
+}
+
+TEST(ScanCheckpointDir, UnionOfJournalAndCheckpointsSortedById) {
+  const std::string dir = make_temp_dir("scan");
+  {
+    SubmissionJournal journal(SubmissionJournal::journal_path(dir));
+    SearchRequest request = sample_request();
+    journal.append(5, request);  // journaled, never checkpointed
+    journal.append(2, request);  // journaled + checkpointed below
+  }
+  // Checkpoints for ids 2 and 9 (9 simulates a journal rotation gap).
+  for (const std::uint64_t id : {std::uint64_t{9}, std::uint64_t{2}}) {
+    SearchCheckpoint checkpoint;
+    checkpoint.search_id = id;
+    checkpoint.request = sample_request();
+    checkpoint.snapshot = sample_snapshot();
+    util::write_file_atomic(checkpoint_path(dir, id), serialize_checkpoint(checkpoint));
+  }
+
+  const std::vector<ResumableSearch> found = scan_checkpoint_dir(dir);
+  ASSERT_EQ(found.size(), 3u);
+  // Deterministic re-admission order: sorted by id, regardless of readdir
+  // or journal order.
+  EXPECT_EQ(found[0].search_id, 2u);
+  EXPECT_EQ(found[1].search_id, 5u);
+  EXPECT_EQ(found[2].search_id, 9u);
+  EXPECT_TRUE(found[0].has_snapshot);
+  EXPECT_FALSE(found[1].has_snapshot);  // queued-only: re-admit from scratch
+  EXPECT_TRUE(found[2].has_snapshot);
+}
+
+TEST(ScanCheckpointDir, DoneMarkerExcludesSearch) {
+  const std::string dir = make_temp_dir("done");
+  CheckpointWriter writer(dir, 4, sample_request());
+  writer.write(sample_snapshot());
+  ASSERT_EQ(scan_checkpoint_dir(dir).size(), 1u);
+  writer.mark_done();
+  EXPECT_TRUE(scan_checkpoint_dir(dir).empty());
+}
+
+TEST(ScanCheckpointDir, DoneMarkerAlsoMasksJournalEntry) {
+  const std::string dir = make_temp_dir("done_journal");
+  {
+    SubmissionJournal journal(SubmissionJournal::journal_path(dir));
+    journal.append(6, sample_request());
+  }
+  CheckpointWriter writer(dir, 6, sample_request());
+  writer.mark_done();
+  EXPECT_TRUE(scan_checkpoint_dir(dir).empty());
+}
+
+TEST(ScanCheckpointDir, CorruptCheckpointFallsBackToJournal) {
+  const std::string dir = make_temp_dir("corrupt");
+  {
+    SubmissionJournal journal(SubmissionJournal::journal_path(dir));
+    SearchRequest request = sample_request();
+    request.seed = 1234;
+    journal.append(7, request);
+  }
+  // A checkpoint that is pure garbage must not crash the scan or lose the
+  // journaled search.
+  std::ofstream out(checkpoint_path(dir, 7), std::ios::binary | std::ios::trunc);
+  out << "garbage bytes, not a checkpoint";
+  out.close();
+
+  const std::vector<ResumableSearch> found = scan_checkpoint_dir(dir);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].search_id, 7u);
+  EXPECT_FALSE(found[0].has_snapshot);
+  EXPECT_EQ(found[0].request.seed, 1234u);
+}
+
+TEST(ScanCheckpointDir, CorruptCheckpointWithoutJournalIsDropped) {
+  const std::string dir = make_temp_dir("corrupt_only");
+  std::ofstream out(checkpoint_path(dir, 8), std::ios::binary | std::ios::trunc);
+  out << "garbage";
+  out.close();
+  EXPECT_TRUE(scan_checkpoint_dir(dir).empty());
+}
+
+}  // namespace
+}  // namespace ecad::core

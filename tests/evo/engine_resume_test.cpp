@@ -1,0 +1,226 @@
+// Resume determinism contract (the crash-safety tentpole): an engine
+// restored from a generation-boundary snapshot must finish with a trajectory
+// bit-identical to the uninterrupted run — same candidates in the same
+// evaluation order, same best, same counters.  The chaos smoke asserts this
+// end-to-end across kill -9; these tests pin it at the engine layer where a
+// violation is attributable.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "evo/engine.h"
+#include "evo/snapshot.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ecad::evo {
+namespace {
+
+EvalResult landscape(const Genome& genome) {
+  EvalResult result;
+  double score = 0.0;
+  if (genome.nna.hidden.size() == 2) score += 0.3;
+  for (std::size_t width : genome.nna.hidden) {
+    if (width == 64) score += 0.2;
+  }
+  if (genome.nna.activation == nn::Activation::Tanh) score += 0.1;
+  if (genome.grid.rows == 16) score += 0.2;
+  result.accuracy = score;
+  return result;
+}
+
+double accuracy_fitness(const EvalResult& result) { return result.accuracy; }
+
+EvolutionConfig small_config(bool overlap) {
+  EvolutionConfig config;
+  config.population_size = 8;
+  config.max_evaluations = 48;
+  config.batch_size = 4;
+  config.overlap_generations = overlap;
+  config.max_inflight_batches = 2;
+  return config;
+}
+
+/// Everything the deterministic search record renders: candidate identity
+/// and order, fitness, results, winner, counters.  eval_seconds is wall
+/// clock and deliberately excluded.
+void expect_same_record(const EvolutionResult& a, const EvolutionResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].genome, b.history[i].genome) << "history[" << i << "]";
+    EXPECT_EQ(a.history[i].fitness, b.history[i].fitness) << "history[" << i << "]";
+    EXPECT_EQ(a.history[i].result.accuracy, b.history[i].result.accuracy);
+    EXPECT_EQ(a.history[i].result.feasible, b.history[i].result.feasible);
+  }
+  EXPECT_EQ(a.best.genome, b.best.genome);
+  EXPECT_EQ(a.best.fitness, b.best.fitness);
+  ASSERT_EQ(a.population.size(), b.population.size());
+  for (std::size_t i = 0; i < a.population.size(); ++i) {
+    EXPECT_EQ(a.population[i].genome, b.population[i].genome) << "population[" << i << "]";
+  }
+  EXPECT_EQ(a.stats.models_evaluated, b.stats.models_evaluated);
+  EXPECT_EQ(a.stats.duplicates_skipped, b.stats.duplicates_skipped);
+}
+
+EvolutionResult uninterrupted_run(bool overlap, std::uint64_t seed) {
+  EvolutionEngine engine(SearchSpace{}, small_config(overlap), landscape, accuracy_fitness);
+  util::Rng rng(seed);
+  util::ThreadPool pool(2);
+  return engine.run(rng, pool);
+}
+
+/// Run until the sink captures a mid-search snapshot (the `pick` predicate
+/// chooses which boundary), then resume a *fresh* engine from a
+/// serialize/deserialize round trip of it — exactly what a restarted
+/// process would load from disk.
+template <typename Pick>
+EvolutionResult capture_and_resume(bool overlap, std::uint64_t seed, Pick pick) {
+  std::optional<EngineSnapshot> captured;
+  {
+    EvolutionEngine engine(SearchSpace{}, small_config(overlap), landscape, accuracy_fitness);
+    engine.set_checkpoint_sink([&](const EngineSnapshot& snapshot) {
+      if (!captured.has_value() && pick(snapshot)) captured = snapshot;
+    });
+    util::Rng rng(seed);
+    util::ThreadPool pool(2);
+    (void)engine.run(rng, pool);
+  }
+  EXPECT_TRUE(captured.has_value()) << "no snapshot matched the pick predicate";
+  if (!captured.has_value()) return EvolutionResult{};
+
+  const EngineSnapshot reloaded =
+      deserialize_engine_snapshot(serialize_engine_snapshot(*captured));
+  EvolutionEngine resumed(SearchSpace{}, small_config(overlap), landscape, accuracy_fitness);
+  util::Rng scratch_rng(seed + 1000);  // must be irrelevant: state comes from the snapshot
+  util::ThreadPool pool(2);
+  return resumed.resume(reloaded, scratch_rng, pool);
+}
+
+TEST(EngineResume, SequentialMidSearchResumeIsBitIdentical) {
+  const EvolutionResult baseline = uninterrupted_run(false, 42);
+  const EvolutionResult resumed = capture_and_resume(
+      false, 42, [](const EngineSnapshot& snapshot) { return snapshot.generation == 3; });
+  expect_same_record(baseline, resumed);
+}
+
+TEST(EngineResume, SequentialGenerationZeroResumeIsBitIdentical) {
+  // Killed right after the initial population settled: the resumed run must
+  // redo every generation and still land on the same record.
+  const EvolutionResult baseline = uninterrupted_run(false, 7);
+  const EvolutionResult resumed = capture_and_resume(
+      false, 7, [](const EngineSnapshot& snapshot) { return snapshot.generation == 0; });
+  expect_same_record(baseline, resumed);
+}
+
+TEST(EngineResume, SequentialEveryBoundaryResumesIdentically) {
+  // The contract holds at *every* persisted boundary, not just a lucky one.
+  const EvolutionResult baseline = uninterrupted_run(false, 11);
+  for (std::uint64_t boundary = 0; boundary <= 6; boundary += 2) {
+    const EvolutionResult resumed =
+        capture_and_resume(false, 11, [boundary](const EngineSnapshot& snapshot) {
+          return snapshot.generation == boundary;
+        });
+    expect_same_record(baseline, resumed);
+  }
+}
+
+TEST(EngineResume, OverlappedResumeWithPendingBatchesIsBitIdentical) {
+  const EvolutionResult baseline = uninterrupted_run(true, 42);
+  // Prefer a snapshot with work in flight: resuming must re-submit those
+  // exact batches before breeding anything new.
+  const EvolutionResult resumed = capture_and_resume(
+      true, 42, [](const EngineSnapshot& snapshot) { return !snapshot.pending.empty(); });
+  expect_same_record(baseline, resumed);
+}
+
+TEST(EngineResume, OverlappedGenerationZeroResumeIsBitIdentical) {
+  const EvolutionResult baseline = uninterrupted_run(true, 13);
+  const EvolutionResult resumed = capture_and_resume(
+      true, 13, [](const EngineSnapshot& snapshot) { return snapshot.generation == 0; });
+  expect_same_record(baseline, resumed);
+}
+
+TEST(EngineResume, CheckpointsFireAtEverySequentialBoundary) {
+  EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+  std::vector<std::uint64_t> boundaries;
+  engine.set_checkpoint_sink(
+      [&](const EngineSnapshot& snapshot) { boundaries.push_back(snapshot.generation); });
+  util::Rng rng(3);
+  util::ThreadPool pool(1);
+  const EvolutionResult result = engine.run(rng, pool);
+  ASSERT_FALSE(boundaries.empty());
+  EXPECT_EQ(boundaries.front(), 0u);
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    EXPECT_EQ(boundaries[i], boundaries[i - 1] + 1) << "skipped a generation boundary";
+  }
+  EXPECT_GT(result.stats.models_evaluated, small_config(false).population_size);
+}
+
+TEST(EngineResume, SnapshotCarriesSettledOutcomesAndStats) {
+  EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+  std::optional<EngineSnapshot> captured;
+  engine.set_checkpoint_sink([&](const EngineSnapshot& snapshot) {
+    if (snapshot.generation == 2) captured = snapshot;
+  });
+  util::Rng rng(21);
+  util::ThreadPool pool(1);
+  (void)engine.run(rng, pool);
+  ASSERT_TRUE(captured.has_value());
+  EXPECT_FALSE(captured->rng_state.empty());
+  EXPECT_FALSE(captured->overlap);
+  EXPECT_EQ(captured->population.size(), 8u);
+  EXPECT_GE(captured->history.size(), captured->population.size());
+  EXPECT_EQ(captured->models_evaluated, captured->history.size());
+  EXPECT_TRUE(captured->pending.empty());
+}
+
+TEST(EngineResume, RejectsEmptyPopulation) {
+  EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+  util::Rng rng(1);
+  util::ThreadPool pool(1);
+  EngineSnapshot snapshot;
+  snapshot.rng_state = util::Rng(1).serialize();
+  EXPECT_THROW(engine.resume(snapshot, rng, pool), std::invalid_argument);
+}
+
+TEST(EngineResume, RejectsOverlapModeMismatch) {
+  std::optional<EngineSnapshot> captured;
+  {
+    EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+    engine.set_checkpoint_sink([&](const EngineSnapshot& snapshot) {
+      if (!captured.has_value()) captured = snapshot;
+    });
+    util::Rng rng(5);
+    util::ThreadPool pool(1);
+    (void)engine.run(rng, pool);
+  }
+  ASSERT_TRUE(captured.has_value());
+  EvolutionEngine overlapped(SearchSpace{}, small_config(true), landscape, accuracy_fitness);
+  util::Rng rng(5);
+  util::ThreadPool pool(1);
+  EXPECT_THROW(overlapped.resume(*captured, rng, pool), std::invalid_argument);
+}
+
+TEST(EngineResume, RejectsCorruptRngState) {
+  std::optional<EngineSnapshot> captured;
+  {
+    EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+    engine.set_checkpoint_sink([&](const EngineSnapshot& snapshot) {
+      if (!captured.has_value()) captured = snapshot;
+    });
+    util::Rng rng(5);
+    util::ThreadPool pool(1);
+    (void)engine.run(rng, pool);
+  }
+  ASSERT_TRUE(captured.has_value());
+  captured->rng_state = "not an mt19937_64 state";
+  EvolutionEngine engine(SearchSpace{}, small_config(false), landscape, accuracy_fitness);
+  util::Rng rng(5);
+  util::ThreadPool pool(1);
+  EXPECT_THROW(engine.resume(*captured, rng, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecad::evo

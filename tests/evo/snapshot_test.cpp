@@ -1,0 +1,241 @@
+// Engine-snapshot codec guard: a committed golden fixture pins the on-disk
+// checkpoint encoding (tests/evo/golden/engine_snapshot_v1.bin), the same
+// discipline tests/net/golden_frames_test.cpp applies to wire frames.  If
+// today's encoder stops producing those exact bytes, or today's decoder
+// stops accepting them, a fleet upgraded mid-search could no longer resume
+// its checkpoints — so the build fails instead.
+//
+// Regenerating (only after an *intentional* format change that bumped
+// util::kSnapshotFormatVersion):
+//     ECAD_REGEN_GOLDEN=1 ./ecad_evo_tests --gtest_filter='SnapshotGolden*'
+#include "evo/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+#ifndef ECAD_EVO_GOLDEN_DIR
+#error "ECAD_EVO_GOLDEN_DIR must point at tests/evo/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace ecad::evo {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(ECAD_EVO_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing golden fixture " << path
+                  << " (regenerate with ECAD_REGEN_GOLDEN=1)";
+    return {};
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("ECAD_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+Genome fixed_genome(std::size_t salt) {
+  Genome genome;
+  genome.nna.hidden = {64, 32 + salt};
+  genome.nna.activation = nn::Activation::ReLU;
+  genome.nna.use_bias = (salt % 2) == 0;
+  genome.grid.rows = 8;
+  genome.grid.cols = 16;
+  genome.grid.vec_width = 4;
+  genome.grid.interleave_m = 2;
+  genome.grid.interleave_n = 32;
+  return genome;
+}
+
+EvalResult fixed_result(double accuracy) {
+  EvalResult result;
+  result.accuracy = accuracy;
+  result.outputs_per_second = 123456.789;
+  result.latency_seconds = 0.0009765625;
+  result.potential_gflops = 512.0;
+  result.effective_gflops = 448.25;
+  result.hw_efficiency = 0.875048828125;
+  result.power_watts = 17.5;
+  result.fmax_mhz = 287.5;
+  result.parameters = 4242.0;
+  result.flops_per_sample = 8484.0;
+  result.eval_seconds = 1.25;
+  result.feasible = true;
+  return result;
+}
+
+Candidate fixed_candidate(std::size_t salt) {
+  Candidate candidate;
+  candidate.genome = fixed_genome(salt);
+  candidate.result = fixed_result(0.5 + 0.0625 * static_cast<double>(salt));
+  candidate.fitness = candidate.result.accuracy;
+  return candidate;
+}
+
+/// Fixed, fully-specified snapshot — never derived from defaults another
+/// change could move under us.
+EngineSnapshot fixed_snapshot() {
+  EngineSnapshot snapshot;
+  util::Rng rng(1234);
+  (void)rng.next_double();  // a mid-stream state, not a freshly seeded one
+  snapshot.rng_state = rng.serialize();
+  snapshot.overlap = true;
+  snapshot.generation = 3;
+  snapshot.submitted = 20;
+  snapshot.population = {fixed_candidate(0), fixed_candidate(1)};
+  snapshot.history = {fixed_candidate(0), fixed_candidate(1), fixed_candidate(2)};
+  snapshot.pending = {{fixed_genome(3), fixed_genome(4)}, {fixed_genome(5)}};
+  snapshot.models_evaluated = 16;
+  snapshot.duplicates_skipped = 4;
+  snapshot.overlapped_batches = 5;
+  snapshot.total_eval_seconds = 2.5;
+  snapshot.cache_hits = 6;
+  snapshot.cache_misses = 22;
+  return snapshot;
+}
+
+void expect_equal(const EngineSnapshot& a, const EngineSnapshot& b) {
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.overlap, b.overlap);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.submitted, b.submitted);
+  ASSERT_EQ(a.population.size(), b.population.size());
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].genome, b.history[i].genome);
+    EXPECT_EQ(a.history[i].fitness, b.history[i].fitness);
+    EXPECT_EQ(a.history[i].result.accuracy, b.history[i].result.accuracy);
+    EXPECT_EQ(a.history[i].result.eval_seconds, b.history[i].result.eval_seconds);
+    EXPECT_EQ(a.history[i].result.feasible, b.history[i].result.feasible);
+  }
+  ASSERT_EQ(a.pending.size(), b.pending.size());
+  for (std::size_t i = 0; i < a.pending.size(); ++i) {
+    EXPECT_EQ(a.pending[i], b.pending[i]);
+  }
+  EXPECT_EQ(a.models_evaluated, b.models_evaluated);
+  EXPECT_EQ(a.duplicates_skipped, b.duplicates_skipped);
+  EXPECT_EQ(a.overlapped_batches, b.overlapped_batches);
+  EXPECT_EQ(a.total_eval_seconds, b.total_eval_seconds);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+TEST(Snapshot, RoundTripPreservesEveryField) {
+  const EngineSnapshot snapshot = fixed_snapshot();
+  const EngineSnapshot decoded = deserialize_engine_snapshot(serialize_engine_snapshot(snapshot));
+  expect_equal(snapshot, decoded);
+}
+
+TEST(Snapshot, SerializeIsDeterministic) {
+  // serialize -> deserialize -> serialize must be byte-identical: the chaos
+  // smoke diffs resumed-run artifacts against uninterrupted ones, which only
+  // works if re-encoding a decoded snapshot is a fixed point.
+  const std::vector<std::uint8_t> first = serialize_engine_snapshot(fixed_snapshot());
+  const std::vector<std::uint8_t> second =
+      serialize_engine_snapshot(deserialize_engine_snapshot(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Snapshot, RandomizedRoundTripProperty) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    EngineSnapshot snapshot;
+    util::Rng stream(rng.next_index(1u << 30));
+    for (int burn = 0; burn < trial; ++burn) (void)stream.next_double();
+    snapshot.rng_state = stream.serialize();
+    snapshot.overlap = rng.next_bool();
+    snapshot.generation = rng.next_index(1000);
+    snapshot.submitted = rng.next_index(1000);
+    const std::size_t population = 1 + rng.next_index(4);
+    for (std::size_t i = 0; i < population; ++i) {
+      snapshot.population.push_back(fixed_candidate(rng.next_index(8)));
+    }
+    snapshot.history = snapshot.population;
+    if (snapshot.overlap) {
+      const std::size_t batches = rng.next_index(3);
+      for (std::size_t i = 0; i < batches; ++i) {
+        snapshot.pending.push_back({fixed_genome(rng.next_index(8))});
+      }
+    }
+    snapshot.models_evaluated = rng.next_index(500);
+    snapshot.duplicates_skipped = rng.next_index(500);
+    snapshot.overlapped_batches = rng.next_index(500);
+    snapshot.total_eval_seconds = rng.next_double() * 100.0;
+    snapshot.cache_hits = rng.next_index(500);
+    snapshot.cache_misses = rng.next_index(500);
+
+    const std::vector<std::uint8_t> bytes = serialize_engine_snapshot(snapshot);
+    const EngineSnapshot decoded = deserialize_engine_snapshot(bytes);
+    expect_equal(snapshot, decoded);
+    EXPECT_EQ(serialize_engine_snapshot(decoded), bytes) << "trial " << trial;
+  }
+}
+
+TEST(Snapshot, ZeroLengthInputRejected) {
+  EXPECT_THROW(deserialize_engine_snapshot({}), util::SnapshotError);
+}
+
+TEST(Snapshot, EveryTruncationRejected) {
+  // A crash can leave any prefix on disk; no prefix may crash the loader or
+  // decode as a valid snapshot.
+  const std::vector<std::uint8_t> bytes = serialize_engine_snapshot(fixed_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(deserialize_engine_snapshot(truncated), util::SnapshotError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = serialize_engine_snapshot(fixed_snapshot());
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(deserialize_engine_snapshot(bytes), util::SnapshotError);
+}
+
+TEST(Snapshot, WrongVersionRejected) {
+  std::vector<std::uint8_t> bytes = serialize_engine_snapshot(fixed_snapshot());
+  bytes[4] ^= 0xff;  // version field follows the u32 magic
+  EXPECT_THROW(deserialize_engine_snapshot(bytes), util::SnapshotError);
+}
+
+TEST(Snapshot, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> bytes = serialize_engine_snapshot(fixed_snapshot());
+  bytes.push_back(0x00);
+  EXPECT_THROW(deserialize_engine_snapshot(bytes), util::SnapshotError);
+}
+
+TEST(SnapshotGolden, EngineSnapshotV1MatchesCommittedBytes) {
+  const std::vector<std::uint8_t> encoded = serialize_engine_snapshot(fixed_snapshot());
+  if (regen_requested()) {
+    std::ofstream out(golden_path("engine_snapshot_v1.bin"), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden fixture";
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+  }
+  const std::vector<std::uint8_t> golden = read_file(golden_path("engine_snapshot_v1.bin"));
+  ASSERT_EQ(encoded.size(), golden.size()) << "snapshot size drifted";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(encoded[i], golden[i]) << "byte " << i << " drifted";
+  }
+
+  // Decoder half: the committed fixture must still be accepted and must
+  // still mean what it meant.
+  const EngineSnapshot decoded = deserialize_engine_snapshot(golden);
+  expect_equal(fixed_snapshot(), decoded);
+}
+
+}  // namespace
+}  // namespace ecad::evo

@@ -1,0 +1,123 @@
+// Fleet-cache persistence (`ecad_workerd --cache-file`): the snapshot file
+// codec, LRU-order-preserving export/replay, and cold-start fallbacks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/fleet_cache.h"
+#include "util/snapshot_io.h"
+
+namespace ecad::net {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return ::testing::TempDir() + "fleet_cache_" + stem + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".bin";
+}
+
+evo::EvalResult result_with(double accuracy) {
+  evo::EvalResult result;
+  result.accuracy = accuracy;
+  result.outputs_per_second = 1000.0 * accuracy;
+  result.power_watts = 12.5;
+  result.feasible = accuracy > 0.1;
+  return result;
+}
+
+TEST(FleetCacheFile, ExportIsLruFirstAndReplayRebuildsRecency) {
+  FleetResultCache cache(kCacheEntryBytes * 8);
+  cache.store(1, result_with(0.1));
+  cache.store(2, result_with(0.2));
+  cache.store(3, result_with(0.3));
+  (void)cache.lookup(1);  // refresh: recency newest-first is now 1,3,2
+
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 2u);  // least recently used first
+  EXPECT_EQ(entries[1].first, 3u);
+  EXPECT_EQ(entries[2].first, 1u);
+
+  // Replaying into a budget-2 cache must evict the LRU entry (2), exactly
+  // as if the original cache had been capped.
+  FleetResultCache smaller(kCacheEntryBytes * 2);
+  for (const auto& [key, result] : entries) smaller.store(key, result);
+  EXPECT_EQ(smaller.entries(), 2u);
+  EXPECT_FALSE(smaller.lookup(2).has_value());
+  EXPECT_TRUE(smaller.lookup(3).has_value());
+  EXPECT_TRUE(smaller.lookup(1).has_value());
+}
+
+TEST(FleetCacheFile, SaveLoadRoundTripsEntriesAndResults) {
+  const std::string path = temp_path("roundtrip");
+  FleetResultCache cache(kCacheEntryBytes * 8);
+  cache.store(0x0123456789abcdefull, result_with(0.875));
+  cache.store(42, result_with(0.25));
+  save_cache_file(path, cache);
+
+  FleetResultCache reloaded(kCacheEntryBytes * 8);
+  EXPECT_EQ(load_cache_file(path, reloaded), 2u);
+  EXPECT_EQ(reloaded.entries(), 2u);
+  const auto hit = reloaded.lookup(0x0123456789abcdefull);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->accuracy, 0.875);
+  EXPECT_DOUBLE_EQ(hit->power_watts, 12.5);
+  EXPECT_TRUE(hit->feasible);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCacheFile, SerializeIsAFixedPoint) {
+  FleetResultCache cache(kCacheEntryBytes * 4);
+  cache.store(7, result_with(0.5));
+  cache.store(8, result_with(0.75));
+  const std::vector<std::uint8_t> first = serialize_cache_entries(cache.export_entries());
+  const std::vector<std::uint8_t> second =
+      serialize_cache_entries(deserialize_cache_entries(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(FleetCacheFile, EmptyCacheRoundTrips) {
+  const std::string path = temp_path("empty");
+  FleetResultCache cache(kCacheEntryBytes * 4);
+  save_cache_file(path, cache);
+  FleetResultCache reloaded(kCacheEntryBytes * 4);
+  EXPECT_EQ(load_cache_file(path, reloaded), 0u);
+  EXPECT_EQ(reloaded.entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCacheFile, MalformedFilesRejectedNotCrashed) {
+  FleetResultCache cache(kCacheEntryBytes * 4);
+  EXPECT_THROW(load_cache_file(temp_path("missing"), cache), util::SnapshotError);
+
+  EXPECT_THROW(deserialize_cache_entries({}), util::SnapshotError);
+
+  FleetResultCache source(kCacheEntryBytes * 4);
+  source.store(1, result_with(0.5));
+  std::vector<std::uint8_t> bytes = serialize_cache_entries(source.export_entries());
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(deserialize_cache_entries(bad_magic), util::SnapshotError);
+
+  std::vector<std::uint8_t> bad_version = bytes;
+  bad_version[4] ^= 0xff;
+  EXPECT_THROW(deserialize_cache_entries(bad_version), util::SnapshotError);
+
+  std::vector<std::uint8_t> truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(deserialize_cache_entries(truncated), util::SnapshotError);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_cache_entries(trailing), util::SnapshotError);
+}
+
+TEST(FleetCacheFile, DisabledCacheExportsNothing) {
+  FleetResultCache disabled(0);
+  disabled.store(1, result_with(0.5));
+  EXPECT_TRUE(disabled.export_entries().empty());
+}
+
+}  // namespace
+}  // namespace ecad::net

@@ -1,0 +1,59 @@
+#include "util/crash_point.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ecad::util {
+namespace {
+
+// The spec is process-global; every test disarms on the way out.
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_crash_point_spec_for_testing(""); }
+};
+
+TEST_F(CrashPointTest, DisarmedIsANoOp) {
+  set_crash_point_spec_for_testing("");
+  crash_point("checkpoint");
+  EXPECT_EQ(crash_point_hits_for_testing(), 0u);
+}
+
+TEST_F(CrashPointTest, OtherLabelsDoNotCount) {
+  set_crash_point_spec_for_testing("checkpoint:3");
+  crash_point("cache_file");
+  crash_point("checkpoint_tmp");  // distinct label, not a prefix match
+  EXPECT_EQ(crash_point_hits_for_testing(), 0u);
+}
+
+TEST_F(CrashPointTest, CountsHitsBelowThreshold) {
+  set_crash_point_spec_for_testing("checkpoint:3");
+  crash_point("checkpoint");
+  crash_point("checkpoint");
+  EXPECT_EQ(crash_point_hits_for_testing(), 2u);  // still alive: fires on the 3rd
+}
+
+TEST_F(CrashPointTest, MalformedSpecDisarms) {
+  set_crash_point_spec_for_testing("checkpoint:not_a_number");
+  crash_point("checkpoint");
+  EXPECT_EQ(crash_point_hits_for_testing(), 0u);
+  set_crash_point_spec_for_testing(":5");
+  crash_point("checkpoint");
+  EXPECT_EQ(crash_point_hits_for_testing(), 0u);
+}
+
+TEST_F(CrashPointTest, BareLabelFiresOnFirstHit) {
+  set_crash_point_spec_for_testing("boom");
+  EXPECT_EXIT(crash_point("boom"), ::testing::ExitedWithCode(kCrashPointExitCode),
+              "injected crash at 'boom'");
+}
+
+TEST_F(CrashPointTest, FiresOnNthHit) {
+  set_crash_point_spec_for_testing("boom:2");
+  crash_point("boom");
+  EXPECT_EXIT(crash_point("boom"), ::testing::ExitedWithCode(kCrashPointExitCode),
+              "injected crash at 'boom'");
+}
+
+}  // namespace
+}  // namespace ecad::util

@@ -1,0 +1,119 @@
+#include "util/snapshot_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecad::util {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return ::testing::TempDir() + "snapshot_io_" + stem + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+}
+
+TEST(SnapshotIo, PrimitivesRoundTrip) {
+  SnapshotWriter writer;
+  writer.put_u8(0xab);
+  writer.put_u16(0xbeef);
+  writer.put_u32(0xdeadbeefu);
+  writer.put_u64(0x0123456789abcdefull);
+  writer.put_f64(-1.25e-3);
+  writer.put_bool(true);
+  writer.put_bool(false);
+  writer.put_string("snapshot");
+  writer.put_size_vector({1, 2, 300});
+
+  SnapshotReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_u8(), 0xab);
+  EXPECT_EQ(reader.get_u16(), 0xbeef);
+  EXPECT_EQ(reader.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(reader.get_f64(), -1.25e-3);
+  EXPECT_TRUE(reader.get_bool());
+  EXPECT_FALSE(reader.get_bool());
+  EXPECT_EQ(reader.get_string(), "snapshot");
+  EXPECT_EQ(reader.get_size_vector(), (std::vector<std::size_t>{1, 2, 300}));
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(SnapshotIo, LittleEndianLayoutIsPinned) {
+  // The byte layout must match net/wire.h exactly — a drift here silently
+  // invalidates every deployed checkpoint.
+  SnapshotWriter writer;
+  writer.put_u32(0x04030201u);
+  const std::vector<std::uint8_t> expected = {0x01, 0x02, 0x03, 0x04};
+  EXPECT_EQ(writer.bytes(), expected);
+}
+
+TEST(SnapshotIo, TruncatedReadThrows) {
+  SnapshotWriter writer;
+  writer.put_u64(7);
+  std::vector<std::uint8_t> bytes = writer.take();
+  bytes.pop_back();
+  SnapshotReader reader(bytes);
+  EXPECT_THROW(reader.get_u64(), SnapshotError);
+}
+
+TEST(SnapshotIo, TruncatedStringThrows) {
+  SnapshotWriter writer;
+  writer.put_string("hello");
+  std::vector<std::uint8_t> bytes = writer.take();
+  bytes.resize(bytes.size() - 2);
+  SnapshotReader reader(bytes);
+  EXPECT_THROW(reader.get_string(), SnapshotError);
+}
+
+TEST(SnapshotIo, OverCapStringLengthThrows) {
+  SnapshotWriter writer;
+  writer.put_u32(static_cast<std::uint32_t>(kMaxSnapshotStringBytes + 1));
+  SnapshotReader reader(writer.bytes());
+  EXPECT_THROW(reader.get_string(), SnapshotError);
+}
+
+TEST(SnapshotIo, OverCapVectorCountThrows) {
+  SnapshotWriter writer;
+  writer.put_u32(static_cast<std::uint32_t>(kMaxSnapshotVectorElems + 1));
+  SnapshotReader reader(writer.bytes());
+  EXPECT_THROW(reader.get_size_vector(), SnapshotError);
+}
+
+TEST(SnapshotIo, ExpectEndRejectsTrailingGarbage) {
+  SnapshotWriter writer;
+  writer.put_u8(1);
+  writer.put_u8(2);
+  SnapshotReader reader(writer.bytes());
+  reader.get_u8();
+  EXPECT_THROW(reader.expect_end(), SnapshotError);
+}
+
+TEST(SnapshotIo, AtomicWriteThenReadRoundTrips) {
+  const std::string path = temp_path("roundtrip");
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xfe, 0xff};
+  write_file_atomic(path, bytes);
+  EXPECT_EQ(read_file_bytes(path), bytes);
+  // No tmp residue: the rename consumed it.
+  EXPECT_THROW(read_file_bytes(path + ".tmp"), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, AtomicWriteReplacesExistingFile) {
+  const std::string path = temp_path("replace");
+  write_file_atomic(path, {1, 2, 3});
+  write_file_atomic(path, {9});
+  EXPECT_EQ(read_file_bytes(path), (std::vector<std::uint8_t>{9}));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file_bytes(temp_path("does_not_exist")), SnapshotError);
+}
+
+TEST(SnapshotIo, WriteToMissingDirectoryThrows) {
+  EXPECT_THROW(write_file_atomic(temp_path("no_such_dir") + "/x.bin", {1}), SnapshotError);
+}
+
+}  // namespace
+}  // namespace ecad::util

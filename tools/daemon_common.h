@@ -195,33 +195,56 @@ inline WorkerBundle make_worker(const WorkerConfig& config) {
 /// One result's non-timing fields at full double precision.  Everything
 /// except eval_seconds, which measures wall clock and is the one
 /// legitimately nondeterministic field.
-inline void print_result_fields(const evo::EvalResult& result) {
-  std::printf(
+inline std::string format_result_fields(const evo::EvalResult& result) {
+  char buffer[768];
+  std::snprintf(
+      buffer, sizeof(buffer),
       " accuracy=%.17g outputs_per_second=%.17g latency_seconds=%.17g"
       " potential_gflops=%.17g effective_gflops=%.17g hw_efficiency=%.17g"
       " power_watts=%.17g fmax_mhz=%.17g parameters=%.17g flops_per_sample=%.17g feasible=%d",
       result.accuracy, result.outputs_per_second, result.latency_seconds,
       result.potential_gflops, result.effective_gflops, result.hw_efficiency, result.power_watts,
       result.fmax_mhz, result.parameters, result.flops_per_sample, result.feasible ? 1 : 0);
+  return std::string(buffer);
 }
 
-/// The deterministic stdout record of one search: one line per unique
-/// evaluated candidate in evaluation order, then the winner, then the
-/// counters.  The standalone and --submit paths of ecad_searchd both render
-/// through this, which is what makes a submitted search's output
-/// byte-identical to the local one (the property the service smoke diffs).
+/// The deterministic record of one search: one line per unique evaluated
+/// candidate in evaluation order, then the winner, then the counters.  The
+/// standalone and --submit paths of ecad_searchd both render through this
+/// (to stdout), and a `--serve --resume` daemon writes it to
+/// search_<id>.record — which is what makes a submitted, resumed, or local
+/// search's record byte-identical (the property the smoke matrices diff).
+inline std::string format_search_record(const std::vector<evo::Candidate>& history,
+                                        const evo::Candidate& best, std::size_t models_evaluated,
+                                        std::size_t duplicates_skipped) {
+  std::string out;
+  char buffer[128];
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const evo::Candidate& candidate = history[i];
+    std::snprintf(buffer, sizeof(buffer), "cand %zu ", i);
+    out += buffer;
+    out += candidate.genome.key();
+    std::snprintf(buffer, sizeof(buffer), " fitness=%.17g", candidate.fitness);
+    out += buffer;
+    out += format_result_fields(candidate.result);
+    out += '\n';
+  }
+  out += "best " + best.genome.key();
+  std::snprintf(buffer, sizeof(buffer), " fitness=%.17g\n", best.fitness);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "stats models=%zu duplicates=%zu\n", models_evaluated,
+                duplicates_skipped);
+  out += buffer;
+  return out;
+}
+
 inline void print_search_record(const std::vector<evo::Candidate>& history,
                                 const evo::Candidate& best, std::size_t models_evaluated,
                                 std::size_t duplicates_skipped) {
-  for (std::size_t i = 0; i < history.size(); ++i) {
-    const evo::Candidate& candidate = history[i];
-    std::printf("cand %zu %s fitness=%.17g", i, candidate.genome.key().c_str(),
-                candidate.fitness);
-    print_result_fields(candidate.result);
-    std::printf("\n");
-  }
-  std::printf("best %s fitness=%.17g\n", best.genome.key().c_str(), best.fitness);
-  std::printf("stats models=%zu duplicates=%zu\n", models_evaluated, duplicates_skipped);
+  const std::string record =
+      format_search_record(history, best, models_evaluated, duplicates_skipped);
+  std::fwrite(record.data(), 1, record.size(), stdout);
+  std::fflush(stdout);
 }
 
 /// Render one daemon's StatsReport for --stats: a `STATS <endpoint>` header,

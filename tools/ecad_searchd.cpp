@@ -26,6 +26,7 @@
 #include <iostream>
 #include <thread>
 
+#include "core/checkpoint.h"
 #include "core/master.h"
 #include "core/search_scheduler.h"
 #include "daemon_common.h"
@@ -34,6 +35,7 @@
 #include "net/search_client.h"
 #include "net/search_server.h"
 #include "util/logging.h"
+#include "util/snapshot_io.h"
 
 namespace {
 
@@ -88,6 +90,18 @@ void print_usage() {
       "  --cancel-after-progress N  send CancelSearch after N progress frames\n"
       "  --frame-timeout-ms N  per-frame receive budget while streaming\n"
       "                    (default 120000)\n"
+      "crash-safety options\n"
+      "  --checkpoint-dir D  persist per-search engine snapshots (and, with\n"
+      "                    --serve, a submission journal) under D; a killed\n"
+      "                    process restarted with --resume continues each\n"
+      "                    unfinished search bit-identically\n"
+      "  --checkpoint-every N  persist every Nth generation boundary\n"
+      "                    (default 1; boundary 0 always persists)\n"
+      "  --resume          continue from --checkpoint-dir: one-shot mode loads\n"
+      "                    the persisted search and prints its record; --serve\n"
+      "                    re-admits every unfinished search (journal order,\n"
+      "                    sorted by id) and writes each finished record to\n"
+      "                    D/search_<id>.record\n"
       "observability options\n"
       "  --stats-prefix P  with --stats: only metrics whose name starts with P\n"
       "  --metrics-json PATH  on exit, dump this process's metrics registry as\n"
@@ -113,6 +127,21 @@ ecad::core::SearchRequest search_request_from_args(const ecad::tools::ArgParser&
   request.evolution.overlap_generations = args.get_flag("overlap");
   request.evolution.max_inflight_batches = static_cast<std::size_t>(args.get_int("inflight", 2));
   return request;
+}
+
+ecad::core::CheckpointOptions checkpoint_options_from_args(const ecad::tools::ArgParser& args) {
+  ecad::core::CheckpointOptions checkpoint;
+  checkpoint.dir = args.get("checkpoint-dir", "");
+  const long long every = args.get_int("checkpoint-every", 1);
+  if (every < 1) {
+    throw std::invalid_argument("--checkpoint-every " + std::to_string(every) +
+                                " must be >= 1");
+  }
+  checkpoint.every = static_cast<std::size_t>(every);
+  if (args.get_flag("resume") && !checkpoint.enabled()) {
+    throw std::invalid_argument("--resume needs --checkpoint-dir");
+  }
+  return checkpoint;
 }
 
 std::uint16_t max_protocol_from_args(const ecad::tools::ArgParser& args) {
@@ -177,7 +206,49 @@ int run_serve(const ecad::tools::ArgParser& args) {
   scheduler_options.max_concurrent_searches =
       static_cast<std::size_t>(args.get_int("max-searches", 2));
   scheduler_options.dispatch_slots = static_cast<std::size_t>(args.get_int("dispatch-slots", 2));
+  scheduler_options.checkpoint = checkpoint_options_from_args(args);
   core::SearchScheduler scheduler(*worker, scheduler_options);
+
+  // Re-admit unfinished searches from a previous incarnation before the
+  // listener opens, so resumed work precedes any new submissions.  Resumed
+  // searches have no client connection left to stream to; their records land
+  // in <checkpoint-dir>/search_<id>.record instead (atomically, so a poller
+  // never reads a torn record).
+  if (args.get_flag("resume")) {
+    const std::string checkpoint_dir = scheduler_options.checkpoint.dir;
+    const std::vector<core::ResumableSearch> resumables =
+        core::scan_checkpoint_dir(checkpoint_dir);
+    for (const core::ResumableSearch& resumable : resumables) {
+      scheduler.resume_submit(
+          resumable,
+          [](const core::SearchProgressInfo& progress) {
+            util::Log(util::LogLevel::Info, "searchd")
+                << "resumed search " << progress.search_id << " generation "
+                << progress.generation << ": " << progress.models_evaluated << "/"
+                << progress.max_evaluations << " evaluated";
+          },
+          [checkpoint_dir](const core::SearchOutcome& outcome) {
+            if (outcome.state != core::SearchState::Completed) {
+              util::Log(util::LogLevel::Warn, "searchd")
+                  << "resumed search " << outcome.search_id << " ended "
+                  << core::to_string(outcome.state) << ": " << outcome.message;
+              return;
+            }
+            const std::string record = tools::format_search_record(
+                outcome.result.history, outcome.result.best,
+                outcome.result.stats.models_evaluated, outcome.result.stats.duplicates_skipped);
+            const std::string path =
+                checkpoint_dir + "/search_" + std::to_string(outcome.search_id) + ".record";
+            util::write_file_atomic(
+                path, std::vector<std::uint8_t>(record.begin(), record.end()));
+            util::Log(util::LogLevel::Info, "searchd")
+                << "resumed search " << outcome.search_id << " record written to " << path;
+          });
+    }
+    util::Log(util::LogLevel::Info, "searchd")
+        << "re-admitted " << resumables.size() << " unfinished search(es) from "
+        << checkpoint_dir;
+  }
 
   net::SearchServerOptions server_options;
   server_options.host = args.get("host", "127.0.0.1");
@@ -323,12 +394,22 @@ int main(int argc, char** argv) {
     const tools::WorkerConfig worker_config = tools::worker_config_from_args(args);
     const tools::WorkerBundle bundle = tools::make_worker(worker_config);
     const core::SearchRequest request = search_request_from_args(args);
+    const core::CheckpointOptions checkpoint = checkpoint_options_from_args(args);
 
     std::unique_ptr<net::RemoteWorker> remote;
     const core::Worker* worker = make_backend(args, worker_config, bundle, endpoints, remote);
 
     core::Master master;
-    const evo::EvolutionResult result = master.search(*worker, request);
+    evo::EvolutionResult result;
+    if (args.get_flag("resume")) {
+      // The request (seed, budget, space) comes from the checkpoint itself;
+      // only the worker spec flags must match the original invocation.
+      result = master.resume_search(*worker, checkpoint);
+    } else if (checkpoint.enabled()) {
+      result = master.search(*worker, request, checkpoint);
+    } else {
+      result = master.search(*worker, request);
+    }
 
     tools::print_search_record(result.history, result.best, result.stats.models_evaluated,
                                result.stats.duplicates_skipped);

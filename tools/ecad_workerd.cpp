@@ -14,8 +14,10 @@
 #include <thread>
 
 #include "daemon_common.h"
+#include "net/fleet_cache.h"
 #include "net/worker_server.h"
 #include "util/logging.h"
+#include "util/snapshot_io.h"
 
 namespace {
 
@@ -39,6 +41,10 @@ void print_usage() {
       "                    tier (default 0)\n"
       "  --cache-only      serve only the cache tier (plus handshake/ping/\n"
       "                    stats); evaluation frames drop the connection\n"
+      "  --cache-file PATH persist the fleet cache tier across restarts:\n"
+      "                    reload entries at startup (missing/corrupt file =\n"
+      "                    start cold) and snapshot them atomically on exit\n"
+      "                    (SIGTERM/SIGINT/Shutdown); needs --cache-bytes > 0\n"
       "  --eval-delay-ms N artificial per-evaluation delay (analytic only)\n"
       "  --eval-slow-modulo N   slow-genome injection: genomes whose DSP usage\n"
       "                    divides by N sleep --eval-slow-delay-ms instead\n"
@@ -103,7 +109,27 @@ int main(int argc, char** argv) {
     options.cache_bytes = static_cast<std::size_t>(cache_bytes);
     options.cache_only = args.get_flag("cache-only");
 
+    const std::string cache_file = args.get("cache-file", "");
+    if (!cache_file.empty() && options.cache_bytes == 0) {
+      throw std::invalid_argument("--cache-file needs --cache-bytes > 0");
+    }
+
     net::WorkerServer server(*bundle.worker, options);
+
+    // Warm the cache tier before the listener opens so reloaded entries are
+    // visible from the very first CacheLookup.  A missing or unusable file
+    // means a cold start, never a failed one.
+    if (!cache_file.empty()) {
+      try {
+        const std::size_t loaded = net::load_cache_file(cache_file, server.cache());
+        util::Log(util::LogLevel::Info, "workerd")
+            << "reloaded " << loaded << " fleet-cache entries from " << cache_file;
+      } catch (const util::SnapshotError& e) {
+        util::Log(util::LogLevel::Warn, "workerd")
+            << "starting with a cold fleet cache: " << e.what();
+      }
+    }
+
     server.start();
     util::set_log_identity("workerd:" + std::to_string(server.port()));
 
@@ -117,6 +143,12 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     server.stop();
+    if (!cache_file.empty()) {
+      net::save_cache_file(cache_file, server.cache());
+      util::Log(util::LogLevel::Info, "workerd")
+          << "snapshotted " << server.cache().entries() << " fleet-cache entries to "
+          << cache_file;
+    }
     tools::maybe_write_metrics_json(args, "workerd");
     util::trace_close();
     return 0;
